@@ -1,0 +1,35 @@
+//! CACTI-model query cost: these run inside the annealer's inner loop,
+//! so they must stay cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xps_core::cacti::{cache_access_time, fit, units, CacheGeometry, Technology};
+
+fn queries(c: &mut Criterion) {
+    let tech = Technology::default();
+    c.bench_function("cacti/l1-access-time", |b| {
+        b.iter(|| cache_access_time(&tech, &CacheGeometry::new(black_box(256), 2, 64)))
+    });
+    c.bench_function("cacti/l2-access-time", |b| {
+        b.iter(|| cache_access_time(&tech, &CacheGeometry::new(black_box(8192), 8, 128)))
+    });
+    c.bench_function("cacti/issue-queue", |b| {
+        b.iter(|| units::issue_queue_delay(&tech, black_box(64), 4))
+    });
+    c.bench_function("cacti/regfile", |b| {
+        b.iter(|| units::regfile_access_time(&tech, black_box(512), 6))
+    });
+}
+
+fn fitting(c: &mut Criterion) {
+    let tech = Technology::default();
+    c.bench_function("fit/issue-queue", |b| {
+        b.iter(|| fit::fit_issue_queue(&tech, black_box(0.4), 4))
+    });
+    c.bench_function("fit/cache-grid", |b| {
+        b.iter(|| fit::cache_geometries_within(&tech, black_box(1.2)).len())
+    });
+}
+
+criterion_group!(benches, queries, fitting);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Analysis-layer costs over the published Table 5: complete search,
+//! surrogate assignment, metric kernels, scheduling simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xps_core::communal::{
+    assign_surrogates, best_combination, simulate_jobs, JobPolicy, Merit, Propagation,
+    ScheduleOptions,
+};
+use xps_core::paper;
+
+fn complete_search(c: &mut Criterion) {
+    let m = paper::table5_matrix();
+    for k in [2usize, 4] {
+        c.bench_function(&format!("search/best-{k}-har"), |b| {
+            b.iter(|| best_combination(&m, black_box(k), Merit::HarmonicMean))
+        });
+    }
+    c.bench_function("search/best-2-cw-har", |b| {
+        b.iter(|| best_combination(&m, 2, Merit::ContentionWeightedHarmonicMean))
+    });
+}
+
+fn surrogates(c: &mut Criterion) {
+    let m = paper::table5_matrix();
+    for (mode, name) in [
+        (Propagation::None, "none"),
+        (Propagation::Forward, "forward"),
+        (Propagation::ForwardBackward, "full"),
+    ] {
+        c.bench_function(&format!("surrogates/{name}"), |b| {
+            b.iter(|| assign_surrogates(&m, mode, black_box(1).max(1)))
+        });
+    }
+}
+
+fn scheduling(c: &mut Criterion) {
+    let m = paper::table5_matrix();
+    let cores = best_combination(&m, 2, Merit::HarmonicMean).cores;
+    let mut o = ScheduleOptions::new(cores, JobPolicy::BestAvailable);
+    o.jobs = 5000;
+    c.bench_function("schedule/5000-jobs", |b| b.iter(|| simulate_jobs(&m, &o)));
+}
+
+criterion_group!(benches, complete_search, surrogates, scheduling);
+criterion_main!(benches);

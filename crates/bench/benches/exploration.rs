@@ -1,0 +1,37 @@
+//! Exploration costs: one evaluation (the annealer's unit of work) and
+//! a full quick anneal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xps_core::explore::{anneal, AnnealOptions, DesignPoint};
+use xps_core::cacti::Technology;
+use xps_core::sim::Simulator;
+use xps_core::workload::{spec, TraceGenerator};
+
+fn evaluation(c: &mut Criterion) {
+    let tech = Technology::default();
+    let cfg = DesignPoint::initial()
+        .realize(&tech, "bench")
+        .expect("Table 3 realizes");
+    let p = spec::profile("gcc").expect("known benchmark");
+    c.bench_function("explore/one-evaluation-30k", |b| {
+        b.iter(|| Simulator::new(&cfg).run(TraceGenerator::new(p.clone()), 30_000))
+    });
+}
+
+fn quick_anneal(c: &mut Criterion) {
+    let tech = Technology::default();
+    let p = spec::profile("gzip").expect("known benchmark");
+    let mut opts = AnnealOptions::quick();
+    opts.iterations = 20;
+    opts.eval_ops_early = 8_000;
+    opts.eval_ops_late = 15_000;
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+    group.bench_function("mini-anneal-20-iters", |b| {
+        b.iter(|| anneal(&p, &DesignPoint::initial(), &opts, &tech))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, evaluation, quick_anneal);
+criterion_main!(benches);

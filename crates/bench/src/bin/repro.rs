@@ -1,0 +1,925 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--paper-data] [--quick]
+//!
+//! experiments:
+//!   explore      run the measured exploration campaign and persist it
+//!   table1       unit → CACTI-query mapping with reference delays
+//!   table2       fixed technology parameters
+//!   table3       the initial configuration
+//!   table4       customized configurations per benchmark
+//!   table5       cross-configuration IPT matrix
+//!   table6       best core combinations per figure of merit
+//!   table7       dual-core design summary
+//!   fig1         Kiviat graphs of raw workload characteristics
+//!   fig2         clock-period / sizing slack scenarios
+//!   fig3         subset-first vs customize-first methodologies
+//!   fig4         per-benchmark IPT under different core sets
+//!   fig5         propagation-mode illustration
+//!   fig6         greedy surrogates, no propagation
+//!   fig7         greedy surrogates, full propagation
+//!   fig8         greedy surrogates, forward propagation
+//!   appendix-a   percentage-slowdown matrix
+//!   pitfall      the §5.3 subsetting pitfall
+//!   schedule     §5.5 job-arrival contention study
+//!   ablation-tech  how technology scaling shifts customized configs
+//!   ablation-power performance-optimal vs EDP-optimal customization
+//!   ablation-predictor  mispredict/IPT sensitivity to the predictor
+//!   ablation-search  simulated annealing vs exhaustive grid search
+//!   ablation-prefetch  what a prefetcher would absorb of the story
+//!   dendrogram   subsetting dendrogram of raw characteristics
+//!   visualize    cross-configuration slowdown heat map
+//!   all          everything above, in order
+//!
+//! `--paper-data` analyses the paper's published Table 5 instead of
+//! this repository's measured matrix; `--quick` shrinks the measured
+//! exploration budget (demo-scale).
+//! ```
+
+use std::process::ExitCode;
+use xps_bench::{
+    load_measured, measured_path, render_kiviat, render_table, save_measured, Measured,
+};
+use xps_core::communal::{
+    assign_surrogates, best_combination, ideal_performance, pitfall_experiment, simulate_jobs,
+    CrossPerfMatrix, JobPolicy, Merit, Propagation, ScheduleOptions, Surrogating,
+};
+use xps_core::explore::constants;
+use xps_core::paper;
+use xps_core::pipeline::Pipeline;
+use xps_core::sim::{CoreConfig, Simulator};
+use xps_core::workload::{spec, Characterizer, TraceGenerator, KIVIAT_AXES};
+use xps_core::{cacti, table7};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Paper,
+    Measured,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let source = if args.iter().any(|a| a == "--paper-data") {
+        Source::Paper
+    } else {
+        Source::Measured
+    };
+    let cmd = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(c) => c.clone(),
+        None => {
+            eprintln!("usage: repro <experiment> [--paper-data] [--quick]  (see --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cmd == "--help" || cmd == "help" {
+        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule all");
+        return ExitCode::SUCCESS;
+    }
+    let run = |c: &str| -> Result<(), String> {
+        match c {
+            "explore" => {
+                explore(quick)?;
+                Ok(())
+            }
+            "table1" => Ok(table1()),
+            "table2" => Ok(table2()),
+            "table3" => Ok(table3()),
+            "table4" => table4(source, quick),
+            "table5" => table5(source, quick),
+            "table6" => table6(source, quick),
+            "table7" => table7_cmd(source, quick),
+            "fig1" => Ok(fig1(quick)),
+            "fig2" => Ok(fig2()),
+            "fig3" => fig3(source, quick),
+            "fig4" => fig4(source, quick),
+            "fig5" => Ok(fig5()),
+            "fig6" => figs678(source, quick, Propagation::None),
+            "fig7" => figs678(source, quick, Propagation::ForwardBackward),
+            "fig8" => figs678(source, quick, Propagation::Forward),
+            "appendix-a" => appendix_a(source, quick),
+            "pitfall" => pitfall(source, quick),
+            "schedule" => schedule(source, quick),
+            "ablation-tech" => Ok(ablation_tech()),
+            "ablation-power" => Ok(ablation_power()),
+            "ablation-predictor" => Ok(ablation_predictor()),
+            "ablation-search" => Ok(ablation_search()),
+            "ablation-prefetch" => Ok(ablation_prefetch()),
+            "dendrogram" => Ok(dendrogram_cmd(quick)),
+            "visualize" => visualize(source, quick),
+            "all" => {
+                for c in [
+                    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+                    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "appendix-a",
+                    "pitfall", "schedule", "ablation-tech", "ablation-power",
+                    "ablation-predictor", "ablation-search", "ablation-prefetch",
+                    "dendrogram", "visualize",
+                ] {
+                    println!("\n================ {c} ================\n");
+                    run_dispatch(c, source, quick)?;
+                }
+                Ok(())
+            }
+            other => Err(format!("unknown experiment `{other}`")),
+        }
+    };
+    match run(&cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), String> {
+    match c {
+        "table1" => Ok(table1()),
+        "table2" => Ok(table2()),
+        "table3" => Ok(table3()),
+        "table4" => table4(source, quick),
+        "table5" => table5(source, quick),
+        "table6" => table6(source, quick),
+        "table7" => table7_cmd(source, quick),
+        "fig1" => Ok(fig1(quick)),
+        "fig2" => Ok(fig2()),
+        "fig3" => fig3(source, quick),
+        "fig4" => fig4(source, quick),
+        "fig5" => Ok(fig5()),
+        "fig6" => figs678(source, quick, Propagation::None),
+        "fig7" => figs678(source, quick, Propagation::ForwardBackward),
+        "fig8" => figs678(source, quick, Propagation::Forward),
+        "appendix-a" => appendix_a(source, quick),
+        "pitfall" => pitfall(source, quick),
+        "schedule" => schedule(source, quick),
+        "ablation-tech" => Ok(ablation_tech()),
+        "ablation-power" => Ok(ablation_power()),
+        "ablation-predictor" => Ok(ablation_predictor()),
+        "ablation-search" => Ok(ablation_search()),
+        "ablation-prefetch" => Ok(ablation_prefetch()),
+        "dendrogram" => Ok(dendrogram_cmd(quick)),
+        "visualize" => visualize(source, quick),
+        _ => Err(format!("unknown experiment `{c}`")),
+    }
+}
+
+/// Run (or reuse) the measured campaign.
+fn measured(quick: bool) -> Result<Measured, String> {
+    let path = measured_path();
+    if let Ok(m) = load_measured(&path) {
+        if m.quick == quick {
+            eprintln!("[using cached {} — delete it to re-explore]", path.display());
+            return Ok(m);
+        }
+    }
+    explore(quick)
+}
+
+fn explore(quick: bool) -> Result<Measured, String> {
+    eprintln!(
+        "[running measured exploration campaign ({}) — this simulates ~10^9 micro-ops]",
+        if quick { "quick" } else { "full" }
+    );
+    let pipeline = if quick { Pipeline::quick() } else { Pipeline::default() };
+    let result = pipeline.run(&spec::all_profiles());
+    let m = Measured::from((result, quick));
+    save_measured(&m, &measured_path())?;
+    eprintln!("[saved {}]", measured_path().display());
+    Ok(m)
+}
+
+fn matrix_for(source: Source, quick: bool) -> Result<(CrossPerfMatrix, &'static str), String> {
+    match source {
+        Source::Paper => Ok((paper::table5_matrix(), "published Table 5")),
+        Source::Measured => Ok((measured(quick)?.matrix, "measured matrix")),
+    }
+}
+
+fn table1() {
+    let tech = cacti::Technology::default();
+    println!("Table 1: unit -> CACTI query (reference delays at representative sizes)\n");
+    let rows = vec![
+        vec![
+            "L1 data cache".into(),
+            "sets x assoc x line, 2R/2W".into(),
+            "access time".into(),
+            format!("{:.3} ns (32 KB, 2w, 64 B)", cacti::units::l1_access_time(&tech, 256, 2, 64)),
+        ],
+        vec![
+            "L2 data cache".into(),
+            "sets x assoc x line, 2R/2W".into(),
+            "access time".into(),
+            format!("{:.3} ns (2 MB, 4w, 128 B)", cacti::units::l2_access_time(&tech, 4096, 4, 128)),
+        ],
+        vec![
+            "wakeup-select".into(),
+            "CAM 2xIQ entries + RAM select".into(),
+            "tag cmp + datapath".into(),
+            format!("{:.3} ns (IQ 64, width 4)", cacti::units::issue_queue_delay(&tech, 64, 4)),
+        ],
+        vec![
+            "reg file (ROB)".into(),
+            "RAM, 2w read / w write ports".into(),
+            "access time".into(),
+            format!("{:.3} ns (ROB 256, width 4)", cacti::units::regfile_access_time(&tech, 256, 4)),
+        ],
+        vec![
+            "LSQ".into(),
+            "CAM, 2 search ports".into(),
+            "datapath w/o driver".into(),
+            format!("{:.3} ns (LSQ 128)", cacti::units::lsq_delay(&tech, 128)),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["unit".into(), "organization".into(), "CACTI output".into(), "model delay".into()],
+            &rows
+        )
+    );
+}
+
+fn table2() {
+    println!("Table 2: fixed design parameters\n");
+    println!("  memory access latency    {} ns", constants::MEMORY_LATENCY_NS);
+    println!("  front-end latency        {} ns", constants::FRONTEND_LATENCY_NS);
+    println!("  bit-width of IQ entries  {} bits", constants::IQ_ENTRY_BITS);
+    println!("  latch latency            {} ns", constants::LATCH_NS);
+}
+
+fn table3() {
+    let c = CoreConfig::initial();
+    println!("Table 3: initial configuration used across all benchmarks\n");
+    println!("{}", config_table(&[c]));
+}
+
+fn config_table(configs: &[CoreConfig]) -> String {
+    let header: Vec<String> = std::iter::once("parameter".to_string())
+        .chain(configs.iter().map(|c| c.name.clone()))
+        .collect();
+    let param_rows: Vec<(&str, Box<dyn Fn(&CoreConfig) -> String>)> = vec![
+        ("mem access cycles", Box::new(|c| c.mem_cycles().to_string())),
+        ("front-end stages", Box::new(|c| c.frontend_depth.to_string())),
+        ("width", Box::new(|c| c.width.to_string())),
+        ("ROB size", Box::new(|c| c.rob_size.to_string())),
+        ("issue queue size", Box::new(|c| c.iq_size.to_string())),
+        ("min awaken latency", Box::new(|c| c.wakeup_extra.to_string())),
+        ("sched/RF depth", Box::new(|c| c.sched_depth.to_string())),
+        ("clock (ns)", Box::new(|c| format!("{:.2}", c.clock_ns))),
+        ("L1D assoc", Box::new(|c| c.l1.geometry.assoc.to_string())),
+        ("L1D block (B)", Box::new(|c| c.l1.geometry.block_bytes.to_string())),
+        ("L1D sets", Box::new(|c| c.l1.geometry.sets.to_string())),
+        ("L1D KB", Box::new(|c| (c.l1.geometry.capacity_bytes() / 1024).to_string())),
+        ("L1D cycles", Box::new(|c| c.l1.latency.to_string())),
+        ("L2D assoc", Box::new(|c| c.l2.geometry.assoc.to_string())),
+        ("L2D block (B)", Box::new(|c| c.l2.geometry.block_bytes.to_string())),
+        ("L2D sets", Box::new(|c| c.l2.geometry.sets.to_string())),
+        ("L2D KB", Box::new(|c| (c.l2.geometry.capacity_bytes() / 1024).to_string())),
+        ("L2D cycles", Box::new(|c| c.l2.latency.to_string())),
+        ("LSQ size", Box::new(|c| c.lsq_size.to_string())),
+    ];
+    let rows: Vec<Vec<String>> = param_rows
+        .iter()
+        .map(|(name, f)| {
+            std::iter::once(name.to_string())
+                .chain(configs.iter().map(|c| f(c)))
+                .collect()
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
+fn table4(source: Source, quick: bool) -> Result<(), String> {
+    let configs = match source {
+        Source::Paper => paper::table4_configs(),
+        Source::Measured => measured(quick)?.cores.iter().map(|c| c.config.clone()).collect(),
+    };
+    println!(
+        "Table 4: customized architectural configurations ({})\n",
+        match source {
+            Source::Paper => "published",
+            Source::Measured => "measured",
+        }
+    );
+    println!("{}", config_table(&configs));
+    Ok(())
+}
+
+fn matrix_table(m: &CrossPerfMatrix, cell: impl Fn(usize, usize) -> String) -> String {
+    let header: Vec<String> = std::iter::once(String::new())
+        .chain(m.names().iter().cloned())
+        .collect();
+    let rows: Vec<Vec<String>> = (0..m.len())
+        .map(|w| {
+            std::iter::once(m.names()[w].clone())
+                .chain((0..m.len()).map(|c| cell(w, c)))
+                .collect()
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
+fn table5(source: Source, quick: bool) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    println!("Table 5: IPT of each benchmark (rows) on each customized architecture (columns) [{label}]\n");
+    println!("{}", matrix_table(&m, |w, c| format!("{:.2}", m.ipt(w, c))));
+    Ok(())
+}
+
+fn appendix_a(source: Source, quick: bool) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    println!("Appendix A: percentage slowdown on other benchmarks' architectures [{label}]\n");
+    println!(
+        "{}",
+        matrix_table(&m, |w, c| format!("{:.1}%", m.slowdown(w, c) * 100.0))
+    );
+    Ok(())
+}
+
+fn table6(source: Source, quick: bool) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    println!("Table 6: best core combinations and their performance [{label}]\n");
+    let mut rows = Vec::new();
+    for k in 1..=4usize {
+        for merit in Merit::ALL {
+            let r = best_combination(&m, k, merit);
+            rows.push(vec![
+                format!("{k} best config(s) for {}", merit.label()),
+                r.names.join(", "),
+                format!("{:.2}", r.avg_ipt),
+                format!("{:.2}", r.har_ipt),
+            ]);
+        }
+    }
+    let (avg, har) = ideal_performance(&m);
+    rows.push(vec![
+        "each benchmark on its own architecture".into(),
+        "-".into(),
+        format!("{avg:.2}"),
+        format!("{har:.2}"),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &["criterion".into(), "customized core(s)".into(), "avg IPT".into(), "har IPT".into()],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn table7_cmd(source: Source, quick: bool) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    println!("Table 7: dual-core CMP summary [{label}]\n");
+    let t = table7(&m);
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                if r.architectures.len() == m.len() {
+                    "(all)".to_string()
+                } else {
+                    r.architectures.join(", ")
+                },
+                format!("{:.2}", r.harmonic_ipt),
+                format!("{:.0}%", r.slowdown_vs_ideal * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["scenario".into(), "arch(s)".into(), "har IPT".into(), "slowdown vs ideal".into()],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn fig1(quick: bool) {
+    let ops = if quick { 40_000 } else { 150_000 };
+    println!("Figure 1: Kiviat graphs of raw (microarchitecture-independent) characteristics, 0-10 scale\n");
+    for p in spec::all_profiles() {
+        let mut ch = Characterizer::new();
+        for op in TraceGenerator::new(p.clone()).take(ops) {
+            ch.observe(&op);
+        }
+        let v = ch.finish();
+        println!("{}:", p.name);
+        print!("{}", render_kiviat(&KIVIAT_AXES, &v.kiviat()));
+    }
+}
+
+fn fig2() {
+    let tech = cacti::Technology::default();
+    println!("Figure 2: clock period vs. issue-queue / L1 sizing scenarios\n");
+    println!("(delays from the CACTI model; slack = stage budget - unit delay)\n");
+    let scenarios = [
+        ("a: 1.00 ns clock, IQ 64, L1 32 KB in 1 cycle", 1.00, 64u32, 256u32, 1u32),
+        ("b: 0.66 ns clock, IQ 64, L1 32 KB in 1 cycle", 0.66, 64, 256, 1),
+        ("c: 0.66 ns clock, IQ 32, L1 32 KB in 1 cycle", 0.66, 32, 256, 1),
+        ("d: 1.00 ns clock, IQ 64, L1 128 KB in 2 cycles", 1.00, 64, 1024, 2),
+    ];
+    let mut rows = Vec::new();
+    for (label, clock, iq, l1_sets, l1_cycles) in scenarios {
+        let iq_delay = cacti::units::issue_queue_delay(&tech, iq, 4);
+        let l1_delay = cacti::units::l1_access_time(&tech, l1_sets, 2, 64);
+        let iq_budget = cacti::fit::stage_budget(&tech, clock, 1);
+        let l1_budget = cacti::fit::stage_budget(&tech, clock, l1_cycles);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}/{:.2}", iq_delay, iq_budget),
+            format!("{:+.2}", iq_budget - iq_delay),
+            format!("{:.2}/{:.2}", l1_delay, l1_budget),
+            format!("{:+.2}", l1_budget - l1_delay),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario".into(),
+                "IQ delay/budget (ns)".into(),
+                "IQ slack".into(),
+                "L1 delay/budget (ns)".into(),
+                "L1 slack".into()
+            ],
+            &rows
+        )
+    );
+}
+
+fn fig3(source: Source, quick: bool) -> Result<(), String> {
+    use xps_core::communal::compare_methodologies;
+    let (m, label) = matrix_for(source, quick)?;
+    println!("Figure 3: subset-first (a) vs customize-first (b) methodologies [{label}]\n");
+    // Raw characteristics measured from the workload models, matched to
+    // the matrix's benchmark order.
+    let ops = if quick { 40_000 } else { 120_000 };
+    let chars: Vec<Vec<f64>> = m
+        .names()
+        .iter()
+        .map(|n| {
+            let p = spec::profile(n)
+                .ok_or_else(|| format!("no workload model for `{n}`"))?;
+            let mut c = Characterizer::new();
+            for op in TraceGenerator::new(p).take(ops) {
+                c.observe(&op);
+            }
+            Ok(c.finish().kiviat().to_vec())
+        })
+        .collect::<Result<_, String>>()?;
+    let mut rows = Vec::new();
+    for reps in [4usize, 6, 8] {
+        for cores in [2usize, 3] {
+            if cores > reps {
+                continue;
+            }
+            let r = compare_methodologies(&m, &chars, reps, cores, Merit::HarmonicMean);
+            rows.push(vec![
+                reps.to_string(),
+                cores.to_string(),
+                r.subset_first_choice.join("+"),
+                format!("{:.3}", r.subset_first_value),
+                r.customize_first_choice.join("+"),
+                format!("{:.3}", r.customize_first_value),
+                format!("{:.1}%", r.subsetting_loss * 100.0),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["reps".into(), "cores".into(), "(a) choice".into(), "(a) har".into(),
+              "(b) choice".into(), "(b) har".into(), "loss".into()],
+            &rows
+        )
+    );
+    println!("route (a) discards architectures before ever measuring them; the loss column is the paper's thesis.");
+    Ok(())
+}
+
+fn fig4(source: Source, quick: bool) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    println!("Figure 4: per-benchmark IPT on the best available core [{label}]\n");
+    let single = best_combination(&m, 1, Merit::Average).cores;
+    let avg2 = best_combination(&m, 2, Merit::Average).cores;
+    let har2 = best_combination(&m, 2, Merit::HarmonicMean).cores;
+    let cw2 = best_combination(&m, 2, Merit::ContentionWeightedHarmonicMean).cores;
+    let own: Vec<usize> = (0..m.len()).collect();
+    let sets: Vec<(&str, &[usize])> = vec![
+        ("best single", &single),
+        ("best 2 (avg)", &avg2),
+        ("best 2 (har)", &har2),
+        ("best 2 (cw-har)", &cw2),
+        ("own core", &own),
+    ];
+    let header: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(sets.iter().map(|(n, _)| n.to_string()))
+        .collect();
+    let rows: Vec<Vec<String>> = (0..m.len())
+        .map(|w| {
+            std::iter::once(m.names()[w].clone())
+                .chain(sets.iter().map(|(_, s)| {
+                    format!("{:.2}", m.ipt(w, m.best_config_for(w, s)))
+                }))
+                .collect()
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+    Ok(())
+}
+
+fn fig5() {
+    println!("Figure 5: propagation of surrogates (illustration)\n");
+    println!("  forward propagation:  A hosts B, then C hosts A  =>  B effectively runs on C's arch");
+    println!("  backward propagation: B hosts A, then A hosts C  =>  C effectively runs on B's arch");
+    println!("\nSee fig6/fig7/fig8 for the policies applied to the matrix.");
+}
+
+fn print_surrogating(m: &CrossPerfMatrix, s: &Surrogating) {
+    for e in &s.edges {
+        println!(
+            "  {:2}. {} <- {}  ({:.1}% slowdown)",
+            e.order,
+            m.names()[e.dependent],
+            m.names()[e.host],
+            e.slowdown * 100.0
+        );
+    }
+    println!();
+    for (root, members) in s.groups() {
+        let names: Vec<&str> = members.iter().map(|&w| m.names()[w].as_str()).collect();
+        println!("  group [{}]: {}", m.names()[root], names.join(", "));
+    }
+    if !s.feedback_pairs.is_empty() {
+        let pairs: Vec<String> = s
+            .feedback_pairs
+            .iter()
+            .map(|&(a, b)| format!("{}<->{}", m.names()[a], m.names()[b]))
+            .collect();
+        println!("  feedback surrogating: {}", pairs.join(", "));
+    }
+    println!(
+        "\n  harmonic-mean IPT {:.2}   average slowdown vs ideal {:.1}%",
+        s.harmonic_ipt(m),
+        s.average_slowdown(m) * 100.0
+    );
+}
+
+fn figs678(source: Source, quick: bool, mode: Propagation) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    let (figure, target) = match mode {
+        Propagation::None => ("Figure 6 (no propagation)", 1),
+        Propagation::ForwardBackward => ("Figure 7 (full propagation)", 1),
+        Propagation::Forward => ("Figure 8 (forward propagation, driven to 2 cores)", 2),
+    };
+    println!("{figure}: greedy surrogate assignment [{label}]\n");
+    let s = assign_surrogates(&m, mode, target);
+    print_surrogating(&m, &s);
+    if mode == Propagation::None {
+        // The paper's follow-up: grant mcf its own core.
+        if let Some(mcf) = m.index_of("mcf") {
+            let mut assignment = s.assignment.clone();
+            assignment[mcf] = mcf;
+            let har = m.len() as f64
+                / assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &c)| 1.0 / m.ipt(w, c))
+                    .sum::<f64>();
+            println!("  with mcf's own architecture added: harmonic-mean IPT {har:.2}");
+        }
+    }
+    Ok(())
+}
+
+fn pitfall(source: Source, quick: bool) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    println!("§5.3 subsetting pitfall [{label}]\n");
+    if let (Some(b), Some(g)) = (m.index_of("bzip"), m.index_of("gzip")) {
+        println!(
+            "  bzip on gzip's architecture: {:.0}% slowdown; gzip on bzip's: {:.0}%\n",
+            m.slowdown(b, g) * 100.0,
+            m.slowdown(g, b) * 100.0
+        );
+    }
+    for dropped in ["gzip", "bzip"] {
+        if m.index_of(dropped).is_none() {
+            continue;
+        }
+        let r = pitfall_experiment(&m, dropped, 2, Merit::HarmonicMean);
+        println!(
+            "  drop {dropped}: full-set choice {:?} (har {:.3}); reduced choice {:?} delivers {:.3} on the full set ({:.1}% loss)",
+            r.full_choice, r.full_value, r.reduced_choice, r.reduced_value_on_full,
+            r.loss * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn schedule(source: Source, quick: bool) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    println!("§5.5 multithreaded job submission [{label}]\n");
+    let pair = best_combination(&m, 2, Merit::HarmonicMean).cores;
+    println!(
+        "  cores: {:?}\n",
+        pair.iter().map(|&c| m.names()[c].clone()).collect::<Vec<_>>()
+    );
+    let mut rows = Vec::new();
+    for burst in [0.0, 0.4, 0.8] {
+        for policy in [JobPolicy::StallForAssigned, JobPolicy::BestAvailable] {
+            let mut o = ScheduleOptions::new(pair.clone(), policy);
+            o.burstiness = burst;
+            o.arrival_rate = 2.0;
+            if quick {
+                o.jobs = 2000;
+            }
+            let s = simulate_jobs(&m, &o);
+            rows.push(vec![
+                format!("{burst:.1}"),
+                format!("{policy:?}"),
+                format!("{:.3}", s.avg_turnaround),
+                format!("{:.3}", s.avg_execution),
+                format!("{:.3}", s.avg_wait),
+                format!("{:.1}%", s.redirect_rate * 100.0),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "burstiness".into(),
+                "policy".into(),
+                "turnaround".into(),
+                "exec".into(),
+                "wait".into(),
+                "redirects".into()
+            ],
+            &rows
+        )
+    );
+    println!("  (burstiness erodes the benefit of workload-to-core matching, as §5.5 argues)");
+    let bp = xps_core::communal::balanced_partition(&m, &pair, 1.5);
+    println!(
+        "\n  BPMST-style balanced partition over the pair: avg slowdown {:.1}%, load imbalance {:.2}",
+        bp.average_slowdown * 100.0,
+        bp.imbalance
+    );
+    Ok(())
+}
+
+/// Ablation: the paper's §1.1 argument that the physical properties of
+/// the technology — not just workload characteristics — shape the
+/// customized configuration. Re-customize two benchmarks under the
+/// default technology and under one uniformly 1.6x slower, and show
+/// the configurations move (typically toward slower clocks and
+/// shallower pipes).
+fn ablation_tech() {
+    use xps_core::explore::{ExploreOptions, Explorer};
+    println!("Technology ablation: same workloads, different physics\n");
+    let profiles: Vec<_> = ["gzip", "twolf"]
+        .iter()
+        .map(|n| spec::profile(n).expect("known benchmark"))
+        .collect();
+    let mut rows = Vec::new();
+    for (label, factor) in [("default", 1.0f64), ("1.6x slower arrays", 1.6)] {
+        let tech = cacti::Technology::default().scaled(factor);
+        let explorer = Explorer::with_technology(ExploreOptions::quick(), tech);
+        let r = explorer.explore(&profiles);
+        for core in &r.cores {
+            let c = &core.config;
+            rows.push(vec![
+                label.to_string(),
+                c.name.clone(),
+                format!("{:.2}", c.clock_ns),
+                c.rob_size.to_string(),
+                (c.l1.geometry.capacity_bytes() / 1024).to_string(),
+                (c.l2.geometry.capacity_bytes() / 1024).to_string(),
+                format!("{:.2}", core.ipt),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["technology".into(), "benchmark".into(), "clock".into(), "ROB".into(),
+              "L1 KB".into(), "L2 KB".into(), "IPT".into()],
+            &rows
+        )
+    );
+    println!("workload characteristics alone cannot predict these rows — the paper's point.");
+}
+
+/// Ablation: performance-only vs energy-delay-product customization —
+/// the power-aware extension the paper's §3 leaves open.
+fn ablation_power() {
+    use xps_core::explore::{anneal, AnnealOptions, DesignPoint, Objective};
+    use xps_core::sim::estimate_energy;
+    println!("Power ablation: IPT-optimal vs EDP-optimal customized cores\n");
+    let tech = cacti::Technology::default();
+    let mut rows = Vec::new();
+    for name in ["gzip", "twolf"] {
+        let p = spec::profile(name).expect("known benchmark");
+        for (label, objective) in [("IPT", Objective::Ipt), ("1/EDP", Objective::InverseEnergyDelay)] {
+            let mut opts = AnnealOptions::quick();
+            opts.iterations = 80;
+            opts.objective = objective;
+            let r = anneal(&p, &DesignPoint::initial(), &opts, &tech);
+            let stats = Simulator::new(&r.config)
+                .run(TraceGenerator::new(p.clone()), 60_000);
+            let e = estimate_energy(&tech, &r.config, &stats);
+            let time_ns = stats.cycles as f64 * r.config.clock_ns;
+            rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{:.2}", r.config.clock_ns),
+                r.config.rob_size.to_string(),
+                (r.config.l2.geometry.capacity_bytes() / 1024).to_string(),
+                format!("{:.2}", stats.ipt()),
+                format!("{:.2}", e.average_power_w(time_ns)),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["benchmark".into(), "objective".into(), "clock".into(), "ROB".into(),
+              "L2 KB".into(), "IPT".into(), "power (W)".into()],
+            &rows
+        )
+    );
+}
+
+/// Ablation: sensitivity of the (held-fixed) branch predictor choice.
+fn ablation_predictor() {
+    use xps_core::sim::PredictorKind;
+    println!("Predictor ablation: mispredict rate and IPT on the initial configuration\n");
+    let cfg = CoreConfig::initial();
+    let mut rows = Vec::new();
+    for name in ["crafty", "gcc", "twolf", "vpr"] {
+        let p = spec::profile(name).expect("known benchmark");
+        let mut row = vec![name.to_string()];
+        for kind in [
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::TwoLevelLocal,
+            PredictorKind::Tournament,
+        ] {
+            let s = Simulator::with_predictor(&cfg, kind)
+                .run(TraceGenerator::new(p.clone()), 120_000);
+            row.push(format!("{:.1}%/{:.2}", s.mispredict_rate() * 100.0, s.ipt()));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["benchmark".into(), "bimodal".into(), "gshare".into(),
+              "2lev-local".into(), "tournament".into()],
+            &rows
+        )
+    );
+    println!("  (cells: mispredict rate / IPT)");
+}
+
+/// Ablation: the §2.3 search-regime contrast — a coarse exhaustive
+/// lattice versus simulated annealing over the full space, at equal
+/// evaluation budgets per point.
+fn ablation_search() {
+    use std::time::Instant;
+    use xps_core::explore::{anneal, grid_search, AnnealOptions, DesignPoint, GridSpec};
+    println!("Search ablation: exhaustive coarse grid vs simulated annealing\n");
+    let tech = cacti::Technology::default();
+    let spec_grid = GridSpec::default();
+    println!(
+        "  lattice size {} points (coarse); the paper's full space is combinatorially unbounded\n",
+        spec_grid.len()
+    );
+    let mut rows = Vec::new();
+    for name in ["gzip", "mcf"] {
+        let p = spec::profile(name).expect("known benchmark");
+        let mut opts = AnnealOptions::quick();
+        opts.iterations = 120;
+        opts.eval_ops_early = 20_000;
+        opts.eval_ops_late = 40_000;
+        let t0 = Instant::now();
+        let g = grid_search(&p, &spec_grid, &opts, &tech);
+        let t_grid = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let a = anneal(&p, &DesignPoint::initial(), &opts, &tech);
+        let t_anneal = t0.elapsed().as_secs_f64();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2} ({:.1}s, {} pts)", g.score, t_grid, g.evaluated),
+            format!("{:.2} ({:.1}s, {} iters)", a.ipt, t_anneal, opts.iterations),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["benchmark".into(), "grid best IPT".into(), "anneal best IPT".into()],
+            &rows
+        )
+    );
+    println!("  annealing explores the continuous space the lattice cannot afford to cover.");
+}
+
+/// Ablation: the prefetcher the paper's design space holds at "none".
+/// If timely prefetching recovered most of the cache-capacity
+/// slowdowns, configurational clustering would matter less; this
+/// prints how far it actually gets.
+fn ablation_prefetch() {
+    use xps_core::sim::{PredictorKind, PrefetchKind};
+    println!("Prefetch ablation: IPT on the initial configuration\n");
+    let cfg = CoreConfig::initial();
+    let mut rows = Vec::new();
+    for name in ["gzip", "bzip", "mcf", "twolf"] {
+        let p = spec::profile(name).expect("known benchmark");
+        let mut row = vec![name.to_string()];
+        for kind in [PrefetchKind::None, PrefetchKind::NextLine, PrefetchKind::Stream] {
+            let s = Simulator::with_options(&cfg, PredictorKind::Gshare, kind)
+                .run(TraceGenerator::new(p.clone()), 150_000);
+            row.push(format!("{:.2} ({:.0}% L1 miss)", s.ipt(), s.l1.miss_ratio() * 100.0));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["benchmark".into(), "none".into(), "next-line".into(), "stream".into()],
+            &rows
+        )
+    );
+    println!("  streaming codes (gzip) benefit; pointer chases (mcf) do not — capacity still decides.");
+}
+
+/// The subsetting dendrogram over the raw characteristics of all
+/// eleven workload models.
+fn dendrogram_cmd(quick: bool) {
+    use xps_core::communal::dendrogram;
+    let ops = if quick { 40_000 } else { 120_000 };
+    println!("Dendrogram of raw (Kiviat) characteristics, average linkage\n");
+    let mut names = Vec::new();
+    let mut points = Vec::new();
+    for p in spec::all_profiles() {
+        let mut c = Characterizer::new();
+        for op in TraceGenerator::new(p.clone()).take(ops) {
+            c.observe(&op);
+        }
+        names.push(p.name.clone());
+        points.push(c.finish().kiviat().to_vec());
+    }
+    let d = dendrogram(&points);
+    print!("{}", d.render(&names));
+    println!("\ncompare with the surrogating graphs (fig6-fig8): the greedy can pair a benchmark\nwith a different partner at every level, which a dendrogram cannot express (§5.4).");
+}
+
+/// Heat-map view of the cross-configuration slowdown matrix — the
+/// xp-scalar framework's visualization tool, in ASCII.
+fn visualize(source: Source, quick: bool) -> Result<(), String> {
+    let (m, label) = matrix_for(source, quick)?;
+    println!("Cross-configuration slowdown heat map [{label}]\n");
+    println!("  rows: benchmark; columns: architecture; shade: . <5%  - <15%  + <30%  * <50%  # >=50%\n");
+    let shade = |s: f64| -> char {
+        if s < 0.05 {
+            '.'
+        } else if s < 0.15 {
+            '-'
+        } else if s < 0.30 {
+            '+'
+        } else if s < 0.50 {
+            '*'
+        } else {
+            '#'
+        }
+    };
+    let width = m.names().iter().map(|n| n.len()).max().unwrap_or(6);
+    print!("{:w$}  ", "", w = width);
+    for c in m.names() {
+        print!("{:>3}", &c[..c.len().min(3)]);
+    }
+    println!();
+    for w in 0..m.len() {
+        print!("{:>wd$}  ", m.names()[w], wd = width);
+        for c in 0..m.len() {
+            print!("  {}", shade(m.slowdown(w, c)));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// Sanity helper kept for `--quick` smoke runs: simulate one benchmark
+/// on one published configuration.
+#[allow(dead_code)]
+fn smoke() {
+    let cfg = paper::table4_config("gzip").expect("gzip in Table 4");
+    let p = spec::profile("gzip").expect("gzip profile");
+    let stats = Simulator::new(&cfg).run(TraceGenerator::new(p), 10_000);
+    eprintln!("smoke: gzip on its published config: {:.2} IPT", stats.ipt());
+}

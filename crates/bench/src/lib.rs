@@ -1,0 +1,163 @@
+//! # xps-bench — the reproduction harness
+//!
+//! Support library for the `repro` binary (one subcommand per table and
+//! figure of the paper) and the Criterion microbenchmarks. The pieces
+//! here are plain helpers: fixed-width table rendering, persistence of
+//! measured exploration results (`results/measured.json`), and the
+//! source-selection logic (published paper data vs. this repository's
+//! measured pipeline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use xps_core::communal::CrossPerfMatrix;
+use xps_core::explore::CustomizedCore;
+use xps_core::pipeline::PipelineResult;
+
+/// Default location of persisted measured results, relative to the
+/// working directory.
+pub const MEASURED_PATH: &str = "results/measured.json";
+
+/// A measured exploration campaign, as persisted by `repro explore`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measured {
+    /// Customized cores, one per benchmark.
+    pub cores: Vec<CustomizedCore>,
+    /// Measured cross-configuration matrix.
+    pub matrix: CrossPerfMatrix,
+    /// Whether the campaign used the quick (reduced-budget) settings.
+    pub quick: bool,
+}
+
+impl From<(PipelineResult, bool)> for Measured {
+    fn from((r, quick): (PipelineResult, bool)) -> Measured {
+        Measured {
+            cores: r.cores,
+            matrix: r.matrix,
+            quick,
+        }
+    }
+}
+
+/// Save measured results as JSON.
+///
+/// # Errors
+///
+/// Returns an I/O or serialization error message.
+pub fn save_measured(m: &Measured, path: &Path) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let json = serde_json::to_string_pretty(m).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Load measured results saved by [`save_measured`].
+///
+/// # Errors
+///
+/// Returns an I/O or deserialization error message.
+pub fn load_measured(path: &Path) -> Result<Measured, String> {
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_str(&json).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// The default measured-results path.
+pub fn measured_path() -> PathBuf {
+    PathBuf::from(MEASURED_PATH)
+}
+
+/// Render a fixed-width table: a header row plus data rows, columns
+/// padded to their widest cell, separated by two spaces.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one row of Kiviat axis values as a crude ASCII bar chart
+/// (the Figure 1 presentation).
+pub fn render_kiviat(axes: &[&str], values: &[f64]) -> String {
+    assert_eq!(axes.len(), values.len(), "axis/value mismatch");
+    let mut out = String::new();
+    for (axis, v) in axes.iter().zip(values) {
+        let filled = (v.clamp(0.0, 10.0).round()) as usize;
+        out.push_str(&format!(
+            "  {axis:<26} {:<10} {v:.1}\n",
+            "#".repeat(filled)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_alignment() {
+        let t = render_table(
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("  1"));
+        assert!(lines[3].starts_with("333"));
+    }
+
+    #[test]
+    fn kiviat_render_scales() {
+        let s = render_kiviat(&["x", "y"], &[0.0, 10.0]);
+        assert!(s.contains("##########"));
+    }
+
+    #[test]
+    fn measured_roundtrip() {
+        use xps_core::paper;
+        let dir = std::env::temp_dir().join("xps-bench-test");
+        let path = dir.join("m.json");
+        let m = Measured {
+            cores: vec![],
+            matrix: paper::table5_matrix(),
+            quick: true,
+        };
+        save_measured(&m, &path).expect("save");
+        let back = load_measured(&path).expect("load");
+        assert_eq!(back.matrix, m.matrix);
+        assert!(back.quick);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        render_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,61 @@
+//! The `repro` harness's support code must behave: result persistence
+//! round-trips through JSON, and the renderers accept the real data
+//! shapes.
+
+use xps_bench::{load_measured, render_kiviat, render_table, save_measured, Measured};
+use xps_core::paper;
+use xps_core::workload::KIVIAT_AXES;
+
+#[test]
+fn measured_persistence_roundtrip_with_paper_matrix() {
+    let dir = std::env::temp_dir().join(format!("xps-harness-{}", std::process::id()));
+    let path = dir.join("measured.json");
+    let m = Measured {
+        cores: vec![],
+        matrix: paper::table5_matrix(),
+        quick: false,
+    };
+    save_measured(&m, &path).expect("save succeeds");
+    let back = load_measured(&path).expect("load succeeds");
+    assert_eq!(back.matrix.names(), m.matrix.names());
+    for w in 0..m.matrix.len() {
+        for c in 0..m.matrix.len() {
+            assert_eq!(back.matrix.ipt(w, c), m.matrix.ipt(w, c));
+        }
+    }
+    std::fs::remove_dir_all(dir).expect("cleanup");
+}
+
+#[test]
+fn load_missing_file_is_an_error() {
+    let err = load_measured(std::path::Path::new("/nonexistent/xps.json"))
+        .expect_err("missing file must error");
+    assert!(err.contains("read"));
+}
+
+#[test]
+fn table_renderer_handles_full_matrix() {
+    let m = paper::table5_matrix();
+    let header: Vec<String> = std::iter::once(String::new())
+        .chain(m.names().iter().cloned())
+        .collect();
+    let rows: Vec<Vec<String>> = (0..m.len())
+        .map(|w| {
+            std::iter::once(m.names()[w].clone())
+                .chain((0..m.len()).map(|c| format!("{:.2}", m.ipt(w, c))))
+                .collect()
+        })
+        .collect();
+    let rendered = render_table(&header, &rows);
+    assert_eq!(rendered.lines().count(), 2 + 11);
+    assert!(rendered.contains("3.15"), "bzip diagonal present");
+    assert!(rendered.contains("mcf"));
+}
+
+#[test]
+fn kiviat_renderer_covers_all_axes() {
+    let s = render_kiviat(&KIVIAT_AXES, &[1.0, 3.0, 5.0, 7.0, 9.0]);
+    for axis in KIVIAT_AXES {
+        assert!(s.contains(axis), "{axis} missing");
+    }
+}

@@ -1,0 +1,43 @@
+//! Print the calibration table of the timing model: the delays of
+//! representative structures, for eyeballing against the physical
+//! anchors in `tests/calibration.rs` whenever the technology constants
+//! change.
+//!
+//! ```text
+//! cargo run -p xps-cacti --example calib
+//! ```
+
+use xps_cacti::{cache_access_time, units, CacheGeometry, Technology};
+
+fn main() {
+    let t = Technology::default();
+    println!("caches (access time):");
+    for (lbl, sets, assoc, blk) in [
+        ("8KB dm/32B", 256u32, 1u32, 32u32),
+        ("8KB 2w/32B", 128, 2, 32),
+        ("32KB 2w/64B", 256, 2, 64),
+        ("64KB 2w/32B", 1024, 2, 32),
+        ("128KB dm/8B", 16384, 1, 8),
+        ("256KB 2w/128B", 1024, 2, 128),
+        ("512KB 4w/64B", 2048, 4, 64),
+        ("2MB 4w/64B", 8192, 4, 64),
+        ("4MB 4w/128B", 8192, 4, 128),
+    ] {
+        println!(
+            "  {lbl:14} {:.3} ns",
+            cache_access_time(&t, &CacheGeometry::new(sets, assoc, blk))
+        );
+    }
+    println!("issue queues (wakeup + select):");
+    for (n, w) in [(16u32, 3u32), (32, 4), (32, 8), (64, 3), (64, 5)] {
+        println!("  IQ{n} w{w}: {:.3} ns", units::issue_queue_delay(&t, n, w));
+    }
+    println!("register files:");
+    for (n, w) in [(64u32, 8u32), (128, 3), (256, 4), (512, 5), (1024, 3)] {
+        println!("  ROB{n} w{w}: {:.3} ns", units::regfile_access_time(&t, n, w));
+    }
+    println!("load-store queues:");
+    for n in [64u32, 128, 256] {
+        println!("  LSQ{n}: {:.3} ns", units::lsq_delay(&t, n));
+    }
+}

@@ -1,0 +1,150 @@
+//! Set-associative cache access-time model (data path vs. tag path).
+
+use crate::{SramArray, Technology};
+use serde::{Deserialize, Serialize};
+
+/// Physical-address tag width assumed for tag arrays. The exact value
+/// matters little; it only shifts the tag path by a constant.
+const TAG_BITS: u32 = 30;
+
+/// Geometry of a set-associative cache, matching the CACTI input
+/// parameters the paper lists in Table 1 (line size, associativity,
+/// number of sets, read/write ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Number of sets. Must be a power of two.
+    pub sets: u32,
+    /// Associativity (ways). Must be at least 1.
+    pub assoc: u32,
+    /// Block (line) size in bytes. Must be a power of two, at least 8
+    /// (CACTI does not model smaller blocks accurately; the paper adopts
+    /// the same 8-byte lower bound).
+    pub block_bytes: u32,
+    /// Read ports (the paper uses 2 for both cache levels).
+    pub read_ports: u32,
+    /// Write ports (the paper uses 2).
+    pub write_ports: u32,
+}
+
+impl CacheGeometry {
+    /// Construct a geometry, validating the CACTI constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `block_bytes` is not a power of two, if
+    /// `block_bytes < 8`, or if `assoc == 0`.
+    pub fn new(sets: u32, assoc: u32, block_bytes: u32) -> CacheGeometry {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(assoc >= 1, "associativity must be at least 1");
+        assert!(
+            block_bytes.is_power_of_two() && block_bytes >= 8,
+            "block size must be a power of two of at least 8 bytes"
+        );
+        CacheGeometry {
+            sets,
+            assoc,
+            block_bytes,
+            read_ports: 2,
+            write_ports: 2,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.sets) * u64::from(self.assoc) * u64::from(self.block_bytes)
+    }
+
+    /// Index bits implied by the set count.
+    pub fn index_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// Offset bits implied by the block size.
+    pub fn offset_bits(&self) -> u32 {
+        self.block_bytes.trailing_zeros()
+    }
+}
+
+/// Access time (ns) of a set-associative cache with the given geometry:
+/// the slower of the data path and the tag path (tag match gates way
+/// selection for associative caches), plus the output driver.
+///
+/// This is the "Access time" output of CACTI used by the paper for the
+/// L1 and L2 data caches (Table 1).
+///
+/// # Example
+///
+/// ```
+/// use xps_cacti::{cache_access_time, CacheGeometry, Technology};
+///
+/// let tech = Technology::default();
+/// let l1 = cache_access_time(&tech, &CacheGeometry::new(128, 2, 32)); // 8 KB
+/// let l2 = cache_access_time(&tech, &CacheGeometry::new(4096, 8, 64)); // 2 MB
+/// assert!(l2 > l1);
+/// ```
+pub fn cache_access_time(tech: &Technology, geom: &CacheGeometry) -> f64 {
+    let data = SramArray::new(
+        geom.sets,
+        geom.assoc * geom.block_bytes * 8,
+        geom.read_ports,
+        geom.write_ports,
+    );
+    let tag = SramArray::new(
+        geom.sets,
+        geom.assoc * TAG_BITS,
+        geom.read_ports,
+        geom.write_ports,
+    );
+    let data_path = data.access_time(tech);
+    let tag_path = tag.access_time(tech)
+        + tech.comparator_base
+        + tech.comparator_per_bit * f64::from(TAG_BITS);
+    // For associative caches the way-select mux is driven by the tag
+    // comparison outcome and is serial after both paths have resolved.
+    let way_select = tech.mux_per_way_log2 * f64::from(32 - geom.assoc.leading_zeros() - 1);
+    data_path.max(tag_path) + way_select + tech.output_driver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn bigger_caches_are_slower() {
+        let small = cache_access_time(&t(), &CacheGeometry::new(128, 1, 32));
+        let big = cache_access_time(&t(), &CacheGeometry::new(8192, 4, 64));
+        assert!(big > small);
+    }
+
+    #[test]
+    fn associativity_costs_time_at_fixed_capacity() {
+        // 64 KB as direct-mapped vs 8-way.
+        let dm = cache_access_time(&t(), &CacheGeometry::new(1024, 1, 64));
+        let wayful = cache_access_time(&t(), &CacheGeometry::new(128, 8, 64));
+        assert!(wayful > dm);
+    }
+
+    #[test]
+    fn capacity_and_bits() {
+        let g = CacheGeometry::new(1024, 2, 32);
+        assert_eq!(g.capacity_bytes(), 64 * 1024);
+        assert_eq!(g.index_bits(), 10);
+        assert_eq!(g.offset_bits(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        CacheGeometry::new(100, 1, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "8 bytes")]
+    fn tiny_blocks_rejected() {
+        CacheGeometry::new(128, 1, 4);
+    }
+}

@@ -1,0 +1,89 @@
+//! Content-addressable (fully-associative) array delay model.
+
+use crate::Technology;
+use serde::{Deserialize, Serialize};
+
+/// A content-addressable memory: `entries` tags of `tag_bits` bits, each
+/// searched associatively by `search_ports` simultaneous lookups.
+///
+/// Used for the issue-queue wakeup logic and the load-store queue, per
+/// the paper's Table 1 ("fully associative" rows). The match delay is
+/// the tag broadcast across the entries plus the match-line resolution;
+/// unlike a RAM, it scales linearly with the number of entries on the
+/// match line, which is what makes large issue queues expensive at high
+/// clock rates.
+///
+/// # Example
+///
+/// ```
+/// use xps_cacti::{CamArray, Technology};
+///
+/// let tech = Technology::default();
+/// let iq32 = CamArray::new(64, 64, 4).match_time(&tech);
+/// let iq128 = CamArray::new(256, 64, 4).match_time(&tech);
+/// assert!(iq128 > iq32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CamArray {
+    /// Number of associatively-searched entries.
+    pub entries: u32,
+    /// Width of the compared tag, in bits.
+    pub tag_bits: u32,
+    /// Number of simultaneous search (broadcast) ports.
+    pub search_ports: u32,
+}
+
+impl CamArray {
+    /// Create a CAM description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `tag_bits` is zero.
+    pub fn new(entries: u32, tag_bits: u32, search_ports: u32) -> CamArray {
+        assert!(entries > 0, "CAM must have at least one entry");
+        assert!(tag_bits > 0, "CAM tag width must be positive");
+        CamArray {
+            entries,
+            tag_bits,
+            search_ports,
+        }
+    }
+
+    /// Tag-match (broadcast + match-line + sense) time in nanoseconds.
+    pub fn match_time(&self, tech: &Technology) -> f64 {
+        let pf = 1.0 + tech.port_factor * self.search_ports.saturating_sub(1) as f64;
+        let broadcast = tech.cam_per_bit * f64::from(self.tag_bits);
+        let match_line = tech.cam_per_entry * f64::from(self.entries) * pf;
+        tech.cam_base + broadcast + match_line + tech.senseamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_entries() {
+        let tech = Technology::default();
+        let d32 = CamArray::new(32, 64, 1).match_time(&tech);
+        let d64 = CamArray::new(64, 64, 1).match_time(&tech);
+        let d128 = CamArray::new(128, 64, 1).match_time(&tech);
+        let step1 = d64 - d32;
+        let step2 = d128 - d64;
+        assert!((step2 - 2.0 * step1).abs() < 1e-9, "match line is linear in entries");
+    }
+
+    #[test]
+    fn ports_increase_delay() {
+        let tech = Technology::default();
+        assert!(
+            CamArray::new(64, 64, 8).match_time(&tech) > CamArray::new(64, 64, 1).match_time(&tech)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        CamArray::new(0, 64, 1);
+    }
+}

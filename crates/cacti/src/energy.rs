@@ -1,0 +1,101 @@
+//! Per-access dynamic energy estimates for the modeled structures.
+//!
+//! The paper excludes power from its optimization objective but notes
+//! that "extending the tool to conduct exploration based on a metric
+//! that represents some combination of performance, power and die area
+//! should not be exceptionally difficult". This module is that
+//! extension's physical layer: CACTI-style per-access energies with the
+//! same scaling structure as the delay model (wordline/bitline energy
+//! grows with the accessed sub-array, routing energy with the whole
+//! structure, port loading multiplies both), plus a leakage-power
+//! estimate proportional to capacity.
+//!
+//! Absolute values are calibrated to the right order of magnitude for
+//! the paper's era (tens of pJ for an L1 access, nanojoules for a
+//! multi-megabyte L2); relative scaling is what the energy-aware
+//! exploration objective consumes.
+
+use crate::{CacheGeometry, CamArray, SramArray, Technology};
+
+/// Fixed per-access energy of any array (decoder, sense amps), pJ.
+const E_BASE_PJ: f64 = 2.0;
+/// Energy per accessed bit (wordline/bitline swing), pJ.
+const E_PER_ACCESSED_BIT_PJ: f64 = 0.05;
+/// Routing energy per sqrt(total bits), pJ — the H-tree swing.
+const E_ROUTE_PJ: f64 = 0.004;
+/// CAM search energy per (entry × tag-bit), pJ — every match line
+/// swings on every search.
+const E_CAM_PJ: f64 = 0.0025;
+/// Leakage power per megabit of storage, mW.
+const LEAK_MW_PER_MBIT: f64 = 1.5;
+
+/// Dynamic energy of one read access to an SRAM array, picojoules.
+pub fn sram_access_energy(tech: &Technology, array: &SramArray) -> f64 {
+    let pf = array.port_load(tech);
+    let accessed_bits = f64::from(array.cols_bits);
+    let route = E_ROUTE_PJ * (array.total_bits() as f64).sqrt();
+    (E_BASE_PJ + E_PER_ACCESSED_BIT_PJ * accessed_bits + route) * pf
+}
+
+/// Dynamic energy of one search of a CAM, picojoules. Every entry's
+/// match line participates, which is why large issue queues and LSQs
+/// are power-hungry out of proportion to their capacity.
+pub fn cam_search_energy(tech: &Technology, cam: &CamArray) -> f64 {
+    let pf = 1.0 + tech.port_factor * cam.search_ports.saturating_sub(1) as f64;
+    (E_BASE_PJ + E_CAM_PJ * f64::from(cam.entries) * f64::from(cam.tag_bits)) * pf
+}
+
+/// Dynamic energy of one cache access (data + tag arrays), picojoules.
+pub fn cache_access_energy(tech: &Technology, geom: &CacheGeometry) -> f64 {
+    let data = SramArray::new(geom.sets, geom.assoc * geom.block_bytes * 8, 2, 2);
+    let tag = SramArray::new(geom.sets, geom.assoc * 30, 2, 2);
+    sram_access_energy(tech, &data) + sram_access_energy(tech, &tag)
+}
+
+/// Leakage power of `bits` of storage, milliwatts.
+pub fn leakage_mw(bits: u64) -> f64 {
+    LEAK_MW_PER_MBIT * bits as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn bigger_caches_cost_more_energy() {
+        let small = cache_access_energy(&t(), &CacheGeometry::new(128, 2, 32));
+        let big = cache_access_energy(&t(), &CacheGeometry::new(8192, 8, 128));
+        assert!(big > 2.0 * small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn cam_energy_linear_in_entries() {
+        let e32 = cam_search_energy(&t(), &CamArray::new(32, 64, 4));
+        let e64 = cam_search_energy(&t(), &CamArray::new(64, 64, 4));
+        let e128 = cam_search_energy(&t(), &CamArray::new(128, 64, 4));
+        assert!(((e128 - e64) - 2.0 * (e64 - e32)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ports_multiply_energy() {
+        let few = sram_access_energy(&t(), &SramArray::new(256, 64, 2, 1));
+        let many = sram_access_energy(&t(), &SramArray::new(256, 64, 8, 4));
+        assert!(many > few);
+    }
+
+    #[test]
+    fn magnitudes_sane() {
+        // 32 KB L1: tens of pJ. 4 MB L2: high hundreds to thousands.
+        let l1 = cache_access_energy(&t(), &CacheGeometry::new(256, 2, 64));
+        assert!((10.0..200.0).contains(&l1), "L1 access {l1} pJ");
+        let l2 = cache_access_energy(&t(), &CacheGeometry::new(8192, 4, 128));
+        assert!(l2 > 200.0, "L2 access {l2} pJ");
+        // 4 MB of storage leaks tens of mW.
+        let leak = leakage_mw(4 * 1024 * 1024 * 8);
+        assert!((10.0..100.0).contains(&leak), "leakage {leak} mW");
+    }
+}

@@ -1,0 +1,171 @@
+//! Direct-mapped / RAM-array delay model with sub-array partitioning.
+
+use crate::Technology;
+use serde::{Deserialize, Serialize};
+
+/// Candidate numbers of bitline (row) splits considered by the
+/// partitioning search, mirroring CACTI's `Ndbl` parameter.
+const NDBL_CANDIDATES: [u32; 6] = [1, 2, 4, 8, 16, 32];
+/// Candidate numbers of wordline (column) splits, mirroring `Ndwl`.
+const NDWL_CANDIDATES: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// An SRAM array: `rows` words of `cols_bits` bits each, with the given
+/// port counts.
+///
+/// The access-time query searches over sub-array partitionings (row and
+/// column splits) exactly as CACTI does, so that large arrays are
+/// automatically banked and delay grows sub-linearly with capacity.
+///
+/// # Example
+///
+/// ```
+/// use xps_cacti::{SramArray, Technology};
+///
+/// let tech = Technology::default();
+/// let small = SramArray::new(128, 64, 2, 1).access_time(&tech);
+/// let large = SramArray::new(4096, 64, 2, 1).access_time(&tech);
+/// assert!(large > small);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SramArray {
+    /// Number of addressable rows (words).
+    pub rows: u32,
+    /// Width of each row in bits.
+    pub cols_bits: u32,
+    /// Number of read ports.
+    pub read_ports: u32,
+    /// Number of write ports.
+    pub write_ports: u32,
+}
+
+impl SramArray {
+    /// Create an array description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols_bits` is zero, or if there are no ports
+    /// at all.
+    pub fn new(rows: u32, cols_bits: u32, read_ports: u32, write_ports: u32) -> SramArray {
+        assert!(rows > 0, "SRAM array must have at least one row");
+        assert!(cols_bits > 0, "SRAM array must have a positive row width");
+        assert!(
+            read_ports + write_ports > 0,
+            "SRAM array must have at least one port"
+        );
+        SramArray {
+            rows,
+            cols_bits,
+            read_ports,
+            write_ports,
+        }
+    }
+
+    /// Total storage capacity in bits.
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols_bits)
+    }
+
+    /// Multiplicative wire-load factor from the port count.
+    ///
+    /// Each port adds a pass transistor and wire track to every cell, so
+    /// wordline and bitline loads grow with ports. Two ports (one
+    /// read, one write) are the baseline.
+    pub fn port_load(&self, tech: &Technology) -> f64 {
+        let ports = self.read_ports + self.write_ports;
+        let extra = ports.saturating_sub(2) as f64;
+        1.0 + tech.port_factor * extra
+    }
+
+    /// Access time of the array in nanoseconds: the fastest
+    /// organization over the candidate sub-array partitionings.
+    ///
+    /// The delay of one organization is
+    /// `decode + wordline + bitline + sense + route`, where decode
+    /// scales with address bits, wordline with sub-array row width,
+    /// bitline with sub-array depth, and routing with the H-tree span of
+    /// the whole structure (square root of total bits).
+    pub fn access_time(&self, tech: &Technology) -> f64 {
+        let pf = self.port_load(tech);
+        let addr_bits = f64::from(32 - self.rows.leading_zeros().min(31));
+        let loaded_bits = self.total_bits() as f64 * pf;
+        let route = tech.route_per_sqrt_bit * loaded_bits.sqrt() + tech.route_per_bit * loaded_bits;
+        let mut best = f64::INFINITY;
+        for &ndbl in &NDBL_CANDIDATES {
+            if ndbl > self.rows {
+                continue;
+            }
+            for &ndwl in &NDWL_CANDIDATES {
+                if ndwl > self.cols_bits {
+                    continue;
+                }
+                let sub_rows = (self.rows as f64 / f64::from(ndbl)).ceil();
+                let sub_cols = (self.cols_bits as f64 / f64::from(ndwl)).ceil();
+                // Every split doubles the number of sub-arrays the
+                // decoder/routing must fan out to.
+                let nsub = f64::from(ndbl * ndwl);
+                let decode = tech.decoder_base
+                    + tech.decoder_per_bit * addr_bits
+                    + tech.decoder_per_bit * nsub.log2();
+                let wordline = tech.wordline_base + tech.wordline_per_col * sub_cols * pf;
+                let bitline = tech.bitline_base + tech.bitline_per_row * sub_rows * pf;
+                let t = decode + wordline + bitline + tech.senseamp + route;
+                if t < best {
+                    best = t;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn monotonic_in_rows() {
+        let mut prev = 0.0;
+        for rows in [16u32, 64, 256, 1024, 4096, 16384] {
+            let d = SramArray::new(rows, 64, 2, 1).access_time(&t());
+            assert!(d > prev, "delay must grow with rows ({rows}: {d} vs {prev})");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn monotonic_in_ports() {
+        let base = SramArray::new(256, 64, 2, 1).access_time(&t());
+        let many = SramArray::new(256, 64, 8, 4).access_time(&t());
+        assert!(many > base);
+    }
+
+    #[test]
+    fn sublinear_scaling_via_partitioning() {
+        // Quadrupling capacity should far less than quadruple delay.
+        let small = SramArray::new(1024, 256, 2, 2).access_time(&t());
+        let large = SramArray::new(4096, 256, 2, 2).access_time(&t());
+        assert!(large < small * 3.0, "partitioning should keep scaling sublinear");
+        assert!(large > small);
+    }
+
+    #[test]
+    fn port_load_baseline_is_one() {
+        let a = SramArray::new(64, 64, 1, 1);
+        assert!((a.port_load(&t()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_rejected() {
+        SramArray::new(0, 64, 1, 1);
+    }
+
+    #[test]
+    fn total_bits() {
+        assert_eq!(SramArray::new(128, 64, 2, 1).total_bits(), 8192);
+    }
+}

@@ -1,0 +1,155 @@
+//! Technology constants for the analytical delay model.
+
+use serde::{Deserialize, Serialize};
+
+/// Process-technology constants used by every delay query.
+///
+/// All delays are in nanoseconds. The defaults model a mid-2000s
+/// high-performance process (the paper's evaluation era) and are
+/// calibrated so that unit delays land in the ranges implied by the
+/// paper's Table 4. The struct is plain data so alternative technology
+/// points (e.g. a slower embedded process) can be expressed by
+/// constructing a different instance; `scaled` derives one by uniform
+/// delay scaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Fixed cost of the row decoder (predecode + drive), ns.
+    pub decoder_base: f64,
+    /// Incremental decoder cost per address bit, ns.
+    pub decoder_per_bit: f64,
+    /// Fixed wordline drive cost, ns.
+    pub wordline_base: f64,
+    /// Wordline wire/gate-load cost per column (bit of row width), ns.
+    pub wordline_per_col: f64,
+    /// Fixed bitline cost, ns.
+    pub bitline_base: f64,
+    /// Bitline discharge cost per row sharing the bitline, ns.
+    pub bitline_per_row: f64,
+    /// Sense-amplifier resolution time, ns.
+    pub senseamp: f64,
+    /// Fixed tag-comparator cost, ns.
+    pub comparator_base: f64,
+    /// Comparator cost per compared tag bit, ns.
+    pub comparator_per_bit: f64,
+    /// Way-select multiplexer driver cost per doubling of associativity, ns.
+    pub mux_per_way_log2: f64,
+    /// Output-driver cost, ns.
+    pub output_driver: f64,
+    /// Global routing cost per unit sqrt(total bits), ns. Models the
+    /// H-tree from the array edge to the requesting port.
+    pub route_per_sqrt_bit: f64,
+    /// Additional routing cost per bit, ns. Negligible for
+    /// kilobyte-scale structures but dominant for multi-megabyte
+    /// arrays, where global wires stop scaling — this is what makes a
+    /// 4 MB L2 an order of magnitude slower than an L1 and forces the
+    /// explorer to *choose* between cache capacity and cycle time.
+    pub route_per_bit: f64,
+    /// Fixed CAM match-line cost, ns.
+    pub cam_base: f64,
+    /// CAM match-line cost per entry on the line, ns.
+    pub cam_per_entry: f64,
+    /// CAM tag-broadcast cost per tag bit, ns.
+    pub cam_per_bit: f64,
+    /// Wire-load penalty factor per port beyond the second
+    /// (multiplicative on wordline/bitline terms).
+    pub port_factor: f64,
+    /// Pipeline latch overhead per stage, ns (paper Table 2: 0.03 ns).
+    pub latch: f64,
+}
+
+impl Technology {
+    /// Latch overhead charged per pipeline stage, in ns.
+    ///
+    /// The paper (Table 2) fixes this at 0.03 ns; it is subtracted from
+    /// each stage's share of the clock period when fitting structures.
+    pub fn latch_ns(&self) -> f64 {
+        self.latch
+    }
+
+    /// Return a copy of this technology with all delays multiplied by
+    /// `factor` (> 0). Useful for what-if studies of slower or faster
+    /// process points; the paper argues such physical properties shift
+    /// the customized configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaled(&self, factor: f64) -> Technology {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and positive"
+        );
+        Technology {
+            decoder_base: self.decoder_base * factor,
+            decoder_per_bit: self.decoder_per_bit * factor,
+            wordline_base: self.wordline_base * factor,
+            wordline_per_col: self.wordline_per_col * factor,
+            bitline_base: self.bitline_base * factor,
+            bitline_per_row: self.bitline_per_row * factor,
+            senseamp: self.senseamp * factor,
+            comparator_base: self.comparator_base * factor,
+            comparator_per_bit: self.comparator_per_bit * factor,
+            mux_per_way_log2: self.mux_per_way_log2 * factor,
+            output_driver: self.output_driver * factor,
+            route_per_sqrt_bit: self.route_per_sqrt_bit * factor,
+            route_per_bit: self.route_per_bit * factor,
+            cam_base: self.cam_base * factor,
+            cam_per_entry: self.cam_per_entry * factor,
+            cam_per_bit: self.cam_per_bit * factor,
+            port_factor: self.port_factor,
+            latch: self.latch * factor,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Technology {
+        Technology {
+            decoder_base: 0.042,
+            decoder_per_bit: 0.008,
+            wordline_base: 0.018,
+            wordline_per_col: 0.00014,
+            bitline_base: 0.022,
+            bitline_per_row: 0.00080,
+            senseamp: 0.036,
+            comparator_base: 0.040,
+            comparator_per_bit: 0.0010,
+            mux_per_way_log2: 0.020,
+            output_driver: 0.050,
+            route_per_sqrt_bit: 0.00026,
+            route_per_bit: 9.0e-8,
+            cam_base: 0.016,
+            cam_per_entry: 0.0006,
+            cam_per_bit: 0.0004,
+            port_factor: 0.14,
+            latch: 0.03,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_positive() {
+        let t = Technology::default();
+        assert!(t.decoder_base > 0.0);
+        assert!(t.latch_ns() > 0.0);
+    }
+
+    #[test]
+    fn scaled_scales_delays_not_port_factor() {
+        let t = Technology::default();
+        let s = t.scaled(2.0);
+        assert!((s.decoder_base - 2.0 * t.decoder_base).abs() < 1e-12);
+        assert!((s.cam_per_entry - 2.0 * t.cam_per_entry).abs() < 1e-12);
+        assert!((s.port_factor - t.port_factor).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_nonpositive() {
+        Technology::default().scaled(0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-unit delay queries, one per row of the paper's Table 1.
+//!
+//! The paper maps each architectural unit onto a CACTI query:
+//!
+//! | Unit | Organization | Output used |
+//! |---|---|---|
+//! | L1 data cache | sets × assoc × line, 2R/2W | access time |
+//! | L2 data cache | sets × assoc × line, 2R/2W | access time |
+//! | wakeup–select | CAM of 2×IQ entries, 8-byte tags, issue-width search ports; plus direct-mapped select array of IQ entries | tag comparison + datapath w/o output driver |
+//! | register file (ROB) | direct-mapped, 8-byte words, ROB entries, 2w read / w write ports | access time |
+//! | LSQ | fully associative, 8-byte entries, 2R/2W | datapath w/o output driver |
+//!
+//! Every function returns nanoseconds.
+
+use crate::{cache_access_time, CacheGeometry, CamArray, SramArray, Technology};
+
+/// Bit width of an issue-queue entry (paper Table 2: 64 bits, the
+/// CACTI lower bound of 8 bytes).
+pub const IQ_ENTRY_BITS: u32 = 64;
+
+/// Access time of an L1 data cache with the given geometry
+/// (`sets` × `assoc` × `block_bytes`), 2 read / 2 write ports.
+pub fn l1_access_time(tech: &Technology, sets: u32, assoc: u32, block_bytes: u32) -> f64 {
+    cache_access_time(tech, &CacheGeometry::new(sets, assoc, block_bytes))
+}
+
+/// Access time of an L2 data cache with the given geometry, 2R/2W.
+///
+/// Structurally identical to [`l1_access_time`]; kept separate so the
+/// call sites read like the paper's Table 1.
+pub fn l2_access_time(tech: &Technology, sets: u32, assoc: u32, block_bytes: u32) -> f64 {
+    cache_access_time(tech, &CacheGeometry::new(sets, assoc, block_bytes))
+}
+
+/// Wakeup–select delay of an issue queue of `iq_size` entries at the
+/// given issue width.
+///
+/// Wakeup is a fully-associative tag comparison across `2 × iq_size`
+/// source tags (two sources per entry) broadcast on `issue_width`
+/// result ports; select is a direct-mapped pass over the `iq_size`
+/// entries (request/grant datapath without output driver). The two are
+/// serial within a scheduling loop, as in the paper's Figure 2
+/// discussion.
+pub fn issue_queue_delay(tech: &Technology, iq_size: u32, issue_width: u32) -> f64 {
+    let wakeup = CamArray::new(2 * iq_size, IQ_ENTRY_BITS, issue_width).match_time(tech);
+    let select = SramArray::new(iq_size, IQ_ENTRY_BITS, issue_width, 0).access_time(tech);
+    wakeup + select
+}
+
+/// Access time of the register file / ROB: a direct-mapped array of
+/// `rob_size` 8-byte entries with `2 × issue_width` read ports and
+/// `issue_width` write ports.
+pub fn regfile_access_time(tech: &Technology, rob_size: u32, issue_width: u32) -> f64 {
+    SramArray::new(rob_size, 64, 2 * issue_width, issue_width).access_time(tech)
+}
+
+/// Search delay of the load-store queue: a fully-associative array of
+/// `lsq_size` 8-byte entries with 2 search ports (datapath without
+/// output driver).
+pub fn lsq_delay(tech: &Technology, lsq_size: u32) -> f64 {
+    CamArray::new(lsq_size, 64, 2).match_time(tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn issue_queue_scales_with_size_and_width() {
+        let d32 = issue_queue_delay(&t(), 32, 4);
+        let d64 = issue_queue_delay(&t(), 64, 4);
+        let d32w8 = issue_queue_delay(&t(), 32, 8);
+        assert!(d64 > d32);
+        assert!(d32w8 > d32);
+    }
+
+    #[test]
+    fn regfile_scales_with_entries_and_width() {
+        let small = regfile_access_time(&t(), 64, 3);
+        let big = regfile_access_time(&t(), 1024, 3);
+        let wide = regfile_access_time(&t(), 64, 8);
+        assert!(big > small);
+        assert!(wide > small);
+    }
+
+    #[test]
+    fn lsq_scales_with_entries() {
+        assert!(lsq_delay(&t(), 256) > lsq_delay(&t(), 64));
+    }
+
+    #[test]
+    fn l2_same_model_as_l1() {
+        let a = l1_access_time(&t(), 1024, 4, 64);
+        let b = l2_access_time(&t(), 1024, 4, 64);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Calibration anchors derived from the paper's Table 4: the published
+//! customized configurations must be physically realizable under this
+//! model (each structure fits in its pipeline-stage budget at its
+//! clock period), or the explored design space would exclude them.
+
+use xps_cacti::{cache_access_time, fit, units, CacheGeometry, Technology};
+
+fn tech() -> Technology {
+    Technology::default()
+}
+
+/// bzip (Table 4): IQ 64, width 5, scheduler depth 1, clock 0.49 ns.
+#[test]
+fn bzip_issue_queue_fits() {
+    let t = tech();
+    let budget = fit::stage_budget(&t, 0.49, 1);
+    assert!(
+        units::issue_queue_delay(&t, 64, 5) <= budget,
+        "IQ64/w5 must fit one 0.49 ns stage"
+    );
+}
+
+/// mcf (Table 4): ROB 1024, width 3, scheduler/reg-file depth 1,
+/// clock 0.45 ns.
+#[test]
+fn mcf_rob_fits() {
+    let t = tech();
+    let budget = fit::stage_budget(&t, 0.45, 1);
+    assert!(
+        units::regfile_access_time(&t, 1024, 3) <= budget,
+        "ROB1024/w3 must fit one 0.45 ns stage"
+    );
+}
+
+/// crafty (Table 4): IQ 32 at width 8, scheduler depth 3, clock 0.19 ns.
+#[test]
+fn crafty_issue_queue_fits() {
+    let t = tech();
+    let budget = fit::stage_budget(&t, 0.19, 3);
+    assert!(units::issue_queue_delay(&t, 32, 8) <= budget);
+}
+
+/// mcf (Table 4): L1 of 1k sets x 2 ways x 128 B (256 KB) in 5 cycles at
+/// 0.45 ns; L2 of 8k sets x 4 ways x 128 B (4 MB) in 27 cycles.
+#[test]
+fn mcf_caches_fit() {
+    let t = tech();
+    let l1 = CacheGeometry::new(1024, 2, 128);
+    assert!(cache_access_time(&t, &l1) <= fit::stage_budget(&t, 0.45, 5));
+    let l2 = CacheGeometry::new(8192, 4, 128);
+    assert!(cache_access_time(&t, &l2) <= fit::stage_budget(&t, 0.45, 27));
+}
+
+/// vpr (Table 4): 8 KB L1 (128 sets x 2 x 32 B) in 2 cycles at 0.30 ns.
+#[test]
+fn vpr_small_l1_fits_two_cycles() {
+    let t = tech();
+    let l1 = CacheGeometry::new(128, 2, 32);
+    assert!(cache_access_time(&t, &l1) <= fit::stage_budget(&t, 0.30, 2));
+}
+
+/// LSQ sizes from Table 4 (64-256 entries at depth 2) are realizable
+/// across the clock range used by the paper.
+#[test]
+fn lsq_range_fits() {
+    let t = tech();
+    assert!(units::lsq_delay(&t, 256) <= fit::stage_budget(&t, 0.27, 2));
+    assert!(units::lsq_delay(&t, 64) <= fit::stage_budget(&t, 0.19, 2));
+}
+
+/// The delay ranking of unit kinds is physical: an L2 is slower than an
+/// L1 of the same organization scaled down, and large CAMs are slower
+/// than small RAMs.
+#[test]
+fn cross_unit_sanity() {
+    let t = tech();
+    let l1 = cache_access_time(&t, &CacheGeometry::new(256, 2, 32));
+    let l2 = cache_access_time(&t, &CacheGeometry::new(8192, 8, 128));
+    assert!(l2 > 2.0 * l1);
+    assert!(units::issue_queue_delay(&t, 256, 8) > units::regfile_access_time(&t, 256, 4));
+}
+
+/// Fitting helpers agree with direct queries across a clock sweep.
+#[test]
+fn fit_consistency_sweep() {
+    let t = tech();
+    for clock in [0.19, 0.25, 0.33, 0.45, 0.60] {
+        for depth in 1..=4u32 {
+            let budget = fit::stage_budget(&t, clock, depth);
+            if let Some(iq) = fit::fit_issue_queue(&t, budget, 4) {
+                assert!(units::issue_queue_delay(&t, iq, 4) <= budget);
+            }
+            if let Some(rob) = fit::fit_rob(&t, budget, 4) {
+                assert!(units::regfile_access_time(&t, rob, 4) <= budget);
+            }
+        }
+    }
+}

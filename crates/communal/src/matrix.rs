@@ -1,0 +1,232 @@
+//! The cross-configuration performance matrix (paper Table 5 /
+//! Appendix A).
+
+use serde::{Deserialize, Serialize};
+
+/// A square cross-configuration performance matrix: entry `(w, c)` is
+/// the IPT of workload `w` executed on the customized architecture of
+/// workload `c`.
+///
+/// Rows and columns share the same name list (each workload contributes
+/// one customized architecture), exactly like the paper's Table 5.
+/// Importance weights default to 1 for every workload (the paper's main
+/// results assume equal weights; §5.4 discusses non-uniform ones).
+///
+/// # Example
+///
+/// ```
+/// use xps_communal::CrossPerfMatrix;
+///
+/// let m = CrossPerfMatrix::new(
+///     vec!["a".into(), "b".into()],
+///     vec![vec![2.0, 1.0], vec![0.5, 1.5]],
+/// ).expect("valid matrix");
+/// assert_eq!(m.len(), 2);
+/// assert!((m.slowdown(0, 1) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossPerfMatrix {
+    names: Vec<String>,
+    /// ipt[workload][config]
+    ipt: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+}
+
+impl CrossPerfMatrix {
+    /// Build a matrix from names and rows (`ipt[workload][config]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is not square over the name
+    /// list, empty, or contains non-positive / non-finite entries.
+    pub fn new(names: Vec<String>, ipt: Vec<Vec<f64>>) -> Result<CrossPerfMatrix, String> {
+        let n = names.len();
+        if n == 0 {
+            return Err("matrix must have at least one workload".to_string());
+        }
+        if ipt.len() != n {
+            return Err(format!("expected {n} rows, got {}", ipt.len()));
+        }
+        for (i, row) in ipt.iter().enumerate() {
+            if row.len() != n {
+                return Err(format!(
+                    "row {} ({}) has {} entries, expected {n}",
+                    i,
+                    names[i],
+                    row.len()
+                ));
+            }
+            for (j, &v) in row.iter().enumerate() {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!(
+                        "IPT of {} on {} must be positive and finite, got {v}",
+                        names[i], names[j]
+                    ));
+                }
+            }
+        }
+        let weights = vec![1.0; n];
+        Ok(CrossPerfMatrix { names, ipt, weights })
+    }
+
+    /// Replace the importance weights (must be positive, one per
+    /// workload).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on length mismatch or non-positive weights.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Result<CrossPerfMatrix, String> {
+        if weights.len() != self.names.len() {
+            return Err(format!(
+                "expected {} weights, got {}",
+                self.names.len(),
+                weights.len()
+            ));
+        }
+        if let Some(w) = weights.iter().find(|w| !(w.is_finite() && **w > 0.0)) {
+            return Err(format!("weights must be positive and finite, got {w}"));
+        }
+        self.weights = weights;
+        Ok(self)
+    }
+
+    /// Number of workloads (= number of architectures).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the matrix is empty (never constructible via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Workload / architecture names, in matrix order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Importance weights, in matrix order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Index of a workload by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// IPT of workload `w` on architecture `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn ipt(&self, w: usize, c: usize) -> f64 {
+        self.ipt[w][c]
+    }
+
+    /// Fractional slowdown of workload `w` on architecture `c` versus
+    /// its own architecture: `1 − ipt(w, c) / ipt(w, w)` (Appendix A,
+    /// as a fraction rather than a percentage).
+    pub fn slowdown(&self, w: usize, c: usize) -> f64 {
+        1.0 - self.ipt[w][c] / self.ipt[w][w]
+    }
+
+    /// The full slowdown matrix, same layout as `ipt`.
+    pub fn slowdown_matrix(&self) -> Vec<Vec<f64>> {
+        (0..self.len())
+            .map(|w| (0..self.len()).map(|c| self.slowdown(w, c)).collect())
+            .collect()
+    }
+
+    /// The architecture in `allowed` on which workload `w` performs
+    /// best (ties broken toward the lower index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed` is empty or contains an out-of-bounds index.
+    pub fn best_config_for(&self, w: usize, allowed: &[usize]) -> usize {
+        assert!(!allowed.is_empty(), "need at least one architecture");
+        let mut best = allowed[0];
+        for &c in &allowed[1..] {
+            if self.ipt[w][c] > self.ipt[w][best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// True if every workload performs at least as well on its own
+    /// architecture as on any other (the paper's cross-seeding rule
+    /// guarantees this by construction).
+    pub fn is_diagonal_dominant(&self) -> bool {
+        (0..self.len()).all(|w| (0..self.len()).all(|c| self.ipt[w][w] >= self.ipt[w][c]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CrossPerfMatrix {
+        CrossPerfMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![2.0, 1.0, 1.5],
+                vec![0.5, 1.5, 1.2],
+                vec![0.8, 0.9, 1.0],
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(CrossPerfMatrix::new(vec![], vec![]).is_err());
+        assert!(CrossPerfMatrix::new(vec!["a".into()], vec![vec![1.0, 2.0]]).is_err());
+        assert!(CrossPerfMatrix::new(vec!["a".into()], vec![vec![-1.0]]).is_err());
+        assert!(CrossPerfMatrix::new(vec!["a".into()], vec![vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn slowdowns() {
+        let m = sample();
+        assert!((m.slowdown(0, 0)).abs() < 1e-12);
+        assert!((m.slowdown(0, 1) - 0.5).abs() < 1e-12);
+        assert!((m.slowdown(1, 0) - (1.0 - 0.5 / 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_config_selection() {
+        let m = sample();
+        assert_eq!(m.best_config_for(0, &[0, 1, 2]), 0);
+        assert_eq!(m.best_config_for(0, &[1, 2]), 2);
+        assert_eq!(m.best_config_for(2, &[0, 1]), 1);
+    }
+
+    #[test]
+    fn diagonal_dominance() {
+        assert!(sample().is_diagonal_dominant());
+        let m = CrossPerfMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![0.5, 1.0]],
+        )
+        .expect("valid");
+        assert!(!m.is_diagonal_dominant());
+    }
+
+    #[test]
+    fn weights_validated() {
+        let m = sample();
+        assert!(m.clone().with_weights(vec![1.0, 2.0]).is_err());
+        assert!(m.clone().with_weights(vec![1.0, 0.0, 1.0]).is_err());
+        let w = m.with_weights(vec![1.0, 2.0, 3.0]).expect("valid");
+        assert_eq!(w.weights(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn index_lookup() {
+        let m = sample();
+        assert_eq!(m.index_of("b"), Some(1));
+        assert_eq!(m.index_of("zzz"), None);
+    }
+}

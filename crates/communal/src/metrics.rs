@@ -1,0 +1,183 @@
+//! Figures of merit for a core combination (paper §5.2).
+
+use crate::matrix::CrossPerfMatrix;
+use serde::{Deserialize, Serialize};
+
+/// The three design goals of §5.2, each with its representative figure
+/// of merit over a candidate core set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Merit {
+    /// Average IPT of each workload on its most suitable available
+    /// core: maximizes expected single-job performance for a job drawn
+    /// uniformly (or by weight) from the workload set.
+    Average,
+    /// Harmonic-mean IPT: minimizes total execution time of running
+    /// every workload once — the classic single-core research metric.
+    HarmonicMean,
+    /// Contention-weighted harmonic mean: each workload's IPT on its
+    /// best available core is divided by the number of workloads that
+    /// share that core before taking the harmonic mean — §5.2's
+    /// real-world compromise for concurrent execution.
+    ContentionWeightedHarmonicMean,
+}
+
+impl Merit {
+    /// All merits, in the paper's order of introduction.
+    pub const ALL: [Merit; 3] = [
+        Merit::HarmonicMean,
+        Merit::Average,
+        Merit::ContentionWeightedHarmonicMean,
+    ];
+
+    /// Short label used in tables (`avg`, `har`, `cw-har`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Merit::Average => "avg",
+            Merit::HarmonicMean => "har",
+            Merit::ContentionWeightedHarmonicMean => "cw-har",
+        }
+    }
+
+    /// Evaluate this merit for the core set `combo` (indices into the
+    /// matrix's architectures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `combo` is empty or out of bounds.
+    pub fn evaluate(&self, m: &CrossPerfMatrix, combo: &[usize]) -> f64 {
+        match self {
+            Merit::Average => average_ipt(m, combo),
+            Merit::HarmonicMean => harmonic_ipt(m, combo),
+            Merit::ContentionWeightedHarmonicMean => cw_harmonic_ipt(m, combo),
+        }
+    }
+}
+
+/// Best-available IPT of every workload over `combo`, with weights.
+fn best_ipts(m: &CrossPerfMatrix, combo: &[usize]) -> Vec<f64> {
+    (0..m.len())
+        .map(|w| m.ipt(w, m.best_config_for(w, combo)))
+        .collect()
+}
+
+/// Weighted average of each workload's IPT on its best available core.
+pub(crate) fn average_ipt(m: &CrossPerfMatrix, combo: &[usize]) -> f64 {
+    let ipts = best_ipts(m, combo);
+    let wsum: f64 = m.weights().iter().sum();
+    ipts.iter()
+        .zip(m.weights())
+        .map(|(x, w)| x * w)
+        .sum::<f64>()
+        / wsum
+}
+
+/// Weighted harmonic mean of each workload's IPT on its best available
+/// core.
+pub(crate) fn harmonic_ipt(m: &CrossPerfMatrix, combo: &[usize]) -> f64 {
+    let ipts = best_ipts(m, combo);
+    let wsum: f64 = m.weights().iter().sum();
+    wsum / ipts
+        .iter()
+        .zip(m.weights())
+        .map(|(x, w)| w / x)
+        .sum::<f64>()
+}
+
+/// Contention-weighted harmonic mean: divide each workload's best IPT
+/// by the (weighted) number of workloads assigned to the same core,
+/// then take the weighted harmonic mean.
+pub(crate) fn cw_harmonic_ipt(m: &CrossPerfMatrix, combo: &[usize]) -> f64 {
+    let n = m.len();
+    let assignment: Vec<usize> = (0..n).map(|w| m.best_config_for(w, combo)).collect();
+    // Weighted share of each core.
+    let mut share = vec![0.0f64; m.len()];
+    for (w, &core) in assignment.iter().enumerate() {
+        share[core] += m.weights()[w];
+    }
+    let wsum: f64 = m.weights().iter().sum();
+    wsum / (0..n)
+        .map(|w| {
+            let core = assignment[w];
+            let contended = m.ipt(w, core) / share[core];
+            m.weights()[w] / contended
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> CrossPerfMatrix {
+        CrossPerfMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![4.0, 2.0, 1.0],
+                vec![1.0, 2.0, 1.0],
+                vec![1.0, 1.0, 2.0],
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn average_single_core() {
+        // On core a alone: 4, 1, 1 → avg 2.
+        assert!((Merit::Average.evaluate(&m(), &[0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_single_core() {
+        // On core a alone: 3 / (1/4 + 1 + 1) = 3/2.25.
+        let h = Merit::HarmonicMean.evaluate(&m(), &[0]);
+        assert!((h - 3.0 / 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_leq_average() {
+        let mm = m();
+        for combo in [vec![0], vec![1], vec![0, 1], vec![0, 1, 2]] {
+            let a = Merit::Average.evaluate(&mm, &combo);
+            let h = Merit::HarmonicMean.evaluate(&mm, &combo);
+            assert!(h <= a + 1e-12, "harmonic ({h}) must not exceed average ({a})");
+        }
+    }
+
+    #[test]
+    fn contention_divides_shares() {
+        // Two cores {a, b}: workload a→a, b→b, c→b (1 = 1 tie → lower
+        // index wins... c on a = 1, on b = 1; tie goes to a). So a
+        // hosts {a, c}, b hosts {b}.
+        let mm = m();
+        let cw = Merit::ContentionWeightedHarmonicMean.evaluate(&mm, &[0, 1]);
+        // shares: a = 2, b = 1 → contended IPTs: 4/2=2, 2/1=2, 1/2=0.5.
+        let expect = 3.0 / (1.0 / 2.0 + 1.0 / 2.0 + 1.0 / 0.5);
+        assert!((cw - expect).abs() < 1e-12, "{cw} vs {expect}");
+    }
+
+    #[test]
+    fn full_set_contention_is_ideal_shares() {
+        // With all cores available, every workload gets its own core:
+        // shares are 1 and cw-har equals the plain harmonic mean.
+        let mm = m();
+        let cw = Merit::ContentionWeightedHarmonicMean.evaluate(&mm, &[0, 1, 2]);
+        let h = Merit::HarmonicMean.evaluate(&mm, &[0, 1, 2]);
+        assert!((cw - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_shift_metrics() {
+        let mm = m().with_weights(vec![10.0, 1.0, 1.0]).expect("valid");
+        // Heavily weighting workload a makes core a's average dominate.
+        let a0 = Merit::Average.evaluate(&mm, &[0]);
+        let a1 = Merit::Average.evaluate(&mm, &[1]);
+        assert!(a0 > a1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Merit::Average.label(), "avg");
+        assert_eq!(Merit::HarmonicMean.label(), "har");
+        assert_eq!(Merit::ContentionWeightedHarmonicMean.label(), "cw-har");
+    }
+}

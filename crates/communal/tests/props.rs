@@ -1,0 +1,177 @@
+//! Property-based tests of the communal-customization analysis over
+//! random cross-performance matrices.
+
+use proptest::prelude::*;
+use xps_communal::{
+    assign_surrogates, best_combination, ideal_performance, pitfall_experiment, CrossPerfMatrix,
+    Merit, Propagation,
+};
+
+/// Random diagonal-dominant matrices of 3..=8 workloads (the invariant
+/// the paper's replacement rule guarantees).
+fn arb_matrix() -> impl Strategy<Value = CrossPerfMatrix> {
+    (3usize..=8)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::vec(0.2f64..4.0, n),
+                prop::collection::vec(prop::collection::vec(0.05f64..1.0, n), n),
+            )
+        })
+        .prop_map(|(n, diag, offs)| {
+            let names = (0..n).map(|i| format!("w{i}")).collect();
+            let ipt = (0..n)
+                .map(|w| {
+                    (0..n)
+                        .map(|c| if w == c { diag[w] } else { diag[w] * offs[w][c] })
+                        .collect()
+                })
+                .collect();
+            CrossPerfMatrix::new(names, ipt).expect("constructed valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Harmonic mean never exceeds the average for any combination.
+    #[test]
+    fn harmonic_leq_average(m in arb_matrix(), k in 1usize..4) {
+        let k = k.min(m.len());
+        let r = best_combination(&m, k, Merit::HarmonicMean);
+        prop_assert!(r.har_ipt <= r.avg_ipt + 1e-12);
+    }
+
+    /// Contention-weighted harmonic never exceeds the plain harmonic
+    /// (shares are at least one).
+    #[test]
+    fn contention_weighted_leq_harmonic(m in arb_matrix(), k in 1usize..4) {
+        let k = k.min(m.len());
+        let combo: Vec<usize> = (0..k).collect();
+        let cw = Merit::ContentionWeightedHarmonicMean.evaluate(&m, &combo);
+        let h = Merit::HarmonicMean.evaluate(&m, &combo);
+        prop_assert!(cw <= h + 1e-12, "cw {cw} > har {h}");
+    }
+
+    /// Adding a core never lowers the best achievable value of any
+    /// per-workload-best merit.
+    #[test]
+    fn more_cores_monotone(m in arb_matrix()) {
+        for merit in [Merit::Average, Merit::HarmonicMean] {
+            let mut prev = f64::MIN;
+            for k in 1..=m.len() {
+                let r = best_combination(&m, k, merit);
+                prop_assert!(r.merit_value >= prev - 1e-12);
+                prev = r.merit_value;
+            }
+        }
+    }
+
+    /// The complete search at full count equals the ideal.
+    #[test]
+    fn full_search_equals_ideal(m in arb_matrix()) {
+        let (avg, har) = ideal_performance(&m);
+        let r = best_combination(&m, m.len(), Merit::HarmonicMean);
+        prop_assert!((r.har_ipt - har).abs() < 1e-9);
+        prop_assert!((r.avg_ipt - avg).abs() < 1e-9);
+    }
+
+    /// Complete search dominates any surrogate outcome at the same
+    /// core count (surrogates fix the assignment; search both picks
+    /// the set and lets workloads choose).
+    #[test]
+    fn search_dominates_surrogates(m in arb_matrix()) {
+        for mode in [Propagation::Forward, Propagation::ForwardBackward] {
+            let s = assign_surrogates(&m, mode, 2);
+            let k = s.final_architectures.len();
+            let r = best_combination(&m, k, Merit::HarmonicMean);
+            prop_assert!(
+                r.har_ipt >= s.harmonic_ipt(&m) - 1e-9,
+                "{mode:?}: search {} < surrogate {}",
+                r.har_ipt,
+                s.harmonic_ipt(&m)
+            );
+        }
+    }
+
+    /// Surrogate assignments always produce a consistent partition:
+    /// every workload maps to a surviving architecture, and
+    /// own-architecture workloads map to themselves.
+    #[test]
+    fn surrogates_partition(m in arb_matrix(), target in 1usize..4) {
+        let target = target.min(m.len());
+        for mode in [Propagation::None, Propagation::Forward, Propagation::ForwardBackward] {
+            let s = assign_surrogates(&m, mode, target);
+            prop_assert_eq!(s.assignment.len(), m.len());
+            for &a in &s.assignment {
+                prop_assert!(s.final_architectures.contains(&a));
+            }
+            for &root in &s.final_architectures {
+                prop_assert!(
+                    mode == Propagation::ForwardBackward || s.assignment[root] == root,
+                    "without feedback, a surviving architecture serves its own workload"
+                );
+            }
+            let total: usize = s.groups().iter().map(|(_, g)| g.len()).sum();
+            prop_assert_eq!(total, m.len());
+        }
+    }
+
+    /// Greedy edges are committed in non-decreasing... not guaranteed
+    /// globally (legality changes), but each edge's slowdown is the
+    /// minimum among pairs legal at its turn, so the first edge is the
+    /// global minimum slowdown off the diagonal.
+    #[test]
+    fn first_edge_is_global_minimum(m in arb_matrix()) {
+        let s = assign_surrogates(&m, Propagation::ForwardBackward, 1);
+        if let Some(first) = s.edges.first() {
+            let mut min = f64::INFINITY;
+            for w in 0..m.len() {
+                for c in 0..m.len() {
+                    if w != c {
+                        min = min.min(m.slowdown(w, c));
+                    }
+                }
+            }
+            prop_assert!((first.slowdown - min).abs() < 1e-12);
+        }
+    }
+
+    /// The pitfall experiment never reports a negative loss under a
+    /// per-workload-best merit: the full search is optimal by
+    /// construction.
+    #[test]
+    fn pitfall_loss_nonnegative(m in arb_matrix()) {
+        let name = m.names()[0].clone();
+        let k = 2usize.min(m.len() - 1);
+        for merit in [Merit::Average, Merit::HarmonicMean] {
+            let r = pitfall_experiment(&m, &name, k, merit);
+            prop_assert!(r.loss >= -1e-12, "{merit:?} loss {}", r.loss);
+        }
+    }
+
+    /// Slowdowns are zero on the diagonal and under one off it for
+    /// diagonal-dominant matrices.
+    #[test]
+    fn slowdown_domain(m in arb_matrix()) {
+        for w in 0..m.len() {
+            prop_assert!(m.slowdown(w, w).abs() < 1e-12);
+            for c in 0..m.len() {
+                let s = m.slowdown(w, c);
+                prop_assert!((0.0..1.0).contains(&s) || s.abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Importance weights: giving one workload an enormous weight makes
+    /// the best single core its own.
+    #[test]
+    fn weights_pull_selection(m in arb_matrix(), star in 0usize..3) {
+        let star = star.min(m.len() - 1);
+        let mut weights = vec![1.0; m.len()];
+        weights[star] = 1e6;
+        let m = m.with_weights(weights).expect("valid weights");
+        let r = best_combination(&m, 1, Merit::HarmonicMean);
+        prop_assert_eq!(r.cores, vec![star]);
+    }
+}

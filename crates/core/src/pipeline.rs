@@ -1,0 +1,191 @@
+//! The end-to-end measured reproduction pipeline.
+//!
+//! `workload models → annealing exploration → cross-configuration
+//! matrix → communal customization`, i.e. the paper's methodology run
+//! on this repository's own substrate instead of the published data.
+
+use serde::{Deserialize, Serialize};
+use xps_communal::CrossPerfMatrix;
+use xps_explore::{CustomizedCore, ExploreOptions, Explorer};
+use xps_sim::{CoreConfig, Simulator};
+use xps_workload::{TraceGenerator, WorkloadProfile};
+
+/// Options of the full measured pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Exploration options (annealing + cross seeding).
+    pub explore: ExploreOptions,
+    /// Trace length for each cell of the cross-configuration matrix.
+    pub matrix_ops: u64,
+    /// Maximum passes of the paper's replacement rule when building
+    /// the matrix ("if a workload performs better on some other
+    /// workload's configuration, that configuration replaces its
+    /// own").
+    pub replacement_passes: u32,
+}
+
+impl Default for Pipeline {
+    fn default() -> Pipeline {
+        Pipeline {
+            explore: ExploreOptions::default(),
+            matrix_ops: 1_000_000,
+            replacement_passes: 3,
+        }
+    }
+}
+
+impl Pipeline {
+    /// Cheap settings for tests and demos.
+    pub fn quick() -> Pipeline {
+        Pipeline {
+            explore: ExploreOptions::quick(),
+            matrix_ops: 40_000,
+            replacement_passes: 2,
+        }
+    }
+}
+
+/// Everything the measured pipeline produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineResult {
+    /// Each workload's customized core (the measured Table 4).
+    pub cores: Vec<CustomizedCore>,
+    /// The measured cross-configuration matrix (the measured Table 5).
+    pub matrix: CrossPerfMatrix,
+}
+
+/// Measure the IPT of `profile` on `config` over `ops` micro-ops.
+pub fn measure(profile: &WorkloadProfile, config: &CoreConfig, ops: u64) -> f64 {
+    Simulator::new(config)
+        .run(TraceGenerator::new(profile.clone()), ops)
+        .ipt()
+}
+
+/// Build a cross-configuration matrix by simulating every workload on
+/// every configuration, applying the paper's replacement rule until
+/// the diagonal dominates (or the pass budget runs out).
+pub fn cross_matrix(
+    profiles: &[WorkloadProfile],
+    configs: &mut Vec<CoreConfig>,
+    ops: u64,
+    passes: u32,
+) -> CrossPerfMatrix {
+    assert_eq!(
+        profiles.len(),
+        configs.len(),
+        "one configuration per workload"
+    );
+    let n = profiles.len();
+    let mut ipt = vec![vec![0.0f64; n]; n];
+    for w in 0..n {
+        for c in 0..n {
+            ipt[w][c] = measure(&profiles[w], &configs[c], ops);
+        }
+    }
+    for _ in 0..passes {
+        let mut changed = false;
+        for w in 0..n {
+            let best = (0..n)
+                .max_by(|&a, &b| ipt[w][a].partial_cmp(&ipt[w][b]).expect("finite"))
+                .expect("non-empty row");
+            if best != w && ipt[w][best] > ipt[w][w] {
+                // Adopt the better configuration as w's own; its row
+                // and column must be re-measured.
+                configs[w] = CoreConfig {
+                    name: profiles[w].name.clone(),
+                    ..configs[best].clone()
+                };
+                changed = true;
+                for c in 0..n {
+                    ipt[w][c] = measure(&profiles[w], &configs[c], ops);
+                }
+                for v in 0..n {
+                    ipt[v][w] = measure(&profiles[v], &configs[w], ops);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    CrossPerfMatrix::new(
+        profiles.iter().map(|p| p.name.clone()).collect(),
+        ipt,
+    )
+    .expect("measured IPTs are positive")
+    .with_weights(profiles.iter().map(|p| p.weight).collect())
+    .expect("profile weights are positive")
+}
+
+impl Pipeline {
+    /// Run the full pipeline over `profiles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn run(&self, profiles: &[WorkloadProfile]) -> PipelineResult {
+        let explorer = Explorer::new(self.explore.clone());
+        let explored = explorer.explore(profiles);
+        let mut configs: Vec<CoreConfig> =
+            explored.cores.iter().map(|c| c.config.clone()).collect();
+        let matrix = cross_matrix(profiles, &mut configs, self.matrix_ops, self.replacement_passes);
+        let cores = explored
+            .cores
+            .into_iter()
+            .zip(configs)
+            .enumerate()
+            .map(|(i, (mut core, config))| {
+                core.ipt = matrix.ipt(i, i);
+                core.config = config;
+                core
+            })
+            .collect();
+        PipelineResult { cores, matrix }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xps_workload::spec;
+
+    #[test]
+    fn quick_pipeline_three_workloads() {
+        let profiles: Vec<_> = ["gzip", "mcf", "crafty"]
+            .iter()
+            .map(|n| spec::profile(n).expect("known benchmark"))
+            .collect();
+        let r = Pipeline::quick().run(&profiles);
+        assert_eq!(r.cores.len(), 3);
+        assert_eq!(r.matrix.len(), 3);
+        assert!(
+            r.matrix.is_diagonal_dominant(),
+            "replacement rule must make the diagonal dominate"
+        );
+        for (i, core) in r.cores.iter().enumerate() {
+            assert!((core.ipt - r.matrix.ipt(i, i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_matrix_replacement_rule() {
+        let profiles: Vec<_> = ["twolf", "vpr"]
+            .iter()
+            .map(|n| spec::profile(n).expect("known benchmark"))
+            .collect();
+        // Deliberately give twolf a terrible configuration; the rule
+        // should replace it with vpr's.
+        let mut bad = CoreConfig::initial();
+        bad.name = "twolf".to_string();
+        bad.rob_size = 32;
+        bad.iq_size = 8;
+        bad.lsq_size = 16;
+        bad.clock_ns = 1.0;
+        let mut good = CoreConfig::initial();
+        good.name = "vpr".to_string();
+        let mut configs = vec![bad, good];
+        let m = cross_matrix(&profiles, &mut configs, 20_000, 3);
+        assert!(m.is_diagonal_dominant());
+        assert_eq!(configs[0].rob_size, configs[1].rob_size, "twolf adopted vpr's config");
+    }
+}

@@ -1,0 +1,130 @@
+//! The Table 7 summary: what a dual-core CMP achieves under each
+//! design methodology.
+
+use serde::{Deserialize, Serialize};
+use xps_communal::{
+    assign_surrogates, best_combination, ideal_performance, CrossPerfMatrix, Merit, Propagation,
+};
+
+/// One row of Table 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table7Row {
+    /// Scenario description.
+    pub scenario: String,
+    /// Architectures employed (names).
+    pub architectures: Vec<String>,
+    /// Harmonic-mean IPT of the scenario.
+    pub harmonic_ipt: f64,
+    /// Fractional slowdown versus the ideal scenario.
+    pub slowdown_vs_ideal: f64,
+}
+
+/// The paper's Table 7: ideal, homogeneous, complete-search
+/// heterogeneous, and greedy-surrogate heterogeneous dual-core
+/// designs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table7 {
+    /// The four scenario rows, in the paper's order.
+    pub rows: Vec<Table7Row>,
+}
+
+/// Build Table 7 from a cross-configuration matrix.
+///
+/// * *Ideal*: every workload on its own customized architecture.
+/// * *Homogeneous*: every core is the best single configuration for
+///   harmonic-mean IPT.
+/// * *Complete search*: the best dual-core combination for
+///   harmonic-mean IPT.
+/// * *Surrogates*: the dual-core design produced by greedy surrogate
+///   assignment with full propagation (§5.4.2); workloads run where
+///   the greedy put them, not on their best core of the pair.
+pub fn table7(m: &CrossPerfMatrix) -> Table7 {
+    let (_, ideal_har) = ideal_performance(m);
+    let single = best_combination(m, 1, Merit::HarmonicMean);
+    let pair = best_combination(m, 2, Merit::HarmonicMean);
+    let surro = assign_surrogates(m, Propagation::ForwardBackward, 2);
+    let surro_har = surro.harmonic_ipt(m);
+    let names = |cores: &[usize]| -> Vec<String> {
+        cores.iter().map(|&c| m.names()[c].clone()).collect()
+    };
+    let rows = vec![
+        Table7Row {
+            scenario: "ideal (every workload on its own customized architecture)".to_string(),
+            architectures: m.names().to_vec(),
+            harmonic_ipt: ideal_har,
+            slowdown_vs_ideal: 0.0,
+        },
+        Table7Row {
+            scenario: "homogeneous (best single configuration)".to_string(),
+            architectures: single.names.clone(),
+            harmonic_ipt: single.har_ipt,
+            slowdown_vs_ideal: 1.0 - single.har_ipt / ideal_har,
+        },
+        Table7Row {
+            scenario: "heterogeneous, complete search".to_string(),
+            architectures: pair.names.clone(),
+            harmonic_ipt: pair.har_ipt,
+            slowdown_vs_ideal: 1.0 - pair.har_ipt / ideal_har,
+        },
+        Table7Row {
+            scenario: "heterogeneous, greedy surrogates (full propagation)".to_string(),
+            architectures: names(&surro.final_architectures),
+            harmonic_ipt: surro_har,
+            slowdown_vs_ideal: 1.0 - surro_har / ideal_har,
+        },
+    ];
+    Table7 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use xps_communal::CrossPerfMatrix;
+
+    #[test]
+    fn table7_on_synthetic_matrix() {
+        // Two complementary workload families: heterogeneity closes
+        // most of the homogeneous design's gap.
+        let m = CrossPerfMatrix::new(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec![
+                vec![2.0, 1.9, 0.6, 0.6],
+                vec![1.9, 2.0, 0.6, 0.6],
+                vec![0.6, 0.6, 2.0, 1.9],
+                vec![0.6, 0.6, 1.9, 2.0],
+            ],
+        )
+        .expect("valid");
+        let t = table7(&m);
+        let ideal = t.rows[0].harmonic_ipt;
+        assert!((ideal - 2.0).abs() < 1e-9);
+        // Homogeneous: best single core leaves half the set at 0.6.
+        assert!(t.rows[1].slowdown_vs_ideal > 0.3);
+        // A pair serves both families at >= 1.9.
+        assert!(t.rows[2].harmonic_ipt > 1.89);
+        assert!(t.rows[2].slowdown_vs_ideal < 0.06);
+    }
+
+    #[test]
+    fn slowdowns_are_relative_to_ideal() {
+        let t = table7(&paper::table5_matrix());
+        for row in &t.rows {
+            let back = t.rows[0].harmonic_ipt * (1.0 - row.slowdown_vs_ideal);
+            assert!((back - row.harmonic_ipt).abs() < 1e-9, "{}", row.scenario);
+        }
+    }
+
+    #[test]
+    fn table7_rows_ordered_by_quality() {
+        let t = table7(&paper::table5_matrix());
+        assert_eq!(t.rows.len(), 4);
+        let ideal = t.rows[0].harmonic_ipt;
+        for row in &t.rows[1..] {
+            assert!(row.harmonic_ipt <= ideal, "{}", row.scenario);
+            assert!(row.slowdown_vs_ideal >= 0.0);
+        }
+        // Complete-search heterogeneous beats homogeneous.
+        assert!(t.rows[2].harmonic_ipt > t.rows[1].harmonic_ipt);
+    }
+}

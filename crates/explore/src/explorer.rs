@@ -1,0 +1,213 @@
+//! The full §4 methodology: per-workload annealing plus
+//! cross-configuration seeding across workloads.
+
+use crate::anneal::{anneal, evaluate, AnnealOptions, AnnealResult};
+use crate::point::DesignPoint;
+use serde::{Deserialize, Serialize};
+use xps_cacti::Technology;
+use xps_sim::CoreConfig;
+use xps_workload::WorkloadProfile;
+
+/// Options for a full exploration campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExploreOptions {
+    /// Per-workload annealing options.
+    pub anneal: AnnealOptions,
+    /// Rounds of cross-configuration seeding: after each round every
+    /// workload is evaluated on every other workload's best
+    /// configuration, and adopts it (then re-anneals from it) when it
+    /// is better — the paper's §4.1 expedient.
+    pub cross_rounds: u32,
+    /// Iterations of the re-anneal after adopting a foreign
+    /// configuration.
+    pub reanneal_iterations: u32,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> ExploreOptions {
+        ExploreOptions {
+            anneal: AnnealOptions::default(),
+            cross_rounds: 2,
+            reanneal_iterations: 60,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// Cheap settings for tests and demos.
+    pub fn quick() -> ExploreOptions {
+        ExploreOptions {
+            anneal: AnnealOptions::quick(),
+            cross_rounds: 1,
+            reanneal_iterations: 15,
+        }
+    }
+}
+
+/// One workload's customized core: its configurational
+/// characterization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CustomizedCore {
+    /// The workload.
+    pub profile: WorkloadProfile,
+    /// The best design point found for it.
+    pub point: DesignPoint,
+    /// The realized configuration (a row of the paper's Table 4).
+    pub config: CoreConfig,
+    /// Its IPT on its own customized core.
+    pub ipt: f64,
+}
+
+/// The outcome of a full exploration: one customized core per
+/// workload, in input order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplorationResult {
+    /// Customized cores, one per input profile, in input order.
+    pub cores: Vec<CustomizedCore>,
+    /// Number of configuration adoptions performed by cross seeding.
+    pub adoptions: u32,
+}
+
+/// Orchestrates the paper's exploration methodology over a workload
+/// set.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    opts: ExploreOptions,
+    tech: Technology,
+}
+
+impl Explorer {
+    /// Build an explorer with the default technology.
+    pub fn new(opts: ExploreOptions) -> Explorer {
+        Explorer {
+            opts,
+            tech: Technology::default(),
+        }
+    }
+
+    /// Build an explorer for a specific technology point (the paper
+    /// stresses that these physical properties shape the outcome).
+    pub fn with_technology(opts: ExploreOptions, tech: Technology) -> Explorer {
+        Explorer { opts, tech }
+    }
+
+    /// The technology in use.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Run the full campaign: anneal each workload from the Table 3
+    /// start, then `cross_rounds` of cross-configuration seeding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn explore(&self, profiles: &[WorkloadProfile]) -> ExplorationResult {
+        assert!(!profiles.is_empty(), "need at least one workload");
+        // Multi-start annealing: the Table 3 start plus two corner
+        // seeds, keeping each workload's best outcome. The corners let
+        // the walk reach fast-deep and slow-big customizations without
+        // crossing the IPT valley between them.
+        let starts = [
+            DesignPoint::initial(),
+            DesignPoint::fast_corner(),
+            DesignPoint::big_corner(),
+        ];
+        let mut results: Vec<AnnealResult> = profiles
+            .iter()
+            .map(|p| {
+                starts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, start)| {
+                        let mut opts = self.opts.anneal.clone();
+                        opts.seed ^= (i as u64) << 32;
+                        anneal(p, start, &opts, &self.tech)
+                    })
+                    .max_by(|a, b| a.ipt.partial_cmp(&b.ipt).expect("IPT is finite"))
+                    .expect("at least one start")
+            })
+            .collect();
+
+        let mut adoptions = 0;
+        for _ in 0..self.opts.cross_rounds {
+            let mut improved = false;
+            for i in 0..profiles.len() {
+                // Evaluate workload i on every other best config.
+                let mut best_foreign: Option<(usize, f64)> = None;
+                for (j, r) in results.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let ipt = evaluate(&profiles[i], &r.config, self.opts.anneal.eval_ops_late);
+                    if ipt > results[i].ipt
+                        && best_foreign.map(|(_, b)| ipt > b).unwrap_or(true)
+                    {
+                        best_foreign = Some((j, ipt));
+                    }
+                }
+                if let Some((j, _)) = best_foreign {
+                    // Adopt the foreign point and re-anneal briefly
+                    // from it to specialize further.
+                    let seed_point = results[j].point.clone();
+                    let mut re_opts = self.opts.anneal.clone();
+                    re_opts.iterations = self.opts.reanneal_iterations;
+                    re_opts.early_fraction = 0.0;
+                    let r = anneal(&profiles[i], &seed_point, &re_opts, &self.tech);
+                    if r.ipt > results[i].ipt {
+                        results[i] = r;
+                        adoptions += 1;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        let cores = profiles
+            .iter()
+            .zip(results)
+            .map(|(p, r)| CustomizedCore {
+                profile: p.clone(),
+                point: r.point,
+                config: CoreConfig {
+                    name: p.name.clone(),
+                    ..r.config
+                },
+                ipt: r.ipt,
+            })
+            .collect();
+        ExplorationResult { cores, adoptions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xps_workload::spec;
+
+    #[test]
+    fn explore_two_workloads_quickly() {
+        let profiles = vec![
+            spec::profile("gzip").expect("gzip exists"),
+            spec::profile("mcf").expect("mcf exists"),
+        ];
+        let explorer = Explorer::new(ExploreOptions::quick());
+        let r = explorer.explore(&profiles);
+        assert_eq!(r.cores.len(), 2);
+        assert_eq!(r.cores[0].config.name, "gzip");
+        assert_eq!(r.cores[1].config.name, "mcf");
+        for c in &r.cores {
+            assert!(c.ipt > 0.0);
+            c.config.validate().expect("explored configs are valid");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_input_panics() {
+        Explorer::new(ExploreOptions::quick()).explore(&[]);
+    }
+}

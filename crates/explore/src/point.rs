@@ -1,0 +1,275 @@
+//! The annealer's search state and the clock/depth fit rule.
+
+use serde::{Deserialize, Serialize};
+use xps_cacti::{cache_access_time, fit, CacheGeometry, Technology};
+use xps_sim::{CacheConfig, CoreConfig};
+
+/// Candidate associativities explored for each cache level.
+const ASSOC_STEPS: [u32; 5] = [1, 2, 4, 8, 16];
+/// Candidate block sizes (bytes) explored for each cache level.
+const BLOCK_STEPS: [u32; 7] = [8, 16, 32, 64, 128, 256, 512];
+/// Minimum acceptable L1 capacity; below this the realization fails and
+/// the move is rejected.
+const MIN_L1_BYTES: u64 = 4 * 1024;
+
+/// A point in the explored design space: everything the annealer is
+/// free to change. Structure *sizes* are not here — they are derived by
+/// [`DesignPoint::realize`], which fits each unit to its stage budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Clock period, ns.
+    pub clock_ns: f64,
+    /// Dispatch/issue/commit width.
+    pub width: u32,
+    /// Scheduler / register-file pipeline depth, stages.
+    pub sched_depth: u32,
+    /// Extra wakeup slack on top of `sched_depth - 1` (0 or 1); the
+    /// realized wakeup latency is `sched_depth - 1 + wakeup_slack`,
+    /// matching the (depth, min-awaken-latency) pairs of the paper's
+    /// Table 4.
+    pub wakeup_slack: u32,
+    /// LSQ pipeline depth, stages.
+    pub lsq_depth: u32,
+    /// L1 access latency, cycles.
+    pub l1_cycles: u32,
+    /// L2 access latency, cycles.
+    pub l2_cycles: u32,
+    /// L1 associativity preference.
+    pub l1_assoc: u32,
+    /// L1 block size preference, bytes.
+    pub l1_block: u32,
+    /// L2 associativity preference.
+    pub l2_assoc: u32,
+    /// L2 block size preference, bytes.
+    pub l2_block: u32,
+}
+
+impl DesignPoint {
+    /// The paper's Table 3 starting point expressed as a design point.
+    pub fn initial() -> DesignPoint {
+        DesignPoint {
+            clock_ns: 0.33,
+            width: 3,
+            sched_depth: 1,
+            wakeup_slack: 1,
+            lsq_depth: 2,
+            l1_cycles: 4,
+            l2_cycles: 12,
+            l1_assoc: 2,
+            l1_block: 64,
+            l2_assoc: 4,
+            l2_block: 128,
+        }
+    }
+
+    /// A fast-clock, deeply-pipelined corner of the design space, used
+    /// as an extra annealing start so small-footprint, predictable
+    /// workloads can find the paper's crafty/perl-style customizations
+    /// without having to cross the valley from the Table 3 start.
+    pub fn fast_corner() -> DesignPoint {
+        DesignPoint {
+            clock_ns: 0.21,
+            width: 6,
+            sched_depth: 3,
+            wakeup_slack: 0,
+            lsq_depth: 2,
+            l1_cycles: 3,
+            l2_cycles: 8,
+            l1_assoc: 2,
+            l1_block: 32,
+            l2_assoc: 4,
+            l2_block: 128,
+        }
+    }
+
+    /// A slow-clock, big-window corner (the paper's mcf-style shape):
+    /// single-cycle scheduler with back-to-back wakeup, large caches.
+    pub fn big_corner() -> DesignPoint {
+        DesignPoint {
+            clock_ns: 0.42,
+            width: 4,
+            sched_depth: 1,
+            wakeup_slack: 0,
+            lsq_depth: 2,
+            l1_cycles: 3,
+            l2_cycles: 16,
+            l1_assoc: 2,
+            l1_block: 64,
+            l2_assoc: 8,
+            l2_block: 256,
+        }
+    }
+
+    /// Largest set count for which (`sets`, `assoc`, `block`) fits in
+    /// `budget` ns, if any.
+    fn fit_sets(tech: &Technology, budget: f64, assoc: u32, block: u32) -> Option<u32> {
+        fit::CACHE_SETS
+            .iter()
+            .copied()
+            .filter(|&sets| cache_access_time(tech, &CacheGeometry::new(sets, assoc, block)) <= budget)
+            .max()
+    }
+
+    /// Realize the point into a simulatable [`CoreConfig`] by fitting
+    /// every sized unit into its stage budget, or `None` if any unit
+    /// cannot fit at all (the move is then rejected, exactly as an
+    /// unrealizable design is rejected in the paper's loop).
+    pub fn realize(&self, tech: &Technology, name: &str) -> Option<CoreConfig> {
+        if !(0.05..=2.0).contains(&self.clock_ns) {
+            return None;
+        }
+        let sched_budget = fit::stage_budget(tech, self.clock_ns, self.sched_depth);
+        let iq = fit::fit_issue_queue(tech, sched_budget, self.width)?;
+        let rob = fit::fit_rob(tech, sched_budget, self.width)?;
+        let iq = iq.min(rob);
+        let lsq_budget = fit::stage_budget(tech, self.clock_ns, self.lsq_depth);
+        let lsq = fit::fit_lsq(tech, lsq_budget)?;
+
+        let l1_budget = fit::stage_budget(tech, self.clock_ns, self.l1_cycles);
+        let l1_sets = Self::fit_sets(tech, l1_budget, self.l1_assoc, self.l1_block)?;
+        let l1_geom = CacheGeometry::new(l1_sets, self.l1_assoc, self.l1_block);
+        if l1_geom.capacity_bytes() < MIN_L1_BYTES {
+            return None;
+        }
+
+        let l2_budget = fit::stage_budget(tech, self.clock_ns, self.l2_cycles);
+        let l2_sets = Self::fit_sets(tech, l2_budget, self.l2_assoc, self.l2_block)?;
+        let l2_geom = CacheGeometry::new(l2_sets, self.l2_assoc, self.l2_block);
+        if l2_geom.capacity_bytes() < l1_geom.capacity_bytes() {
+            return None;
+        }
+
+        let cfg = CoreConfig {
+            name: name.to_string(),
+            clock_ns: self.clock_ns,
+            width: self.width,
+            frontend_depth: CoreConfig::derived_frontend_depth(self.clock_ns, tech.latch_ns()),
+            rob_size: rob,
+            iq_size: iq,
+            lsq_size: lsq,
+            wakeup_extra: self.sched_depth - 1 + self.wakeup_slack,
+            sched_depth: self.sched_depth,
+            lsq_depth: self.lsq_depth,
+            l1: CacheConfig {
+                geometry: l1_geom,
+                latency: self.l1_cycles,
+            },
+            l2: CacheConfig {
+                geometry: l2_geom,
+                latency: self.l2_cycles,
+            },
+        };
+        cfg.validate().ok()?;
+        Some(cfg)
+    }
+
+    /// Step an associativity preference up or down the candidate list.
+    pub(crate) fn step_assoc(cur: u32, up: bool) -> u32 {
+        let i = ASSOC_STEPS.iter().position(|&a| a == cur).unwrap_or(0);
+        let j = if up {
+            (i + 1).min(ASSOC_STEPS.len() - 1)
+        } else {
+            i.saturating_sub(1)
+        };
+        ASSOC_STEPS[j]
+    }
+
+    /// Step a block-size preference up or down the candidate list.
+    pub(crate) fn step_block(cur: u32, up: bool) -> u32 {
+        let i = BLOCK_STEPS.iter().position(|&b| b == cur).unwrap_or(0);
+        let j = if up {
+            (i + 1).min(BLOCK_STEPS.len() - 1)
+        } else {
+            i.saturating_sub(1)
+        };
+        BLOCK_STEPS[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::default()
+    }
+
+    #[test]
+    fn initial_point_realizes() {
+        let cfg = DesignPoint::initial()
+            .realize(&tech(), "init")
+            .expect("Table 3 must be realizable");
+        cfg.validate().expect("realized configs are valid");
+        assert_eq!(cfg.width, 3);
+        assert!(cfg.rob_size >= 128, "sched budget fits a decent ROB");
+    }
+
+    #[test]
+    fn faster_clock_shrinks_structures() {
+        // At identical pipeline depths, a faster clock leaves smaller
+        // per-stage budgets, so every fitted structure shrinks (or
+        // stays equal) — the Figure 2 coupling.
+        let mut p = DesignPoint::initial();
+        p.clock_ns = 0.45;
+        let slow = p.realize(&tech(), "slow").expect("realizable");
+        p.clock_ns = 0.30;
+        let fast = p.realize(&tech(), "fast").expect("realizable");
+        assert!(fast.rob_size <= slow.rob_size);
+        assert!(fast.iq_size <= slow.iq_size);
+        assert!(
+            fast.l1.geometry.capacity_bytes() <= slow.l1.geometry.capacity_bytes(),
+            "same-cycle L1 must shrink at a faster clock"
+        );
+        assert!(fast.l2.geometry.capacity_bytes() <= slow.l2.geometry.capacity_bytes());
+    }
+
+    #[test]
+    fn deeper_cache_pipe_buys_capacity() {
+        let mut p = DesignPoint::initial();
+        p.l2_cycles = 6;
+        let shallow = p.realize(&tech(), "a").expect("realizable");
+        p.l2_cycles = 24;
+        let deep = p.realize(&tech(), "b").expect("realizable");
+        assert!(deep.l2.geometry.capacity_bytes() >= shallow.l2.geometry.capacity_bytes());
+    }
+
+    #[test]
+    fn unrealizable_clock_rejected() {
+        let mut p = DesignPoint::initial();
+        p.clock_ns = 0.04; // below the floor
+        assert!(p.realize(&tech(), "x").is_none());
+        p.clock_ns = 5.0; // above the ceiling
+        assert!(p.realize(&tech(), "x").is_none());
+    }
+
+    #[test]
+    fn impossible_stage_budget_rejected() {
+        let mut p = DesignPoint::initial();
+        p.clock_ns = 0.08;
+        p.sched_depth = 1;
+        // At 0.08 ns no issue queue fits in one stage.
+        assert!(p.realize(&tech(), "x").is_none());
+    }
+
+    #[test]
+    fn wakeup_latency_derivation() {
+        let mut p = DesignPoint::initial();
+        p.sched_depth = 3;
+        p.wakeup_slack = 0;
+        let c = p.realize(&tech(), "w").expect("realizable");
+        assert_eq!(c.wakeup_extra, 2);
+        p.wakeup_slack = 1;
+        let c = p.realize(&tech(), "w").expect("realizable");
+        assert_eq!(c.wakeup_extra, 3);
+    }
+
+    #[test]
+    fn step_helpers_clamp() {
+        assert_eq!(DesignPoint::step_assoc(16, true), 16);
+        assert_eq!(DesignPoint::step_assoc(1, false), 1);
+        assert_eq!(DesignPoint::step_assoc(2, true), 4);
+        assert_eq!(DesignPoint::step_block(512, true), 512);
+        assert_eq!(DesignPoint::step_block(8, false), 8);
+        assert_eq!(DesignPoint::step_block(64, false), 32);
+    }
+}

@@ -1,0 +1,18 @@
+use std::time::Instant;
+use xps_sim::{CoreConfig, Simulator};
+use xps_workload::{spec, TraceGenerator};
+
+fn main() {
+    let cfg = CoreConfig::initial();
+    let n = 500_000u64;
+    for p in spec::all_profiles() {
+        let t0 = Instant::now();
+        let s = Simulator::new(&cfg).run(TraceGenerator::new(p.clone()), n);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{:8} ipc {:.3} ipt {:.3} misp {:.3} l1mr {:.3} l2mr {:.3} | {:.1} Mops/s",
+            p.name, s.ipc(), s.ipt(), s.mispredict_rate(), s.l1.miss_ratio(), s.l2.miss_ratio(),
+            n as f64 / dt / 1e6
+        );
+    }
+}

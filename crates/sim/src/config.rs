@@ -1,0 +1,221 @@
+//! Core configuration: the design parameters of one processor.
+
+use serde::{Deserialize, Serialize};
+use xps_cacti::CacheGeometry;
+
+/// Memory access latency in nanoseconds (paper Table 2).
+pub const MEMORY_LATENCY_NS: f64 = 50.0;
+/// Front-end (fetch/decode/rename) latency in nanoseconds added to the
+/// misprediction penalty (paper Table 2).
+pub const FRONTEND_LATENCY_NS: f64 = 2.0;
+
+/// One cache level: its geometry plus the pipelined access latency (in
+/// cycles) the design allots to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Physical organization (sets, associativity, block size).
+    pub geometry: CacheGeometry,
+    /// Access latency in clock cycles (the unit's pipeline depth).
+    pub latency: u32,
+}
+
+/// A complete superscalar core configuration — the paper's
+/// *configurational characteristics* of a workload are exactly the
+/// fields of this struct (compare Table 4).
+///
+/// Use [`CoreConfig::initial`] for the paper's Table 3 starting point,
+/// and [`CoreConfig::validate`] before simulating hand-built values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Label (usually the benchmark the core was customized for).
+    pub name: String,
+    /// Clock period in nanoseconds.
+    pub clock_ns: f64,
+    /// Dispatch, issue, and commit width (the paper varies them
+    /// together).
+    pub width: u32,
+    /// Pipeline depth of the front end (fetch→rename), in stages.
+    pub frontend_depth: u32,
+    /// Reorder-buffer (and register-file) size, entries.
+    pub rob_size: u32,
+    /// Issue-queue size, entries.
+    pub iq_size: u32,
+    /// Load-store-queue size, entries.
+    pub lsq_size: u32,
+    /// Minimum latency, in cycles, between a producer finishing
+    /// execution and a dependent being awakened (0 = back-to-back).
+    pub wakeup_extra: u32,
+    /// Pipeline depth of the scheduler / register file.
+    pub sched_depth: u32,
+    /// Pipeline depth of the LSQ search.
+    pub lsq_depth: u32,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// L2 unified (modeled as data) cache.
+    pub l2: CacheConfig,
+}
+
+impl CoreConfig {
+    /// The paper's Table 3 initial configuration, shared by every
+    /// benchmark at the start of exploration: 3-wide, 128-entry ROB,
+    /// 64-entry IQ and LSQ, 0.33 ns clock, 4-cycle L1, 12-cycle L2.
+    pub fn initial() -> CoreConfig {
+        CoreConfig {
+            name: "initial".to_string(),
+            clock_ns: 0.33,
+            width: 3,
+            frontend_depth: 6,
+            rob_size: 128,
+            iq_size: 64,
+            lsq_size: 64,
+            wakeup_extra: 1,
+            sched_depth: 1,
+            lsq_depth: 2,
+            l1: CacheConfig {
+                // 32 KB, 2-way, 64 B blocks.
+                geometry: CacheGeometry::new(256, 2, 64),
+                latency: 4,
+            },
+            l2: CacheConfig {
+                // 1 MB, 4-way, 128 B blocks.
+                geometry: CacheGeometry::new(2048, 4, 128),
+                latency: 12,
+            },
+        }
+    }
+
+    /// Number of cycles of a full memory access at this clock
+    /// (the paper's "No. of cycles for memory access"): the fixed 50 ns
+    /// memory latency expressed in this design's cycles.
+    pub fn mem_cycles(&self) -> u32 {
+        (MEMORY_LATENCY_NS / self.clock_ns).ceil() as u32
+    }
+
+    /// The front-end pipeline depth implied by a clock period: the
+    /// fixed 2 ns of fetch/decode/rename work divided across stages of
+    /// `clock - latch` useful time. This reproduces every front-end
+    /// depth of the paper's Table 4 (e.g. 4 stages at 0.49 ns, 6 at
+    /// 0.33 ns, 12 at 0.19 ns with the 0.03 ns latch).
+    pub fn derived_frontend_depth(clock_ns: f64, latch_ns: f64) -> u32 {
+        ((FRONTEND_LATENCY_NS / (clock_ns - latch_ns).max(1e-3)).floor() as u32).max(2)
+    }
+
+    /// Full branch-misprediction penalty in cycles: the front-end pipe
+    /// that must refill behind a redirect (the paper's Table 2 calls
+    /// the 2 ns front-end latency "the extra branch misprediction
+    /// penalty"; it is realized as these stages).
+    pub fn mispredict_penalty(&self) -> u32 {
+        self.frontend_depth
+    }
+
+    /// Clock frequency in GHz.
+    pub fn frequency_ghz(&self) -> f64 {
+        1.0 / self.clock_ns
+    }
+
+    /// Validate structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: positive
+    /// clock, width in 1..=16, non-zero structures, IQ not larger than
+    /// the ROB, and non-zero pipeline depths.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.clock_ns.is_finite() && self.clock_ns > 0.0) {
+            return Err(format!("clock period must be positive: {}", self.clock_ns));
+        }
+        if !(1..=16).contains(&self.width) {
+            return Err(format!("width out of range 1..=16: {}", self.width));
+        }
+        if self.rob_size == 0 || self.iq_size == 0 || self.lsq_size == 0 {
+            return Err("ROB, IQ, and LSQ must be non-empty".to_string());
+        }
+        if self.iq_size > self.rob_size {
+            return Err(format!(
+                "issue queue ({}) cannot exceed ROB ({})",
+                self.iq_size, self.rob_size
+            ));
+        }
+        if self.frontend_depth == 0 || self.sched_depth == 0 || self.lsq_depth == 0 {
+            return Err("pipeline depths must be at least 1".to_string());
+        }
+        if self.l1.latency == 0 || self.l2.latency == 0 {
+            return Err("cache latencies must be at least 1 cycle".to_string());
+        }
+        if self.l2.geometry.capacity_bytes() < self.l1.geometry.capacity_bytes() {
+            return Err("L2 must be at least as large as L1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_matches_table3() {
+        let c = CoreConfig::initial();
+        c.validate().expect("Table 3 config is valid");
+        assert_eq!(c.width, 3);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.iq_size, 64);
+        assert_eq!(c.lsq_size, 64);
+        assert_eq!(c.frontend_depth, 6);
+        assert!((c.clock_ns - 0.33).abs() < 1e-12);
+        assert_eq!(c.l1.latency, 4);
+        assert_eq!(c.l2.latency, 12);
+        assert_eq!(c.lsq_depth, 2);
+        // Table 3 lists 172 memory cycles at the 0.33 ns clock; with the
+        // pure 50 ns / clock derivation we get 152 (the paper folds in
+        // additional controller overhead it does not specify).
+        assert_eq!(c.mem_cycles(), 152);
+    }
+
+    #[test]
+    fn derived_frontend_depth_matches_table4() {
+        // Every (clock, front-end depth) pair published in Table 4.
+        for (clock, depth) in [
+            (0.49, 4),
+            (0.19, 12),
+            (0.33, 6),
+            (0.31, 7),
+            (0.29, 7),
+            (0.45, 4),
+            (0.27, 8),
+            (0.30, 7),
+        ] {
+            assert_eq!(
+                CoreConfig::derived_frontend_depth(clock, 0.03),
+                depth,
+                "clock {clock}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = CoreConfig::initial();
+        c.width = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::initial();
+        c.iq_size = c.rob_size * 2;
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::initial();
+        c.clock_ns = -1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = CoreConfig::initial();
+        c.l2.geometry = CacheGeometry::new(32, 1, 8);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn frequency_is_reciprocal() {
+        let mut c = CoreConfig::initial();
+        c.clock_ns = 0.25;
+        assert!((c.frequency_ghz() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,187 @@
+//! Activity-based energy estimation for a simulated run.
+//!
+//! Combines the per-access energies of `xps_cacti::energy` with the
+//! activity counts a run produced: every op passes the front end, the
+//! issue queue's wakeup CAM, and the register file; memory ops search
+//! the LSQ and access the cache hierarchy. Leakage accrues over the
+//! run's wall-clock time in proportion to the storage built. This is
+//! the physical layer behind the energy-aware exploration objective
+//! (`xps_explore`'s EDP mode) — the extension the paper's §3
+//! explicitly leaves open.
+
+use crate::config::CoreConfig;
+use crate::stats::SimStats;
+use serde::{Deserialize, Serialize};
+use xps_cacti::{energy, CamArray, SramArray, Technology};
+
+/// Energy of one run, broken down by unit, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Issue-queue wakeup/select energy.
+    pub window_nj: f64,
+    /// Register-file / ROB read+write energy.
+    pub regfile_nj: f64,
+    /// LSQ search energy.
+    pub lsq_nj: f64,
+    /// L1 data-cache access energy.
+    pub l1_nj: f64,
+    /// L2 access energy.
+    pub l2_nj: f64,
+    /// Leakage energy over the run.
+    pub leakage_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.window_nj + self.regfile_nj + self.lsq_nj + self.l1_nj + self.l2_nj + self.leakage_nj
+    }
+
+    /// Average power over a run of `time_ns`, watts.
+    pub fn average_power_w(&self, time_ns: f64) -> f64 {
+        if time_ns <= 0.0 {
+            0.0
+        } else {
+            self.total_nj() / time_ns
+        }
+    }
+}
+
+/// Total storage bits of the configuration's modeled structures.
+fn storage_bits(cfg: &CoreConfig) -> u64 {
+    let caches = (cfg.l1.geometry.capacity_bytes() + cfg.l2.geometry.capacity_bytes()) * 8;
+    let window = u64::from(cfg.rob_size) * 64 + u64::from(cfg.iq_size) * 128;
+    let lsq = u64::from(cfg.lsq_size) * 64;
+    caches + window + lsq
+}
+
+/// Estimate the energy of a completed run.
+///
+/// Activity model: every instruction wakes the issue queue once and
+/// reads/writes the register file (two reads, one write on average —
+/// the paper's port provisioning); loads and stores search the LSQ;
+/// cache access counts come from the hierarchy's own statistics.
+pub fn estimate_energy(tech: &Technology, cfg: &CoreConfig, stats: &SimStats) -> EnergyBreakdown {
+    let pj = 1e-3; // pJ → nJ
+    let n = stats.instructions as f64;
+
+    let wakeup = energy::cam_search_energy(tech, &CamArray::new(2 * cfg.iq_size, 64, cfg.width));
+    let select = energy::sram_access_energy(tech, &SramArray::new(cfg.iq_size, 64, cfg.width, 0));
+    let window_nj = n * (wakeup + select) * pj;
+
+    let rf = energy::sram_access_energy(
+        tech,
+        &SramArray::new(cfg.rob_size, 64, 2 * cfg.width, cfg.width),
+    );
+    // Two source reads plus one destination write per instruction.
+    let regfile_nj = n * 3.0 * rf * pj;
+
+    let lsq_search = energy::cam_search_energy(tech, &CamArray::new(cfg.lsq_size, 64, 2));
+    let mem_ops = stats.l1.accesses as f64;
+    let lsq_nj = mem_ops * lsq_search * pj;
+
+    let l1_nj = stats.l1.accesses as f64 * energy::cache_access_energy(tech, &cfg.l1.geometry) * pj;
+    let l2_nj = stats.l2.accesses as f64 * energy::cache_access_energy(tech, &cfg.l2.geometry) * pj;
+
+    let time_ns = stats.cycles as f64 * cfg.clock_ns;
+    let leakage_nj = energy::leakage_mw(storage_bits(cfg)) * 1e-3 * time_ns;
+
+    EnergyBreakdown {
+        window_nj,
+        regfile_nj,
+        lsq_nj,
+        l1_nj,
+        l2_nj,
+        leakage_nj,
+    }
+}
+
+/// Energy-delay product of a run, in nanojoule-seconds per (committed)
+/// instruction squared — lower is better. The standard power-aware
+/// figure of merit: `E/inst × time/inst`.
+pub fn energy_delay_product(tech: &Technology, cfg: &CoreConfig, stats: &SimStats) -> f64 {
+    if stats.instructions == 0 {
+        return f64::INFINITY;
+    }
+    let n = stats.instructions as f64;
+    let e_per_inst = estimate_energy(tech, cfg, stats).total_nj() / n;
+    let time_ns = stats.cycles as f64 * cfg.clock_ns;
+    let t_per_inst = time_ns / n;
+    e_per_inst * t_per_inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use xps_workload::{spec, TraceGenerator};
+
+    fn run(cfg: &CoreConfig) -> SimStats {
+        let p = spec::profile("gcc").expect("known benchmark");
+        Simulator::new(cfg).run(TraceGenerator::new(p), 30_000)
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let tech = Technology::default();
+        let cfg = CoreConfig::initial();
+        let stats = run(&cfg);
+        let e = estimate_energy(&tech, &cfg, &stats);
+        let sum = e.window_nj + e.regfile_nj + e.lsq_nj + e.l1_nj + e.l2_nj + e.leakage_nj;
+        assert!((e.total_nj() - sum).abs() < 1e-9);
+        assert!(e.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn bigger_machine_burns_more_energy() {
+        let tech = Technology::default();
+        let small = CoreConfig::initial();
+        let mut big = CoreConfig::initial();
+        big.rob_size = 1024;
+        big.iq_size = 64;
+        big.width = 8;
+        let e_small = estimate_energy(&tech, &small, &run(&small)).total_nj();
+        let e_big = estimate_energy(&tech, &big, &run(&big)).total_nj();
+        assert!(e_big > e_small, "{e_big} vs {e_small}");
+    }
+
+    #[test]
+    fn edp_finite_and_positive() {
+        let tech = Technology::default();
+        let cfg = CoreConfig::initial();
+        let stats = run(&cfg);
+        let edp = energy_delay_product(&tech, &cfg, &stats);
+        assert!(edp.is_finite() && edp > 0.0);
+    }
+
+    #[test]
+    fn power_is_plausible() {
+        // A mid-2000s core burned watts, not milliwatts or kilowatts.
+        let tech = Technology::default();
+        let cfg = CoreConfig::initial();
+        let stats = run(&cfg);
+        let e = estimate_energy(&tech, &cfg, &stats);
+        let time_ns = stats.cycles as f64 * cfg.clock_ns;
+        let watts = e.average_power_w(time_ns);
+        assert!(
+            (0.05..100.0).contains(&watts),
+            "average power {watts} W out of plausible range"
+        );
+    }
+
+    #[test]
+    fn empty_run_has_infinite_edp() {
+        let tech = Technology::default();
+        let cfg = CoreConfig::initial();
+        let stats = SimStats {
+            instructions: 0,
+            cycles: 0,
+            clock_ns: cfg.clock_ns,
+            branches: 0,
+            mispredicts: 0,
+            l1: Default::default(),
+            l2: Default::default(),
+        };
+        assert!(energy_delay_product(&tech, &cfg, &stats).is_infinite());
+    }
+}

@@ -1,0 +1,382 @@
+//! Branch direction predictors.
+//!
+//! The paper holds the predictor organization fixed across its design
+//! space (it is not a Table 4 parameter), so [`crate::CoreConfig`]
+//! carries no predictor field and the simulator defaults to a
+//! conventional gshare. The other organizations here — bimodal,
+//! two-level local, and a tournament hybrid — exist for the predictor
+//! ablation (`repro ablation-predictor`), which probes how sensitive
+//! the customized configurations are to that held-fixed choice.
+
+use serde::{Deserialize, Serialize};
+
+fn update_counter(c: &mut u8, taken: bool) {
+    if taken {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+/// Which direction predictor the simulator models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Per-PC 2-bit saturating counters.
+    Bimodal,
+    /// Global history XOR PC indexing a counter table (the default).
+    Gshare,
+    /// Two-level local: per-PC history indexing a shared pattern
+    /// table.
+    TwoLevelLocal,
+    /// Tournament: bimodal and gshare with a per-PC chooser.
+    Tournament,
+}
+
+/// A gshare direction predictor: a table of 2-bit saturating counters
+/// indexed by the branch PC XOR-folded with a global history register.
+///
+/// # Example
+///
+/// ```
+/// use xps_sim::Gshare;
+///
+/// let mut p = Gshare::default();
+/// // A strongly biased branch becomes predictable after warm-up.
+/// for _ in 0..64 { p.predict_and_update(0x400100, true); }
+/// assert!(p.predict_and_update(0x400100, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<u8>,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Default for Gshare {
+    /// 4096-entry table with 12 bits of global history.
+    fn default() -> Gshare {
+        Gshare::new(12)
+    }
+}
+
+impl Gshare {
+    /// Create a predictor with `2^index_bits` counters and `index_bits`
+    /// of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> Gshare {
+        assert!(
+            (1..=24).contains(&index_bits),
+            "index bits must be in 1..=24"
+        );
+        Gshare {
+            table: vec![2; 1 << index_bits],
+            history: 0,
+            history_bits: index_bits,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let mask = (self.table.len() - 1) as u64;
+        (((pc >> 2) ^ self.history) & mask) as usize
+    }
+
+    /// Direction the predictor would currently guess for `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Predict the direction of the branch at `pc`, then update the
+    /// counters and history with the actual `taken` outcome. Returns
+    /// whether the *prediction was correct*.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let i = self.index(pc);
+        let predicted_taken = self.table[i] >= 2;
+        update_counter(&mut self.table[i], taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1 << self.history_bits) - 1);
+        predicted_taken == taken
+    }
+}
+
+/// Per-PC 2-bit saturating counters (no history).
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<u8>,
+}
+
+impl Default for Bimodal {
+    /// 4096-entry table.
+    fn default() -> Bimodal {
+        Bimodal::new(12)
+    }
+}
+
+impl Bimodal {
+    /// Create a predictor with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> Bimodal {
+        assert!(
+            (1..=24).contains(&index_bits),
+            "index bits must be in 1..=24"
+        );
+        Bimodal {
+            table: vec![2; 1 << index_bits],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & (self.table.len() - 1) as u64) as usize
+    }
+
+    /// Direction the predictor would currently guess for `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Predict, then train; returns whether the prediction was right.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let i = self.index(pc);
+        let predicted = self.table[i] >= 2;
+        update_counter(&mut self.table[i], taken);
+        predicted == taken
+    }
+}
+
+/// Two-level local predictor: a per-PC history register selects a
+/// pattern-table counter, capturing per-branch periodic behaviour
+/// (loop trip counts) without cross-branch interference.
+#[derive(Debug, Clone)]
+pub struct TwoLevelLocal {
+    histories: Vec<u16>,
+    patterns: Vec<u8>,
+    history_bits: u32,
+}
+
+impl Default for TwoLevelLocal {
+    /// 1024 history registers of 10 bits, 1024-entry pattern table.
+    fn default() -> TwoLevelLocal {
+        TwoLevelLocal::new(10, 10)
+    }
+}
+
+impl TwoLevelLocal {
+    /// Create with `2^table_bits` per-PC histories of `history_bits`
+    /// bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is 0 or greater than 16.
+    pub fn new(table_bits: u32, history_bits: u32) -> TwoLevelLocal {
+        assert!((1..=16).contains(&table_bits), "table bits in 1..=16");
+        assert!((1..=16).contains(&history_bits), "history bits in 1..=16");
+        TwoLevelLocal {
+            histories: vec![0; 1 << table_bits],
+            patterns: vec![2; 1 << history_bits],
+            history_bits,
+        }
+    }
+
+    /// Predict, then train; returns whether the prediction was right.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let hi = ((pc >> 2) & (self.histories.len() - 1) as u64) as usize;
+        let pattern = (self.histories[hi] & ((1 << self.history_bits) - 1) as u16) as usize;
+        let predicted = self.patterns[pattern] >= 2;
+        update_counter(&mut self.patterns[pattern], taken);
+        self.histories[hi] =
+            ((self.histories[hi] << 1) | u16::from(taken)) & ((1 << self.history_bits) - 1) as u16;
+        predicted == taken
+    }
+}
+
+/// Tournament predictor: bimodal and gshare run side by side; a per-PC
+/// 2-bit chooser learns which to trust.
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    bimodal: Bimodal,
+    gshare: Gshare,
+    chooser: Vec<u8>,
+}
+
+impl Default for Tournament {
+    /// 4 K components with a 4 K chooser.
+    fn default() -> Tournament {
+        Tournament {
+            bimodal: Bimodal::default(),
+            gshare: Gshare::default(),
+            chooser: vec![2; 4096],
+        }
+    }
+}
+
+impl Tournament {
+    /// Predict, then train all three structures; returns whether the
+    /// chosen component was right.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let ci = ((pc >> 2) & (self.chooser.len() - 1) as u64) as usize;
+        let use_gshare = self.chooser[ci] >= 2;
+        let p_bi = self.bimodal.predict(pc);
+        let p_gs = self.gshare.predict(pc);
+        let chosen = if use_gshare { p_gs } else { p_bi };
+        // Train the chooser toward whichever component was right.
+        let bi_right = p_bi == taken;
+        let gs_right = p_gs == taken;
+        if gs_right != bi_right {
+            update_counter(&mut self.chooser[ci], gs_right);
+        }
+        self.bimodal.predict_and_update(pc, taken);
+        self.gshare.predict_and_update(pc, taken);
+        chosen == taken
+    }
+}
+
+/// Enum-dispatched predictor used by the engine.
+#[derive(Debug, Clone)]
+pub enum Predictor {
+    /// See [`Bimodal`].
+    Bimodal(Bimodal),
+    /// See [`Gshare`].
+    Gshare(Gshare),
+    /// See [`TwoLevelLocal`].
+    TwoLevelLocal(TwoLevelLocal),
+    /// See [`Tournament`].
+    Tournament(Tournament),
+}
+
+impl Predictor {
+    /// Build the default-sized predictor of the given kind.
+    pub fn of_kind(kind: PredictorKind) -> Predictor {
+        match kind {
+            PredictorKind::Bimodal => Predictor::Bimodal(Bimodal::default()),
+            PredictorKind::Gshare => Predictor::Gshare(Gshare::default()),
+            PredictorKind::TwoLevelLocal => Predictor::TwoLevelLocal(TwoLevelLocal::default()),
+            PredictorKind::Tournament => Predictor::Tournament(Tournament::default()),
+        }
+    }
+
+    /// Predict, then train; returns whether the prediction was right.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        match self {
+            Predictor::Bimodal(p) => p.predict_and_update(pc, taken),
+            Predictor::Gshare(p) => p.predict_and_update(pc, taken),
+            Predictor::TwoLevelLocal(p) => p.predict_and_update(pc, taken),
+            Predictor::Tournament(p) => p.predict_and_update(pc, taken),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn accuracy(p: &mut Predictor, outcomes: impl Iterator<Item = (u64, bool)>) -> f64 {
+        let mut total = 0u32;
+        let mut right = 0u32;
+        for (pc, taken) in outcomes {
+            total += 1;
+            if p.predict_and_update(pc, taken) {
+                right += 1;
+            }
+        }
+        f64::from(right) / f64::from(total)
+    }
+
+    #[test]
+    fn all_kinds_learn_bias() {
+        for kind in [
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::TwoLevelLocal,
+            PredictorKind::Tournament,
+        ] {
+            let mut p = Predictor::of_kind(kind);
+            let acc = accuracy(&mut p, (0..2000).map(|_| (0x40_0000, true)));
+            assert!(acc > 0.95, "{kind:?} biased accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn gshare_learns_short_loop_pattern() {
+        let mut p = Gshare::default();
+        let mut correct = 0;
+        let n = 4000;
+        for i in 0..n {
+            let taken = i % 4 != 3;
+            if p.predict_and_update(0x40_0040, taken) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / n as f64 > 0.9,
+            "loop pattern must be learnable: {correct}/{n}"
+        );
+    }
+
+    #[test]
+    fn local_beats_bimodal_on_loops() {
+        let run = |kind: PredictorKind| {
+            let mut p = Predictor::of_kind(kind);
+            accuracy(
+                &mut p,
+                (0..8000u64).map(|i| (0x40_0000 + 64 * (i % 4), (i / 4) % 5 != 4)),
+            )
+        };
+        let local = run(PredictorKind::TwoLevelLocal);
+        let bimodal = run(PredictorKind::Bimodal);
+        assert!(
+            local > bimodal,
+            "local {local} should beat bimodal {bimodal} on loop patterns"
+        );
+    }
+
+    #[test]
+    fn tournament_at_least_as_good_as_components_on_mixed_load() {
+        // A mix of a loop branch and a biased branch.
+        let stream = |n: u64| {
+            (0..n).map(|i| {
+                if i % 2 == 0 {
+                    (0x40_0000u64, (i / 2) % 4 != 3) // loop
+                } else {
+                    (0x40_1000u64, true) // biased
+                }
+            })
+        };
+        let mut t = Predictor::of_kind(PredictorKind::Tournament);
+        let mut b = Predictor::of_kind(PredictorKind::Bimodal);
+        let at = accuracy(&mut t, stream(20_000));
+        let ab = accuracy(&mut b, stream(20_000));
+        assert!(at >= ab - 0.01, "tournament {at} vs bimodal {ab}");
+    }
+
+    #[test]
+    fn random_branch_near_half_for_all() {
+        for kind in [
+            PredictorKind::Bimodal,
+            PredictorKind::Gshare,
+            PredictorKind::TwoLevelLocal,
+            PredictorKind::Tournament,
+        ] {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+            let mut p = Predictor::of_kind(kind);
+            let acc = accuracy(&mut p, (0..20_000).map(|_| (0x40_0080, rng.gen::<bool>())));
+            assert!((0.4..0.6).contains(&acc), "{kind:?} random accuracy {acc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index bits")]
+    fn zero_bits_rejected() {
+        Gshare::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "table bits")]
+    fn local_zero_bits_rejected() {
+        TwoLevelLocal::new(0, 10);
+    }
+}

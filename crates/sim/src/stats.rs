@@ -1,0 +1,108 @@
+//! Simulation statistics.
+
+use crate::cache::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// The measurements of one simulation run.
+///
+/// The paper's figure of merit is IPT — instructions per time unit
+/// (here: per nanosecond) — because cycle count alone cannot compare
+/// designs with different clock periods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Committed instruction count.
+    pub instructions: u64,
+    /// Total cycles (commit cycle of the last instruction).
+    pub cycles: u64,
+    /// Clock period of the simulated core, ns.
+    pub clock_ns: f64,
+    /// Dynamic conditional branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// L1 data-cache counters.
+    pub l1: CacheStats,
+    /// L2 cache counters.
+    pub l2: CacheStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions per nanosecond — the paper's IPT metric.
+    pub fn ipt(&self) -> f64 {
+        self.ipc() / self.clock_ns
+    }
+
+    /// Branch misprediction rate (mispredicts per branch).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// L1 misses per kilo-instruction.
+    pub fn l1_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l1.misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L2 misses per kilo-instruction.
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2.misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimStats {
+        SimStats {
+            instructions: 1000,
+            cycles: 500,
+            clock_ns: 0.5,
+            branches: 100,
+            mispredicts: 5,
+            l1: CacheStats { accesses: 300, misses: 30 },
+            l2: CacheStats { accesses: 30, misses: 3 },
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = sample();
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.ipt() - 4.0).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.05).abs() < 1e-12);
+        assert!((s.l1_mpki() - 30.0).abs() < 1e-12);
+        assert!((s.l2_mpki() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let mut s = sample();
+        s.cycles = 0;
+        s.instructions = 0;
+        s.branches = 0;
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.l1_mpki(), 0.0);
+    }
+}

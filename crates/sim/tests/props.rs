@@ -1,0 +1,110 @@
+//! Property-based tests of the timing simulator's invariants.
+
+use proptest::prelude::*;
+use xps_cacti::CacheGeometry;
+use xps_sim::{CacheConfig, CoreConfig, Simulator};
+use xps_workload::{spec, TraceGenerator};
+
+fn arb_config() -> impl Strategy<Value = CoreConfig> {
+    (
+        0.15f64..0.6,
+        1u32..9,
+        prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024]),
+        prop::sample::select(vec![8u32, 16, 32, 64]),
+        prop::sample::select(vec![16u32, 32, 64, 128, 256]),
+        0u32..4,
+        1u32..5,
+        (1u32..6, prop::sample::select(vec![64u32, 128, 256, 512]), prop::sample::select(vec![1u32, 2, 4])),
+        (4u32..25, prop::sample::select(vec![1024u32, 2048, 4096]), prop::sample::select(vec![4u32, 8])),
+    )
+        .prop_map(|(clock, width, rob, iq, lsq, wakeup, sched, l1, l2)| {
+            let (l1_lat, l1_sets, l1_assoc) = l1;
+            let (l2_lat, l2_sets, l2_assoc) = l2;
+            CoreConfig {
+                name: "prop".to_string(),
+                clock_ns: clock,
+                width,
+                frontend_depth: CoreConfig::derived_frontend_depth(clock, 0.03),
+                rob_size: rob,
+                iq_size: iq.min(rob),
+                lsq_size: lsq,
+                wakeup_extra: wakeup,
+                sched_depth: sched,
+                lsq_depth: 2,
+                l1: CacheConfig {
+                    geometry: CacheGeometry::new(l1_sets, l1_assoc, 64),
+                    latency: l1_lat,
+                },
+                l2: CacheConfig {
+                    geometry: CacheGeometry::new(l2_sets, l2_assoc, 128),
+                    latency: l2_lat,
+                },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated configuration validates and simulates every
+    /// benchmark to a positive, width-bounded IPC.
+    #[test]
+    fn ipc_positive_and_bounded(cfg in arb_config(),
+                                name in prop::sample::select(spec::BENCHMARKS.to_vec())) {
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+        let p = spec::profile(name).expect("known benchmark");
+        let s = Simulator::new(&cfg).run(TraceGenerator::new(p), 8_000);
+        prop_assert!(s.ipc() > 0.0);
+        prop_assert!(s.ipc() <= cfg.width as f64 + 1e-9, "IPC {} > width {}", s.ipc(), cfg.width);
+        prop_assert_eq!(s.instructions, 8_000);
+        prop_assert!(s.cycles > 0);
+    }
+
+    /// Simulation is deterministic for a fixed (config, workload).
+    #[test]
+    fn simulation_deterministic(cfg in arb_config()) {
+        let p = spec::profile("parser").expect("known benchmark");
+        let a = Simulator::new(&cfg).run(TraceGenerator::new(p.clone()), 6_000);
+        let b = Simulator::new(&cfg).run(TraceGenerator::new(p), 6_000);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Statistics are internally consistent: mispredicts never exceed
+    /// branches, L2 accesses never exceed L1 misses.
+    #[test]
+    fn stats_consistent(cfg in arb_config(),
+                        name in prop::sample::select(spec::BENCHMARKS.to_vec())) {
+        let p = spec::profile(name).expect("known benchmark");
+        let s = Simulator::new(&cfg).run(TraceGenerator::new(p), 10_000);
+        prop_assert!(s.mispredicts <= s.branches);
+        prop_assert!(s.l2.accesses <= s.l1.misses,
+            "L2 accesses {} > L1 misses {}", s.l2.accesses, s.l1.misses);
+        prop_assert!(s.l2.misses <= s.l2.accesses);
+    }
+
+    /// Raising the wakeup latency never increases IPC (weak
+    /// monotonicity of the scheduling loop).
+    #[test]
+    fn wakeup_latency_hurts(mut cfg in arb_config(),
+                            name in prop::sample::select(spec::BENCHMARKS.to_vec())) {
+        cfg.wakeup_extra = 0;
+        let p = spec::profile(name).expect("known benchmark");
+        let fast = Simulator::new(&cfg).run(TraceGenerator::new(p.clone()), 10_000);
+        cfg.wakeup_extra = 3;
+        let slow = Simulator::new(&cfg).run(TraceGenerator::new(p), 10_000);
+        prop_assert!(slow.cycles >= fast.cycles,
+            "wakeup 3 finished earlier: {} vs {}", slow.cycles, fast.cycles);
+    }
+
+    /// A strictly longer memory pipe (same everything else, slower L2)
+    /// never lowers the cycle count.
+    #[test]
+    fn slower_l2_never_faster(mut cfg in arb_config()) {
+        let p = spec::profile("mcf").expect("known benchmark");
+        cfg.l2.latency = 4;
+        let fast = Simulator::new(&cfg).run(TraceGenerator::new(p.clone()), 10_000);
+        cfg.l2.latency = 30;
+        let slow = Simulator::new(&cfg).run(TraceGenerator::new(p), 10_000);
+        prop_assert!(slow.cycles >= fast.cycles);
+    }
+}

@@ -1,0 +1,381 @@
+//! Microarchitecture-independent (raw) workload characterization.
+//!
+//! This is the *conventional* characterization the paper argues is an
+//! unreliable basis for communal customization: the five Kiviat axes of
+//! its Figure 1 — (A) working-set size, (B) branch predictability,
+//! (C) density of dependence chains, (D) frequency of loads, and
+//! (E) frequency of conditional branches — each normalized to a 0–10
+//! scale. The subsetting machinery in `xps-communal` consumes these
+//! vectors.
+
+use crate::op::{MicroOp, OpClass, REG_COUNT};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Cache-block granularity used for working-set measurement, bytes.
+const BLOCK: u64 = 64;
+/// Dependence distance (in ops) at or under which a source read counts
+/// as part of a dense chain.
+const DENSE_DIST: u64 = 4;
+
+/// Axis labels of the Figure-1 Kiviat graphs, in order.
+pub const KIVIAT_AXES: [&str; 5] = [
+    "working-set size",
+    "branch predictability",
+    "dependence-chain density",
+    "load frequency",
+    "branch frequency",
+];
+
+/// The measured raw characteristics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CharacterVector {
+    /// Unique 64-byte blocks touched (working-set proxy).
+    pub working_set_blocks: u64,
+    /// Dynamic-count-weighted per-static-branch bias: the accuracy an
+    /// ideal bias predictor would achieve (0.5 = random, 1.0 = fully
+    /// biased). Microarchitecture-independent, per the paper's
+    /// "biasness of branches".
+    pub branch_predictability: f64,
+    /// Fraction of register source reads whose producer is within
+    /// 4 dynamic ops (density of dependence chains).
+    pub dep_density: f64,
+    /// Fraction of ops that are loads.
+    pub load_freq: f64,
+    /// Fraction of ops that are conditional branches.
+    pub branch_freq: f64,
+}
+
+impl CharacterVector {
+    /// Normalize to the paper's 0–10 Kiviat scale, axes in
+    /// [`KIVIAT_AXES`] order.
+    ///
+    /// Working set is log-scaled between 8 KB and 64 MB; predictability
+    /// maps 0.5→0 and 1.0→10; density maps linearly; frequencies are
+    /// scaled against a 0.35 (loads) / 0.20 (branches) full scale.
+    pub fn kiviat(&self) -> [f64; 5] {
+        let ws_bytes = (self.working_set_blocks.max(1) * BLOCK) as f64;
+        let (lo, hi) = ((8.0f64 * 1024.0).log2(), (64.0f64 * 1024.0 * 1024.0).log2());
+        let a = ((ws_bytes.log2() - lo) / (hi - lo) * 10.0).clamp(0.0, 10.0);
+        let b = ((self.branch_predictability - 0.5) / 0.5 * 10.0).clamp(0.0, 10.0);
+        let c = (self.dep_density * 10.0).clamp(0.0, 10.0);
+        let d = (self.load_freq / 0.35 * 10.0).clamp(0.0, 10.0);
+        let e = (self.branch_freq / 0.20 * 10.0).clamp(0.0, 10.0);
+        [a, b, c, d, e]
+    }
+
+    /// Euclidean distance between the normalized Kiviat vectors of two
+    /// workloads — the similarity measure classic subsetting uses.
+    pub fn distance(&self, other: &CharacterVector) -> f64 {
+        self.kiviat()
+            .iter()
+            .zip(other.kiviat())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BranchStat {
+    dynamic: u64,
+    taken: u64,
+}
+
+/// Number of log2 buckets in the reuse- and dependence-distance
+/// histograms (bucket `i` counts distances in `[2^i, 2^(i+1))`; the
+/// last bucket absorbs the tail).
+pub const HIST_BUCKETS: usize = 24;
+
+/// Place a distance in its log2 bucket.
+fn bucket_of(dist: u64) -> usize {
+    (63 - dist.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Streaming analyzer that measures a [`CharacterVector`] from a
+/// micro-op stream.
+///
+/// # Example
+///
+/// ```
+/// use xps_workload::{spec, Characterizer, TraceGenerator};
+///
+/// let p = spec::profile("crafty").expect("crafty is a known benchmark");
+/// let mut c = Characterizer::new();
+/// for op in TraceGenerator::new(p).take(100_000) {
+///     c.observe(&op);
+/// }
+/// let v = c.finish();
+/// assert!(v.load_freq > 0.2 && v.load_freq < 0.4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    ops: u64,
+    loads: u64,
+    branches_n: u64,
+    blocks: HashSet<u64>,
+    branch_stats: HashMap<u64, BranchStat>,
+    /// Dynamic index of the last writer of each architectural register.
+    last_writer: [Option<u64>; REG_COUNT],
+    src_reads: u64,
+    dense_reads: u64,
+    /// Last access index of each touched block, for reuse distances.
+    last_touch: HashMap<u64, u64>,
+    mem_accesses: u64,
+    /// Log2 histogram of memory reuse distances (time distance between
+    /// touches of the same 64-byte block — the standard cheap proxy
+    /// for stack distance).
+    reuse_hist: [u64; HIST_BUCKETS],
+    /// Log2 histogram of register dependence distances.
+    dep_hist: [u64; HIST_BUCKETS],
+}
+
+impl Default for Characterizer {
+    fn default() -> Characterizer {
+        Characterizer::new()
+    }
+}
+
+impl Characterizer {
+    /// Fresh analyzer with no observations.
+    pub fn new() -> Characterizer {
+        Characterizer {
+            ops: 0,
+            loads: 0,
+            branches_n: 0,
+            blocks: HashSet::new(),
+            branch_stats: HashMap::new(),
+            last_writer: [None; REG_COUNT],
+            src_reads: 0,
+            dense_reads: 0,
+            last_touch: HashMap::new(),
+            mem_accesses: 0,
+            reuse_hist: [0; HIST_BUCKETS],
+            dep_hist: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Log2 histogram of memory reuse distances: bucket `i` counts
+    /// re-touches of a block after `[2^i, 2^(i+1))` intervening memory
+    /// accesses. The histogram's mass at small distances is what a
+    /// cache of the corresponding capacity can exploit — the
+    /// quantitative form of the working-set axis.
+    pub fn reuse_histogram(&self) -> &[u64; HIST_BUCKETS] {
+        &self.reuse_hist
+    }
+
+    /// Log2 histogram of register dependence distances (producer to
+    /// consumer, in dynamic ops): the quantitative form of the
+    /// dependence-chain-density axis, and an upper bound on extractable
+    /// ILP at each window size.
+    pub fn dependence_histogram(&self) -> &[u64; HIST_BUCKETS] {
+        &self.dep_hist
+    }
+
+    /// Number of ops observed so far.
+    pub fn len(&self) -> u64 {
+        self.ops
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.ops == 0
+    }
+
+    /// Feed one micro-op.
+    pub fn observe(&mut self, op: &MicroOp) {
+        let idx = self.ops;
+        self.ops += 1;
+        match op.class {
+            OpClass::Load => {
+                self.loads += 1;
+                self.blocks.insert(op.addr / BLOCK);
+                self.touch(op.addr / BLOCK);
+            }
+            OpClass::Store => {
+                self.blocks.insert(op.addr / BLOCK);
+                self.touch(op.addr / BLOCK);
+            }
+            OpClass::Branch => {
+                self.branches_n += 1;
+                let s = self.branch_stats.entry(op.pc).or_default();
+                s.dynamic += 1;
+                if op.branch.map(|b| b.taken).unwrap_or(false) {
+                    s.taken += 1;
+                }
+            }
+            _ => {}
+        }
+        for src in op.srcs.iter().flatten() {
+            self.src_reads += 1;
+            if let Some(w) = self.last_writer[*src as usize] {
+                let dist = idx - w;
+                if dist <= DENSE_DIST {
+                    self.dense_reads += 1;
+                }
+                self.dep_hist[bucket_of(dist)] += 1;
+            }
+        }
+        if let Some(d) = op.dest {
+            self.last_writer[d as usize] = Some(idx);
+        }
+    }
+
+    fn touch(&mut self, block: u64) {
+        self.mem_accesses += 1;
+        if let Some(prev) = self.last_touch.insert(block, self.mem_accesses) {
+            self.reuse_hist[bucket_of(self.mem_accesses - prev)] += 1;
+        }
+    }
+
+    /// Finish and produce the measured vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no ops were observed.
+    pub fn finish(&self) -> CharacterVector {
+        assert!(self.ops > 0, "characterizer observed no ops");
+        let predict = if self.branches_n == 0 {
+            1.0
+        } else {
+            let mut acc = 0.0;
+            for s in self.branch_stats.values() {
+                let p = s.taken as f64 / s.dynamic as f64;
+                acc += p.max(1.0 - p) * s.dynamic as f64;
+            }
+            acc / self.branches_n as f64
+        };
+        CharacterVector {
+            working_set_blocks: self.blocks.len() as u64,
+            branch_predictability: predict,
+            dep_density: if self.src_reads == 0 {
+                0.0
+            } else {
+                self.dense_reads as f64 / self.src_reads as f64
+            },
+            load_freq: self.loads as f64 / self.ops as f64,
+            branch_freq: self.branches_n as f64 / self.ops as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+    use crate::TraceGenerator;
+
+    fn vector_of(name: &str, n: usize) -> CharacterVector {
+        let p = spec::profile(name).unwrap_or_else(|| panic!("{name} exists"));
+        let mut c = Characterizer::new();
+        for op in TraceGenerator::new(p).take(n) {
+            c.observe(&op);
+        }
+        c.finish()
+    }
+
+    #[test]
+    fn mcf_has_largest_working_set() {
+        let mcf = vector_of("mcf", 150_000);
+        for name in ["crafty", "perl", "gzip"] {
+            let other = vector_of(name, 150_000);
+            assert!(
+                mcf.working_set_blocks > 2 * other.working_set_blocks,
+                "mcf WS {} vs {name} {}",
+                mcf.working_set_blocks,
+                other.working_set_blocks
+            );
+        }
+    }
+
+    #[test]
+    fn hard_branch_workloads_less_predictable() {
+        let vpr = vector_of("vpr", 100_000);
+        let vortex = vector_of("vortex", 100_000);
+        assert!(vortex.branch_predictability > vpr.branch_predictability);
+    }
+
+    #[test]
+    fn dense_chain_workloads_measured_denser() {
+        let bzip = vector_of("bzip", 100_000);
+        let vortex = vector_of("vortex", 100_000);
+        assert!(bzip.dep_density > vortex.dep_density);
+    }
+
+    #[test]
+    fn kiviat_in_range() {
+        for name in spec::BENCHMARKS {
+            let v = vector_of(name, 60_000);
+            for (axis, value) in KIVIAT_AXES.iter().zip(v.kiviat()) {
+                assert!(
+                    (0.0..=10.0).contains(&value),
+                    "{name} axis {axis} out of range: {value}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_samples() {
+        let a = vector_of("bzip", 60_000);
+        let b = vector_of("gzip", 60_000);
+        let c = vector_of("mcf", 60_000);
+        assert!(a.distance(&a) < 1e-12);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert!(a.distance(&b) + b.distance(&c) >= a.distance(&c) - 1e-9);
+    }
+
+    #[test]
+    fn bzip_gzip_closer_than_bzip_mcf() {
+        // The raw-similarity premise of the paper's §5.3.
+        let bzip = vector_of("bzip", 100_000);
+        let gzip = vector_of("gzip", 100_000);
+        let mcf = vector_of("mcf", 100_000);
+        assert!(bzip.distance(&gzip) < bzip.distance(&mcf));
+    }
+
+    #[test]
+    #[should_panic(expected = "no ops")]
+    fn empty_finish_panics() {
+        Characterizer::new().finish();
+    }
+
+    #[test]
+    fn reuse_histogram_shapes_follow_footprints() {
+        // crafty's tiny footprint re-touches blocks quickly; mcf's
+        // chases spread re-touches far out.
+        let hist_of = |name: &str| {
+            let p = spec::profile(name).unwrap_or_else(|| panic!("{name} exists"));
+            let mut c = Characterizer::new();
+            for op in TraceGenerator::new(p).take(150_000) {
+                c.observe(&op);
+            }
+            *c.reuse_histogram()
+        };
+        let mass_below = |h: &[u64; HIST_BUCKETS], bucket: usize| -> f64 {
+            let total: u64 = h.iter().sum();
+            let below: u64 = h[..bucket].iter().sum();
+            below as f64 / total.max(1) as f64
+        };
+        let crafty = hist_of("crafty");
+        let mcf = hist_of("mcf");
+        assert!(
+            mass_below(&crafty, 10) > mass_below(&mcf, 10),
+            "crafty reuses closer than mcf"
+        );
+    }
+
+    #[test]
+    fn dependence_histogram_counts_every_tracked_read() {
+        let p = spec::profile("gcc").expect("gcc exists");
+        let mut c = Characterizer::new();
+        for op in TraceGenerator::new(p).take(20_000) {
+            c.observe(&op);
+        }
+        let dep_total: u64 = c.dependence_histogram().iter().sum();
+        assert!(dep_total > 0);
+        // Dense chains (the Figure 1 axis) are the histogram's head.
+        let head: u64 = c.dependence_histogram()[..3].iter().sum();
+        assert!(head > 0);
+    }
+}

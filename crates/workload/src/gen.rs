@@ -1,0 +1,447 @@
+//! Deterministic synthetic trace generation from a statistical profile.
+
+use crate::op::{MicroOp, OpClass};
+use crate::profile::WorkloadProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base virtual address of the code region (branch PCs and sequential
+/// fetch PCs live here).
+const CODE_BASE: u64 = 0x0040_0000;
+/// Base of the hot data region.
+const HOT_BASE: u64 = 0x1000_0000;
+/// Base of the warm data region.
+const WARM_BASE: u64 = 0x4000_0000;
+/// Base of the cold data region.
+const COLD_BASE: u64 = 0x8000_0000;
+/// First allocatable destination register (below this are long-lived
+/// values that are always ready).
+const FIRST_DEST: u8 = 8;
+/// Registers at and above this index are reserved for pointer-chase
+/// chains and never allocated to ordinary destinations, so a chain's
+/// dependence is not broken by register recycling.
+const FIRST_CHASE: u8 = 56;
+/// Number of concurrent pointer-chase chains. Real pointer-chasing
+/// codes (mcf's network simplex) walk several independent lists, which
+/// is exactly what lets a larger instruction window extract memory-level
+/// parallelism from them.
+const CHASE_CHAINS: usize = 6;
+/// How many recent destination registers are remembered for dependence
+/// sampling.
+const RECENT: usize = 32;
+/// Probability a non-chase load writes a long-lived (base-pointer)
+/// register instead of an allocated one: pointer updates make the
+/// "always ready" pool periodically depend on memory, as in real code.
+const LOAD_RENEW_FRAC: f64 = 0.10;
+/// Probability a compute op renews a long-lived register (induction
+/// variables, accumulated flags).
+const ALU_RENEW_FRAC: f64 = 0.05;
+
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    /// Loop back-edge: taken `period - 1` times, then not taken.
+    Loop { period: u32 },
+    /// Biased branch with a fixed taken-probability.
+    Biased,
+    /// Unbiased (hard) branch.
+    Hard,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StaticBranch {
+    pc: u64,
+    target: u64,
+    kind: BranchKind,
+    /// Loop iteration counter (meaningful only for `Loop`).
+    count: u32,
+}
+
+/// Infinite, deterministic micro-op stream synthesized from a
+/// [`WorkloadProfile`].
+///
+/// The generator is an [`Iterator`] over [`MicroOp`]s and never ends; the
+/// consumer decides the trace length. Two generators constructed from
+/// equal profiles produce identical streams (the profile carries the
+/// seed), which is what makes every experiment in the repository
+/// reproducible.
+///
+/// # Example
+///
+/// ```
+/// use xps_workload::{spec, TraceGenerator};
+///
+/// let p = spec::profile("gcc").expect("gcc is a known benchmark");
+/// let a: Vec<_> = TraceGenerator::new(p.clone()).take(64).collect();
+/// let b: Vec<_> = TraceGenerator::new(p).take(64).collect();
+/// assert_eq!(a, b, "same profile, same stream");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: SmallRng,
+    branches: Vec<StaticBranch>,
+    /// Indices into `branches` per kind, for dynamic-kind selection.
+    loop_pool: Vec<usize>,
+    biased_pool: Vec<usize>,
+    hard_pool: Vec<usize>,
+    /// Sequential-access cursors per region (hot, warm, cold).
+    cursors: [u64; 3],
+    /// Ring of recently written destination registers.
+    recent: [u8; RECENT],
+    recent_len: usize,
+    recent_head: usize,
+    next_dest: u8,
+    /// Round-robin index of the next pointer-chase chain to extend.
+    chase_chain: usize,
+    /// Whether each chase chain has been started (its register holds a
+    /// pointer).
+    chase_live: [bool; CHASE_CHAINS],
+    pc: u64,
+}
+
+impl TraceGenerator {
+    /// Build a generator for `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation; construct profiles via
+    /// [`crate::spec`] or validate before use.
+    pub fn new(profile: WorkloadProfile) -> TraceGenerator {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile `{}`: {e}", profile.name));
+        let mut rng = SmallRng::seed_from_u64(profile.seed);
+        let n = profile.ctrl.static_branches as usize;
+        let mut branches = Vec::with_capacity(n);
+        let (mut loop_pool, mut biased_pool, mut hard_pool) = (Vec::new(), Vec::new(), Vec::new());
+        // Split the static pool in proportion to the dynamic kind
+        // fractions so each static branch keeps one personality.
+        for i in 0..n {
+            let f = i as f64 / n as f64;
+            let kind = if f < profile.ctrl.loop_frac {
+                loop_pool.push(i);
+                BranchKind::Loop {
+                    // Cap periods at 10 so patterns stay within the
+                    // reach of a 12-bit-history predictor, as inner
+                    // loops are for real loop/history predictors.
+                    period: 2 + (rng.gen::<u32>() % profile.ctrl.loop_period.clamp(2, 9)),
+                }
+            } else if f < profile.ctrl.loop_frac + profile.ctrl.hard_frac {
+                hard_pool.push(i);
+                BranchKind::Hard
+            } else {
+                biased_pool.push(i);
+                BranchKind::Biased
+            };
+            let pc = CODE_BASE + 4 * rng.gen_range(0..65536) as u64;
+            branches.push(StaticBranch {
+                pc,
+                target: pc.wrapping_add(4 * rng.gen_range(2..64) as u64),
+                kind,
+                count: rng.gen::<u32>() % profile.ctrl.loop_period.max(2),
+            });
+        }
+        // Guarantee non-empty fallback pools.
+        if biased_pool.is_empty() {
+            biased_pool.push(0);
+        }
+        TraceGenerator {
+            profile,
+            rng,
+            branches,
+            loop_pool,
+            biased_pool,
+            hard_pool,
+            cursors: [0; 3],
+            recent: [FIRST_DEST; RECENT],
+            recent_len: 0,
+            recent_head: 0,
+            next_dest: FIRST_DEST,
+            chase_chain: 0,
+            chase_live: [false; CHASE_CHAINS],
+            pc: CODE_BASE,
+        }
+    }
+
+    /// The profile this generator was built from.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    fn alloc_dest(&mut self) -> u8 {
+        let d = self.next_dest;
+        self.next_dest += 1;
+        if self.next_dest >= FIRST_CHASE {
+            self.next_dest = FIRST_DEST;
+        }
+        self.recent[self.recent_head] = d;
+        self.recent_head = (self.recent_head + 1) % RECENT;
+        self.recent_len = (self.recent_len + 1).min(RECENT);
+        d
+    }
+
+    /// Sample a source register: with probability `short_frac` a recent
+    /// producer at a geometric backward distance, otherwise a long-lived
+    /// always-ready register.
+    fn sample_src(&mut self) -> u8 {
+        if self.recent_len > 0 && self.rng.gen::<f64>() < self.profile.deps.short_frac {
+            let p = 1.0 / self.profile.deps.mean_dist;
+            let mut dist = 1usize;
+            while self.rng.gen::<f64>() > p && dist < self.recent_len {
+                dist += 1;
+            }
+            let idx = (self.recent_head + RECENT - dist.min(self.recent_len)) % RECENT;
+            self.recent[idx]
+        } else {
+            self.rng.gen_range(0..FIRST_DEST)
+        }
+    }
+
+    /// Generate a data address according to the region model.
+    fn sample_addr(&mut self) -> u64 {
+        let m = &self.profile.mem;
+        let r: f64 = self.rng.gen();
+        let (region, base, size) = if r < m.hot_frac {
+            (0usize, HOT_BASE, m.hot_bytes)
+        } else if r < m.hot_frac + m.warm_frac {
+            (1, WARM_BASE, m.warm_bytes)
+        } else {
+            (2, COLD_BASE, m.cold_bytes)
+        };
+        let off = if self.rng.gen::<f64>() < m.spatial {
+            let c = (self.cursors[region] + m.stride) % size;
+            self.cursors[region] = c;
+            c
+        } else {
+            let c = self.rng.gen_range(0..size.max(8)) & !7;
+            self.cursors[region] = c;
+            c
+        };
+        base + off
+    }
+
+    fn next_pc(&mut self) -> u64 {
+        self.pc = self.pc.wrapping_add(4);
+        if self.pc >= CODE_BASE + 0x10_0000 {
+            self.pc = CODE_BASE;
+        }
+        self.pc
+    }
+
+    fn gen_branch(&mut self) -> MicroOp {
+        let kf: f64 = self.rng.gen();
+        let pool = if kf < self.profile.ctrl.loop_frac && !self.loop_pool.is_empty() {
+            &self.loop_pool
+        } else if kf < self.profile.ctrl.loop_frac + self.profile.ctrl.hard_frac
+            && !self.hard_pool.is_empty()
+        {
+            &self.hard_pool
+        } else {
+            &self.biased_pool
+        };
+        let bi = pool[self.rng.gen_range(0..pool.len())];
+        let b = self.branches[bi];
+        let taken = match b.kind {
+            BranchKind::Loop { period } => {
+                let c = self.branches[bi].count;
+                self.branches[bi].count = (c + 1) % period.max(2);
+                c + 1 != period.max(2)
+            }
+            BranchKind::Biased => self.rng.gen::<f64>() < self.profile.ctrl.bias,
+            BranchKind::Hard => self.rng.gen::<f64>() < 0.5,
+        };
+        let cond = self.sample_src();
+        MicroOp::branch(b.pc, Some(cond), taken, b.target)
+    }
+
+    fn gen_load(&mut self) -> MicroOp {
+        let pc = self.next_pc();
+        let chase = self.rng.gen::<f64>() < self.profile.mem.pointer_chase_frac;
+        if chase {
+            // Extend the next chain round-robin: the load's address
+            // depends on the chain register, and its result becomes the
+            // next pointer of that chain. Chains are serial internally
+            // but independent of each other, so a larger window can
+            // overlap them (memory-level parallelism).
+            let chain = self.chase_chain;
+            self.chase_chain = (self.chase_chain + 1) % CHASE_CHAINS;
+            let reg = FIRST_CHASE + chain as u8;
+            let src = if self.chase_live[chain] { Some(reg) } else { None };
+            self.chase_live[chain] = true;
+            // Chains walk the *warm* arena: pointer structures have a
+            // bounded footprint, so a sufficiently large L2 can capture
+            // a chase (the paper's mcf gets exactly this from its 4 MB
+            // L2), while small caches send every hop to memory.
+            let m = &self.profile.mem;
+            let off = self.rng.gen_range(0..m.warm_bytes.max(8)) & !7;
+            MicroOp::load(pc, reg, src, WARM_BASE + off)
+        } else {
+            let src = if self.rng.gen::<f64>() < 0.5 {
+                Some(self.sample_src())
+            } else {
+                None
+            };
+            let dest = if self.rng.gen::<f64>() < LOAD_RENEW_FRAC {
+                // A pointer/base-register update: the long-lived pool
+                // now depends on this load's latency.
+                self.rng.gen_range(0..FIRST_DEST)
+            } else {
+                self.alloc_dest()
+            };
+            let addr = self.sample_addr();
+            MicroOp::load(pc, dest, src, addr)
+        }
+    }
+
+    fn gen_store(&mut self) -> MicroOp {
+        let pc = self.next_pc();
+        let data = self.sample_src();
+        let addr = self.sample_addr();
+        let mut op = MicroOp::store(pc, data, addr);
+        // Half of stores also carry an address-base dependence.
+        if self.rng.gen::<f64>() < 0.5 {
+            op.srcs[1] = Some(self.sample_src());
+        }
+        op
+    }
+
+    fn gen_compute(&mut self, class: OpClass) -> MicroOp {
+        let pc = self.next_pc();
+        let s0 = self.sample_src();
+        let s1 = if self.rng.gen::<f64>() < self.profile.deps.second_src_frac {
+            Some(self.sample_src())
+        } else {
+            None
+        };
+        let dest = if self.rng.gen::<f64>() < ALU_RENEW_FRAC {
+            self.rng.gen_range(0..FIRST_DEST)
+        } else {
+            self.alloc_dest()
+        };
+        MicroOp {
+            pc,
+            class,
+            dest: Some(dest),
+            srcs: [Some(s0), s1],
+            addr: 0,
+            branch: None,
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        let mix = self.profile.mix;
+        let r: f64 = self.rng.gen();
+        let op = if r < mix.load {
+            self.gen_load()
+        } else if r < mix.load + mix.store {
+            self.gen_store()
+        } else if r < mix.load + mix.store + mix.branch {
+            self.gen_branch()
+        } else if r < mix.load + mix.store + mix.branch + mix.mul {
+            self.gen_compute(OpClass::IntMul)
+        } else if r < mix.total() {
+            self.gen_compute(OpClass::IntDiv)
+        } else {
+            self.gen_compute(OpClass::IntAlu)
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::REG_COUNT;
+    use crate::spec;
+
+    fn count_class(ops: &[MicroOp], class: OpClass) -> usize {
+        ops.iter().filter(|o| o.class == class).count()
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let p = spec::profile("twolf").expect("twolf exists");
+        let a: Vec<_> = TraceGenerator::new(p.clone()).take(5000).collect();
+        let b: Vec<_> = TraceGenerator::new(p).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_fractions_approximately_respected() {
+        let p = spec::profile("gcc").expect("gcc exists");
+        let n = 200_000;
+        let ops: Vec<_> = TraceGenerator::new(p.clone()).take(n).collect();
+        let loads = count_class(&ops, OpClass::Load) as f64 / n as f64;
+        let branches = count_class(&ops, OpClass::Branch) as f64 / n as f64;
+        assert!((loads - p.mix.load).abs() < 0.01, "load freq {loads}");
+        assert!((branches - p.mix.branch).abs() < 0.01, "branch freq {branches}");
+    }
+
+    #[test]
+    fn memory_ops_have_addresses_in_regions() {
+        let p = spec::profile("mcf").expect("mcf exists");
+        for op in TraceGenerator::new(p).take(20_000) {
+            if op.class.is_mem() {
+                assert!(op.addr >= HOT_BASE, "data addresses live in data regions");
+            } else if op.class != OpClass::Branch {
+                assert_eq!(op.addr, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_chases_are_dependent() {
+        let p = spec::profile("mcf").expect("mcf exists");
+        let ops: Vec<_> = TraceGenerator::new(p).take(50_000).collect();
+        // Chase loads read and write the same dedicated chain register.
+        let chained = ops
+            .iter()
+            .filter(|o| {
+                o.class == OpClass::Load
+                    && o.dest.map(|d| d >= FIRST_CHASE).unwrap_or(false)
+                    && o.srcs[0] == o.dest
+            })
+            .count();
+        assert!(chained > 1000, "mcf must exhibit pointer chasing, saw {chained}");
+    }
+
+    #[test]
+    fn loop_branches_follow_period() {
+        let p = spec::profile("bzip").expect("bzip exists");
+        let ops: Vec<_> = TraceGenerator::new(p).take(100_000).collect();
+        // A loop branch should be mostly taken.
+        let branches: Vec<_> = ops.iter().filter(|o| o.class == OpClass::Branch).collect();
+        assert!(!branches.is_empty());
+        let taken = branches
+            .iter()
+            .filter(|o| o.branch.expect("branch op").taken)
+            .count() as f64
+            / branches.len() as f64;
+        assert!(taken > 0.6, "bzip branches are mostly taken: {taken}");
+    }
+
+    #[test]
+    fn dest_register_ranges() {
+        let p = spec::profile("perl").expect("perl exists");
+        let mut renewals = 0;
+        for op in TraceGenerator::new(p).take(10_000) {
+            if let Some(d) = op.dest {
+                assert!((d as usize) < REG_COUNT);
+                if op.class != OpClass::Load {
+                    assert!(d < FIRST_CHASE, "only chase loads use chain registers");
+                }
+                if d < FIRST_DEST {
+                    renewals += 1;
+                }
+            }
+        }
+        // Long-lived registers are periodically renewed (base-pointer
+        // and induction-variable updates), but only occasionally.
+        assert!(renewals > 50, "some renewals expected, saw {renewals}");
+        assert!(renewals < 2000, "renewals stay rare, saw {renewals}");
+    }
+}

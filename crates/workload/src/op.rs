@@ -1,0 +1,140 @@
+//! The micro-op representation consumed by the timing simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of architectural registers in the trace format. Registers
+/// `0..8` are treated as long-lived values (always ready); the
+/// generator allocates destinations from `8..REG_COUNT`.
+pub const REG_COUNT: usize = 64;
+
+/// Operation classes, chosen to match the functional-unit classes of a
+/// SimpleScalar-style integer pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Unpipelined integer divide.
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+impl OpClass {
+    /// True for memory operations (loads and stores).
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+/// Control-flow annotation carried by branch micro-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// The branch's actual outcome in this dynamic instance.
+    pub taken: bool,
+    /// Branch target (used only for BTB modeling).
+    pub target: u64,
+}
+
+/// One dynamic micro-operation of a workload trace.
+///
+/// A trace is an iterator of these; the simulator is *trace-driven*: the
+/// outcome of every branch and the effective address of every memory
+/// operation are part of the trace, while all timing (when the address
+/// can be computed, when the branch resolves, whether the prediction was
+/// right) is decided by the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroOp {
+    /// Fetch PC of the op.
+    pub pc: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Destination architectural register, if any.
+    pub dest: Option<u8>,
+    /// Up to two source architectural registers.
+    pub srcs: [Option<u8>; 2],
+    /// Effective address for memory ops (0 otherwise).
+    pub addr: u64,
+    /// Branch annotation for branch ops.
+    pub branch: Option<BranchInfo>,
+}
+
+impl MicroOp {
+    /// A register-to-register ALU op (handy for tests and synthetic
+    /// kernels).
+    pub fn alu(pc: u64, dest: u8, srcs: [Option<u8>; 2]) -> MicroOp {
+        MicroOp {
+            pc,
+            class: OpClass::IntAlu,
+            dest: Some(dest),
+            srcs,
+            addr: 0,
+            branch: None,
+        }
+    }
+
+    /// A load from `addr` into `dest`, with optional address-source
+    /// register.
+    pub fn load(pc: u64, dest: u8, addr_src: Option<u8>, addr: u64) -> MicroOp {
+        MicroOp {
+            pc,
+            class: OpClass::Load,
+            dest: Some(dest),
+            srcs: [addr_src, None],
+            addr,
+            branch: None,
+        }
+    }
+
+    /// A store of register `data` to `addr`.
+    pub fn store(pc: u64, data: u8, addr: u64) -> MicroOp {
+        MicroOp {
+            pc,
+            class: OpClass::Store,
+            dest: None,
+            srcs: [Some(data), None],
+            addr,
+            branch: None,
+        }
+    }
+
+    /// A conditional branch at `pc` with the given outcome.
+    pub fn branch(pc: u64, cond_src: Option<u8>, taken: bool, target: u64) -> MicroOp {
+        MicroOp {
+            pc,
+            class: OpClass::Branch,
+            dest: None,
+            srcs: [cond_src, None],
+            addr: 0,
+            branch: Some(BranchInfo { taken, target }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_class() {
+        assert_eq!(MicroOp::alu(0, 8, [None, None]).class, OpClass::IntAlu);
+        assert_eq!(MicroOp::load(0, 8, None, 64).class, OpClass::Load);
+        assert_eq!(MicroOp::store(0, 8, 64).class, OpClass::Store);
+        let b = MicroOp::branch(4, None, true, 100);
+        assert_eq!(b.class, OpClass::Branch);
+        assert!(b.branch.expect("branch info").taken);
+    }
+
+    #[test]
+    fn mem_classes() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+    }
+}

@@ -1,0 +1,300 @@
+//! Statistical workload profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Dynamic instruction mix (fractions of the dynamic op stream). The
+/// remainder after all listed classes is single-cycle integer ALU work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of conditional branches.
+    pub branch: f64,
+    /// Fraction of integer multiplies.
+    pub mul: f64,
+    /// Fraction of integer divides.
+    pub div: f64,
+}
+
+impl OpMix {
+    /// Sum of all non-ALU fractions.
+    pub fn total(&self) -> f64 {
+        self.load + self.store + self.branch + self.mul + self.div
+    }
+
+    /// Validate that the mix is a sub-distribution (all fractions
+    /// non-negative, sum at most 1).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("load", self.load),
+            ("store", self.store),
+            ("branch", self.branch),
+            ("mul", self.mul),
+            ("div", self.div),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("op-mix fraction `{name}` out of [0,1]: {v}"));
+            }
+        }
+        if self.total() > 1.0 + 1e-9 {
+            return Err(format!("op-mix fractions sum to {} > 1", self.total()));
+        }
+        Ok(())
+    }
+}
+
+/// Memory-access behaviour: a three-level region model (hot / warm /
+/// cold) with per-region footprints, plus spatial locality and
+/// pointer-chasing degree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBehavior {
+    /// Bytes of the hot region (innermost working set).
+    pub hot_bytes: u64,
+    /// Bytes of the warm region (secondary working set).
+    pub warm_bytes: u64,
+    /// Bytes of the cold region (full footprint).
+    pub cold_bytes: u64,
+    /// Probability a memory op targets the hot region.
+    pub hot_frac: f64,
+    /// Probability a memory op targets the warm region (the remainder
+    /// goes to the cold region).
+    pub warm_frac: f64,
+    /// Probability a region access continues sequentially from the
+    /// region's cursor (spatial locality) rather than jumping randomly.
+    pub spatial: f64,
+    /// Fraction of loads that start or continue a pointer chase: the
+    /// load's address depends on the value produced by the previous
+    /// load in the chain, serializing them (mcf's defining behaviour).
+    pub pointer_chase_frac: f64,
+    /// Sequential stride in bytes for spatial accesses.
+    pub stride: u64,
+}
+
+impl MemoryBehavior {
+    /// Validate footprints and probabilities.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hot_bytes == 0 || self.warm_bytes < self.hot_bytes || self.cold_bytes < self.warm_bytes
+        {
+            return Err(format!(
+                "regions must nest: 0 < hot ({}) <= warm ({}) <= cold ({})",
+                self.hot_bytes, self.warm_bytes, self.cold_bytes
+            ));
+        }
+        for (name, v) in [
+            ("hot_frac", self.hot_frac),
+            ("warm_frac", self.warm_frac),
+            ("spatial", self.spatial),
+            ("pointer_chase_frac", self.pointer_chase_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("memory fraction `{name}` out of [0,1]: {v}"));
+            }
+        }
+        if self.hot_frac + self.warm_frac > 1.0 + 1e-9 {
+            return Err("hot_frac + warm_frac exceeds 1".to_string());
+        }
+        if self.stride == 0 {
+            return Err("stride must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Control-flow behaviour: a pool of static branches split into
+/// loop-like (periodic, highly predictable), biased, and hard (random)
+/// branches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlBehavior {
+    /// Number of static conditional branches in the pool.
+    pub static_branches: u32,
+    /// Fraction of dynamic branches that are loop back-edges with the
+    /// given period (taken `period - 1` times, then not taken).
+    pub loop_frac: f64,
+    /// Loop trip count for loop branches.
+    pub loop_period: u32,
+    /// Fraction of dynamic branches that are essentially random
+    /// (hardest to predict); the remaining branches are biased with the
+    /// given bias.
+    pub hard_frac: f64,
+    /// Taken-probability of biased branches (0.5 = random, 1.0 = always
+    /// taken).
+    pub bias: f64,
+}
+
+impl ControlBehavior {
+    /// Validate the pool parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.static_branches == 0 {
+            return Err("need at least one static branch".to_string());
+        }
+        if self.loop_period < 2 {
+            return Err("loop period must be at least 2".to_string());
+        }
+        for (name, v) in [
+            ("loop_frac", self.loop_frac),
+            ("hard_frac", self.hard_frac),
+            ("bias", self.bias),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("control fraction `{name}` out of [0,1]: {v}"));
+            }
+        }
+        if self.loop_frac + self.hard_frac > 1.0 + 1e-9 {
+            return Err("loop_frac + hard_frac exceeds 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Register-dependence behaviour, controlling the density of dependence
+/// chains (Kiviat axis C of the paper's Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DependenceBehavior {
+    /// Probability that a source register reads a *recent* producer
+    /// (dense chains) rather than a long-lived value.
+    pub short_frac: f64,
+    /// Mean backward distance, in ops, of a recent-producer dependence
+    /// (geometric distribution).
+    pub mean_dist: f64,
+    /// Probability an op has a second source operand.
+    pub second_src_frac: f64,
+}
+
+impl DependenceBehavior {
+    /// Validate the dependence parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.short_frac) {
+            return Err(format!("short_frac out of [0,1]: {}", self.short_frac));
+        }
+        if !(0.0..=1.0).contains(&self.second_src_frac) {
+            return Err(format!(
+                "second_src_frac out of [0,1]: {}",
+                self.second_src_frac
+            ));
+        }
+        if !(self.mean_dist >= 1.0) {
+            return Err(format!("mean_dist must be >= 1: {}", self.mean_dist));
+        }
+        Ok(())
+    }
+}
+
+/// A complete statistical workload model: everything the trace
+/// generator needs to synthesize a benchmark-like micro-op stream, plus
+/// an importance weight used by communal-customization metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: String,
+    /// RNG seed; fixed per benchmark so traces are reproducible.
+    pub seed: u64,
+    /// Dynamic instruction mix.
+    pub mix: OpMix,
+    /// Memory-access behaviour.
+    pub mem: MemoryBehavior,
+    /// Control-flow behaviour.
+    pub ctrl: ControlBehavior,
+    /// Register-dependence behaviour.
+    pub deps: DependenceBehavior,
+    /// Importance weight for communal customization (the paper assumes
+    /// equal weights in its main results).
+    pub weight: f64,
+}
+
+impl WorkloadProfile {
+    /// Derive a profile with its data footprints scaled by `factor`,
+    /// modeling a larger or smaller input set (the input-set
+    /// sensitivity studied by the subsetting literature the paper
+    /// cites: raw characteristics shift with inputs, configurational
+    /// ones shift only when capacity demands cross cache sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn with_input_scale(&self, factor: f64) -> WorkloadProfile {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "input scale must be finite and positive"
+        );
+        let scale = |bytes: u64| -> u64 { ((bytes as f64 * factor) as u64).max(1024) };
+        let mut p = self.clone();
+        p.mem.hot_bytes = scale(p.mem.hot_bytes);
+        p.mem.warm_bytes = scale(p.mem.warm_bytes).max(p.mem.hot_bytes);
+        p.mem.cold_bytes = scale(p.mem.cold_bytes).max(p.mem.warm_bytes);
+        p
+    }
+
+    /// Validate every component of the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("profile name must not be empty".to_string());
+        }
+        if !(self.weight > 0.0) {
+            return Err(format!("weight must be positive: {}", self.weight));
+        }
+        self.mix.validate()?;
+        self.mem.validate()?;
+        self.ctrl.validate()?;
+        self.deps.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn all_spec_profiles_validate() {
+        for p in spec::all_profiles() {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn bad_mix_rejected() {
+        let mut p = spec::profile("gcc").expect("gcc exists");
+        p.mix.load = 0.9;
+        p.mix.store = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_regions_rejected() {
+        let mut p = spec::profile("gcc").expect("gcc exists");
+        p.mem.warm_bytes = p.mem.hot_bytes / 2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn input_scaling_grows_footprints() {
+        let p = spec::profile("gzip").expect("gzip exists");
+        let big = p.with_input_scale(4.0);
+        big.validate().expect("scaled profile stays valid");
+        assert_eq!(big.mem.cold_bytes, p.mem.cold_bytes * 4);
+        assert!(big.mem.hot_bytes >= p.mem.hot_bytes);
+        let tiny = p.with_input_scale(1e-9);
+        tiny.validate().expect("clamped at the floor");
+        assert!(tiny.mem.hot_bytes >= 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "input scale")]
+    fn bad_input_scale_panics() {
+        let p = spec::profile("gzip").expect("gzip exists");
+        let _ = p.with_input_scale(0.0);
+    }
+
+    #[test]
+    fn bad_bias_rejected() {
+        let mut p = spec::profile("gcc").expect("gcc exists");
+        p.ctrl.bias = 1.5;
+        assert!(p.validate().is_err());
+    }
+}

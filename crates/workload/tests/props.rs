@@ -1,0 +1,113 @@
+//! Property-based tests of trace generation and characterization.
+
+use proptest::prelude::*;
+use xps_workload::{spec, Characterizer, OpClass, TraceGenerator, WorkloadProfile};
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        prop::sample::select(spec::BENCHMARKS.to_vec()),
+        any::<u64>(),
+        0.05f64..0.35,
+        0.02f64..0.18,
+        0.03f64..0.20,
+    )
+        .prop_map(|(name, seed, load, store, branch)| {
+            let mut p = spec::profile(name).expect("known benchmark");
+            p.seed = seed;
+            p.mix.load = load;
+            p.mix.store = store;
+            p.mix.branch = branch;
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any perturbed profile still validates and generates.
+    #[test]
+    fn perturbed_profiles_generate(p in arb_profile()) {
+        prop_assert!(p.validate().is_ok());
+        let ops: Vec<_> = TraceGenerator::new(p).take(2000).collect();
+        prop_assert_eq!(ops.len(), 2000);
+    }
+
+    /// The generator is a pure function of the profile.
+    #[test]
+    fn generation_is_deterministic(p in arb_profile()) {
+        let a: Vec<_> = TraceGenerator::new(p.clone()).take(1000).collect();
+        let b: Vec<_> = TraceGenerator::new(p).take(1000).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Different seeds produce different streams (astronomically
+    /// unlikely to collide).
+    #[test]
+    fn seeds_differentiate(mut p in arb_profile()) {
+        let a: Vec<_> = TraceGenerator::new(p.clone()).take(500).collect();
+        p.seed = p.seed.wrapping_add(1);
+        let b: Vec<_> = TraceGenerator::new(p).take(500).collect();
+        prop_assert_ne!(a, b);
+    }
+
+    /// Dynamic class frequencies track the profile's mix.
+    #[test]
+    fn mix_is_respected(p in arb_profile()) {
+        let n = 60_000;
+        let ops: Vec<_> = TraceGenerator::new(p.clone()).take(n).collect();
+        let frac = |class: OpClass| {
+            ops.iter().filter(|o| o.class == class).count() as f64 / n as f64
+        };
+        prop_assert!((frac(OpClass::Load) - p.mix.load).abs() < 0.02);
+        prop_assert!((frac(OpClass::Store) - p.mix.store).abs() < 0.02);
+        prop_assert!((frac(OpClass::Branch) - p.mix.branch).abs() < 0.02);
+    }
+
+    /// Measured characteristics stay in their domains and the Kiviat
+    /// projection stays on the 0-10 scale.
+    #[test]
+    fn characterization_in_domain(p in arb_profile()) {
+        let mut c = Characterizer::new();
+        for op in TraceGenerator::new(p).take(30_000) {
+            c.observe(&op);
+        }
+        let v = c.finish();
+        prop_assert!(v.branch_predictability >= 0.5 && v.branch_predictability <= 1.0);
+        prop_assert!(v.dep_density >= 0.0 && v.dep_density <= 1.0);
+        prop_assert!(v.load_freq >= 0.0 && v.load_freq <= 1.0);
+        prop_assert!(v.working_set_blocks > 0);
+        for axis in v.kiviat() {
+            prop_assert!((0.0..=10.0).contains(&axis));
+        }
+    }
+
+    /// Distance is symmetric and zero on itself.
+    #[test]
+    fn distance_axioms(p in arb_profile(), q in arb_profile()) {
+        let measure = |p: WorkloadProfile| {
+            let mut c = Characterizer::new();
+            for op in TraceGenerator::new(p).take(10_000) {
+                c.observe(&op);
+            }
+            c.finish()
+        };
+        let a = measure(p);
+        let b = measure(q);
+        prop_assert!(a.distance(&a) < 1e-12);
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        prop_assert!(a.distance(&b) >= 0.0);
+    }
+
+    /// Memory ops always carry non-zero block-aligned-ish addresses;
+    /// others carry none.
+    #[test]
+    fn address_discipline(p in arb_profile()) {
+        for op in TraceGenerator::new(p).take(5000) {
+            if op.class.is_mem() {
+                prop_assert!(op.addr > 0);
+            } else if op.class != OpClass::Branch {
+                prop_assert_eq!(op.addr, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: simulate one benchmark on two configurations and
+//! compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This exercises the three bottom layers of the stack: the workload
+//! model (`xps-workload`), the timing simulator (`xps-sim`), and the
+//! published configurations (`xps_core::paper`).
+
+use xpscalar::paper;
+use xpscalar::sim::{CoreConfig, Simulator};
+use xpscalar::workload::{spec, TraceGenerator};
+
+fn main() {
+    let n = 200_000;
+    let profile = spec::profile("gzip").expect("gzip is one of the eleven benchmarks");
+
+    // The paper's Table 3 starting point, shared by every benchmark...
+    let initial = CoreConfig::initial();
+    let s0 = Simulator::new(&initial).run(TraceGenerator::new(profile.clone()), n);
+
+    // ...and gzip's customized configuration from the paper's Table 4.
+    let custom = paper::table4_config("gzip").expect("gzip is in Table 4");
+    let s1 = Simulator::new(&custom).run(TraceGenerator::new(profile), n);
+
+    println!("gzip on the initial (Table 3) configuration:");
+    println!(
+        "  IPC {:.3}  x  {:.2} GHz  =  {:.3} IPT   (mispredict {:.1}%, L1 miss {:.1}%)",
+        s0.ipc(),
+        initial.frequency_ghz(),
+        s0.ipt(),
+        s0.mispredict_rate() * 100.0,
+        s0.l1.miss_ratio() * 100.0
+    );
+    println!("gzip on its customized (Table 4) configuration:");
+    println!(
+        "  IPC {:.3}  x  {:.2} GHz  =  {:.3} IPT   (mispredict {:.1}%, L1 miss {:.1}%)",
+        s1.ipc(),
+        custom.frequency_ghz(),
+        s1.ipt(),
+        s1.mispredict_rate() * 100.0,
+        s1.l1.miss_ratio() * 100.0
+    );
+    println!(
+        "\ncustomization speedup: {:.2}x in IPT",
+        s1.ipt() / s0.ipt()
+    );
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration: the published Table 4 configurations drive
+//! the simulator; raw characterization feeds subsetting; the explorer's
+//! design points realize into simulatable configurations.
+
+use xpscalar::cacti::Technology;
+use xpscalar::communal::{cluster, nearest_neighbor};
+use xpscalar::explore::DesignPoint;
+use xpscalar::paper;
+use xpscalar::sim::Simulator;
+use xpscalar::workload::{spec, Characterizer, CharacterVector, TraceGenerator};
+
+/// Every published Table 4 configuration simulates every benchmark to
+/// a sane, positive IPT.
+#[test]
+fn table4_configs_simulate_all_benchmarks() {
+    let configs = paper::table4_configs();
+    for cfg in &configs {
+        for name in ["gzip", "mcf"] {
+            let p = spec::profile(name).expect("known benchmark");
+            let s = Simulator::new(cfg).run(TraceGenerator::new(p), 15_000);
+            assert!(s.ipt() > 0.0, "{name} on {}", cfg.name);
+            assert!(s.ipc() <= cfg.width as f64 + 1e-9);
+        }
+    }
+}
+
+fn measure_all(ops: usize) -> Vec<(String, CharacterVector)> {
+    spec::all_profiles()
+        .into_iter()
+        .map(|p| {
+            let mut c = Characterizer::new();
+            for op in TraceGenerator::new(p.clone()).take(ops) {
+                c.observe(&op);
+            }
+            (p.name, c.finish())
+        })
+        .collect()
+}
+
+/// The §5.3 premise measured on our own workload models: bzip and gzip
+/// are mutual near-neighbours in the raw characteristic space (they
+/// need not be each other's absolute nearest, but each must rank the
+/// other among its three closest).
+#[test]
+fn bzip_gzip_raw_similarity() {
+    let vecs = measure_all(100_000);
+    let points: Vec<Vec<f64>> = vecs.iter().map(|(_, v)| v.kiviat().to_vec()).collect();
+    let idx = |name: &str| vecs.iter().position(|(n, _)| n == name).expect("present");
+    let (b, g) = (idx("bzip"), idx("gzip"));
+    let rank_of = |from: usize, to: usize| {
+        let d = dist(&points[from], &points[to]);
+        points
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != from)
+            .filter(|&(j, p)| dist(&points[from], p) < d && j != to)
+            .count()
+    };
+    assert!(rank_of(b, g) < 3, "gzip must be among bzip's 3 nearest");
+    assert!(rank_of(g, b) < 3, "bzip must be among gzip's 3 nearest");
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// mcf is the raw-characteristics outlier: agglomerative clustering to
+/// two clusters isolates it with at most two companions.
+#[test]
+fn mcf_is_an_outlier_cluster() {
+    let vecs = measure_all(100_000);
+    let points: Vec<Vec<f64>> = vecs.iter().map(|(_, v)| v.kiviat().to_vec()).collect();
+    let mcf = vecs.iter().position(|(n, _)| n == "mcf").expect("present");
+    let clusters = cluster(&points, 2);
+    let mcf_cluster = clusters
+        .iter()
+        .find(|c| c.members.contains(&mcf))
+        .expect("mcf is somewhere");
+    assert!(
+        mcf_cluster.members.len() <= 3,
+        "mcf's cluster should be small: {:?}",
+        mcf_cluster.members
+    );
+    // And mcf's nearest neighbour is far compared to bzip's.
+    let nn_m = nearest_neighbor(&points, mcf);
+    let bzip = vecs.iter().position(|(n, _)| n == "bzip").expect("present");
+    let nn_b = nearest_neighbor(&points, bzip);
+    assert!(dist(&points[mcf], &points[nn_m]) > dist(&points[bzip], &points[nn_b]));
+}
+
+/// Design points realized at the paper's Table 4 clock/depth corners
+/// produce configurations in the paper's own parameter ranges.
+#[test]
+fn design_space_covers_table4_corners() {
+    let tech = Technology::default();
+    // mcf's corner: slow clock, single-cycle scheduler, huge window.
+    let mut slow = DesignPoint::initial();
+    slow.clock_ns = 0.45;
+    slow.wakeup_slack = 0;
+    let cfg = slow.realize(&tech, "slow").expect("realizable");
+    assert!(cfg.rob_size >= 512, "slow clock must afford a big ROB");
+    assert_eq!(cfg.wakeup_extra, 0, "back-to-back wakeup at depth 1");
+
+    // crafty's corner: fast clock, deep scheduler.
+    let mut fast = DesignPoint::initial();
+    fast.clock_ns = 0.20;
+    fast.sched_depth = 3;
+    fast.l1_cycles = 5;
+    fast.l2_cycles = 7;
+    let cfg = fast.realize(&tech, "fast").expect("realizable");
+    assert!(cfg.frontend_depth >= 10, "fast clocks imply deep front ends");
+    assert!(cfg.iq_size >= 16);
+}
+
+/// The simulator's measured misprediction rates respect the workload
+/// models' predictability ordering (vortex most predictable, vpr
+/// least, per the profiles).
+#[test]
+fn mispredict_ordering_matches_profiles() {
+    let cfg = xpscalar::sim::CoreConfig::initial();
+    let rate = |name: &str| {
+        let p = spec::profile(name).expect("known benchmark");
+        Simulator::new(&cfg)
+            .run(TraceGenerator::new(p), 120_000)
+            .mispredict_rate()
+    };
+    let vortex = rate("vortex");
+    let vpr = rate("vpr");
+    let crafty = rate("crafty");
+    assert!(vortex < vpr, "vortex {vortex} vs vpr {vpr}");
+    assert!(crafty < vpr, "crafty {crafty} vs vpr {vpr}");
+}

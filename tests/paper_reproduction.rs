@@ -1,0 +1,333 @@
+//! Exact reproduction of the paper's analysis results from its
+//! published Table 5.
+//!
+//! Every assertion here is a number or identity printed in the paper
+//! (Tables 6 and 7, Figures 6–8, §5.3), recomputed by this
+//! repository's communal-customization implementation from the
+//! embedded Table 5 matrix. Tolerances of ±0.01 reflect the paper's
+//! two-decimal printing; the handful of paper-internal inconsistencies
+//! (values computed by the authors from unrounded logs) are documented
+//! in `EXPERIMENTS.md` and asserted at their recomputed values.
+
+use xpscalar::communal::{
+    assign_surrogates, best_combination, ideal_performance, pitfall_experiment, Merit,
+    Propagation,
+};
+use xpscalar::paper;
+
+fn close(a: f64, b: f64, tol: f64, what: &str) {
+    assert!((a - b).abs() <= tol, "{what}: got {a}, expected {b} (±{tol})");
+}
+
+/// Table 6 row 1: the best single configuration for both average and
+/// harmonic-mean IPT is gcc's, at 2.06 / 1.57.
+#[test]
+fn table6_best_single_config_is_gcc() {
+    let m = paper::table5_matrix();
+    for merit in [Merit::Average, Merit::HarmonicMean] {
+        let r = best_combination(&m, 1, merit);
+        assert_eq!(r.names, vec!["gcc".to_string()], "{merit:?}");
+        close(r.avg_ipt, 2.06, 0.01, "gcc avg IPT");
+        close(r.har_ipt, 1.57, 0.01, "gcc harmonic IPT");
+    }
+}
+
+/// Table 6 row 2: best dual-core for average IPT is parser + twolf at
+/// average 2.27.
+#[test]
+fn table6_best_pair_for_average() {
+    let m = paper::table5_matrix();
+    let r = best_combination(&m, 2, Merit::Average);
+    assert_eq!(r.names, vec!["parser".to_string(), "twolf".to_string()]);
+    close(r.avg_ipt, 2.27, 0.01, "parser+twolf avg IPT");
+    close(r.har_ipt, 1.76, 0.01, "parser+twolf harmonic IPT");
+}
+
+/// Table 6 row 3: best dual-core for harmonic-mean IPT is gcc + mcf at
+/// 2.12 average / 1.88 harmonic.
+#[test]
+fn table6_best_pair_for_harmonic() {
+    let m = paper::table5_matrix();
+    let r = best_combination(&m, 2, Merit::HarmonicMean);
+    assert_eq!(r.names, vec!["gcc".to_string(), "mcf".to_string()]);
+    close(r.avg_ipt, 2.12, 0.01, "gcc+mcf avg IPT");
+    close(r.har_ipt, 1.88, 0.01, "gcc+mcf harmonic IPT");
+}
+
+/// Table 6 row 4: best dual-core for contention-weighted harmonic mean
+/// is bzip + crafty at 2.18 average / 1.87 harmonic.
+#[test]
+fn table6_best_pair_for_contention_weighted() {
+    let m = paper::table5_matrix();
+    let r = best_combination(&m, 2, Merit::ContentionWeightedHarmonicMean);
+    assert_eq!(r.names, vec!["bzip".to_string(), "crafty".to_string()]);
+    close(r.avg_ipt, 2.18, 0.01, "bzip+crafty avg IPT");
+    close(r.har_ipt, 1.87, 0.01, "bzip+crafty harmonic IPT");
+}
+
+/// Table 6 rows 5–6: the triples. Best-3 for average is
+/// crafty + parser + twolf (2.35 avg); best-3 for harmonic is
+/// crafty + mcf + twolf (2.27 avg / 2.05 har).
+#[test]
+fn table6_best_triples() {
+    let m = paper::table5_matrix();
+    let ra = best_combination(&m, 3, Merit::Average);
+    assert_eq!(
+        ra.names,
+        vec!["crafty".to_string(), "parser".to_string(), "twolf".to_string()]
+    );
+    close(ra.avg_ipt, 2.35, 0.01, "3-avg avg IPT");
+    close(ra.har_ipt, 1.82, 0.01, "3-avg harmonic IPT");
+
+    let rh = best_combination(&m, 3, Merit::HarmonicMean);
+    assert_eq!(
+        rh.names,
+        vec!["crafty".to_string(), "mcf".to_string(), "twolf".to_string()]
+    );
+    close(rh.avg_ipt, 2.27, 0.01, "3-har avg IPT");
+    close(rh.har_ipt, 2.05, 0.01, "3-har harmonic IPT");
+}
+
+/// Table 6 row 7: best-4 for both average and harmonic is
+/// crafty + mcf + parser + twolf. (The paper prints 2.32 / 2.08; the
+/// values recomputed from its published, two-decimal Table 5 are
+/// 2.39 / 2.12 — see EXPERIMENTS.md.)
+#[test]
+fn table6_best_quad() {
+    let m = paper::table5_matrix();
+    let expect = vec![
+        "crafty".to_string(),
+        "mcf".to_string(),
+        "parser".to_string(),
+        "twolf".to_string(),
+    ];
+    for merit in [Merit::Average, Merit::HarmonicMean] {
+        let r = best_combination(&m, 4, merit);
+        assert_eq!(r.names, expect, "{merit:?}");
+    }
+    let r = best_combination(&m, 4, Merit::HarmonicMean);
+    close(r.avg_ipt, 2.3855, 0.001, "4-core avg from published table");
+    close(r.har_ipt, 2.1188, 0.001, "4-core har from published table");
+}
+
+/// Table 6 last row / Table 7 row 1: the ideal system. (Printed
+/// 2.38 / 2.12; recomputed from the published table: 2.44 / 2.16.)
+#[test]
+fn ideal_system() {
+    let m = paper::table5_matrix();
+    let (avg, har) = ideal_performance(&m);
+    close(avg, 2.4409, 0.001, "ideal avg from published table");
+    close(har, 2.1577, 0.001, "ideal har from published table");
+    // Within the paper's own printed precision they differ by < 3%.
+    assert!((har - 2.12).abs() / 2.12 < 0.03);
+}
+
+/// §5.1: up to ~50% slowdown (mcf) when a benchmark runs on another's
+/// customized architecture.
+#[test]
+fn mcf_suffers_most_cross_configuration() {
+    let m = paper::table5_matrix();
+    let mcf = m.index_of("mcf").expect("mcf present");
+    let worst_mcf = (0..11)
+        .filter(|&c| c != mcf)
+        .map(|c| m.slowdown(mcf, c))
+        .fold(0.0f64, f64::max);
+    assert!(worst_mcf > 0.5, "mcf's worst slowdown ~68%: {worst_mcf}");
+    let best_foreign = (0..11)
+        .filter(|&c| c != mcf)
+        .map(|c| m.slowdown(mcf, c))
+        .fold(f64::INFINITY, f64::min);
+    close(best_foreign, 0.204, 0.005, "mcf's best foreign arch (bzip) ~20%");
+}
+
+/// §5.3: bzip on gzip's customized configuration loses 33%; gzip on
+/// bzip's loses 43% — the two "similar" benchmarks are
+/// configurationally far apart.
+#[test]
+fn bzip_gzip_mutual_slowdowns() {
+    let m = paper::table5_matrix();
+    let b = m.index_of("bzip").expect("bzip present");
+    let g = m.index_of("gzip").expect("gzip present");
+    close(m.slowdown(b, g), 0.33, 0.005, "bzip on gzip's arch");
+    close(m.slowdown(g, b), 0.43, 0.005, "gzip on bzip's arch");
+}
+
+/// §5.3: letting one of the bzip/gzip pair represent the other flips
+/// the complete-search dual-core choice to bzip + crafty (harmonic
+/// 1.87), a ~0.5% loss versus gcc + mcf (1.88).
+#[test]
+fn subsetting_pitfall() {
+    let m = paper::table5_matrix();
+    let r = pitfall_experiment(&m, "gzip", 2, Merit::HarmonicMean);
+    assert_eq!(r.full_choice, vec!["gcc".to_string(), "mcf".to_string()]);
+    assert_eq!(r.reduced_choice, vec!["bzip".to_string(), "crafty".to_string()]);
+    close(r.reduced_value_on_full, 1.87, 0.01, "bzip+crafty harmonic on full set");
+    assert!(r.loss > 0.0, "subsetting must cost performance");
+    close(r.loss, 0.005, 0.003, "~0.5% slowdown");
+}
+
+/// Figure 6 (§5.4.1): greedy surrogates without propagation leave four
+/// architectures; harmonic-mean IPT 1.83 and average slowdown 5.66%
+/// versus ideal. Adding mcf's own architecture as a fifth core lifts
+/// the harmonic mean to ~2.1 and the average slowdown to ~1.6%.
+#[test]
+fn figure6_no_propagation() {
+    let m = paper::table5_matrix();
+    let s = assign_surrogates(&m, Propagation::None, 1);
+    assert_eq!(s.final_architectures.len(), 4);
+    close(s.harmonic_ipt(&m), 1.83, 0.01, "no-propagation harmonic IPT");
+    close(s.average_slowdown(&m), 0.0566, 0.001, "no-propagation avg slowdown");
+    assert!(s.feedback_pairs.is_empty(), "no cycles without propagation");
+
+    // The bulk of the damage is mcf's 44% surrogate; giving mcf its
+    // own core recovers almost everything.
+    let mcf = m.index_of("mcf").expect("mcf present");
+    let mut assignment = s.assignment.clone();
+    assignment[mcf] = mcf;
+    let har = 11.0
+        / assignment
+            .iter()
+            .enumerate()
+            .map(|(w, &c)| 1.0 / m.ipt(w, c))
+            .sum::<f64>();
+    close(har, 2.1, 0.03, "five-core harmonic IPT");
+    let slow = assignment
+        .iter()
+        .enumerate()
+        .map(|(w, &c)| m.slowdown(w, c))
+        .sum::<f64>()
+        / 11.0;
+    close(slow, 0.016, 0.002, "five-core avg slowdown");
+}
+
+/// Figure 7 (§5.4.2): full propagation reduces to the architectures of
+/// gzip and twolf (harmonic 1.74, ~18% below ideal per Table 7), with
+/// feedback surrogating between gzip↔parser and twolf↔vpr.
+#[test]
+fn figure7_full_propagation() {
+    let m = paper::table5_matrix();
+    let s = assign_surrogates(&m, Propagation::ForwardBackward, 1);
+    let finals: Vec<&str> = s
+        .final_architectures
+        .iter()
+        .map(|&i| m.names()[i].as_str())
+        .collect();
+    assert_eq!(finals, vec!["gzip", "twolf"]);
+    close(s.harmonic_ipt(&m), 1.74, 0.01, "full-propagation harmonic IPT");
+    // Both feedback pairs the paper observes.
+    let names = |(a, b): (usize, usize)| (m.names()[a].as_str(), m.names()[b].as_str());
+    let pairs: Vec<_> = s.feedback_pairs.iter().copied().map(names).collect();
+    assert!(pairs.contains(&("gzip", "parser")), "{pairs:?}");
+    assert!(pairs.contains(&("twolf", "vpr")), "{pairs:?}");
+    // Eleven edges: nine tree edges plus the two cycle closers.
+    assert_eq!(s.edges.len(), 11);
+}
+
+/// Figure 7's edges against the starred cells of Appendix A: every
+/// starred (dependent, host) pair the paper marks is selected by the
+/// greedy.
+#[test]
+fn figure7_edges_match_appendix_stars() {
+    let m = paper::table5_matrix();
+    let s = assign_surrogates(&m, Propagation::ForwardBackward, 1);
+    let has = |dep: &str, host: &str| {
+        let d = m.index_of(dep).expect("known");
+        let h = m.index_of(host).expect("known");
+        s.edges.iter().any(|e| e.dependent == d && e.host == h)
+    };
+    for (dep, host) in [
+        ("bzip", "twolf"),
+        ("crafty", "vortex"),
+        ("gap", "gzip"),
+        ("gcc", "crafty"),
+        ("gzip", "parser"),
+        ("parser", "gzip"),
+        ("perl", "crafty"),
+        ("twolf", "vpr"),
+        ("vortex", "parser"),
+        ("vpr", "twolf"),
+        ("mcf", "bzip"),
+    ] {
+        assert!(has(dep, host), "missing starred edge {dep} <- {host}");
+    }
+}
+
+/// Figure 8 (§5.4.2): forward-only propagation, driven to two
+/// architectures, yields harmonic-mean IPT ≈ 1.75 with mcf's
+/// architecture among the survivors.
+#[test]
+fn figure8_forward_propagation() {
+    let m = paper::table5_matrix();
+    let s = assign_surrogates(&m, Propagation::Forward, 2);
+    assert_eq!(s.final_architectures.len(), 2);
+    close(s.harmonic_ipt(&m), 1.75, 0.01, "forward-only harmonic IPT");
+    let mcf = m.index_of("mcf").expect("mcf present");
+    assert!(
+        s.final_architectures.contains(&mcf),
+        "mcf's architecture survives (nothing surrogates it cheaply)"
+    );
+    assert!(s.feedback_pairs.is_empty(), "forward-only cannot feed back");
+}
+
+/// Table 7, all four rows, from the published matrix.
+#[test]
+fn table7_summary() {
+    let m = paper::table5_matrix();
+    let t = xpscalar::table7(&m);
+    assert_eq!(t.rows.len(), 4);
+    // Row 2: homogeneous gcc. Paper: 1.57, 26% below ideal.
+    close(t.rows[1].harmonic_ipt, 1.57, 0.01, "homogeneous har");
+    close(t.rows[1].slowdown_vs_ideal, 0.27, 0.02, "homogeneous slowdown");
+    // Row 3: complete search gcc+mcf. Paper: 1.88, 11%.
+    assert_eq!(
+        t.rows[2].architectures,
+        vec!["gcc".to_string(), "mcf".to_string()]
+    );
+    close(t.rows[2].harmonic_ipt, 1.88, 0.01, "complete-search har");
+    close(t.rows[2].slowdown_vs_ideal, 0.12, 0.02, "complete-search slowdown");
+    // Row 4: greedy surrogates with propagation. Paper: 1.74, 18%.
+    close(t.rows[3].harmonic_ipt, 1.74, 0.01, "surrogate har");
+    close(t.rows[3].slowdown_vs_ideal, 0.19, 0.02, "surrogate slowdown");
+}
+
+/// Figure 4's qualitative claims: twolf and parser gain ~40% / ~25%
+/// over the best single configuration under the best-2-for-average
+/// set, and mcf nearly doubles under the best-2-for-harmonic set while
+/// helping almost nobody else.
+#[test]
+fn figure4_series_claims() {
+    let m = paper::table5_matrix();
+    let gcc = m.index_of("gcc").expect("gcc present");
+    let best_single = vec![gcc];
+    let avg2: Vec<usize> = best_combination(&m, 2, Merit::Average).cores;
+    let har2: Vec<usize> = best_combination(&m, 2, Merit::HarmonicMean).cores;
+
+    let gain = |w: &str, set: &[usize]| {
+        let i = m.index_of(w).expect("known benchmark");
+        m.ipt(i, m.best_config_for(i, set)) / m.ipt(i, m.best_config_for(i, &best_single))
+    };
+    let twolf_gain = gain("twolf", &avg2);
+    assert!((1.35..=1.55).contains(&twolf_gain), "twolf ~40-45%: {twolf_gain}");
+    let parser_gain = gain("parser", &avg2);
+    assert!((1.2..=1.35).contains(&parser_gain), "parser ~25%: {parser_gain}");
+    let mcf_gain = gain("mcf", &har2);
+    assert!(mcf_gain > 1.9, "mcf ~2x: {mcf_gain}");
+    // mcf's architecture helps only bzip among the others.
+    let mcf = m.index_of("mcf").expect("mcf present");
+    for w in 0..11 {
+        if w == mcf {
+            continue;
+        }
+        let with_mcf = m.ipt(w, m.best_config_for(w, &[gcc, mcf]));
+        let without = m.ipt(w, gcc);
+        if m.names()[w] != "bzip" {
+            assert!(
+                with_mcf <= without + 1e-12,
+                "{} should not benefit from mcf's core",
+                m.names()[w]
+            );
+        } else {
+            assert!(with_mcf > without, "bzip benefits slightly");
+        }
+    }
+}
