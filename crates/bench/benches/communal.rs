@@ -12,7 +12,7 @@ use xps_core::paper;
 fn complete_search(c: &mut Criterion) {
     let m = paper::table5_matrix();
     for k in [2usize, 4] {
-        c.bench_function(&format!("search/best-{k}-har"), |b| {
+        c.bench_function(format!("search/best-{k}-har"), |b| {
             b.iter(|| best_combination(&m, black_box(k), Merit::HarmonicMean))
         });
     }
@@ -28,7 +28,7 @@ fn surrogates(c: &mut Criterion) {
         (Propagation::Forward, "forward"),
         (Propagation::ForwardBackward, "full"),
     ] {
-        c.bench_function(&format!("surrogates/{name}"), |b| {
+        c.bench_function(format!("surrogates/{name}"), |b| {
             b.iter(|| assign_surrogates(&m, mode, black_box(1).max(1)))
         });
     }

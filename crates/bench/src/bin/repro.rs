@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--paper-data] [--quick]
+//! repro <experiment> [--paper-data] [--quick] [--jobs N]
 //!
 //! experiments:
 //!   explore      run the measured exploration campaign and persist it
@@ -34,10 +34,17 @@
 //!
 //! `--paper-data` analyses the paper's published Table 5 instead of
 //! this repository's measured matrix; `--quick` shrinks the measured
-//! exploration budget (demo-scale).
+//! exploration budget (demo-scale); `--jobs N` sets the worker-thread
+//! count of the measured exploration (default: available parallelism;
+//! results are bit-identical for every value).
 //! ```
 
+// The dispatch tables below use `Ok(experiment())` so each arm stays a
+// one-liner; every experiment returns `()`.
+#![allow(clippy::unit_arg)]
+
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use xps_bench::{
     load_measured, measured_path, render_kiviat, render_table, save_measured, Measured,
 };
@@ -58,8 +65,52 @@ enum Source {
     Measured,
 }
 
+/// Worker threads for the measured exploration (0 = available
+/// parallelism). Set once in `main` from `--jobs`; a process-wide cell
+/// avoids threading the knob through every table function.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Drain `--jobs N` / `--jobs=N` from the argument list and return the
+/// requested worker count (0 = default).
+fn extract_jobs(args: &mut Vec<String>) -> Result<usize, String> {
+    let mut jobs = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let take = if args[i] == "--jobs" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| "--jobs requires a value".to_string())?;
+            jobs = v
+                .parse()
+                .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
+            args.drain(i..i + 2);
+            true
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            jobs = v
+                .parse()
+                .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
+            args.remove(i);
+            true
+        } else {
+            false
+        };
+        if !take {
+            i += 1;
+        }
+    }
+    Ok(jobs)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match extract_jobs(&mut args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    JOBS.store(jobs, Ordering::Relaxed);
     let quick = args.iter().any(|a| a == "--quick");
     let source = if args.iter().any(|a| a == "--paper-data") {
         Source::Paper
@@ -69,12 +120,15 @@ fn main() -> ExitCode {
     let cmd = match args.iter().find(|a| !a.starts_with("--")) {
         Some(c) => c.clone(),
         None => {
-            eprintln!("usage: repro <experiment> [--paper-data] [--quick]  (see --help)");
+            eprintln!(
+                "usage: repro <experiment> [--paper-data] [--quick] [--jobs N]  (see --help)"
+            );
             return ExitCode::FAILURE;
         }
     };
     if cmd == "--help" || cmd == "help" {
         println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule all");
+        println!("flags: --paper-data --quick --jobs N");
         return ExitCode::SUCCESS;
     }
     let run = |c: &str| -> Result<(), String> {
@@ -110,11 +164,31 @@ fn main() -> ExitCode {
             "visualize" => visualize(source, quick),
             "all" => {
                 for c in [
-                    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
-                    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "appendix-a",
-                    "pitfall", "schedule", "ablation-tech", "ablation-power",
-                    "ablation-predictor", "ablation-search", "ablation-prefetch",
-                    "dendrogram", "visualize",
+                    "table1",
+                    "table2",
+                    "table3",
+                    "table4",
+                    "table5",
+                    "table6",
+                    "table7",
+                    "fig1",
+                    "fig2",
+                    "fig3",
+                    "fig4",
+                    "fig5",
+                    "fig6",
+                    "fig7",
+                    "fig8",
+                    "appendix-a",
+                    "pitfall",
+                    "schedule",
+                    "ablation-tech",
+                    "ablation-power",
+                    "ablation-predictor",
+                    "ablation-search",
+                    "ablation-prefetch",
+                    "dendrogram",
+                    "visualize",
                 ] {
                     println!("\n================ {c} ================\n");
                     run_dispatch(c, source, quick)?;
@@ -169,7 +243,10 @@ fn measured(quick: bool) -> Result<Measured, String> {
     let path = measured_path();
     if let Ok(m) = load_measured(&path) {
         if m.quick == quick {
-            eprintln!("[using cached {} — delete it to re-explore]", path.display());
+            eprintln!(
+                "[using cached {} — delete it to re-explore]",
+                path.display()
+            );
             return Ok(m);
         }
     }
@@ -181,8 +258,28 @@ fn explore(quick: bool) -> Result<Measured, String> {
         "[running measured exploration campaign ({}) — this simulates ~10^9 micro-ops]",
         if quick { "quick" } else { "full" }
     );
-    let pipeline = if quick { Pipeline::quick() } else { Pipeline::default() };
+    let mut pipeline = if quick {
+        Pipeline::quick()
+    } else {
+        Pipeline::default()
+    };
+    pipeline.explore.jobs = JOBS.load(Ordering::Relaxed);
+    let t0 = std::time::Instant::now();
     let result = pipeline.run(&spec::all_profiles());
+    let wall = t0.elapsed().as_secs_f64();
+    let s = &result.stats;
+    eprintln!(
+        "[{wall:.1}s wall on {} worker(s); cache {} hits / {} misses ({:.1}% hit rate); evals per worker: {}]",
+        s.workers,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.hit_rate() * 100.0,
+        s.per_worker_tasks
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
+    );
     let m = Measured::from((result, quick));
     save_measured(&m, &measured_path())?;
     eprintln!("[saved {}]", measured_path().display());
@@ -204,25 +301,37 @@ fn table1() {
             "L1 data cache".into(),
             "sets x assoc x line, 2R/2W".into(),
             "access time".into(),
-            format!("{:.3} ns (32 KB, 2w, 64 B)", cacti::units::l1_access_time(&tech, 256, 2, 64)),
+            format!(
+                "{:.3} ns (32 KB, 2w, 64 B)",
+                cacti::units::l1_access_time(&tech, 256, 2, 64)
+            ),
         ],
         vec![
             "L2 data cache".into(),
             "sets x assoc x line, 2R/2W".into(),
             "access time".into(),
-            format!("{:.3} ns (2 MB, 4w, 128 B)", cacti::units::l2_access_time(&tech, 4096, 4, 128)),
+            format!(
+                "{:.3} ns (2 MB, 4w, 128 B)",
+                cacti::units::l2_access_time(&tech, 4096, 4, 128)
+            ),
         ],
         vec![
             "wakeup-select".into(),
             "CAM 2xIQ entries + RAM select".into(),
             "tag cmp + datapath".into(),
-            format!("{:.3} ns (IQ 64, width 4)", cacti::units::issue_queue_delay(&tech, 64, 4)),
+            format!(
+                "{:.3} ns (IQ 64, width 4)",
+                cacti::units::issue_queue_delay(&tech, 64, 4)
+            ),
         ],
         vec![
             "reg file (ROB)".into(),
             "RAM, 2w read / w write ports".into(),
             "access time".into(),
-            format!("{:.3} ns (ROB 256, width 4)", cacti::units::regfile_access_time(&tech, 256, 4)),
+            format!(
+                "{:.3} ns (ROB 256, width 4)",
+                cacti::units::regfile_access_time(&tech, 256, 4)
+            ),
         ],
         vec![
             "LSQ".into(),
@@ -234,7 +343,12 @@ fn table1() {
     println!(
         "{}",
         render_table(
-            &["unit".into(), "organization".into(), "CACTI output".into(), "model delay".into()],
+            &[
+                "unit".into(),
+                "organization".into(),
+                "CACTI output".into(),
+                "model delay".into()
+            ],
             &rows
         )
     );
@@ -242,9 +356,18 @@ fn table1() {
 
 fn table2() {
     println!("Table 2: fixed design parameters\n");
-    println!("  memory access latency    {} ns", constants::MEMORY_LATENCY_NS);
-    println!("  front-end latency        {} ns", constants::FRONTEND_LATENCY_NS);
-    println!("  bit-width of IQ entries  {} bits", constants::IQ_ENTRY_BITS);
+    println!(
+        "  memory access latency    {} ns",
+        constants::MEMORY_LATENCY_NS
+    );
+    println!(
+        "  front-end latency        {} ns",
+        constants::FRONTEND_LATENCY_NS
+    );
+    println!(
+        "  bit-width of IQ entries  {} bits",
+        constants::IQ_ENTRY_BITS
+    );
     println!("  latch latency            {} ns", constants::LATCH_NS);
 }
 
@@ -254,28 +377,51 @@ fn table3() {
     println!("{}", config_table(&[c]));
 }
 
+type ParamCell = Box<dyn Fn(&CoreConfig) -> String>;
+
 fn config_table(configs: &[CoreConfig]) -> String {
     let header: Vec<String> = std::iter::once("parameter".to_string())
         .chain(configs.iter().map(|c| c.name.clone()))
         .collect();
-    let param_rows: Vec<(&str, Box<dyn Fn(&CoreConfig) -> String>)> = vec![
-        ("mem access cycles", Box::new(|c| c.mem_cycles().to_string())),
-        ("front-end stages", Box::new(|c| c.frontend_depth.to_string())),
+    let param_rows: Vec<(&str, ParamCell)> = vec![
+        (
+            "mem access cycles",
+            Box::new(|c| c.mem_cycles().to_string()),
+        ),
+        (
+            "front-end stages",
+            Box::new(|c| c.frontend_depth.to_string()),
+        ),
         ("width", Box::new(|c| c.width.to_string())),
         ("ROB size", Box::new(|c| c.rob_size.to_string())),
         ("issue queue size", Box::new(|c| c.iq_size.to_string())),
-        ("min awaken latency", Box::new(|c| c.wakeup_extra.to_string())),
+        (
+            "min awaken latency",
+            Box::new(|c| c.wakeup_extra.to_string()),
+        ),
         ("sched/RF depth", Box::new(|c| c.sched_depth.to_string())),
         ("clock (ns)", Box::new(|c| format!("{:.2}", c.clock_ns))),
         ("L1D assoc", Box::new(|c| c.l1.geometry.assoc.to_string())),
-        ("L1D block (B)", Box::new(|c| c.l1.geometry.block_bytes.to_string())),
+        (
+            "L1D block (B)",
+            Box::new(|c| c.l1.geometry.block_bytes.to_string()),
+        ),
         ("L1D sets", Box::new(|c| c.l1.geometry.sets.to_string())),
-        ("L1D KB", Box::new(|c| (c.l1.geometry.capacity_bytes() / 1024).to_string())),
+        (
+            "L1D KB",
+            Box::new(|c| (c.l1.geometry.capacity_bytes() / 1024).to_string()),
+        ),
         ("L1D cycles", Box::new(|c| c.l1.latency.to_string())),
         ("L2D assoc", Box::new(|c| c.l2.geometry.assoc.to_string())),
-        ("L2D block (B)", Box::new(|c| c.l2.geometry.block_bytes.to_string())),
+        (
+            "L2D block (B)",
+            Box::new(|c| c.l2.geometry.block_bytes.to_string()),
+        ),
         ("L2D sets", Box::new(|c| c.l2.geometry.sets.to_string())),
-        ("L2D KB", Box::new(|c| (c.l2.geometry.capacity_bytes() / 1024).to_string())),
+        (
+            "L2D KB",
+            Box::new(|c| (c.l2.geometry.capacity_bytes() / 1024).to_string()),
+        ),
         ("L2D cycles", Box::new(|c| c.l2.latency.to_string())),
         ("LSQ size", Box::new(|c| c.lsq_size.to_string())),
     ];
@@ -283,7 +429,7 @@ fn config_table(configs: &[CoreConfig]) -> String {
         .iter()
         .map(|(name, f)| {
             std::iter::once(name.to_string())
-                .chain(configs.iter().map(|c| f(c)))
+                .chain(configs.iter().map(f.as_ref()))
                 .collect()
         })
         .collect();
@@ -293,7 +439,11 @@ fn config_table(configs: &[CoreConfig]) -> String {
 fn table4(source: Source, quick: bool) -> Result<(), String> {
     let configs = match source {
         Source::Paper => paper::table4_configs(),
-        Source::Measured => measured(quick)?.cores.iter().map(|c| c.config.clone()).collect(),
+        Source::Measured => measured(quick)?
+            .cores
+            .iter()
+            .map(|c| c.config.clone())
+            .collect(),
     };
     println!(
         "Table 4: customized architectural configurations ({})\n",
@@ -362,7 +512,12 @@ fn table6(source: Source, quick: bool) -> Result<(), String> {
     println!(
         "{}",
         render_table(
-            &["criterion".into(), "customized core(s)".into(), "avg IPT".into(), "har IPT".into()],
+            &[
+                "criterion".into(),
+                "customized core(s)".into(),
+                "avg IPT".into(),
+                "har IPT".into()
+            ],
             &rows
         )
     );
@@ -392,7 +547,12 @@ fn table7_cmd(source: Source, quick: bool) -> Result<(), String> {
     println!(
         "{}",
         render_table(
-            &["scenario".into(), "arch(s)".into(), "har IPT".into(), "slowdown vs ideal".into()],
+            &[
+                "scenario".into(),
+                "arch(s)".into(),
+                "har IPT".into(),
+                "slowdown vs ideal".into()
+            ],
             &rows
         )
     );
@@ -418,10 +578,34 @@ fn fig2() {
     println!("Figure 2: clock period vs. issue-queue / L1 sizing scenarios\n");
     println!("(delays from the CACTI model; slack = stage budget - unit delay)\n");
     let scenarios = [
-        ("a: 1.00 ns clock, IQ 64, L1 32 KB in 1 cycle", 1.00, 64u32, 256u32, 1u32),
-        ("b: 0.66 ns clock, IQ 64, L1 32 KB in 1 cycle", 0.66, 64, 256, 1),
-        ("c: 0.66 ns clock, IQ 32, L1 32 KB in 1 cycle", 0.66, 32, 256, 1),
-        ("d: 1.00 ns clock, IQ 64, L1 128 KB in 2 cycles", 1.00, 64, 1024, 2),
+        (
+            "a: 1.00 ns clock, IQ 64, L1 32 KB in 1 cycle",
+            1.00,
+            64u32,
+            256u32,
+            1u32,
+        ),
+        (
+            "b: 0.66 ns clock, IQ 64, L1 32 KB in 1 cycle",
+            0.66,
+            64,
+            256,
+            1,
+        ),
+        (
+            "c: 0.66 ns clock, IQ 32, L1 32 KB in 1 cycle",
+            0.66,
+            32,
+            256,
+            1,
+        ),
+        (
+            "d: 1.00 ns clock, IQ 64, L1 128 KB in 2 cycles",
+            1.00,
+            64,
+            1024,
+            2,
+        ),
     ];
     let mut rows = Vec::new();
     for (label, clock, iq, l1_sets, l1_cycles) in scenarios {
@@ -463,8 +647,7 @@ fn fig3(source: Source, quick: bool) -> Result<(), String> {
         .names()
         .iter()
         .map(|n| {
-            let p = spec::profile(n)
-                .ok_or_else(|| format!("no workload model for `{n}`"))?;
+            let p = spec::profile(n).ok_or_else(|| format!("no workload model for `{n}`"))?;
             let mut c = Characterizer::new();
             for op in TraceGenerator::new(p).take(ops) {
                 c.observe(&op);
@@ -493,8 +676,15 @@ fn fig3(source: Source, quick: bool) -> Result<(), String> {
     println!(
         "{}",
         render_table(
-            &["reps".into(), "cores".into(), "(a) choice".into(), "(a) har".into(),
-              "(b) choice".into(), "(b) har".into(), "loss".into()],
+            &[
+                "reps".into(),
+                "cores".into(),
+                "(a) choice".into(),
+                "(a) har".into(),
+                "(b) choice".into(),
+                "(b) har".into(),
+                "loss".into()
+            ],
             &rows
         )
     );
@@ -523,9 +713,10 @@ fn fig4(source: Source, quick: bool) -> Result<(), String> {
     let rows: Vec<Vec<String>> = (0..m.len())
         .map(|w| {
             std::iter::once(m.names()[w].clone())
-                .chain(sets.iter().map(|(_, s)| {
-                    format!("{:.2}", m.ipt(w, m.best_config_for(w, s)))
-                }))
+                .chain(
+                    sets.iter()
+                        .map(|(_, s)| format!("{:.2}", m.ipt(w, m.best_config_for(w, s)))),
+                )
                 .collect()
         })
         .collect();
@@ -535,8 +726,12 @@ fn fig4(source: Source, quick: bool) -> Result<(), String> {
 
 fn fig5() {
     println!("Figure 5: propagation of surrogates (illustration)\n");
-    println!("  forward propagation:  A hosts B, then C hosts A  =>  B effectively runs on C's arch");
-    println!("  backward propagation: B hosts A, then A hosts C  =>  C effectively runs on B's arch");
+    println!(
+        "  forward propagation:  A hosts B, then C hosts A  =>  B effectively runs on C's arch"
+    );
+    println!(
+        "  backward propagation: B hosts A, then A hosts C  =>  C effectively runs on B's arch"
+    );
     println!("\nSee fig6/fig7/fig8 for the policies applied to the matrix.");
 }
 
@@ -627,7 +822,9 @@ fn schedule(source: Source, quick: bool) -> Result<(), String> {
     let pair = best_combination(&m, 2, Merit::HarmonicMean).cores;
     println!(
         "  cores: {:?}\n",
-        pair.iter().map(|&c| m.names()[c].clone()).collect::<Vec<_>>()
+        pair.iter()
+            .map(|&c| m.names()[c].clone())
+            .collect::<Vec<_>>()
     );
     let mut rows = Vec::new();
     for burst in [0.0, 0.4, 0.8] {
@@ -707,8 +904,15 @@ fn ablation_tech() {
     println!(
         "{}",
         render_table(
-            &["technology".into(), "benchmark".into(), "clock".into(), "ROB".into(),
-              "L1 KB".into(), "L2 KB".into(), "IPT".into()],
+            &[
+                "technology".into(),
+                "benchmark".into(),
+                "clock".into(),
+                "ROB".into(),
+                "L1 KB".into(),
+                "L2 KB".into(),
+                "IPT".into()
+            ],
             &rows
         )
     );
@@ -725,13 +929,15 @@ fn ablation_power() {
     let mut rows = Vec::new();
     for name in ["gzip", "twolf"] {
         let p = spec::profile(name).expect("known benchmark");
-        for (label, objective) in [("IPT", Objective::Ipt), ("1/EDP", Objective::InverseEnergyDelay)] {
+        for (label, objective) in [
+            ("IPT", Objective::Ipt),
+            ("1/EDP", Objective::InverseEnergyDelay),
+        ] {
             let mut opts = AnnealOptions::quick();
             opts.iterations = 80;
             opts.objective = objective;
             let r = anneal(&p, &DesignPoint::initial(), &opts, &tech);
-            let stats = Simulator::new(&r.config)
-                .run(TraceGenerator::new(p.clone()), 60_000);
+            let stats = Simulator::new(&r.config).run(TraceGenerator::new(p.clone()), 60_000);
             let e = estimate_energy(&tech, &r.config, &stats);
             let time_ns = stats.cycles as f64 * r.config.clock_ns;
             rows.push(vec![
@@ -748,8 +954,15 @@ fn ablation_power() {
     println!(
         "{}",
         render_table(
-            &["benchmark".into(), "objective".into(), "clock".into(), "ROB".into(),
-              "L2 KB".into(), "IPT".into(), "power (W)".into()],
+            &[
+                "benchmark".into(),
+                "objective".into(),
+                "clock".into(),
+                "ROB".into(),
+                "L2 KB".into(),
+                "IPT".into(),
+                "power (W)".into()
+            ],
             &rows
         )
     );
@@ -770,17 +983,26 @@ fn ablation_predictor() {
             PredictorKind::TwoLevelLocal,
             PredictorKind::Tournament,
         ] {
-            let s = Simulator::with_predictor(&cfg, kind)
-                .run(TraceGenerator::new(p.clone()), 120_000);
-            row.push(format!("{:.1}%/{:.2}", s.mispredict_rate() * 100.0, s.ipt()));
+            let s =
+                Simulator::with_predictor(&cfg, kind).run(TraceGenerator::new(p.clone()), 120_000);
+            row.push(format!(
+                "{:.1}%/{:.2}",
+                s.mispredict_rate() * 100.0,
+                s.ipt()
+            ));
         }
         rows.push(row);
     }
     println!(
         "{}",
         render_table(
-            &["benchmark".into(), "bimodal".into(), "gshare".into(),
-              "2lev-local".into(), "tournament".into()],
+            &[
+                "benchmark".into(),
+                "bimodal".into(),
+                "gshare".into(),
+                "2lev-local".into(),
+                "tournament".into()
+            ],
             &rows
         )
     );
@@ -822,7 +1044,11 @@ fn ablation_search() {
     println!(
         "{}",
         render_table(
-            &["benchmark".into(), "grid best IPT".into(), "anneal best IPT".into()],
+            &[
+                "benchmark".into(),
+                "grid best IPT".into(),
+                "anneal best IPT".into()
+            ],
             &rows
         )
     );
@@ -841,21 +1067,36 @@ fn ablation_prefetch() {
     for name in ["gzip", "bzip", "mcf", "twolf"] {
         let p = spec::profile(name).expect("known benchmark");
         let mut row = vec![name.to_string()];
-        for kind in [PrefetchKind::None, PrefetchKind::NextLine, PrefetchKind::Stream] {
+        for kind in [
+            PrefetchKind::None,
+            PrefetchKind::NextLine,
+            PrefetchKind::Stream,
+        ] {
             let s = Simulator::with_options(&cfg, PredictorKind::Gshare, kind)
                 .run(TraceGenerator::new(p.clone()), 150_000);
-            row.push(format!("{:.2} ({:.0}% L1 miss)", s.ipt(), s.l1.miss_ratio() * 100.0));
+            row.push(format!(
+                "{:.2} ({:.0}% L1 miss)",
+                s.ipt(),
+                s.l1.miss_ratio() * 100.0
+            ));
         }
         rows.push(row);
     }
     println!(
         "{}",
         render_table(
-            &["benchmark".into(), "none".into(), "next-line".into(), "stream".into()],
+            &[
+                "benchmark".into(),
+                "none".into(),
+                "next-line".into(),
+                "stream".into()
+            ],
             &rows
         )
     );
-    println!("  streaming codes (gzip) benefit; pointer chases (mcf) do not — capacity still decides.");
+    println!(
+        "  streaming codes (gzip) benefit; pointer chases (mcf) do not — capacity still decides."
+    );
 }
 
 /// The subsetting dendrogram over the raw characteristics of all
@@ -884,7 +1125,9 @@ fn dendrogram_cmd(quick: bool) {
 fn visualize(source: Source, quick: bool) -> Result<(), String> {
     let (m, label) = matrix_for(source, quick)?;
     println!("Cross-configuration slowdown heat map [{label}]\n");
-    println!("  rows: benchmark; columns: architecture; shade: . <5%  - <15%  + <30%  * <50%  # >=50%\n");
+    println!(
+        "  rows: benchmark; columns: architecture; shade: . <5%  - <15%  + <30%  * <50%  # >=50%\n"
+    );
     let shade = |s: f64| -> char {
         if s < 0.05 {
             '.'
@@ -921,5 +1164,8 @@ fn smoke() {
     let cfg = paper::table4_config("gzip").expect("gzip in Table 4");
     let p = spec::profile("gzip").expect("gzip profile");
     let stats = Simulator::new(&cfg).run(TraceGenerator::new(p), 10_000);
-    eprintln!("smoke: gzip on its published config: {:.2} IPT", stats.ipt());
+    eprintln!(
+        "smoke: gzip on its published config: {:.2} IPT",
+        stats.ipt()
+    );
 }

@@ -108,10 +108,7 @@ pub fn render_kiviat(axes: &[&str], values: &[f64]) -> String {
     let mut out = String::new();
     for (axis, v) in axes.iter().zip(values) {
         let filled = (v.clamp(0.0, 10.0).round()) as usize;
-        out.push_str(&format!(
-            "  {axis:<26} {:<10} {v:.1}\n",
-            "#".repeat(filled)
-        ));
+        out.push_str(&format!("  {axis:<26} {:<10} {v:.1}\n", "#".repeat(filled)));
     }
     out
 }

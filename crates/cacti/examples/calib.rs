@@ -34,7 +34,10 @@ fn main() {
     }
     println!("register files:");
     for (n, w) in [(64u32, 8u32), (128, 3), (256, 4), (512, 5), (1024, 3)] {
-        println!("  ROB{n} w{w}: {:.3} ns", units::regfile_access_time(&t, n, w));
+        println!(
+            "  ROB{n} w{w}: {:.3} ns",
+            units::regfile_access_time(&t, n, w)
+        );
     }
     println!("load-store queues:");
     for n in [64u32, 128, 256] {

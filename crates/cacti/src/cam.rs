@@ -70,7 +70,10 @@ mod tests {
         let d128 = CamArray::new(128, 64, 1).match_time(&tech);
         let step1 = d64 - d32;
         let step2 = d128 - d64;
-        assert!((step2 - 2.0 * step1).abs() < 1e-9, "match line is linear in entries");
+        assert!(
+            (step2 - 2.0 * step1).abs() < 1e-9,
+            "match line is linear in entries"
+        );
     }
 
     #[test]

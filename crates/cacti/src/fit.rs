@@ -17,7 +17,9 @@ pub const ROB_SIZES: [u32; 6] = [32, 64, 128, 256, 512, 1024];
 /// Candidate load-store-queue sizes (paper space: up to 256).
 pub const LSQ_SIZES: [u32; 5] = [16, 32, 64, 128, 256];
 /// Candidate cache set counts.
-pub const CACHE_SETS: [u32; 12] = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
+pub const CACHE_SETS: [u32; 12] = [
+    32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+];
 /// Candidate cache associativities.
 pub const CACHE_ASSOC: [u32; 5] = [1, 2, 4, 8, 16];
 /// Candidate cache block sizes in bytes.
@@ -85,13 +87,11 @@ pub fn cache_geometries_within(tech: &Technology, budget: f64) -> Vec<CacheGeome
         }
     }
     out.sort_by(|a, b| {
-        a.capacity_bytes()
-            .cmp(&b.capacity_bytes())
-            .then_with(|| {
-                cache_access_time(tech, a)
-                    .partial_cmp(&cache_access_time(tech, b))
-                    .expect("access times are finite")
-            })
+        a.capacity_bytes().cmp(&b.capacity_bytes()).then_with(|| {
+            cache_access_time(tech, a)
+                .partial_cmp(&cache_access_time(tech, b))
+                .expect("access times are finite")
+        })
     });
     out
 }

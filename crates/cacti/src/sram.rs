@@ -131,7 +131,10 @@ mod tests {
         let mut prev = 0.0;
         for rows in [16u32, 64, 256, 1024, 4096, 16384] {
             let d = SramArray::new(rows, 64, 2, 1).access_time(&t());
-            assert!(d > prev, "delay must grow with rows ({rows}: {d} vs {prev})");
+            assert!(
+                d > prev,
+                "delay must grow with rows ({rows}: {d} vs {prev})"
+            );
             prev = d;
         }
     }
@@ -148,7 +151,10 @@ mod tests {
         // Quadrupling capacity should far less than quadruple delay.
         let small = SramArray::new(1024, 256, 2, 2).access_time(&t());
         let large = SramArray::new(4096, 256, 2, 2).access_time(&t());
-        assert!(large < small * 3.0, "partitioning should keep scaling sublinear");
+        assert!(
+            large < small * 3.0,
+            "partitioning should keep scaling sublinear"
+        );
         assert!(large > small);
     }
 

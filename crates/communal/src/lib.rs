@@ -33,8 +33,8 @@
 mod combin;
 mod matrix;
 mod methodology;
-mod partition;
 mod metrics;
+mod partition;
 mod schedule;
 mod subset;
 mod surrogate;
@@ -44,8 +44,8 @@ pub use combin::{
 };
 pub use matrix::CrossPerfMatrix;
 pub use methodology::{compare_methodologies, MethodologyComparison};
-pub use partition::{balanced_partition, BalancedPartition};
 pub use metrics::Merit;
+pub use partition::{balanced_partition, BalancedPartition};
 pub use schedule::{simulate_jobs, JobPolicy, ScheduleOptions, ScheduleStats};
 pub use subset::{
     cluster, dendrogram, nearest_neighbor, pitfall_experiment, Cluster, Dendrogram, Merge,

@@ -66,7 +66,29 @@ impl CrossPerfMatrix {
             }
         }
         let weights = vec![1.0; n];
-        Ok(CrossPerfMatrix { names, ipt, weights })
+        Ok(CrossPerfMatrix {
+            names,
+            ipt,
+            weights,
+        })
+    }
+
+    /// Build a square matrix by calling `f(workload, config)` for every
+    /// cell, row-major. Convenient when the cells were measured
+    /// elsewhere (e.g. by a parallel fan-out that produced a flat
+    /// result vector) and just need assembling with validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as
+    /// [`CrossPerfMatrix::new`].
+    pub fn from_fn(
+        names: Vec<String>,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Result<CrossPerfMatrix, String> {
+        let n = names.len();
+        let ipt = (0..n).map(|w| (0..n).map(|c| f(w, c)).collect()).collect();
+        CrossPerfMatrix::new(names, ipt)
     }
 
     /// Replace the importance weights (must be positive, one per
@@ -221,6 +243,20 @@ mod tests {
         assert!(m.clone().with_weights(vec![1.0, 0.0, 1.0]).is_err());
         let w = m.with_weights(vec![1.0, 2.0, 3.0]).expect("valid");
         assert_eq!(w.weights(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_fn_matches_new() {
+        let rows = [
+            vec![2.0, 1.0, 1.5],
+            vec![0.5, 1.5, 1.2],
+            vec![0.8, 0.9, 1.0],
+        ];
+        let names: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let m = CrossPerfMatrix::from_fn(names, |w, c| rows[w][c]).expect("valid");
+        assert_eq!(m, sample());
+        assert!(CrossPerfMatrix::from_fn(vec!["a".into()], |_, _| f64::NAN).is_err());
+        assert!(CrossPerfMatrix::from_fn(vec![], |_, _| 1.0).is_err());
     }
 
     #[test]

@@ -124,10 +124,7 @@ pub fn compare_methodologies(
 
     MethodologyComparison {
         representatives: reps.iter().map(|&i| m.names()[i].clone()).collect(),
-        subset_first_choice: subset_cores
-            .iter()
-            .map(|&i| m.names()[i].clone())
-            .collect(),
+        subset_first_choice: subset_cores.iter().map(|&i| m.names()[i].clone()).collect(),
         subset_first_value,
         customize_first_choice: full.names.clone(),
         customize_first_value: full.merit_value,
@@ -228,6 +225,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "one characteristic vector")]
     fn mismatched_vectors_panic() {
-        compare_methodologies(&m(), &chars()[..2].to_vec(), 2, 1, Merit::Average);
+        compare_methodologies(&m(), &chars()[..2], 2, 1, Merit::Average);
     }
 }

@@ -139,7 +139,10 @@ mod tests {
         for combo in [vec![0], vec![1], vec![0, 1], vec![0, 1, 2]] {
             let a = Merit::Average.evaluate(&mm, &combo);
             let h = Merit::HarmonicMean.evaluate(&mm, &combo);
-            assert!(h <= a + 1e-12, "harmonic ({h}) must not exceed average ({a})");
+            assert!(
+                h <= a + 1e-12,
+                "harmonic ({h}) must not exceed average ({a})"
+            );
         }
     }
 

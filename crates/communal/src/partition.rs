@@ -127,10 +127,7 @@ pub fn balanced_partition(
     }
 
     let assignment: Vec<usize> = slot_of.iter().map(|&s| cores[s]).collect();
-    let average_slowdown = (0..n)
-        .map(|w| m.slowdown(w, assignment[w]))
-        .sum::<f64>()
-        / n as f64;
+    let average_slowdown = (0..n).map(|w| m.slowdown(w, assignment[w])).sum::<f64>() / n as f64;
     BalancedPartition {
         assignment,
         imbalance: imbalance_of(&load),

@@ -213,7 +213,10 @@ mod tests {
         let stall = simulate_jobs(&m(), &opts(JobPolicy::StallForAssigned));
         let redirect = simulate_jobs(&m(), &opts(JobPolicy::BestAvailable));
         assert!(redirect.avg_turnaround <= stall.avg_turnaround * 1.05);
-        assert!(redirect.redirect_rate > 0.0, "some jobs should redirect under load");
+        assert!(
+            redirect.redirect_rate > 0.0,
+            "some jobs should redirect under load"
+        );
         assert!((stall.redirect_rate).abs() < 1e-12);
     }
 
@@ -222,7 +225,10 @@ mod tests {
         let mut o = opts(JobPolicy::StallForAssigned);
         o.arrival_rate = 0.01;
         let s = simulate_jobs(&m(), &o);
-        assert!(s.avg_wait < 0.05 * s.avg_execution, "waits vanish at light load");
+        assert!(
+            s.avg_wait < 0.05 * s.avg_execution,
+            "waits vanish at light load"
+        );
     }
 
     #[test]
@@ -249,6 +255,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one core")]
     fn empty_cores_panics() {
-        simulate_jobs(&m(), &ScheduleOptions::new(vec![], JobPolicy::StallForAssigned));
+        simulate_jobs(
+            &m(),
+            &ScheduleOptions::new(vec![], JobPolicy::StallForAssigned),
+        );
     }
 }

@@ -144,7 +144,10 @@ impl Dendrogram {
             clusters.push(merged);
         }
         clusters.sort_by_key(|c| c[0]);
-        clusters.into_iter().map(|members| Cluster { members }).collect()
+        clusters
+            .into_iter()
+            .map(|members| Cluster { members })
+            .collect()
     }
 
     /// Render the merge history as indented text, one line per merge.
@@ -289,11 +292,7 @@ mod tests {
 
     #[test]
     fn nearest_neighbor_finds_twin() {
-        let pts = vec![
-            vec![0.0, 0.0],
-            vec![0.1, 0.0],
-            vec![5.0, 5.0],
-        ];
+        let pts = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0]];
         assert_eq!(nearest_neighbor(&pts, 0), 1);
         assert_eq!(nearest_neighbor(&pts, 1), 0);
         assert_eq!(nearest_neighbor(&pts, 2), 1);
@@ -339,13 +338,7 @@ mod tests {
 
     #[test]
     fn dendrogram_merges_nondecreasing() {
-        let pts = vec![
-            vec![0.0],
-            vec![1.0],
-            vec![3.0],
-            vec![7.0],
-            vec![15.0],
-        ];
+        let pts = vec![vec![0.0], vec![1.0], vec![3.0], vec![7.0], vec![15.0]];
         let d = dendrogram(&pts);
         for w in d.merges.windows(2) {
             assert!(w[1].distance >= w[0].distance - 1e-9);
@@ -385,7 +378,10 @@ mod tests {
         .expect("valid");
         let r = pitfall_experiment(&m, "d", 2, Merit::HarmonicMean);
         assert_eq!(r.dropped, "d");
-        assert!(r.full_choice.contains(&"d".to_string()), "outlier belongs in the full choice");
+        assert!(
+            r.full_choice.contains(&"d".to_string()),
+            "outlier belongs in the full choice"
+        );
         assert!(!r.reduced_choice.contains(&"d".to_string()));
         assert!(r.loss > 0.0, "dropping the outlier must cost: {}", r.loss);
     }

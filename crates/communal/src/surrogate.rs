@@ -122,11 +122,7 @@ impl Surrogating {
 /// Resolve the effective architecture of `w` by following parents;
 /// cycles resolve to the host of the latest-order edge inside the
 /// cycle (the paper's Figure 7 heads).
-fn resolve(
-    w: usize,
-    parent: &[Option<usize>],
-    edge_order: &[Option<u32>],
-) -> usize {
+fn resolve(w: usize, parent: &[Option<usize>], edge_order: &[Option<u32>]) -> usize {
     let mut seen = vec![false; parent.len()];
     let mut cur = w;
     loop {
@@ -167,11 +163,7 @@ fn resolve(
 /// # Panics
 ///
 /// Panics if `target` is zero or exceeds the matrix size.
-pub fn assign_surrogates(
-    m: &CrossPerfMatrix,
-    mode: Propagation,
-    target: usize,
-) -> Surrogating {
+pub fn assign_surrogates(m: &CrossPerfMatrix, mode: Propagation, target: usize) -> Surrogating {
     let n = m.len();
     assert!((1..=n).contains(&target), "target must be in 1..=n");
     let mut parent: Vec<Option<usize>> = vec![None; n];
@@ -201,6 +193,9 @@ pub fn assign_surrogates(
             if mode == Propagation::None && children[w] > 0 {
                 continue;
             }
+            // Indexing several parallel structures (parent, matrix) by
+            // host id — an iterator chain here would hide the pairing.
+            #[allow(clippy::needless_range_loop)]
             for h in 0..n {
                 if h == w {
                     continue;
@@ -327,7 +322,11 @@ mod tests {
     #[test]
     fn groups_partition_workloads() {
         let mm = m();
-        for mode in [Propagation::None, Propagation::Forward, Propagation::ForwardBackward] {
+        for mode in [
+            Propagation::None,
+            Propagation::Forward,
+            Propagation::ForwardBackward,
+        ] {
             let s = assign_surrogates(&mm, mode, 2);
             let total: usize = s.groups().iter().map(|(_, g)| g.len()).sum();
             assert_eq!(total, mm.len(), "{mode:?} groups must partition");

@@ -23,7 +23,13 @@ fn arb_matrix() -> impl Strategy<Value = CrossPerfMatrix> {
             let ipt = (0..n)
                 .map(|w| {
                     (0..n)
-                        .map(|c| if w == c { diag[w] } else { diag[w] * offs[w][c] })
+                        .map(|c| {
+                            if w == c {
+                                diag[w]
+                            } else {
+                                diag[w] * offs[w][c]
+                            }
+                        })
                         .collect()
                 })
                 .collect();

@@ -11,45 +11,96 @@ use xps_core::paper;
 
 fn main() {
     let m = paper::table5_matrix();
-    for merit in [Merit::Average, Merit::HarmonicMean, Merit::ContentionWeightedHarmonicMean] {
+    for merit in [
+        Merit::Average,
+        Merit::HarmonicMean,
+        Merit::ContentionWeightedHarmonicMean,
+    ] {
         for k in 1..=4 {
             let r = best_combination(&m, k, merit);
-            println!("{} k={k}: {:?} avg {:.4} har {:.4} (merit {:.4})", merit.label(), r.names, r.avg_ipt, r.har_ipt, r.merit_value);
+            println!(
+                "{} k={k}: {:?} avg {:.4} har {:.4} (merit {:.4})",
+                merit.label(),
+                r.names,
+                r.avg_ipt,
+                r.har_ipt,
+                r.merit_value
+            );
         }
     }
     let (avg, har) = ideal_performance(&m);
     println!("ideal: avg {avg:.4} har {har:.4}");
-    for (mode, name) in [(Propagation::None, "none"), (Propagation::Forward, "fwd(target2)"), (Propagation::ForwardBackward, "full")] {
+    for (mode, name) in [
+        (Propagation::None, "none"),
+        (Propagation::Forward, "fwd(target2)"),
+        (Propagation::ForwardBackward, "full"),
+    ] {
         let target = if name == "fwd(target2)" { 2 } else { 1 };
         let s = assign_surrogates(&m, mode, target);
-        let finals: Vec<_> = s.final_architectures.iter().map(|&i| m.names()[i].clone()).collect();
-        println!("{name}: finals {:?} har {:.4} avg-slow {:.4} edges {} feedback {:?}",
-            finals, s.harmonic_ipt(&m), s.average_slowdown(&m), s.edges.len(),
-            s.feedback_pairs.iter().map(|&(a,b)| (m.names()[a].clone(), m.names()[b].clone())).collect::<Vec<_>>());
+        let finals: Vec<_> = s
+            .final_architectures
+            .iter()
+            .map(|&i| m.names()[i].clone())
+            .collect();
+        println!(
+            "{name}: finals {:?} har {:.4} avg-slow {:.4} edges {} feedback {:?}",
+            finals,
+            s.harmonic_ipt(&m),
+            s.average_slowdown(&m),
+            s.edges.len(),
+            s.feedback_pairs
+                .iter()
+                .map(|&(a, b)| (m.names()[a].clone(), m.names()[b].clone()))
+                .collect::<Vec<_>>()
+        );
         for e in &s.edges {
-            print!("  {}:{}<-{} ({:.1}%)", e.order, m.names()[e.dependent], m.names()[e.host], e.slowdown*100.0);
+            print!(
+                "  {}:{}<-{} ({:.1}%)",
+                e.order,
+                m.names()[e.dependent],
+                m.names()[e.host],
+                e.slowdown * 100.0
+            );
         }
         println!();
         if name == "none" {
             // fig 6 extension: add mcf's own arch
             let mut set = s.final_architectures.clone();
-            if !set.contains(&m.index_of("mcf").unwrap()) { set.push(m.index_of("mcf").unwrap()); }
+            if !set.contains(&m.index_of("mcf").unwrap()) {
+                set.push(m.index_of("mcf").unwrap());
+            }
             // recompute fixed assignment with mcf on own
             let mut assign = s.assignment.clone();
             assign[m.index_of("mcf").unwrap()] = m.index_of("mcf").unwrap();
             let wsum: f64 = 11.0;
-            let har: f64 = wsum / assign.iter().enumerate().map(|(w,&c)| 1.0/m.ipt(w,c)).sum::<f64>();
-            let slow: f64 = assign.iter().enumerate().map(|(w,&c)| m.slowdown(w,c)).sum::<f64>() / 11.0;
+            let har: f64 = wsum
+                / assign
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &c)| 1.0 / m.ipt(w, c))
+                    .sum::<f64>();
+            let slow: f64 = assign
+                .iter()
+                .enumerate()
+                .map(|(w, &c)| m.slowdown(w, c))
+                .sum::<f64>()
+                / 11.0;
             println!("  +mcf: har {har:.4} avg-slow {slow:.4}");
         }
     }
     // 5.3 pitfall, dropping gzip (bzip represents gzip)
     for dropped in ["gzip", "bzip"] {
         let r = pitfall_experiment(&m, dropped, 2, Merit::HarmonicMean);
-        println!("pitfall drop {dropped}: full {:?} ({:.4}) reduced {:?} on-full {:.4} loss {:.4}",
-            r.full_choice, r.full_value, r.reduced_choice, r.reduced_value_on_full, r.loss);
+        println!(
+            "pitfall drop {dropped}: full {:?} ({:.4}) reduced {:?} on-full {:.4} loss {:.4}",
+            r.full_choice, r.full_value, r.reduced_choice, r.reduced_value_on_full, r.loss
+        );
     }
     // bzip<->gzip mutual slowdowns
     let (b, g) = (m.index_of("bzip").unwrap(), m.index_of("gzip").unwrap());
-    println!("bzip on gzip: {:.3}; gzip on bzip: {:.3}", m.slowdown(b,g), m.slowdown(g,b));
+    println!(
+        "bzip on gzip: {:.3}; gzip on bzip: {:.3}",
+        m.slowdown(b, g),
+        m.slowdown(g, b)
+    );
 }

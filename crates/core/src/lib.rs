@@ -50,5 +50,7 @@ pub use xps_sim as sim;
 /// Re-export of the workload models and characterization.
 pub use xps_workload as workload;
 
-pub use pipeline::{Pipeline, PipelineResult};
+pub use pipeline::{
+    cross_matrix, cross_matrix_with, measure, Pipeline, PipelineResult, PipelineStats,
+};
 pub use report::{table7, Table7, Table7Row};

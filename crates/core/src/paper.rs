@@ -28,33 +28,75 @@ pub const BENCHMARKS: [&str; 11] = [
 /// of each benchmark (column).
 pub const TABLE5: [[f64; 11]; 11] = [
     // bzip  crafty gap   gcc   gzip  mcf   parser perl  twolf vortex vpr
-    [3.15, 2.02, 1.73, 2.41, 2.11, 2.56, 2.09, 2.03, 3.05, 2.24, 2.95], // bzip
-    [0.78, 2.31, 1.15, 2.11, 1.91, 0.48, 1.97, 2.06, 1.29, 2.12, 1.30], // crafty
-    [1.39, 2.75, 3.02, 2.60, 2.92, 0.89, 2.89, 2.79, 2.00, 2.47, 2.05], // gap
-    [1.17, 2.17, 1.42, 2.27, 2.03, 0.75, 2.02, 1.63, 1.79, 2.06, 1.80], // gcc
-    [1.78, 2.56, 2.02, 2.88, 3.13, 1.28, 3.01, 2.14, 2.39, 2.57, 2.37], // gzip
-    [0.74, 0.40, 0.30, 0.45, 0.29, 0.93, 0.32, 0.41, 0.52, 0.42, 0.52], // mcf
-    [1.86, 2.11, 2.19, 2.08, 2.47, 1.32, 2.62, 1.86, 2.39, 2.15, 2.30], // parser
-    [0.85, 2.02, 0.90, 1.81, 1.67, 0.54, 1.65, 2.07, 1.32, 1.81, 1.30], // perl
-    [1.65, 0.98, 0.81, 1.26, 0.88, 1.18, 1.10, 0.91, 1.83, 1.16, 1.77], // twolf
-    [1.68, 2.98, 2.55, 3.09, 2.91, 1.07, 3.41, 2.78, 2.61, 3.43, 2.54], // vortex
-    [1.56, 1.33, 1.13, 1.72, 1.09, 1.05, 1.36, 1.29, 2.00, 1.51, 2.09], // vpr
+    [
+        3.15, 2.02, 1.73, 2.41, 2.11, 2.56, 2.09, 2.03, 3.05, 2.24, 2.95,
+    ], // bzip
+    [
+        0.78, 2.31, 1.15, 2.11, 1.91, 0.48, 1.97, 2.06, 1.29, 2.12, 1.30,
+    ], // crafty
+    [
+        1.39, 2.75, 3.02, 2.60, 2.92, 0.89, 2.89, 2.79, 2.00, 2.47, 2.05,
+    ], // gap
+    [
+        1.17, 2.17, 1.42, 2.27, 2.03, 0.75, 2.02, 1.63, 1.79, 2.06, 1.80,
+    ], // gcc
+    [
+        1.78, 2.56, 2.02, 2.88, 3.13, 1.28, 3.01, 2.14, 2.39, 2.57, 2.37,
+    ], // gzip
+    [
+        0.74, 0.40, 0.30, 0.45, 0.29, 0.93, 0.32, 0.41, 0.52, 0.42, 0.52,
+    ], // mcf
+    [
+        1.86, 2.11, 2.19, 2.08, 2.47, 1.32, 2.62, 1.86, 2.39, 2.15, 2.30,
+    ], // parser
+    [
+        0.85, 2.02, 0.90, 1.81, 1.67, 0.54, 1.65, 2.07, 1.32, 1.81, 1.30,
+    ], // perl
+    [
+        1.65, 0.98, 0.81, 1.26, 0.88, 1.18, 1.10, 0.91, 1.83, 1.16, 1.77,
+    ], // twolf
+    [
+        1.68, 2.98, 2.55, 3.09, 2.91, 1.07, 3.41, 2.78, 2.61, 3.43, 2.54,
+    ], // vortex
+    [
+        1.56, 1.33, 1.13, 1.72, 1.09, 1.05, 1.36, 1.29, 2.00, 1.51, 2.09,
+    ], // vpr
 ];
 
 /// Appendix A: the percentage slowdown of each benchmark (row) on the
 /// customized architecture of each benchmark (column), as published.
 pub const APPENDIX_A: [[f64; 11]; 11] = [
-    [0.0, 35.0, 45.0, 23.0, 33.0, 18.0, 33.0, 35.0, 3.1, 28.0, 6.0],
-    [66.0, 0.0, 50.0, 8.0, 17.0, 79.0, 14.0, 10.0, 44.0, 8.0, 43.0],
+    [
+        0.0, 35.0, 45.0, 23.0, 33.0, 18.0, 33.0, 35.0, 3.1, 28.0, 6.0,
+    ],
+    [
+        66.0, 0.0, 50.0, 8.0, 17.0, 79.0, 14.0, 10.0, 44.0, 8.0, 43.0,
+    ],
     [53.0, 8.0, 0.0, 13.0, 3.3, 70.0, 4.0, 7.0, 33.0, 18.0, 32.0],
-    [48.0, 4.4, 37.0, 0.0, 10.0, 66.0, 11.0, 28.0, 21.0, 9.0, 20.0],
-    [43.0, 18.0, 35.0, 7.0, 0.0, 59.0, 3.8, 31.0, 23.0, 17.0, 24.0],
-    [20.0, 56.0, 67.0, 51.0, 68.0, 0.0, 65.0, 55.0, 44.0, 54.0, 44.0],
-    [29.0, 19.0, 16.0, 20.0, 5.0, 49.0, 0.0, 29.0, 8.0, 17.0, 12.0],
-    [58.0, 2.0, 56.0, 12.0, 19.0, 73.0, 20.0, 0.0, 36.0, 12.0, 37.0],
-    [9.0, 46.0, 55.0, 31.0, 51.0, 35.0, 39.0, 50.0, 0.0, 36.0, 3.2],
-    [51.0, 13.0, 25.0, 9.0, 15.0, 68.0, 0.5, 18.0, 23.0, 0.0, 25.0],
-    [25.0, 36.0, 45.0, 17.0, 47.0, 49.0, 34.0, 38.0, 4.3, 27.0, 0.0],
+    [
+        48.0, 4.4, 37.0, 0.0, 10.0, 66.0, 11.0, 28.0, 21.0, 9.0, 20.0,
+    ],
+    [
+        43.0, 18.0, 35.0, 7.0, 0.0, 59.0, 3.8, 31.0, 23.0, 17.0, 24.0,
+    ],
+    [
+        20.0, 56.0, 67.0, 51.0, 68.0, 0.0, 65.0, 55.0, 44.0, 54.0, 44.0,
+    ],
+    [
+        29.0, 19.0, 16.0, 20.0, 5.0, 49.0, 0.0, 29.0, 8.0, 17.0, 12.0,
+    ],
+    [
+        58.0, 2.0, 56.0, 12.0, 19.0, 73.0, 20.0, 0.0, 36.0, 12.0, 37.0,
+    ],
+    [
+        9.0, 46.0, 55.0, 31.0, 51.0, 35.0, 39.0, 50.0, 0.0, 36.0, 3.2,
+    ],
+    [
+        51.0, 13.0, 25.0, 9.0, 15.0, 68.0, 0.5, 18.0, 23.0, 0.0, 25.0,
+    ],
+    [
+        25.0, 36.0, 45.0, 17.0, 47.0, 49.0, 34.0, 38.0, 4.3, 27.0, 0.0,
+    ],
 ];
 
 /// The published Table 5 as a [`CrossPerfMatrix`] with equal weights.
@@ -86,17 +128,149 @@ type Table4Row = (
 
 /// Table 4, transcribed.
 const TABLE4: [Table4Row; 11] = [
-    ("bzip", 5, 512, 64, 128, 0, 1, 4, 0.49, (1024, 2, 32, 2), (8192, 4, 64, 15)),
-    ("crafty", 8, 64, 32, 64, 3, 3, 12, 0.19, (16384, 1, 8, 5), (128, 16, 64, 7)),
-    ("gap", 4, 128, 32, 256, 1, 1, 6, 0.33, (2048, 1, 8, 2), (128, 4, 256, 4)),
-    ("gcc", 4, 256, 32, 256, 1, 2, 7, 0.31, (32768, 1, 8, 4), (1024, 8, 64, 6)),
-    ("gzip", 4, 64, 32, 128, 1, 1, 7, 0.29, (256, 1, 128, 3), (4096, 1, 128, 5)),
-    ("mcf", 3, 1024, 64, 64, 0, 1, 4, 0.45, (1024, 2, 128, 5), (8192, 4, 128, 27)),
-    ("parser", 4, 512, 32, 256, 1, 2, 7, 0.29, (2048, 1, 64, 3), (32, 8, 512, 12)),
-    ("perl", 5, 256, 32, 128, 3, 4, 12, 0.19, (2048, 1, 8, 3), (128, 16, 64, 7)),
-    ("twolf", 5, 512, 64, 256, 1, 2, 6, 0.33, (128, 8, 64, 3), (2048, 4, 128, 12)),
-    ("vortex", 7, 512, 32, 256, 2, 4, 8, 0.27, (1024, 4, 32, 5), (128, 16, 128, 6)),
-    ("vpr", 5, 256, 64, 64, 1, 2, 6, 0.30, (128, 2, 32, 2), (1024, 8, 128, 12)),
+    (
+        "bzip",
+        5,
+        512,
+        64,
+        128,
+        0,
+        1,
+        4,
+        0.49,
+        (1024, 2, 32, 2),
+        (8192, 4, 64, 15),
+    ),
+    (
+        "crafty",
+        8,
+        64,
+        32,
+        64,
+        3,
+        3,
+        12,
+        0.19,
+        (16384, 1, 8, 5),
+        (128, 16, 64, 7),
+    ),
+    (
+        "gap",
+        4,
+        128,
+        32,
+        256,
+        1,
+        1,
+        6,
+        0.33,
+        (2048, 1, 8, 2),
+        (128, 4, 256, 4),
+    ),
+    (
+        "gcc",
+        4,
+        256,
+        32,
+        256,
+        1,
+        2,
+        7,
+        0.31,
+        (32768, 1, 8, 4),
+        (1024, 8, 64, 6),
+    ),
+    (
+        "gzip",
+        4,
+        64,
+        32,
+        128,
+        1,
+        1,
+        7,
+        0.29,
+        (256, 1, 128, 3),
+        (4096, 1, 128, 5),
+    ),
+    (
+        "mcf",
+        3,
+        1024,
+        64,
+        64,
+        0,
+        1,
+        4,
+        0.45,
+        (1024, 2, 128, 5),
+        (8192, 4, 128, 27),
+    ),
+    (
+        "parser",
+        4,
+        512,
+        32,
+        256,
+        1,
+        2,
+        7,
+        0.29,
+        (2048, 1, 64, 3),
+        (32, 8, 512, 12),
+    ),
+    (
+        "perl",
+        5,
+        256,
+        32,
+        128,
+        3,
+        4,
+        12,
+        0.19,
+        (2048, 1, 8, 3),
+        (128, 16, 64, 7),
+    ),
+    (
+        "twolf",
+        5,
+        512,
+        64,
+        256,
+        1,
+        2,
+        6,
+        0.33,
+        (128, 8, 64, 3),
+        (2048, 4, 128, 12),
+    ),
+    (
+        "vortex",
+        7,
+        512,
+        32,
+        256,
+        2,
+        4,
+        8,
+        0.27,
+        (1024, 4, 32, 5),
+        (128, 16, 128, 6),
+    ),
+    (
+        "vpr",
+        5,
+        256,
+        64,
+        64,
+        1,
+        2,
+        6,
+        0.30,
+        (128, 2, 32, 2),
+        (1024, 8, 128, 12),
+    ),
 ];
 
 /// The customized configurations of Table 4 as simulatable
@@ -105,33 +279,35 @@ const TABLE4: [Table4Row; 11] = [
 pub fn table4_configs() -> Vec<CoreConfig> {
     TABLE4
         .iter()
-        .map(|&(name, width, rob, iq, lsq, wakeup, sched, fe, clock, l1, l2)| {
-            let (l1s, l1a, l1b, l1lat) = l1;
-            let (l2s, l2a, l2b, l2lat) = l2;
-            let cfg = CoreConfig {
-                name: name.to_string(),
-                clock_ns: clock,
-                width,
-                frontend_depth: fe,
-                rob_size: rob,
-                iq_size: iq,
-                lsq_size: lsq,
-                wakeup_extra: wakeup,
-                sched_depth: sched,
-                lsq_depth: 2,
-                l1: CacheConfig {
-                    geometry: CacheGeometry::new(l1s, l1a, l1b),
-                    latency: l1lat,
-                },
-                l2: CacheConfig {
-                    geometry: CacheGeometry::new(l2s, l2a, l2b),
-                    latency: l2lat,
-                },
-            };
-            cfg.validate()
-                .unwrap_or_else(|e| panic!("Table 4 config `{name}` invalid: {e}"));
-            cfg
-        })
+        .map(
+            |&(name, width, rob, iq, lsq, wakeup, sched, fe, clock, l1, l2)| {
+                let (l1s, l1a, l1b, l1lat) = l1;
+                let (l2s, l2a, l2b, l2lat) = l2;
+                let cfg = CoreConfig {
+                    name: name.to_string(),
+                    clock_ns: clock,
+                    width,
+                    frontend_depth: fe,
+                    rob_size: rob,
+                    iq_size: iq,
+                    lsq_size: lsq,
+                    wakeup_extra: wakeup,
+                    sched_depth: sched,
+                    lsq_depth: 2,
+                    l1: CacheConfig {
+                        geometry: CacheGeometry::new(l1s, l1a, l1b),
+                        latency: l1lat,
+                    },
+                    l2: CacheConfig {
+                        geometry: CacheGeometry::new(l2s, l2a, l2b),
+                        latency: l2lat,
+                    },
+                };
+                cfg.validate()
+                    .unwrap_or_else(|e| panic!("Table 4 config `{name}` invalid: {e}"));
+                cfg
+            },
+        )
         .collect()
 }
 

@@ -6,9 +6,12 @@
 
 use serde::{Deserialize, Serialize};
 use xps_communal::CrossPerfMatrix;
-use xps_explore::{CustomizedCore, ExploreOptions, Explorer};
+use xps_explore::{
+    merge_counts, resolve_jobs, run_parallel, CacheCounters, CustomizedCore, EvalCache,
+    ExploreOptions, Explorer,
+};
 use xps_sim::{CoreConfig, Simulator};
-use xps_workload::{TraceGenerator, WorkloadProfile};
+use xps_workload::{with_generator, WorkloadProfile};
 
 /// Options of the full measured pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +48,19 @@ impl Pipeline {
     }
 }
 
+/// Execution counters of one pipeline run: pool shape and evaluation
+/// cache effectiveness across both the exploration and the matrix
+/// phases. Informational only — results do not depend on it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Worker threads the fan-outs ran on.
+    pub workers: usize,
+    /// Tasks (anneals or cell evaluations) completed per worker.
+    pub per_worker_tasks: Vec<u64>,
+    /// Evaluation-cache counters, shared across both phases.
+    pub cache: CacheCounters,
+}
+
 /// Everything the measured pipeline produces.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineResult {
@@ -52,13 +68,13 @@ pub struct PipelineResult {
     pub cores: Vec<CustomizedCore>,
     /// The measured cross-configuration matrix (the measured Table 5).
     pub matrix: CrossPerfMatrix,
+    /// Parallelism and cache counters of this run.
+    pub stats: PipelineStats,
 }
 
 /// Measure the IPT of `profile` on `config` over `ops` micro-ops.
 pub fn measure(profile: &WorkloadProfile, config: &CoreConfig, ops: u64) -> f64 {
-    Simulator::new(config)
-        .run(TraceGenerator::new(profile.clone()), ops)
-        .ipt()
+    with_generator(profile, |g| Simulator::new(config).run(&mut *g, ops)).ipt()
 }
 
 /// Build a cross-configuration matrix by simulating every workload on
@@ -66,21 +82,46 @@ pub fn measure(profile: &WorkloadProfile, config: &CoreConfig, ops: u64) -> f64 
 /// the diagonal dominates (or the pass budget runs out).
 pub fn cross_matrix(
     profiles: &[WorkloadProfile],
-    configs: &mut Vec<CoreConfig>,
+    configs: &mut [CoreConfig],
     ops: u64,
     passes: u32,
 ) -> CrossPerfMatrix {
+    cross_matrix_with(profiles, configs, ops, passes, 1, None).0
+}
+
+/// [`cross_matrix`] with the cell measurements fanned out over `jobs`
+/// workers (0 = available parallelism) and optionally memoized in
+/// `cache`. Returns the matrix plus the per-worker task counts.
+///
+/// Cells are pure functions of `(profile, config, ops)` and are merged
+/// in row-major order, so the matrix is bit-identical for any worker
+/// count. With a cache shared with the exploration phase, replacement
+/// passes mostly re-measure unchanged cells and hit instead of
+/// re-simulating.
+pub fn cross_matrix_with(
+    profiles: &[WorkloadProfile],
+    configs: &mut [CoreConfig],
+    ops: u64,
+    passes: u32,
+    jobs: usize,
+    cache: Option<&EvalCache>,
+) -> (CrossPerfMatrix, Vec<u64>) {
     assert_eq!(
         profiles.len(),
         configs.len(),
         "one configuration per workload"
     );
     let n = profiles.len();
+    let cell = |w: usize, cfg: &CoreConfig| match cache {
+        Some(cache) => cache.ipt(&profiles[w], cfg, ops),
+        None => measure(&profiles[w], cfg, ops),
+    };
+    let mut per_worker_tasks = Vec::new();
     let mut ipt = vec![vec![0.0f64; n]; n];
-    for w in 0..n {
-        for c in 0..n {
-            ipt[w][c] = measure(&profiles[w], &configs[c], ops);
-        }
+    let fan = run_parallel(jobs, n * n, |t| cell(t / n, &configs[t % n]));
+    merge_counts(&mut per_worker_tasks, &fan.per_worker);
+    for (t, v) in fan.results.into_iter().enumerate() {
+        ipt[t / n][t % n] = v;
     }
     for _ in 0..passes {
         let mut changed = false;
@@ -90,17 +131,27 @@ pub fn cross_matrix(
                 .expect("non-empty row");
             if best != w && ipt[w][best] > ipt[w][w] {
                 // Adopt the better configuration as w's own; its row
-                // and column must be re-measured.
+                // and column must be re-measured (one fan-out: the
+                // first n tasks are the row, the rest the column).
                 configs[w] = CoreConfig {
                     name: profiles[w].name.clone(),
                     ..configs[best].clone()
                 };
                 changed = true;
-                for c in 0..n {
-                    ipt[w][c] = measure(&profiles[w], &configs[c], ops);
-                }
-                for v in 0..n {
-                    ipt[v][w] = measure(&profiles[v], &configs[w], ops);
+                let fan = run_parallel(jobs, 2 * n, |t| {
+                    if t < n {
+                        cell(w, &configs[t])
+                    } else {
+                        cell(t - n, &configs[w])
+                    }
+                });
+                merge_counts(&mut per_worker_tasks, &fan.per_worker);
+                for (t, v) in fan.results.into_iter().enumerate() {
+                    if t < n {
+                        ipt[w][t] = v;
+                    } else {
+                        ipt[t - n][w] = v;
+                    }
                 }
             }
         }
@@ -108,27 +159,44 @@ pub fn cross_matrix(
             break;
         }
     }
-    CrossPerfMatrix::new(
-        profiles.iter().map(|p| p.name.clone()).collect(),
-        ipt,
-    )
-    .expect("measured IPTs are positive")
-    .with_weights(profiles.iter().map(|p| p.weight).collect())
-    .expect("profile weights are positive")
+    let matrix =
+        CrossPerfMatrix::from_fn(profiles.iter().map(|p| p.name.clone()).collect(), |w, c| {
+            ipt[w][c]
+        })
+        .expect("measured IPTs are positive")
+        .with_weights(profiles.iter().map(|p| p.weight).collect())
+        .expect("profile weights are positive");
+    (matrix, per_worker_tasks)
 }
 
 impl Pipeline {
     /// Run the full pipeline over `profiles`.
     ///
+    /// One evaluation cache and one worker pool (sized by
+    /// `explore.jobs`; 0 = available parallelism) span both phases:
+    /// the exploration warms the cache, and the cross-configuration
+    /// matrix then reuses every evaluation it can. The results are
+    /// bit-identical for any worker count.
+    ///
     /// # Panics
     ///
     /// Panics if `profiles` is empty.
     pub fn run(&self, profiles: &[WorkloadProfile]) -> PipelineResult {
+        let cache = EvalCache::new();
         let explorer = Explorer::new(self.explore.clone());
-        let explored = explorer.explore(profiles);
+        let explored = explorer.explore_with(profiles, &cache);
         let mut configs: Vec<CoreConfig> =
             explored.cores.iter().map(|c| c.config.clone()).collect();
-        let matrix = cross_matrix(profiles, &mut configs, self.matrix_ops, self.replacement_passes);
+        let (matrix, matrix_tasks) = cross_matrix_with(
+            profiles,
+            &mut configs,
+            self.matrix_ops,
+            self.replacement_passes,
+            self.explore.jobs,
+            Some(&cache),
+        );
+        let mut per_worker_tasks = explored.stats.per_worker_tasks.clone();
+        merge_counts(&mut per_worker_tasks, &matrix_tasks);
         let cores = explored
             .cores
             .into_iter()
@@ -140,7 +208,15 @@ impl Pipeline {
                 core
             })
             .collect();
-        PipelineResult { cores, matrix }
+        PipelineResult {
+            cores,
+            matrix,
+            stats: PipelineStats {
+                workers: resolve_jobs(self.explore.jobs),
+                per_worker_tasks,
+                cache: cache.counters(),
+            },
+        }
     }
 }
 
@@ -186,6 +262,9 @@ mod tests {
         let mut configs = vec![bad, good];
         let m = cross_matrix(&profiles, &mut configs, 20_000, 3);
         assert!(m.is_diagonal_dominant());
-        assert_eq!(configs[0].rob_size, configs[1].rob_size, "twolf adopted vpr's config");
+        assert_eq!(
+            configs[0].rob_size, configs[1].rob_size,
+            "twolf adopted vpr's config"
+        );
     }
 }

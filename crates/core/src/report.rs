@@ -44,9 +44,8 @@ pub fn table7(m: &CrossPerfMatrix) -> Table7 {
     let pair = best_combination(m, 2, Merit::HarmonicMean);
     let surro = assign_surrogates(m, Propagation::ForwardBackward, 2);
     let surro_har = surro.harmonic_ipt(m);
-    let names = |cores: &[usize]| -> Vec<String> {
-        cores.iter().map(|&c| m.names()[c].clone()).collect()
-    };
+    let names =
+        |cores: &[usize]| -> Vec<String> { cores.iter().map(|&c| m.names()[c].clone()).collect() };
     let rows = vec![
         Table7Row {
             scenario: "ideal (every workload on its own customized architecture)".to_string(),

@@ -1,12 +1,13 @@
 //! Simulated annealing over the design space for one workload.
 
+use crate::cache::EvalCache;
 use crate::point::DesignPoint;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
-use xps_sim::{energy_delay_product, CoreConfig, Simulator};
-use xps_workload::{TraceGenerator, WorkloadProfile};
+use xps_sim::{energy_delay_product, CoreConfig, SimStats, Simulator};
+use xps_workload::{with_generator, WorkloadProfile};
 
 /// What the annealer maximizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -91,12 +92,19 @@ pub struct AnnealResult {
     pub rejected_unrealizable: u32,
 }
 
-/// Evaluate a configuration for a workload: run `ops` micro-ops and
-/// return IPT.
-pub(crate) fn evaluate(profile: &WorkloadProfile, cfg: &CoreConfig, ops: u64) -> f64 {
-    Simulator::new(cfg)
-        .run(TraceGenerator::new(profile.clone()), ops)
-        .ipt()
+/// The stats of one evaluation, via the memoization cache when one is
+/// supplied. Either way the trace generator is rebuilt from the
+/// profile's own seed, so results never depend on annealing state.
+fn stats_for(
+    profile: &WorkloadProfile,
+    cfg: &CoreConfig,
+    ops: u64,
+    cache: Option<&EvalCache>,
+) -> SimStats {
+    match cache {
+        Some(cache) => cache.stats(profile, cfg, ops),
+        None => with_generator(profile, |g| Simulator::new(cfg).run(&mut *g, ops)),
+    }
 }
 
 /// Evaluate a configuration under an explicit objective (higher is
@@ -108,7 +116,21 @@ pub fn score(
     objective: Objective,
     tech: &Technology,
 ) -> f64 {
-    let stats = Simulator::new(cfg).run(TraceGenerator::new(profile.clone()), ops);
+    score_with(profile, cfg, ops, objective, tech, None)
+}
+
+/// [`score`] with an optional memoization cache. A cache hit returns
+/// exactly the stats a fresh simulation would produce, so annealing
+/// walks are unchanged by caching.
+pub fn score_with(
+    profile: &WorkloadProfile,
+    cfg: &CoreConfig,
+    ops: u64,
+    objective: Objective,
+    tech: &Technology,
+    cache: Option<&EvalCache>,
+) -> f64 {
+    let stats = stats_for(profile, cfg, ops, cache);
     match objective {
         Objective::Ipt => stats.ipt(),
         Objective::InverseEnergyDelay => 1.0 / energy_delay_product(tech, cfg, &stats),
@@ -122,7 +144,7 @@ fn propose(rng: &mut SmallRng, p: &DesignPoint) -> DesignPoint {
     let mut q = p.clone();
     match rng.gen_range(0..10u32) {
         // Clock moves get the largest share, as in the paper's loop.
-        0 | 1 | 2 => {
+        0..=2 => {
             let factor = rng.gen_range(0.85..1.18);
             q.clock_ns = (p.clock_ns * factor).clamp(0.08, 1.2);
         }
@@ -186,6 +208,22 @@ pub fn anneal(
     opts: &AnnealOptions,
     tech: &Technology,
 ) -> AnnealResult {
+    anneal_with(profile, start, opts, tech, None)
+}
+
+/// [`anneal`] with an optional memoization cache shared across runs.
+/// Rollback re-evaluations, cross-seeding, and repeated visits to one
+/// design then reuse stats instead of re-simulating; because cached
+/// stats are bit-identical to fresh ones and the walk RNG is never
+/// consulted during evaluation, the result is bit-identical to an
+/// uncached run.
+pub fn anneal_with(
+    profile: &WorkloadProfile,
+    start: &DesignPoint,
+    opts: &AnnealOptions,
+    tech: &Technology,
+    cache: Option<&EvalCache>,
+) -> AnnealResult {
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ profile.seed);
     let name = profile.name.clone();
 
@@ -209,7 +247,14 @@ pub fn anneal(
     };
     let early_iters = (f64::from(opts.iterations) * opts.early_fraction) as u32;
 
-    let mut cur_ipt = score(profile, &cur_cfg, opts.eval_ops_early, opts.objective, tech);
+    let mut cur_ipt = score_with(
+        profile,
+        &cur_cfg,
+        opts.eval_ops_early,
+        opts.objective,
+        tech,
+        cache,
+    );
     let mut best = cur.clone();
     let mut best_cfg = cur_cfg;
     let mut best_ipt = cur_ipt;
@@ -225,7 +270,7 @@ pub fn anneal(
         };
         let cand = propose(&mut rng, &cur);
         if let Some(cfg) = cand.realize(tech, &name) {
-            let ipt = score(profile, &cfg, ops, opts.objective, tech);
+            let ipt = score_with(profile, &cfg, ops, opts.objective, tech, cache);
             let accept = ipt > cur_ipt || {
                 let delta = ipt - cur_ipt;
                 rng.gen::<f64>() < (delta / temp.max(1e-6)).exp()
@@ -253,7 +298,14 @@ pub fn anneal(
     }
 
     // Final measurement at the long trace length for a fair Table 5.
-    let final_ipt = score(profile, &best_cfg, opts.eval_ops_late, opts.objective, tech);
+    let final_ipt = score_with(
+        profile,
+        &best_cfg,
+        opts.eval_ops_late,
+        opts.objective,
+        tech,
+        cache,
+    );
     AnnealResult {
         point: best,
         config: best_cfg,
@@ -275,7 +327,7 @@ mod tests {
         let opts = AnnealOptions::quick();
         let start = DesignPoint::initial();
         let init_cfg = start.realize(&tech, "init").expect("realizable");
-        let init_ipt = evaluate(&p, &init_cfg, opts.eval_ops_late);
+        let init_ipt = score(&p, &init_cfg, opts.eval_ops_late, Objective::Ipt, &tech);
         let result = anneal(&p, &start, &opts, &tech);
         assert!(
             result.ipt >= init_ipt * 0.98,
@@ -306,6 +358,31 @@ mod tests {
     }
 
     #[test]
+    fn cached_anneal_bit_identical_to_uncached() {
+        let tech = Technology::default();
+        let p = spec::profile("vpr").expect("vpr exists");
+        let opts = AnnealOptions::quick();
+        let plain = anneal(&p, &DesignPoint::initial(), &opts, &tech);
+        let cache = EvalCache::new();
+        let cached = anneal_with(&p, &DesignPoint::initial(), &opts, &tech, Some(&cache));
+        assert_eq!(plain.point, cached.point);
+        assert_eq!(plain.config, cached.config);
+        assert!(
+            (plain.ipt - cached.ipt).abs() == 0.0,
+            "must be bit-identical"
+        );
+        assert_eq!(plain.history, cached.history);
+        // Re-running against the warm cache hits for every evaluation
+        // and still reproduces the identical walk.
+        let before = cache.counters();
+        let rerun = anneal_with(&p, &DesignPoint::initial(), &opts, &tech, Some(&cache));
+        let after = cache.counters();
+        assert_eq!(rerun.history, plain.history);
+        assert_eq!(after.misses, before.misses, "warm rerun must not simulate");
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
     fn edp_objective_prefers_leaner_designs() {
         use xps_sim::{estimate_energy, Simulator};
         use xps_workload::TraceGenerator;
@@ -318,8 +395,7 @@ mod tests {
         let perf = anneal(&p, &DesignPoint::initial(), &perf_opts, &tech);
         let edp = anneal(&p, &DesignPoint::initial(), &edp_opts, &tech);
         let energy_of = |cfg: &xps_sim::CoreConfig| {
-            let stats =
-                Simulator::new(cfg).run(TraceGenerator::new(p.clone()), 30_000);
+            let stats = Simulator::new(cfg).run(TraceGenerator::new(p.clone()), 30_000);
             estimate_energy(&tech, cfg, &stats).total_nj()
         };
         let e_perf = energy_of(&perf.config);

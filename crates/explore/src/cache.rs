@@ -1,0 +1,211 @@
+//! Memoized design-point evaluation.
+//!
+//! Annealing walks revisit configurations constantly — rollbacks return
+//! to the best-so-far, cross-configuration seeding re-evaluates foreign
+//! winners, the grid baseline shares lattice points across workloads,
+//! and the communal replacement passes re-measure rows and columns that
+//! mostly did not change. Because the simulator is a pure function of
+//! (workload profile, configuration, op budget), all of those repeats
+//! can be served from a cache with results **bit-identical** to fresh
+//! simulation.
+//!
+//! The cache is sharded (64 ways) so parallel workers rarely contend,
+//! and the simulation itself always runs outside any lock.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use xps_sim::{ConfigKey, CoreConfig, SimStats, Simulator};
+use xps_workload::{with_generator, WorkloadProfile};
+
+const SHARDS: usize = 64;
+
+/// The identity of one evaluation: which workload, which design (by its
+/// name-independent canonical key), and how many ops were simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct EvalKey {
+    profile_fp: u64,
+    cfg: ConfigKey,
+    ops: u64,
+}
+
+/// Hit/miss counters of an [`EvalCache`], cheap to copy into summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Evaluations served from the cache without simulating.
+    pub hits: u64,
+    /// Evaluations that had to run the simulator.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Fraction of lookups served from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe memoization cache mapping
+/// (workload, configuration, op budget) to the resulting [`SimStats`].
+///
+/// Simulation is deterministic, so a hit returns exactly the stats a
+/// fresh run would produce. Shared by reference across the worker pool;
+/// one instance typically spans a whole pipeline run so the exploration
+/// phase warms the cache for the communal cross-evaluation phase.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<EvalKey, SimStats>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> EvalCache {
+        EvalCache::new()
+    }
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, SimStats>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Simulate `profile` on `cfg` for `ops` micro-ops, or return the
+    /// memoized result of an identical earlier evaluation.
+    pub fn stats(&self, profile: &WorkloadProfile, cfg: &CoreConfig, ops: u64) -> SimStats {
+        let key = EvalKey {
+            profile_fp: profile.fingerprint(),
+            cfg: cfg.canonical_key(),
+            ops,
+        };
+        let shard = self.shard(&key);
+        if let Some(stats) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return stats.clone();
+        }
+        // Simulate outside the lock; if two workers race on the same
+        // key they both compute the same value and one insert wins.
+        let stats = with_generator(profile, |g| Simulator::new(cfg).run(&mut *g, ops));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert_with(|| stats.clone());
+        stats
+    }
+
+    /// Memoized IPT (instructions per nanosecond) of `cfg` on `profile`.
+    pub fn ipt(&self, profile: &WorkloadProfile, cfg: &CoreConfig, ops: u64) -> f64 {
+        self.stats(profile, cfg, ops).ipt()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct evaluations stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no evaluations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xps_sim::Simulator;
+    use xps_workload::{spec, TraceGenerator};
+
+    const OPS: u64 = 4000;
+
+    #[test]
+    fn hit_returns_bit_identical_stats() {
+        let cache = EvalCache::new();
+        let p = spec::profile("gzip").expect("gzip exists");
+        let cfg = CoreConfig::initial();
+        let fresh = Simulator::new(&cfg).run(TraceGenerator::new(p.clone()), OPS);
+        let miss = cache.stats(&p, &cfg, OPS);
+        let hit = cache.stats(&p, &cfg, OPS);
+        assert_eq!(miss, fresh);
+        assert_eq!(hit, fresh);
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn rename_hits_but_any_parameter_change_misses() {
+        let cache = EvalCache::new();
+        let p = spec::profile("mcf").expect("mcf exists");
+        let cfg = CoreConfig::initial();
+        cache.stats(&p, &cfg, OPS);
+        let mut renamed = cfg.clone();
+        renamed.name = "mcf-custom".to_string();
+        cache.stats(&p, &renamed, OPS);
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+        let mut widened = cfg.clone();
+        widened.width += 1;
+        cache.stats(&p, &widened, OPS);
+        cache.stats(&p, &cfg, OPS * 2);
+        let other = spec::profile("gcc").expect("gcc exists");
+        cache.stats(&other, &cfg, OPS);
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 4 });
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = EvalCache::new();
+        let p = spec::profile("twolf").expect("twolf exists");
+        let cfg = CoreConfig::initial();
+        let serial = cache.stats(&p, &cfg, OPS);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    assert_eq!(cache.stats(&p, &cfg, OPS), serial);
+                });
+            }
+        });
+        let c = cache.counters();
+        assert_eq!(c.hits + c.misses, 5);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+        let c = CacheCounters { hits: 3, misses: 1 };
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,7 +1,9 @@
 //! The full §4 methodology: per-workload annealing plus
 //! cross-configuration seeding across workloads.
 
-use crate::anneal::{anneal, evaluate, AnnealOptions, AnnealResult};
+use crate::anneal::{anneal_with, AnnealOptions, AnnealResult};
+use crate::cache::{CacheCounters, EvalCache};
+use crate::parallel::{merge_counts, resolve_jobs, run_parallel};
 use crate::point::DesignPoint;
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
@@ -21,6 +23,9 @@ pub struct ExploreOptions {
     /// Iterations of the re-anneal after adopting a foreign
     /// configuration.
     pub reanneal_iterations: u32,
+    /// Worker threads for the parallel fan-outs (0 = available
+    /// parallelism). Results are bit-identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for ExploreOptions {
@@ -29,6 +34,7 @@ impl Default for ExploreOptions {
             anneal: AnnealOptions::default(),
             cross_rounds: 2,
             reanneal_iterations: 60,
+            jobs: 0,
         }
     }
 }
@@ -40,8 +46,23 @@ impl ExploreOptions {
             anneal: AnnealOptions::quick(),
             cross_rounds: 1,
             reanneal_iterations: 15,
+            jobs: 0,
         }
     }
+}
+
+/// Execution counters of one exploration: how the work spread over the
+/// pool and how often the evaluation cache short-circuited a
+/// simulation. Purely informational — the explored cores do not depend
+/// on any of it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// Worker threads the fan-outs ran on.
+    pub workers: usize,
+    /// Tasks (anneals or cross evaluations) completed per worker.
+    pub per_worker_tasks: Vec<u64>,
+    /// Evaluation-cache hit/miss counters.
+    pub cache: CacheCounters,
 }
 
 /// One workload's customized core: its configurational
@@ -66,6 +87,8 @@ pub struct ExplorationResult {
     pub cores: Vec<CustomizedCore>,
     /// Number of configuration adoptions performed by cross seeding.
     pub adoptions: u32,
+    /// Parallelism and cache counters of this run.
+    pub stats: ExploreStats,
 }
 
 /// Orchestrates the paper's exploration methodology over a workload
@@ -103,7 +126,29 @@ impl Explorer {
     ///
     /// Panics if `profiles` is empty.
     pub fn explore(&self, profiles: &[WorkloadProfile]) -> ExplorationResult {
+        self.explore_with(profiles, &EvalCache::new())
+    }
+
+    /// [`explore`](Explorer::explore) against a caller-supplied
+    /// evaluation cache, so a surrounding pipeline can share one cache
+    /// between exploration and later cross-performance measurement.
+    ///
+    /// The per-workload anneals (times three multi-start corners) and
+    /// the cross-seeding evaluations fan out over `opts.jobs` workers;
+    /// every task owns its own seeded RNG stream and results are merged
+    /// in task order, so the outcome is bit-identical to a serial run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn explore_with(
+        &self,
+        profiles: &[WorkloadProfile],
+        cache: &EvalCache,
+    ) -> ExplorationResult {
         assert!(!profiles.is_empty(), "need at least one workload");
+        let workers = resolve_jobs(self.opts.jobs);
+        let mut per_worker_tasks = Vec::new();
         // Multi-start annealing: the Table 3 start plus two corner
         // seeds, keeping each workload's best outcome. The corners let
         // the walk reach fast-deep and slow-big customizations without
@@ -113,19 +158,30 @@ impl Explorer {
             DesignPoint::fast_corner(),
             DesignPoint::big_corner(),
         ];
+        // Fan out every (workload, start) pair: each anneal seeds its
+        // own RNG from (opts.seed ^ start index, profile seed), so the
+        // walks are identical no matter which worker runs them.
+        let fan = run_parallel(self.opts.jobs, profiles.len() * starts.len(), |t| {
+            let (p, i) = (&profiles[t / starts.len()], t % starts.len());
+            let mut opts = self.opts.anneal.clone();
+            opts.seed ^= (i as u64) << 32;
+            anneal_with(p, &starts[i], &opts, &self.tech, Some(cache))
+        });
+        merge_counts(&mut per_worker_tasks, &fan.per_worker);
+        // Keep each workload's best start; `>=` keeps the *last* of
+        // tied maxima, matching the serial `max_by` fold.
+        let mut runs = fan.results.into_iter();
         let mut results: Vec<AnnealResult> = profiles
             .iter()
-            .map(|p| {
-                starts
-                    .iter()
-                    .enumerate()
-                    .map(|(i, start)| {
-                        let mut opts = self.opts.anneal.clone();
-                        opts.seed ^= (i as u64) << 32;
-                        anneal(p, start, &opts, &self.tech)
-                    })
-                    .max_by(|a, b| a.ipt.partial_cmp(&b.ipt).expect("IPT is finite"))
-                    .expect("at least one start")
+            .map(|_| {
+                let mut best = runs.next().expect("one result per task");
+                for _ in 1..starts.len() {
+                    let r = runs.next().expect("one result per task");
+                    if r.ipt >= best.ipt {
+                        best = r;
+                    }
+                }
+                best
             })
             .collect();
 
@@ -133,16 +189,25 @@ impl Explorer {
         for _ in 0..self.opts.cross_rounds {
             let mut improved = false;
             for i in 0..profiles.len() {
-                // Evaluate workload i on every other best config.
-                let mut best_foreign: Option<(usize, f64)> = None;
-                for (j, r) in results.iter().enumerate() {
+                // Evaluate workload i on every other best config, in
+                // parallel. Configurations adopted earlier in this
+                // round are visible here, exactly as in a serial sweep.
+                let cross = run_parallel(self.opts.jobs, results.len(), |j| {
                     if i == j {
-                        continue;
+                        None
+                    } else {
+                        Some(cache.ipt(
+                            &profiles[i],
+                            &results[j].config,
+                            self.opts.anneal.eval_ops_late,
+                        ))
                     }
-                    let ipt = evaluate(&profiles[i], &r.config, self.opts.anneal.eval_ops_late);
-                    if ipt > results[i].ipt
-                        && best_foreign.map(|(_, b)| ipt > b).unwrap_or(true)
-                    {
+                });
+                merge_counts(&mut per_worker_tasks, &cross.per_worker);
+                let mut best_foreign: Option<(usize, f64)> = None;
+                for (j, ipt) in cross.results.into_iter().enumerate() {
+                    let Some(ipt) = ipt else { continue };
+                    if ipt > results[i].ipt && best_foreign.map(|(_, b)| ipt > b).unwrap_or(true) {
                         best_foreign = Some((j, ipt));
                     }
                 }
@@ -153,7 +218,8 @@ impl Explorer {
                     let mut re_opts = self.opts.anneal.clone();
                     re_opts.iterations = self.opts.reanneal_iterations;
                     re_opts.early_fraction = 0.0;
-                    let r = anneal(&profiles[i], &seed_point, &re_opts, &self.tech);
+                    let r =
+                        anneal_with(&profiles[i], &seed_point, &re_opts, &self.tech, Some(cache));
                     if r.ipt > results[i].ipt {
                         results[i] = r;
                         adoptions += 1;
@@ -179,7 +245,15 @@ impl Explorer {
                 ipt: r.ipt,
             })
             .collect();
-        ExplorationResult { cores, adoptions }
+        ExplorationResult {
+            cores,
+            adoptions,
+            stats: ExploreStats {
+                workers,
+                per_worker_tasks,
+                cache: cache.counters(),
+            },
+        }
     }
 }
 
@@ -209,5 +283,43 @@ mod tests {
     #[should_panic(expected = "at least one workload")]
     fn empty_input_panics() {
         Explorer::new(ExploreOptions::quick()).explore(&[]);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_serial() {
+        let profiles = vec![
+            spec::profile("gzip").expect("gzip exists"),
+            spec::profile("mcf").expect("mcf exists"),
+            spec::profile("twolf").expect("twolf exists"),
+        ];
+        let mut opts = ExploreOptions::quick();
+        opts.anneal.iterations = 12;
+        opts.anneal.eval_ops_early = 4000;
+        opts.anneal.eval_ops_late = 8000;
+        opts.reanneal_iterations = 4;
+        let serial = {
+            let mut o = opts.clone();
+            o.jobs = 1;
+            Explorer::new(o).explore(&profiles)
+        };
+        let parallel = {
+            let mut o = opts.clone();
+            o.jobs = 4;
+            Explorer::new(o).explore(&profiles)
+        };
+        assert_eq!(serial.adoptions, parallel.adoptions);
+        for (s, p) in serial.cores.iter().zip(&parallel.cores) {
+            assert_eq!(s.point, p.point);
+            assert_eq!(s.config, p.config);
+            assert!((s.ipt - p.ipt).abs() == 0.0, "IPT must be bit-identical");
+        }
+        // Counters describe the run shape, not the outcome.
+        assert_eq!(serial.stats.workers, 1);
+        assert_eq!(parallel.stats.workers, 4);
+        let total: u64 = parallel.stats.per_worker_tasks.iter().sum();
+        let serial_total: u64 = serial.stats.per_worker_tasks.iter().sum();
+        assert_eq!(total, serial_total, "same task count either way");
+        let c = parallel.stats.cache;
+        assert!(c.hits > 0, "anneal revisits must hit the cache");
     }
 }

@@ -12,7 +12,9 @@
 //! * honesty about cost — [`GridSpec::len`] makes the combinatorial
 //!   explosion the paper talks about a number you can print.
 
-use crate::anneal::{score, AnnealOptions};
+use crate::anneal::{score_with, AnnealOptions};
+use crate::cache::EvalCache;
+use crate::parallel::run_parallel;
 use crate::point::DesignPoint;
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
@@ -117,15 +119,51 @@ pub fn grid_search(
     opts: &AnnealOptions,
     tech: &Technology,
 ) -> GridResult {
+    grid_search_with(profile, spec, opts, tech, 1, None)
+}
+
+/// [`grid_search`] fanned out over `jobs` workers (0 = available
+/// parallelism), optionally memoizing evaluations in `cache` so a grid
+/// baseline shared across workloads or repeated after exploration never
+/// re-simulates a lattice point.
+///
+/// Lattice points are evaluated in parallel but merged in lattice
+/// order with the serial tie-break (first of equals wins), so the
+/// result is identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if the grid is empty or no lattice point realizes.
+pub fn grid_search_with(
+    profile: &WorkloadProfile,
+    spec: &GridSpec,
+    opts: &AnnealOptions,
+    tech: &Technology,
+    jobs: usize,
+    cache: Option<&EvalCache>,
+) -> GridResult {
     assert!(!spec.is_empty(), "grid must have at least one point");
+    let points = spec.points();
+    let fan = run_parallel(jobs, points.len(), |i| {
+        points[i].realize(tech, &profile.name).map(|cfg| {
+            let s = score_with(
+                profile,
+                &cfg,
+                opts.eval_ops_late,
+                opts.objective,
+                tech,
+                cache,
+            );
+            (cfg, s)
+        })
+    });
     let mut best: Option<(DesignPoint, CoreConfig, f64)> = None;
     let mut evaluated = 0;
     let mut unrealizable = 0;
-    for p in spec.points() {
-        match p.realize(tech, &profile.name) {
-            Some(cfg) => {
+    for (p, outcome) in points.into_iter().zip(fan.results) {
+        match outcome {
+            Some((cfg, s)) => {
                 evaluated += 1;
-                let s = score(profile, &cfg, opts.eval_ops_late, opts.objective, tech);
                 if best.as_ref().map(|(_, _, bs)| s > *bs).unwrap_or(true) {
                     best = Some((p, cfg, s));
                 }
@@ -197,6 +235,27 @@ mod tests {
             annealed.ipt,
             grid.score
         );
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_and_caches() {
+        let tech = Technology::default();
+        let p = spec::profile("mcf").expect("mcf exists");
+        let mut opts = AnnealOptions::quick();
+        opts.eval_ops_late = 10_000;
+        let serial = grid_search(&p, &tiny_grid(), &opts, &tech);
+        let cache = EvalCache::new();
+        let par = grid_search_with(&p, &tiny_grid(), &opts, &tech, 4, Some(&cache));
+        assert_eq!(serial.point, par.point);
+        assert_eq!(serial.config, par.config);
+        assert!((serial.score - par.score).abs() == 0.0);
+        // A second sweep over the same lattice is served entirely from
+        // the cache.
+        let misses = cache.counters().misses;
+        let again = grid_search_with(&p, &tiny_grid(), &opts, &tech, 2, Some(&cache));
+        assert_eq!(again.point, serial.point);
+        assert_eq!(cache.counters().misses, misses);
+        assert!(cache.counters().hits >= misses);
     }
 
     #[test]

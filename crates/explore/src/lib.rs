@@ -44,13 +44,17 @@
 #![warn(missing_docs)]
 
 mod anneal;
+mod cache;
 mod explorer;
 mod grid;
+mod parallel;
 mod point;
 
-pub use anneal::{anneal, score, AnnealOptions, AnnealResult, Objective};
-pub use explorer::{CustomizedCore, ExplorationResult, ExploreOptions, Explorer};
-pub use grid::{grid_search, GridResult, GridSpec};
+pub use anneal::{anneal, anneal_with, score, score_with, AnnealOptions, AnnealResult, Objective};
+pub use cache::{CacheCounters, EvalCache};
+pub use explorer::{CustomizedCore, ExplorationResult, ExploreOptions, ExploreStats, Explorer};
+pub use grid::{grid_search, grid_search_with, GridResult, GridSpec};
+pub use parallel::{merge_counts, resolve_jobs, run_parallel, ParallelRun};
 pub use point::DesignPoint;
 
 /// Re-exported fixed design constants (the paper's Table 2).

@@ -106,7 +106,9 @@ impl DesignPoint {
         fit::CACHE_SETS
             .iter()
             .copied()
-            .filter(|&sets| cache_access_time(tech, &CacheGeometry::new(sets, assoc, block)) <= budget)
+            .filter(|&sets| {
+                cache_access_time(tech, &CacheGeometry::new(sets, assoc, block)) <= budget
+            })
             .max()
     }
 

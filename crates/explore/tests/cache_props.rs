@@ -1,0 +1,80 @@
+//! Property test: for arbitrary valid design points, a cache-hit
+//! evaluation returns exactly the `SimStats` a fresh simulation would.
+//! This is the invariant that makes memoization safe inside annealing
+//! walks — any drift would silently perturb the search.
+
+use proptest::prelude::*;
+use proptest::sample::select;
+use xps_cacti::Technology;
+use xps_explore::{DesignPoint, EvalCache};
+use xps_sim::Simulator;
+use xps_workload::{spec, TraceGenerator};
+
+const OPS: u64 = 3000;
+
+/// An arbitrary design point within the annealer's own move ranges.
+/// Sampled as two tuples (core knobs, cache preferences) to stay
+/// within the tuple-arity limit.
+fn arb_point() -> impl Strategy<Value = DesignPoint> {
+    let core = (
+        0.08f64..1.2, // clock_ns
+        1u32..=8,     // width
+        1u32..=5,     // sched_depth
+        0u32..=1,     // wakeup_slack
+        1u32..=4,     // lsq_depth
+        1u32..=8,     // l1_cycles
+        2u32..=40,    // l2_cycles
+    );
+    let caches = (
+        select(vec![1u32, 2, 4, 8, 16]),        // l1_assoc
+        select(vec![8u32, 16, 32, 64, 128]),    // l1_block
+        select(vec![1u32, 2, 4, 8, 16]),        // l2_assoc
+        select(vec![32u32, 64, 128, 256, 512]), // l2_block
+    );
+    (core, caches).prop_map(
+        |(
+            (clock_ns, width, sched_depth, wakeup_slack, lsq_depth, l1_cycles, l2_cycles),
+            (l1_assoc, l1_block, l2_assoc, l2_block),
+        )| DesignPoint {
+            clock_ns,
+            width,
+            sched_depth,
+            wakeup_slack,
+            lsq_depth,
+            l1_cycles,
+            l2_cycles,
+            l1_assoc,
+            l1_block,
+            l2_assoc,
+            l2_block,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cache_hit_equals_fresh_evaluation(
+        point in arb_point(),
+        bench in select(vec!["gzip", "mcf", "twolf", "gcc", "vpr"]),
+    ) {
+        let tech = Technology::default();
+        let profile = spec::profile(bench).expect("known benchmark");
+        // Some sampled points do not realize under the technology
+        // (nothing fits the stage budget) — the annealer rejects those
+        // moves, so the cache never sees them either.
+        if let Some(cfg) = point.realize(&tech, "prop") {
+            let fresh =
+                Simulator::new(&cfg).run(TraceGenerator::new(profile.clone()), OPS);
+            let cache = EvalCache::new();
+            let miss = cache.stats(&profile, &cfg, OPS);
+            let hit = cache.stats(&profile, &cfg, OPS);
+            prop_assert_eq!(&miss, &fresh, "first (miss) evaluation must match fresh");
+            prop_assert_eq!(&hit, &fresh, "second (hit) evaluation must match fresh");
+            let c = cache.counters();
+            prop_assert_eq!(c.hits, 1);
+            prop_assert_eq!(c.misses, 1);
+        }
+    }
+}

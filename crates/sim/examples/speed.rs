@@ -11,7 +11,12 @@ fn main() {
         let dt = t0.elapsed().as_secs_f64();
         println!(
             "{:8} ipc {:.3} ipt {:.3} misp {:.3} l1mr {:.3} l2mr {:.3} | {:.1} Mops/s",
-            p.name, s.ipc(), s.ipt(), s.mispredict_rate(), s.l1.miss_ratio(), s.l2.miss_ratio(),
+            p.name,
+            s.ipc(),
+            s.ipt(),
+            s.mispredict_rate(),
+            s.l1.miss_ratio(),
+            s.l2.miss_ratio(),
             n as f64 / dt / 1e6
         );
     }

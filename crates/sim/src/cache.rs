@@ -61,7 +61,10 @@ impl DataCache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.offset_bits;
-        ((block % u64::from(self.sets)) as usize, block / u64::from(self.sets))
+        (
+            (block % u64::from(self.sets)) as usize,
+            block / u64::from(self.sets),
+        )
     }
 
     /// Access `addr`; returns `true` on hit. On miss the block is
@@ -95,10 +98,7 @@ impl DataCache {
     pub fn install(&mut self, addr: u64) {
         let (set, tag) = self.set_and_tag(addr);
         let base = set * self.assoc as usize;
-        if self.tags[base..base + self.assoc as usize]
-            .iter()
-            .any(|&t| t == tag)
-        {
+        if self.tags[base..base + self.assoc as usize].contains(&tag) {
             return;
         }
         let victim = self.lru[base..base + self.assoc as usize]
@@ -115,9 +115,7 @@ impl DataCache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         let base = set * self.assoc as usize;
-        self.tags[base..base + self.assoc as usize]
-            .iter()
-            .any(|&t| t == tag)
+        self.tags[base..base + self.assoc as usize].contains(&tag)
     }
 
     fn touch(&mut self, set: usize, way: usize) {
@@ -368,7 +366,8 @@ mod tests {
     #[test]
     fn next_line_prefetch_hits_sequential_stream() {
         let mut plain = Hierarchy::new(&small_cfg(), &l2_cfg(), 100);
-        let mut pf = Hierarchy::with_prefetcher(&small_cfg(), &l2_cfg(), 100, PrefetchKind::NextLine);
+        let mut pf =
+            Hierarchy::with_prefetcher(&small_cfg(), &l2_cfg(), 100, PrefetchKind::NextLine);
         // Sequential blocks: with next-line prefetch, every other block
         // is already resident.
         for i in 0..64u64 {
@@ -403,7 +402,10 @@ mod tests {
 
     #[test]
     fn miss_ratio_math() {
-        let s = CacheStats { accesses: 8, misses: 2 };
+        let s = CacheStats {
+            accesses: 8,
+            misses: 2,
+        };
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
     }

@@ -55,7 +55,46 @@ pub struct CoreConfig {
     pub l2: CacheConfig,
 }
 
+/// The canonical identity of a [`CoreConfig`]: every simulated
+/// parameter, excluding the display `name`. Two configurations with
+/// equal keys are the same design regardless of which benchmark they
+/// were named after, which is what lets the exploration layer memoize
+/// evaluations across renamed copies of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfigKey {
+    /// Exact bit pattern of the clock period (no rounding).
+    clock_bits: u64,
+    width: u32,
+    frontend_depth: u32,
+    rob_size: u32,
+    iq_size: u32,
+    lsq_size: u32,
+    wakeup_extra: u32,
+    sched_depth: u32,
+    lsq_depth: u32,
+    l1: CacheConfig,
+    l2: CacheConfig,
+}
+
 impl CoreConfig {
+    /// The name-independent identity of this configuration (see
+    /// [`ConfigKey`]).
+    pub fn canonical_key(&self) -> ConfigKey {
+        ConfigKey {
+            clock_bits: self.clock_ns.to_bits(),
+            width: self.width,
+            frontend_depth: self.frontend_depth,
+            rob_size: self.rob_size,
+            iq_size: self.iq_size,
+            lsq_size: self.lsq_size,
+            wakeup_extra: self.wakeup_extra,
+            sched_depth: self.sched_depth,
+            lsq_depth: self.lsq_depth,
+            l1: self.l1,
+            l2: self.l2,
+        }
+    }
+
     /// The paper's Table 3 initial configuration, shared by every
     /// benchmark at the start of exploration: 3-wide, 128-entry ROB,
     /// 64-entry IQ and LSQ, 0.33 ns clock, 4-cycle L1, 12-cycle L2.
@@ -210,6 +249,24 @@ mod tests {
         let mut c = CoreConfig::initial();
         c.l2.geometry = CacheGeometry::new(32, 1, 8);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn canonical_key_ignores_name_only() {
+        let a = CoreConfig::initial();
+        let mut b = a.clone();
+        b.name = "renamed-for-mcf".to_string();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let mut c = a.clone();
+        c.rob_size += 1;
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        let mut d = a.clone();
+        d.clock_ns += 1e-9;
+        assert_ne!(
+            a.canonical_key(),
+            d.canonical_key(),
+            "key must be exact in the clock, not rounded"
+        );
     }
 
     #[test]

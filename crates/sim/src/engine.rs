@@ -298,7 +298,7 @@ impl Simulator {
         self.last_commit = c;
 
         // --- Housekeeping: prune stale issue-slot entries.
-        if i % 65_536 == 0 && self.issue_slots.len() > 65_536 {
+        if i.is_multiple_of(65_536) && self.issue_slots.len() > 65_536 {
             let frontier = dispatch;
             self.issue_slots.retain(|&cyc, _| cyc >= frontier);
         }
@@ -319,7 +319,8 @@ mod tests {
     #[test]
     fn independent_alu_saturates_width() {
         let c = cfg();
-        let ops = (0..30_000u64).map(|i| MicroOp::alu(0x40_0000 + 4 * i, (8 + (i % 16)) as u8, [None, None]));
+        let ops = (0..30_000u64)
+            .map(|i| MicroOp::alu(0x40_0000 + 4 * i, (8 + (i % 16)) as u8, [None, None]));
         // Destinations recycle every 16 ops, far enough apart not to
         // serialize at width 3.
         let stats = Simulator::new(&c).run(ops, 30_000);
@@ -337,7 +338,7 @@ mod tests {
     fn dependent_chain_serializes() {
         let mut c = cfg();
         c.wakeup_extra = 0;
-        let ops = (0..20_000u64).map(|i| MicroOp::alu(0x40_0000, 8, [Some(8), None]));
+        let ops = (0..20_000u64).map(|_| MicroOp::alu(0x40_0000, 8, [Some(8), None]));
         let stats = Simulator::new(&c).run(ops, 20_000);
         let ipc = stats.ipc();
         assert!(
@@ -361,12 +362,13 @@ mod tests {
     #[test]
     fn cache_behaviour_shows_in_stats() {
         let c = cfg();
-        let hits = (0..20_000u64).map(|i| MicroOp::load(0x40_0000, (8 + i % 32) as u8, None, 0x1000 + (i % 64) * 8));
+        let hits = (0..20_000u64)
+            .map(|i| MicroOp::load(0x40_0000, (8 + i % 32) as u8, None, 0x1000 + (i % 64) * 8));
         let s_hit = Simulator::new(&c).run(hits, 20_000);
         assert!(s_hit.l1.miss_ratio() < 0.01, "resident set must hit");
 
-        let misses =
-            (0..20_000u64).map(|i| MicroOp::load(0x40_0000, (8 + i % 32) as u8, None, 0x10_0000 + i * 4096));
+        let misses = (0..20_000u64)
+            .map(|i| MicroOp::load(0x40_0000, (8 + i % 32) as u8, None, 0x10_0000 + i * 4096));
         let s_miss = Simulator::new(&c).run(misses, 20_000);
         assert!(s_miss.l1.miss_ratio() > 0.9, "striding set must miss");
         assert!(s_miss.ipc() < s_hit.ipc());
@@ -376,7 +378,8 @@ mod tests {
     #[test]
     fn mispredictions_cost_cycles() {
         let c = cfg();
-        let biased = (0..40_000u64).map(|i| MicroOp::branch(0x40_0000 + 64 * (i % 16), None, true, 0x41_0000));
+        let biased = (0..40_000u64)
+            .map(|i| MicroOp::branch(0x40_0000 + 64 * (i % 16), None, true, 0x41_0000));
         let s_good = Simulator::new(&c).run(biased, 40_000);
         assert!(s_good.mispredict_rate() < 0.05);
 
@@ -408,7 +411,11 @@ mod tests {
         // One memory miss at most (the store's allocation); loads all
         // forward, so IPC stays near 1 rather than collapsing to
         // memory latency.
-        assert!(s.ipc() > 0.5, "forwarded loads keep the pipe busy: {}", s.ipc());
+        assert!(
+            s.ipc() > 0.5,
+            "forwarded loads keep the pipe busy: {}",
+            s.ipc()
+        );
     }
 
     /// A bigger ROB tolerates memory latency better on a
@@ -450,7 +457,11 @@ mod tests {
             let c = cfg();
             let p = spec::profile(name).unwrap_or_else(|| panic!("{name} exists"));
             let s = Simulator::new(&c).run(TraceGenerator::new(p), 20_000);
-            assert!(s.ipc() <= c.width as f64 + 1e-9, "{name} IPC {} > width", s.ipc());
+            assert!(
+                s.ipc() <= c.width as f64 + 1e-9,
+                "{name} IPC {} > width",
+                s.ipc()
+            );
         }
     }
 
@@ -460,7 +471,8 @@ mod tests {
     fn commit_bandwidth_binds() {
         let mut c = cfg();
         c.width = 1;
-        let ops = (0..20_000u64).map(|i| MicroOp::alu(0x40_0000 + 4 * i, (8 + (i % 16)) as u8, [None, None]));
+        let ops = (0..20_000u64)
+            .map(|i| MicroOp::alu(0x40_0000 + 4 * i, (8 + (i % 16)) as u8, [None, None]));
         let stats = Simulator::new(&c).run(ops, 20_000);
         assert!(stats.cycles >= 20_000, "width 1 needs >= 1 cycle/op");
         assert!(stats.ipc() <= 1.0 + 1e-9);

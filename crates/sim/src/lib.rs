@@ -45,7 +45,7 @@ mod predictor;
 mod stats;
 
 pub use cache::{CacheStats, DataCache, Hierarchy, PrefetchKind};
-pub use config::{CacheConfig, CoreConfig};
+pub use config::{CacheConfig, ConfigKey, CoreConfig};
 pub use engine::Simulator;
 pub use power::{energy_delay_product, estimate_energy, EnergyBreakdown};
 pub use predictor::{Bimodal, Gshare, Predictor, PredictorKind, Tournament, TwoLevelLocal};

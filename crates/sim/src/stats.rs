@@ -69,6 +69,13 @@ impl SimStats {
     }
 }
 
+// Stats cross thread boundaries in the parallel exploration layer and
+// are cloned out of the evaluation cache; keep those properties.
+const _: () = {
+    const fn thread_safe_and_clonable<T: Send + Sync + Clone>() {}
+    thread_safe_and_clonable::<SimStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,8 +87,14 @@ mod tests {
             clock_ns: 0.5,
             branches: 100,
             mispredicts: 5,
-            l1: CacheStats { accesses: 300, misses: 30 },
-            l2: CacheStats { accesses: 30, misses: 3 },
+            l1: CacheStats {
+                accesses: 300,
+                misses: 30,
+            },
+            l2: CacheStats {
+                accesses: 30,
+                misses: 3,
+            },
         }
     }
 

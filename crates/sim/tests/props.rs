@@ -14,8 +14,16 @@ fn arb_config() -> impl Strategy<Value = CoreConfig> {
         prop::sample::select(vec![16u32, 32, 64, 128, 256]),
         0u32..4,
         1u32..5,
-        (1u32..6, prop::sample::select(vec![64u32, 128, 256, 512]), prop::sample::select(vec![1u32, 2, 4])),
-        (4u32..25, prop::sample::select(vec![1024u32, 2048, 4096]), prop::sample::select(vec![4u32, 8])),
+        (
+            1u32..6,
+            prop::sample::select(vec![64u32, 128, 256, 512]),
+            prop::sample::select(vec![1u32, 2, 4]),
+        ),
+        (
+            4u32..25,
+            prop::sample::select(vec![1024u32, 2048, 4096]),
+            prop::sample::select(vec![4u32, 8]),
+        ),
     )
         .prop_map(|(clock, width, rob, iq, lsq, wakeup, sched, l1, l2)| {
             let (l1_lat, l1_sets, l1_assoc) = l1;

@@ -37,7 +37,7 @@ const LOAD_RENEW_FRAC: f64 = 0.10;
 /// variables, accumulated flags).
 const ALU_RENEW_FRAC: f64 = 0.05;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BranchKind {
     /// Loop back-edge: taken `period - 1` times, then not taken.
     Loop { period: u32 },
@@ -47,7 +47,7 @@ enum BranchKind {
     Hard,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct StaticBranch {
     pc: u64,
     target: u64,
@@ -110,48 +110,13 @@ impl TraceGenerator {
         profile
             .validate()
             .unwrap_or_else(|e| panic!("invalid profile `{}`: {e}", profile.name));
-        let mut rng = SmallRng::seed_from_u64(profile.seed);
-        let n = profile.ctrl.static_branches as usize;
-        let mut branches = Vec::with_capacity(n);
-        let (mut loop_pool, mut biased_pool, mut hard_pool) = (Vec::new(), Vec::new(), Vec::new());
-        // Split the static pool in proportion to the dynamic kind
-        // fractions so each static branch keeps one personality.
-        for i in 0..n {
-            let f = i as f64 / n as f64;
-            let kind = if f < profile.ctrl.loop_frac {
-                loop_pool.push(i);
-                BranchKind::Loop {
-                    // Cap periods at 10 so patterns stay within the
-                    // reach of a 12-bit-history predictor, as inner
-                    // loops are for real loop/history predictors.
-                    period: 2 + (rng.gen::<u32>() % profile.ctrl.loop_period.clamp(2, 9)),
-                }
-            } else if f < profile.ctrl.loop_frac + profile.ctrl.hard_frac {
-                hard_pool.push(i);
-                BranchKind::Hard
-            } else {
-                biased_pool.push(i);
-                BranchKind::Biased
-            };
-            let pc = CODE_BASE + 4 * rng.gen_range(0..65536) as u64;
-            branches.push(StaticBranch {
-                pc,
-                target: pc.wrapping_add(4 * rng.gen_range(2..64) as u64),
-                kind,
-                count: rng.gen::<u32>() % profile.ctrl.loop_period.max(2),
-            });
-        }
-        // Guarantee non-empty fallback pools.
-        if biased_pool.is_empty() {
-            biased_pool.push(0);
-        }
-        TraceGenerator {
+        let mut g = TraceGenerator {
+            rng: SmallRng::seed_from_u64(profile.seed),
             profile,
-            rng,
-            branches,
-            loop_pool,
-            biased_pool,
-            hard_pool,
+            branches: Vec::new(),
+            loop_pool: Vec::new(),
+            biased_pool: Vec::new(),
+            hard_pool: Vec::new(),
             cursors: [0; 3],
             recent: [FIRST_DEST; RECENT],
             recent_len: 0,
@@ -160,6 +125,71 @@ impl TraceGenerator {
             chase_chain: 0,
             chase_live: [false; CHASE_CHAINS],
             pc: CODE_BASE,
+        };
+        g.build_branches();
+        g
+    }
+
+    /// Rewind to the exact state of a freshly constructed generator for
+    /// the same profile, reusing the branch-table allocations. After a
+    /// reset the op stream restarts bit-identically from the first op,
+    /// which is what lets a per-thread generator pool recycle buffers
+    /// without perturbing any result.
+    pub fn reset(&mut self) {
+        self.rng = SmallRng::seed_from_u64(self.profile.seed);
+        self.branches.clear();
+        self.loop_pool.clear();
+        self.biased_pool.clear();
+        self.hard_pool.clear();
+        self.build_branches();
+        self.cursors = [0; 3];
+        self.recent = [FIRST_DEST; RECENT];
+        self.recent_len = 0;
+        self.recent_head = 0;
+        self.next_dest = FIRST_DEST;
+        self.chase_chain = 0;
+        self.chase_live = [false; CHASE_CHAINS];
+        self.pc = CODE_BASE;
+    }
+
+    /// Build the static branch tables. Must consume RNG draws in a
+    /// fixed order: this runs both at construction and on [`reset`],
+    /// and the post-init `self.rng` state feeds the op stream.
+    ///
+    /// [`reset`]: TraceGenerator::reset
+    fn build_branches(&mut self) {
+        let n = self.profile.ctrl.static_branches as usize;
+        self.branches.reserve(n);
+        // Split the static pool in proportion to the dynamic kind
+        // fractions so each static branch keeps one personality.
+        for i in 0..n {
+            let f = i as f64 / n as f64;
+            let kind = if f < self.profile.ctrl.loop_frac {
+                self.loop_pool.push(i);
+                BranchKind::Loop {
+                    // Cap periods at 10 so patterns stay within the
+                    // reach of a 12-bit-history predictor, as inner
+                    // loops are for real loop/history predictors.
+                    period: 2 + (self.rng.gen::<u32>() % self.profile.ctrl.loop_period.clamp(2, 9)),
+                }
+            } else if f < self.profile.ctrl.loop_frac + self.profile.ctrl.hard_frac {
+                self.hard_pool.push(i);
+                BranchKind::Hard
+            } else {
+                self.biased_pool.push(i);
+                BranchKind::Biased
+            };
+            let pc = CODE_BASE + 4 * self.rng.gen_range(0..65536) as u64;
+            self.branches.push(StaticBranch {
+                pc,
+                target: pc.wrapping_add(4 * self.rng.gen_range(2..64) as u64),
+                kind,
+                count: self.rng.gen::<u32>() % self.profile.ctrl.loop_period.max(2),
+            });
+        }
+        // Guarantee non-empty fallback pools.
+        if self.biased_pool.is_empty() {
+            self.biased_pool.push(0);
         }
     }
 
@@ -266,7 +296,11 @@ impl TraceGenerator {
             let chain = self.chase_chain;
             self.chase_chain = (self.chase_chain + 1) % CHASE_CHAINS;
             let reg = FIRST_CHASE + chain as u8;
-            let src = if self.chase_live[chain] { Some(reg) } else { None };
+            let src = if self.chase_live[chain] {
+                Some(reg)
+            } else {
+                None
+            };
             self.chase_live[chain] = true;
             // Chains walk the *warm* arena: pointer structures have a
             // bounded footprint, so a sufficiently large L2 can capture
@@ -329,6 +363,46 @@ impl TraceGenerator {
     }
 }
 
+/// Most generators a single thread keeps pooled; beyond this the extra
+/// ones are dropped rather than hoarded.
+const POOL_CAP: usize = 16;
+
+thread_local! {
+    static GENERATOR_POOL: std::cell::RefCell<Vec<TraceGenerator>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a trace generator for `profile`, recycling a per-thread
+/// pool of generators so repeated evaluations on one worker reuse the
+/// branch-table allocations instead of reallocating them.
+///
+/// The generator handed to `f` is always in the freshly-constructed
+/// state ([`TraceGenerator::reset`] replays construction exactly), so
+/// the op stream is bit-identical to `TraceGenerator::new(profile)`.
+pub fn with_generator<R>(profile: &WorkloadProfile, f: impl FnOnce(&mut TraceGenerator) -> R) -> R {
+    let pooled = GENERATOR_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        pool.iter()
+            .position(|g| g.profile() == profile)
+            .map(|i| pool.swap_remove(i))
+    });
+    let mut g = match pooled {
+        Some(mut g) => {
+            g.reset();
+            g
+        }
+        None => TraceGenerator::new(profile.clone()),
+    };
+    let out = f(&mut g);
+    GENERATOR_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(g);
+        }
+    });
+    out
+}
+
 impl Iterator for TraceGenerator {
     type Item = MicroOp;
 
@@ -371,6 +445,37 @@ mod tests {
     }
 
     #[test]
+    fn reset_replays_identical_stream() {
+        let p = spec::profile("mcf").expect("mcf exists");
+        let mut g = TraceGenerator::new(p.clone());
+        let first: Vec<_> = (&mut g).take(4000).collect();
+        g.reset();
+        // Right after reset the branch table matches a fresh build
+        // (iterating mutates loop counters, so compare before replay).
+        let fresh = TraceGenerator::new(p);
+        assert_eq!(g.branches, fresh.branches);
+        assert_eq!(g.loop_pool, fresh.loop_pool);
+        assert_eq!(g.biased_pool, fresh.biased_pool);
+        assert_eq!(g.hard_pool, fresh.hard_pool);
+        let replay: Vec<_> = (&mut g).take(4000).collect();
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn pooled_generator_matches_fresh() {
+        let gzip = spec::profile("gzip").expect("gzip exists");
+        let vpr = spec::profile("vpr").expect("vpr exists");
+        let fresh: Vec<_> = TraceGenerator::new(gzip.clone()).take(3000).collect();
+        // Interleave profiles so the second gzip call exercises the
+        // reset-and-reuse path, not just first construction.
+        let a = with_generator(&gzip, |g| g.take(3000).collect::<Vec<_>>());
+        let _ = with_generator(&vpr, |g| g.take(100).collect::<Vec<_>>());
+        let b = with_generator(&gzip, |g| g.take(3000).collect::<Vec<_>>());
+        assert_eq!(a, fresh);
+        assert_eq!(b, fresh);
+    }
+
+    #[test]
     fn mix_fractions_approximately_respected() {
         let p = spec::profile("gcc").expect("gcc exists");
         let n = 200_000;
@@ -378,7 +483,10 @@ mod tests {
         let loads = count_class(&ops, OpClass::Load) as f64 / n as f64;
         let branches = count_class(&ops, OpClass::Branch) as f64 / n as f64;
         assert!((loads - p.mix.load).abs() < 0.01, "load freq {loads}");
-        assert!((branches - p.mix.branch).abs() < 0.01, "branch freq {branches}");
+        assert!(
+            (branches - p.mix.branch).abs() < 0.01,
+            "branch freq {branches}"
+        );
     }
 
     #[test]
@@ -406,7 +514,10 @@ mod tests {
                     && o.srcs[0] == o.dest
             })
             .count();
-        assert!(chained > 1000, "mcf must exhibit pointer chasing, saw {chained}");
+        assert!(
+            chained > 1000,
+            "mcf must exhibit pointer chasing, saw {chained}"
+        );
     }
 
     #[test]

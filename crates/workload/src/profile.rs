@@ -75,7 +75,9 @@ pub struct MemoryBehavior {
 impl MemoryBehavior {
     /// Validate footprints and probabilities.
     pub fn validate(&self) -> Result<(), String> {
-        if self.hot_bytes == 0 || self.warm_bytes < self.hot_bytes || self.cold_bytes < self.warm_bytes
+        if self.hot_bytes == 0
+            || self.warm_bytes < self.hot_bytes
+            || self.cold_bytes < self.warm_bytes
         {
             return Err(format!(
                 "regions must nest: 0 < hot ({}) <= warm ({}) <= cold ({})",
@@ -174,7 +176,7 @@ impl DependenceBehavior {
                 self.second_src_frac
             ));
         }
-        if !(self.mean_dist >= 1.0) {
+        if self.mean_dist < 1.0 || self.mean_dist.is_nan() {
             return Err(format!("mean_dist must be >= 1: {}", self.mean_dist));
         }
         Ok(())
@@ -226,6 +228,50 @@ impl WorkloadProfile {
         p
     }
 
+    /// A 64-bit FNV-1a fingerprint over every field of the profile
+    /// (name, seed, and the exact bit patterns of all numeric
+    /// parameters). Profiles that generate different traces get
+    /// different fingerprints (hash collisions aside); the exploration
+    /// layer uses this as the workload identity in its memoization
+    /// keys.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+        let mut h = eat(0xcbf2_9ce4_8422_2325, self.name.as_bytes());
+        for word in [
+            self.seed,
+            self.mix.load.to_bits(),
+            self.mix.store.to_bits(),
+            self.mix.branch.to_bits(),
+            self.mix.mul.to_bits(),
+            self.mix.div.to_bits(),
+            self.mem.hot_bytes,
+            self.mem.warm_bytes,
+            self.mem.cold_bytes,
+            self.mem.hot_frac.to_bits(),
+            self.mem.warm_frac.to_bits(),
+            self.mem.spatial.to_bits(),
+            self.mem.pointer_chase_frac.to_bits(),
+            self.mem.stride,
+            u64::from(self.ctrl.static_branches),
+            self.ctrl.loop_frac.to_bits(),
+            u64::from(self.ctrl.loop_period),
+            self.ctrl.hard_frac.to_bits(),
+            self.ctrl.bias.to_bits(),
+            self.deps.short_frac.to_bits(),
+            self.deps.mean_dist.to_bits(),
+            self.deps.second_src_frac.to_bits(),
+            self.weight.to_bits(),
+        ] {
+            h = eat(h, &word.to_le_bytes());
+        }
+        h
+    }
+
     /// Validate every component of the profile.
     ///
     /// # Errors
@@ -235,7 +281,7 @@ impl WorkloadProfile {
         if self.name.is_empty() {
             return Err("profile name must not be empty".to_string());
         }
-        if !(self.weight > 0.0) {
+        if self.weight <= 0.0 || self.weight.is_nan() {
             return Err(format!("weight must be positive: {}", self.weight));
         }
         self.mix.validate()?;
@@ -247,7 +293,6 @@ impl WorkloadProfile {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::spec;
 
     #[test]
@@ -255,6 +300,28 @@ mod tests {
         for p in spec::all_profiles() {
             p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
+    }
+
+    #[test]
+    fn fingerprints_separate_profiles() {
+        let profiles = spec::all_profiles();
+        for a in &profiles {
+            for b in &profiles {
+                if a.name == b.name {
+                    assert_eq!(a.fingerprint(), b.fingerprint());
+                } else {
+                    assert_ne!(a.fingerprint(), b.fingerprint(), "{} vs {}", a.name, b.name);
+                }
+            }
+        }
+        // Any parameter change must move the fingerprint.
+        let base = spec::profile("gzip").expect("gzip exists");
+        let mut p = base.clone();
+        p.mem.hot_bytes += 8;
+        assert_ne!(base.fingerprint(), p.fingerprint());
+        let mut p = base.clone();
+        p.deps.short_frac += 1e-9;
+        assert_ne!(base.fingerprint(), p.fingerprint());
     }
 
     #[test]

@@ -16,9 +16,7 @@
 //! configurations the explorer then finds are the reproduction's
 //! "measured" results.
 
-use crate::profile::{
-    ControlBehavior, DependenceBehavior, MemoryBehavior, OpMix, WorkloadProfile,
-};
+use crate::profile::{ControlBehavior, DependenceBehavior, MemoryBehavior, OpMix, WorkloadProfile};
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
@@ -97,9 +95,15 @@ fn base(name: &str, seed: u64) -> WorkloadProfile {
 /// paper customizes it to a slow clock, width 5, ROB 512, 64 KB L1.
 fn bzip() -> WorkloadProfile {
     let mut p = base("bzip", 0xB21F_0001);
-    p.mix = OpMix { load: 0.26, store: 0.09, branch: 0.11, mul: 0.004, div: 0.0005 };
+    p.mix = OpMix {
+        load: 0.26,
+        store: 0.09,
+        branch: 0.11,
+        mul: 0.004,
+        div: 0.0005,
+    };
     p.mem.hot_bytes = 48 * KB;
-    p.mem.warm_bytes = 1 * MB;
+    p.mem.warm_bytes = MB;
     p.mem.cold_bytes = 8 * MB;
     p.mem.hot_frac = 0.62;
     p.mem.warm_frac = 0.30;
@@ -118,7 +122,13 @@ fn bzip() -> WorkloadProfile {
 /// and deep pipeline with small structures.
 fn crafty() -> WorkloadProfile {
     let mut p = base("crafty", 0xC4AF_0002);
-    p.mix = OpMix { load: 0.29, store: 0.10, branch: 0.11, mul: 0.002, div: 0.0002 };
+    p.mix = OpMix {
+        load: 0.29,
+        store: 0.10,
+        branch: 0.11,
+        mul: 0.002,
+        div: 0.0002,
+    };
     p.mem.hot_bytes = 12 * KB;
     p.mem.warm_bytes = 96 * KB;
     p.mem.cold_bytes = 256 * KB;
@@ -137,7 +147,13 @@ fn crafty() -> WorkloadProfile {
 /// good predictability.
 fn gap() -> WorkloadProfile {
     let mut p = base("gap", 0x6A50_0003);
-    p.mix = OpMix { load: 0.23, store: 0.08, branch: 0.07, mul: 0.015, div: 0.001 };
+    p.mix = OpMix {
+        load: 0.23,
+        store: 0.08,
+        branch: 0.07,
+        mul: 0.015,
+        div: 0.001,
+    };
     p.mem.hot_bytes = 24 * KB;
     p.mem.warm_bytes = 256 * KB;
     p.mem.cold_bytes = 768 * KB;
@@ -157,9 +173,15 @@ fn gap() -> WorkloadProfile {
 /// *single* configuration — a generalist.
 fn gcc() -> WorkloadProfile {
     let mut p = base("gcc", 0x6CC0_0004);
-    p.mix = OpMix { load: 0.24, store: 0.12, branch: 0.15, mul: 0.003, div: 0.0003 };
+    p.mix = OpMix {
+        load: 0.24,
+        store: 0.12,
+        branch: 0.15,
+        mul: 0.003,
+        div: 0.0003,
+    };
     p.mem.hot_bytes = 32 * KB;
-    p.mem.warm_bytes = 1 * MB;
+    p.mem.warm_bytes = MB;
     p.mem.cold_bytes = 6 * MB;
     p.mem.hot_frac = 0.68;
     p.mem.warm_frac = 0.24;
@@ -180,7 +202,13 @@ fn gcc() -> WorkloadProfile {
 /// *customized* configuration diverges sharply from bzip's.
 fn gzip() -> WorkloadProfile {
     let mut p = base("gzip", 0x671F_0005);
-    p.mix = OpMix { load: 0.25, store: 0.08, branch: 0.11, mul: 0.003, div: 0.0003 };
+    p.mix = OpMix {
+        load: 0.25,
+        store: 0.08,
+        branch: 0.11,
+        mul: 0.003,
+        div: 0.0003,
+    };
     p.mem.hot_bytes = 20 * KB;
     p.mem.warm_bytes = 448 * KB;
     p.mem.cold_bytes = 1536 * KB;
@@ -203,7 +231,13 @@ fn gzip() -> WorkloadProfile {
 /// a slow clock with maximal caches.
 fn mcf() -> WorkloadProfile {
     let mut p = base("mcf", 0x3CF0_0006);
-    p.mix = OpMix { load: 0.30, store: 0.08, branch: 0.19, mul: 0.001, div: 0.0001 };
+    p.mix = OpMix {
+        load: 0.30,
+        store: 0.08,
+        branch: 0.19,
+        mul: 0.001,
+        div: 0.0001,
+    };
     p.mem.hot_bytes = 8 * KB;
     p.mem.warm_bytes = 1536 * KB;
     p.mem.cold_bytes = 64 * MB;
@@ -223,9 +257,15 @@ fn mcf() -> WorkloadProfile {
 /// footprint, frequent moderately-predictable branches.
 fn parser() -> WorkloadProfile {
     let mut p = base("parser", 0xFA45_0007);
-    p.mix = OpMix { load: 0.24, store: 0.08, branch: 0.16, mul: 0.002, div: 0.0002 };
+    p.mix = OpMix {
+        load: 0.24,
+        store: 0.08,
+        branch: 0.16,
+        mul: 0.002,
+        div: 0.0002,
+    };
     p.mem.hot_bytes = 24 * KB;
-    p.mem.warm_bytes = 1 * MB;
+    p.mem.warm_bytes = MB;
     p.mem.cold_bytes = 3 * MB;
     p.mem.hot_frac = 0.70;
     p.mem.warm_frac = 0.22;
@@ -244,7 +284,13 @@ fn parser() -> WorkloadProfile {
 /// the dispatch loop; customized (like crafty) to a fast, deep design.
 fn perl() -> WorkloadProfile {
     let mut p = base("perl", 0x9E41_0008);
-    p.mix = OpMix { load: 0.30, store: 0.15, branch: 0.14, mul: 0.002, div: 0.0002 };
+    p.mix = OpMix {
+        load: 0.30,
+        store: 0.15,
+        branch: 0.14,
+        mul: 0.002,
+        div: 0.0002,
+    };
     p.mem.hot_bytes = 12 * KB;
     p.mem.warm_bytes = 128 * KB;
     p.mem.cold_bytes = 384 * KB;
@@ -264,7 +310,13 @@ fn perl() -> WorkloadProfile {
 /// mid-size working set, hard branches, dense chains.
 fn twolf() -> WorkloadProfile {
     let mut p = base("twolf", 0x7301_0009);
-    p.mix = OpMix { load: 0.25, store: 0.07, branch: 0.12, mul: 0.01, div: 0.002 };
+    p.mix = OpMix {
+        load: 0.25,
+        store: 0.07,
+        branch: 0.12,
+        mul: 0.01,
+        div: 0.002,
+    };
     p.mem.hot_bytes = 56 * KB;
     p.mem.warm_bytes = 768 * KB;
     p.mem.cold_bytes = 3 * MB;
@@ -283,7 +335,13 @@ fn twolf() -> WorkloadProfile {
 /// branches, store-heavy; the paper customizes a wide (7), deep design.
 fn vortex() -> WorkloadProfile {
     let mut p = base("vortex", 0x404E_000A);
-    p.mix = OpMix { load: 0.28, store: 0.17, branch: 0.16, mul: 0.001, div: 0.0001 };
+    p.mix = OpMix {
+        load: 0.28,
+        store: 0.17,
+        branch: 0.16,
+        mul: 0.001,
+        div: 0.0001,
+    };
     p.mem.hot_bytes = 32 * KB;
     p.mem.warm_bytes = 512 * KB;
     p.mem.cold_bytes = 1536 * KB;
@@ -303,7 +361,13 @@ fn vortex() -> WorkloadProfile {
 /// hard branches, load-heavy, dense chains.
 fn vpr() -> WorkloadProfile {
     let mut p = base("vpr", 0x09F4_000B);
-    p.mix = OpMix { load: 0.30, store: 0.10, branch: 0.11, mul: 0.012, div: 0.003 };
+    p.mix = OpMix {
+        load: 0.30,
+        store: 0.10,
+        branch: 0.11,
+        mul: 0.012,
+        div: 0.003,
+    };
     p.mem.hot_bytes = 72 * KB;
     p.mem.warm_bytes = 640 * KB;
     p.mem.cold_bytes = 2 * MB;

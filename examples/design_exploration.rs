@@ -42,8 +42,12 @@ fn main() {
     );
 
     // Configurational characterization: anneal a custom core for each.
+    // The multi-start anneals and cross evaluations fan out over all
+    // cores (jobs = 0); results are bit-identical to a serial run.
     println!("\nexploring customized configurations (simulated annealing)...");
-    let explorer = Explorer::new(ExploreOptions::quick());
+    let mut opts = ExploreOptions::quick();
+    opts.jobs = 0;
+    let explorer = Explorer::new(opts);
     let result = explorer.explore(&profiles);
     for core in &result.cores {
         let c = &core.config;
@@ -61,6 +65,14 @@ fn main() {
             core.ipt
         );
     }
+    let s = &result.stats;
+    println!(
+        "\n  explored on {} worker(s); evaluation cache: {} hits / {} misses ({:.0}% hit rate)",
+        s.workers,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.hit_rate() * 100.0
+    );
     println!(
         "\nraw similarity does not imply configurational similarity — the paper's central claim."
     );

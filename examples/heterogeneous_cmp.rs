@@ -11,15 +11,16 @@
 //! costs, and what subsetting would have cost.
 
 use xpscalar::communal::{
-    assign_surrogates, best_combination, ideal_performance, pitfall_experiment, Merit,
-    Propagation,
+    assign_surrogates, best_combination, ideal_performance, pitfall_experiment, Merit, Propagation,
 };
 use xpscalar::paper;
 
 fn main() {
     let m = paper::table5_matrix();
     let (ideal_avg, ideal_har) = ideal_performance(&m);
-    println!("ideal (one customized core per workload): avg {ideal_avg:.2}, harmonic {ideal_har:.2}\n");
+    println!(
+        "ideal (one customized core per workload): avg {ideal_avg:.2}, harmonic {ideal_har:.2}\n"
+    );
 
     println!("complete search over core combinations:");
     for k in 1..=4 {

@@ -10,9 +10,7 @@
 //! complete search. Two policies contend: stall for the job's matched
 //! core, or run on whichever core finishes it first.
 
-use xpscalar::communal::{
-    best_combination, simulate_jobs, JobPolicy, Merit, ScheduleOptions,
-};
+use xpscalar::communal::{best_combination, simulate_jobs, JobPolicy, Merit, ScheduleOptions};
 use xpscalar::paper;
 
 fn main() {

@@ -7,7 +7,7 @@ use xpscalar::communal::{cluster, nearest_neighbor};
 use xpscalar::explore::DesignPoint;
 use xpscalar::paper;
 use xpscalar::sim::Simulator;
-use xpscalar::workload::{spec, Characterizer, CharacterVector, TraceGenerator};
+use xpscalar::workload::{spec, CharacterVector, Characterizer, TraceGenerator};
 
 /// Every published Table 4 configuration simulates every benchmark to
 /// a sane, positive IPT.
@@ -61,7 +61,11 @@ fn bzip_gzip_raw_similarity() {
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// mcf is the raw-characteristics outlier: agglomerative clustering to
@@ -108,7 +112,10 @@ fn design_space_covers_table4_corners() {
     fast.l1_cycles = 5;
     fast.l2_cycles = 7;
     let cfg = fast.realize(&tech, "fast").expect("realizable");
-    assert!(cfg.frontend_depth >= 10, "fast clocks imply deep front ends");
+    assert!(
+        cfg.frontend_depth >= 10,
+        "fast clocks imply deep front ends"
+    );
     assert!(cfg.iq_size >= 16);
 }
 

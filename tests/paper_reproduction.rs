@@ -10,13 +10,15 @@
 //! in `EXPERIMENTS.md` and asserted at their recomputed values.
 
 use xpscalar::communal::{
-    assign_surrogates, best_combination, ideal_performance, pitfall_experiment, Merit,
-    Propagation,
+    assign_surrogates, best_combination, ideal_performance, pitfall_experiment, Merit, Propagation,
 };
 use xpscalar::paper;
 
 fn close(a: f64, b: f64, tol: f64, what: &str) {
-    assert!((a - b).abs() <= tol, "{what}: got {a}, expected {b} (±{tol})");
+    assert!(
+        (a - b).abs() <= tol,
+        "{what}: got {a}, expected {b} (±{tol})"
+    );
 }
 
 /// Table 6 row 1: the best single configuration for both average and
@@ -74,7 +76,11 @@ fn table6_best_triples() {
     let ra = best_combination(&m, 3, Merit::Average);
     assert_eq!(
         ra.names,
-        vec!["crafty".to_string(), "parser".to_string(), "twolf".to_string()]
+        vec![
+            "crafty".to_string(),
+            "parser".to_string(),
+            "twolf".to_string()
+        ]
     );
     close(ra.avg_ipt, 2.35, 0.01, "3-avg avg IPT");
     close(ra.har_ipt, 1.82, 0.01, "3-avg harmonic IPT");
@@ -137,7 +143,12 @@ fn mcf_suffers_most_cross_configuration() {
         .filter(|&c| c != mcf)
         .map(|c| m.slowdown(mcf, c))
         .fold(f64::INFINITY, f64::min);
-    close(best_foreign, 0.204, 0.005, "mcf's best foreign arch (bzip) ~20%");
+    close(
+        best_foreign,
+        0.204,
+        0.005,
+        "mcf's best foreign arch (bzip) ~20%",
+    );
 }
 
 /// §5.3: bzip on gzip's customized configuration loses 33%; gzip on
@@ -160,8 +171,16 @@ fn subsetting_pitfall() {
     let m = paper::table5_matrix();
     let r = pitfall_experiment(&m, "gzip", 2, Merit::HarmonicMean);
     assert_eq!(r.full_choice, vec!["gcc".to_string(), "mcf".to_string()]);
-    assert_eq!(r.reduced_choice, vec!["bzip".to_string(), "crafty".to_string()]);
-    close(r.reduced_value_on_full, 1.87, 0.01, "bzip+crafty harmonic on full set");
+    assert_eq!(
+        r.reduced_choice,
+        vec!["bzip".to_string(), "crafty".to_string()]
+    );
+    close(
+        r.reduced_value_on_full,
+        1.87,
+        0.01,
+        "bzip+crafty harmonic on full set",
+    );
     assert!(r.loss > 0.0, "subsetting must cost performance");
     close(r.loss, 0.005, 0.003, "~0.5% slowdown");
 }
@@ -175,8 +194,18 @@ fn figure6_no_propagation() {
     let m = paper::table5_matrix();
     let s = assign_surrogates(&m, Propagation::None, 1);
     assert_eq!(s.final_architectures.len(), 4);
-    close(s.harmonic_ipt(&m), 1.83, 0.01, "no-propagation harmonic IPT");
-    close(s.average_slowdown(&m), 0.0566, 0.001, "no-propagation avg slowdown");
+    close(
+        s.harmonic_ipt(&m),
+        1.83,
+        0.01,
+        "no-propagation harmonic IPT",
+    );
+    close(
+        s.average_slowdown(&m),
+        0.0566,
+        0.001,
+        "no-propagation avg slowdown",
+    );
     assert!(s.feedback_pairs.is_empty(), "no cycles without propagation");
 
     // The bulk of the damage is mcf's 44% surrogate; giving mcf its
@@ -213,7 +242,12 @@ fn figure7_full_propagation() {
         .map(|&i| m.names()[i].as_str())
         .collect();
     assert_eq!(finals, vec!["gzip", "twolf"]);
-    close(s.harmonic_ipt(&m), 1.74, 0.01, "full-propagation harmonic IPT");
+    close(
+        s.harmonic_ipt(&m),
+        1.74,
+        0.01,
+        "full-propagation harmonic IPT",
+    );
     // Both feedback pairs the paper observes.
     let names = |(a, b): (usize, usize)| (m.names()[a].as_str(), m.names()[b].as_str());
     let pairs: Vec<_> = s.feedback_pairs.iter().copied().map(names).collect();
@@ -277,17 +311,32 @@ fn table7_summary() {
     assert_eq!(t.rows.len(), 4);
     // Row 2: homogeneous gcc. Paper: 1.57, 26% below ideal.
     close(t.rows[1].harmonic_ipt, 1.57, 0.01, "homogeneous har");
-    close(t.rows[1].slowdown_vs_ideal, 0.27, 0.02, "homogeneous slowdown");
+    close(
+        t.rows[1].slowdown_vs_ideal,
+        0.27,
+        0.02,
+        "homogeneous slowdown",
+    );
     // Row 3: complete search gcc+mcf. Paper: 1.88, 11%.
     assert_eq!(
         t.rows[2].architectures,
         vec!["gcc".to_string(), "mcf".to_string()]
     );
     close(t.rows[2].harmonic_ipt, 1.88, 0.01, "complete-search har");
-    close(t.rows[2].slowdown_vs_ideal, 0.12, 0.02, "complete-search slowdown");
+    close(
+        t.rows[2].slowdown_vs_ideal,
+        0.12,
+        0.02,
+        "complete-search slowdown",
+    );
     // Row 4: greedy surrogates with propagation. Paper: 1.74, 18%.
     close(t.rows[3].harmonic_ipt, 1.74, 0.01, "surrogate har");
-    close(t.rows[3].slowdown_vs_ideal, 0.19, 0.02, "surrogate slowdown");
+    close(
+        t.rows[3].slowdown_vs_ideal,
+        0.19,
+        0.02,
+        "surrogate slowdown",
+    );
 }
 
 /// Figure 4's qualitative claims: twolf and parser gain ~40% / ~25%
@@ -307,9 +356,15 @@ fn figure4_series_claims() {
         m.ipt(i, m.best_config_for(i, set)) / m.ipt(i, m.best_config_for(i, &best_single))
     };
     let twolf_gain = gain("twolf", &avg2);
-    assert!((1.35..=1.55).contains(&twolf_gain), "twolf ~40-45%: {twolf_gain}");
+    assert!(
+        (1.35..=1.55).contains(&twolf_gain),
+        "twolf ~40-45%: {twolf_gain}"
+    );
     let parser_gain = gain("parser", &avg2);
-    assert!((1.2..=1.35).contains(&parser_gain), "parser ~25%: {parser_gain}");
+    assert!(
+        (1.2..=1.35).contains(&parser_gain),
+        "parser ~25%: {parser_gain}"
+    );
     let mcf_gain = gain("mcf", &har2);
     assert!(mcf_gain > 1.9, "mcf ~2x: {mcf_gain}");
     // mcf's architecture helps only bzip among the others.

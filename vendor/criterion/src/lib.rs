@@ -1,0 +1,293 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors a minimal harness with the same authoring surface:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`/`throughput`/`bench_with_input`,
+//! and `Bencher::iter`. Timing is a plain `Instant` loop — calibrate an
+//! iteration count against a per-sample time budget, then report the
+//! median of the per-iteration means across samples. No statistical
+//! machinery, plots, or saved baselines; output is one line per
+//! benchmark on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long a benchmark spends per sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+/// Unit annotation used to derive a rate from elapsed time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `group-name/function-name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    #[must_use]
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the measured closure; handed to benchmark functions.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_count: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly; its return value is black-boxed
+    /// so the computation cannot be optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one
+        // sample fills the budget (or the routine proves slow enough
+        // that a single iteration is the sample).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET || iters >= 1 << 20 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 8
+            } else {
+                let scale = SAMPLE_BUDGET.as_secs_f64() / elapsed.as_secs_f64();
+                (iters as f64 * scale.clamp(1.1, 8.0)).ceil() as u64
+            };
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median per-iteration time across samples.
+    fn per_iter(&self) -> Duration {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2] / u32::try_from(self.iters_per_sample).unwrap_or(u32::MAX)
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_per_sample: 0,
+        sample_count: sample_size.max(1),
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let per_iter = b.per_iter();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+            format!(
+                "  thrpt: {:.3} Melem/s",
+                n as f64 / per_iter.as_secs_f64() / 1e6
+            )
+        }
+        Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+            format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{id:<48} time: {}{rate}", format_duration(per_iter));
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate benchmarks with work-per-iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Run a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (1..=n).fold((0u64, 1u64), |(a, b), _| (b, a.wrapping_add(b))).0
+    }
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("fib-20", |b| b.iter(|| fib(black_box(20))));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(20));
+        g.bench_function("fib-20", |b| b.iter(|| fib(black_box(20))));
+        g.bench_with_input(BenchmarkId::new("fib", 8), &8u64, |b, &n| {
+            b.iter(|| fib(black_box(n)));
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.5000 ms");
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors a minimal serde replacement (see `vendor/` in the
+//! workspace root). Instead of serde's visitor architecture, values
+//! serialize to and deserialize from a concrete JSON-like tree,
+//! [`Value`]; `vendor/serde_json` renders and parses that tree in a
+//! format byte-compatible with real `serde_json` for the data shapes
+//! this repository persists (structs with named fields, unit enums,
+//! numbers, strings, sequences, options).
+//!
+//! `#[derive(Serialize, Deserialize)]` is provided by the companion
+//! `serde_derive` stand-in and re-exported here exactly like the real
+//! crate's `derive` feature.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// null
+    Null,
+    /// true / false
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up an object member by key.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an object or lacks the key.
+    pub fn member(&self, key: &str) -> Result<&Value, String> {
+        match self {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            other => Err(format!("expected object with field `{key}`, got {other:?}")),
+        }
+    }
+
+    /// View as a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the data-model tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, String> {
+                let raw = match v {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => return Err(format!(
+                        "expected unsigned integer, got {other:?}"
+                    )),
+                };
+                <$t>::try_from(raw).map_err(|_| format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                ))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, String> {
+                let raw: i64 = match v {
+                    Value::I64(i) => *i,
+                    Value::U64(u) => i64::try_from(*u)
+                        .map_err(|_| format!("integer {u} out of range"))?,
+                    other => return Err(format!(
+                        "expected integer, got {other:?}"
+                    )),
+                };
+                <$t>::try_from(raw).map_err(|_| format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                ))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, String> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, String> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, String> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($n:literal => $($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Arr(items) if items.len() == $n => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(format!(
+                        "expected array of length {}, got {other:?}", $n
+                    )),
+                }
+            }
+        }
+    };
+}
+impl_serde_tuple!(2 => A.0, B.1);
+impl_serde_tuple!(3 => A.0, B.1, C.2);
+impl_serde_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], String> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of length {N}, got {got}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        a: u32,
+        b: f64,
+        name: String,
+        opt: Option<u8>,
+        xs: Vec<u64>,
+        pair: [Option<u8>; 2],
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[test]
+    fn derive_roundtrip() {
+        let d = Demo {
+            a: 7,
+            b: 0.25,
+            name: "x".into(),
+            opt: None,
+            xs: vec![1, 2, 3],
+            pair: [Some(4), None],
+        };
+        let v = d.to_value();
+        let back = Demo::from_value(&v).expect("roundtrip");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn enum_roundtrip() {
+        let v = Kind::Beta.to_value();
+        assert_eq!(v, Value::Str("Beta".into()));
+        assert_eq!(Kind::from_value(&v).expect("known variant"), Kind::Beta);
+        assert!(Kind::from_value(&Value::Str("Gamma".into())).is_err());
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let v = Value::Obj(vec![("a".into(), Value::U64(1))]);
+        let err = Demo::from_value(&v).expect_err("incomplete");
+        assert!(err.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn negative_integers() {
+        let v = (-5i64).to_value();
+        assert_eq!(i64::from_value(&v).expect("parses"), -5);
+        assert!(u32::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` crate's simplified
+//! [`Serialize`]/[`Deserialize`] traits (a tree-valued data model, see
+//! `vendor/serde`) for the shapes this workspace actually uses: structs
+//! with named fields and enums with unit variants. Anything else is a
+//! compile error with a clear message.
+//!
+//! The implementation deliberately avoids `syn`/`quote` (unavailable
+//! offline): it walks the raw token stream to extract the item name and
+//! field/variant names, then emits the impls as formatted source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a parsed item turned out to be.
+enum Item {
+    /// A struct with its named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// An enum with its unit variants.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("expected attribute body, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse the fields of a braced struct body: named fields only.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name, got `{other}`"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Parenthesized/bracketed subtrees arrive as single groups, so
+        // only `<`/`>` need explicit depth tracking.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parse the variants of a braced enum body: unit variants only.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected variant name, got `{other}`"),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(other) => panic!(
+                "the vendored serde derive supports unit enum variants only; \
+                 variant `{name}` is followed by `{other}`"
+            ),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "the vendored serde derive supports non-generic braced items only \
+             (deriving on `{name}`, got {other:?})"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.member(\"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::std::string::String> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match v.as_str()? {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::std::format!(\
+                                 \"unknown variant `{{}}` for {name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_json`, rendering and parsing the
+//! vendored `serde` crate's [`Value`] tree.
+//!
+//! The pretty output format matches real `serde_json` (two-space
+//! indent, `.0`-suffixed integral floats via Rust's shortest-roundtrip
+//! formatting), so files persisted by earlier builds parse unchanged.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, x: f64) -> Result<()> {
+    if !x.is_finite() {
+        return Err(Error(format!("cannot serialize non-finite float {x}")));
+    }
+    // `{:?}` is Rust's shortest round-trip form, which keeps a `.0`
+    // on integral values exactly like serde_json's Ryu output.
+    out.push_str(&format!("{x:?}"));
+    Ok(())
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) -> Result<()> {
+    let pad = |out: &mut String, n: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(x) => write_f64(out, *x)?,
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    write_value(out, item, indent + 1, pretty)?;
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+        }
+        Value::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+            } else {
+                out.push('{');
+                for (i, (k, item)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    write_value(out, item, indent + 1, pretty)?;
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serialize compactly.
+///
+/// # Errors
+///
+/// Returns an error on non-finite floats.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, false)?;
+    Ok(out)
+}
+
+/// Serialize with two-space-indented pretty printing.
+///
+/// # Errors
+///
+/// Returns an error on non-finite floats.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, true)?;
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        let got = self.peek()?;
+        if got == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}, got `{}`",
+                b as char, self.pos, got as char
+            )))
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            self.pos += 4;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u escape".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                // Multi-byte UTF-8: copy the raw bytes through.
+                b => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    if b >= 0x80 {
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        self.pos = end;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|e| Error(e.to_string()))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error(e.to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<i64>()
+                .map(|v| Value::I64(-v))
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => self.parse_literal("null", Value::Null),
+            b't' => self.parse_literal("true", Value::Bool(true)),
+            b'f' => self.parse_literal("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected `,` or `]`, got `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.expect(b'{')?;
+                let mut pairs = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    pairs.push((key, value));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(pairs));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected `,` or `}}`, got `{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+}
+
+/// Parse a JSON document into a `T`.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", p.pos)));
+    }
+    T::from_value(&v).map_err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        xs: Vec<f64>,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        n: u64,
+        frac: f64,
+        flag: bool,
+        inner: Nested,
+        maybe: Option<u32>,
+    }
+
+    fn doc() -> Doc {
+        Doc {
+            n: 42,
+            frac: 0.321948006283717,
+            flag: true,
+            inner: Nested {
+                xs: vec![1.0, 2.5, 8388608.0],
+                label: "hello \"quoted\"\n".into(),
+            },
+            maybe: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let d = doc();
+        let compact = to_string(&d).expect("serializes");
+        let pretty = to_string_pretty(&d).expect("serializes");
+        assert_eq!(from_str::<Doc>(&compact).expect("parses"), d);
+        assert_eq!(from_str::<Doc>(&pretty).expect("parses"), d);
+        assert!(pretty.contains("  \"n\": 42"));
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let d = doc();
+        let s = to_string(&d).expect("serializes");
+        let back: Doc = from_str(&s).expect("parses");
+        assert_eq!(back.frac.to_bits(), d.frac.to_bits());
+    }
+
+    #[test]
+    fn integral_floats_keep_point() {
+        let s = to_string(&vec![1.0f64]).expect("serializes");
+        assert_eq!(s, "[1.0]");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Doc>("{").is_err());
+        assert!(from_str::<Doc>("[]").is_err());
+        assert!(from_str::<u32>("\"x\"").is_err());
+        assert!(from_str::<u32>("12 junk").is_err());
+    }
+
+    #[test]
+    fn parses_real_measured_shapes() {
+        let text = r#"{ "clock_ns": 0.3354996515715838, "width": 6, "neg": -3 }"#;
+        #[derive(Debug, Serialize, Deserialize)]
+        struct Cfg {
+            clock_ns: f64,
+            width: u32,
+            neg: i32,
+        }
+        let c: Cfg = from_str(text).expect("parses");
+        assert_eq!(c.width, 6);
+        assert_eq!(c.neg, -3);
+        assert_eq!(c.clock_ns.to_bits(), 0.3354996515715838f64.to_bits());
+    }
+}
