@@ -37,14 +37,28 @@
 //! exploration budget (demo-scale); `--jobs N` sets the worker-thread
 //! count of the measured exploration (default: available parallelism;
 //! results are bit-identical for every value).
+//!
+//! Crash-safety flags (the measured campaign journals every completed
+//! task to `results/journal.jsonl`):
+//!
+//! * `--resume` — replay the journal of an interrupted campaign and
+//!   re-run only the missing tasks; the output is byte-identical to an
+//!   uninterrupted run.
+//! * `--retries N` — extra attempts per task after a failure
+//!   (default 2).
+//! * `--faults SPEC` — deterministic fault injection, e.g.
+//!   `rate=20,seed=7,attempts=1,kind=panic`.
+//! * `--journal PATH` — journal location override.
 //! ```
 
 // The dispatch tables below use `Ok(experiment())` so each arm stays a
 // one-liner; every experiment returns `()`.
 #![allow(clippy::unit_arg)]
 
+use std::error::Error;
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use xps_bench::{
     load_measured, measured_path, render_kiviat, render_table, save_measured, Measured,
 };
@@ -52,7 +66,7 @@ use xps_core::communal::{
     assign_surrogates, best_combination, ideal_performance, pitfall_experiment, simulate_jobs,
     CrossPerfMatrix, JobPolicy, Merit, Propagation, ScheduleOptions, Surrogating,
 };
-use xps_core::explore::constants;
+use xps_core::explore::{constants, FaultPlan, Journal, RunContext};
 use xps_core::paper;
 use xps_core::pipeline::Pipeline;
 use xps_core::sim::{CoreConfig, Simulator};
@@ -65,150 +79,232 @@ enum Source {
     Measured,
 }
 
-/// Worker threads for the measured exploration (0 = available
-/// parallelism). Set once in `main` from `--jobs`; a process-wide cell
-/// avoids threading the knob through every table function.
-static JOBS: AtomicUsize = AtomicUsize::new(0);
+/// Default location of the campaign checkpoint journal.
+const JOURNAL_PATH: &str = "results/journal.jsonl";
 
-/// Drain `--jobs N` / `--jobs=N` from the argument list and return the
-/// requested worker count (0 = default).
-fn extract_jobs(args: &mut Vec<String>) -> Result<usize, String> {
-    let mut jobs = 0usize;
-    let mut i = 0;
-    while i < args.len() {
-        let take = if args[i] == "--jobs" {
-            let v = args
-                .get(i + 1)
-                .ok_or_else(|| "--jobs requires a value".to_string())?;
-            jobs = v
-                .parse()
-                .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
-            args.drain(i..i + 2);
-            true
-        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
-            jobs = v
-                .parse()
-                .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
-            args.remove(i);
-            true
-        } else {
-            false
-        };
-        if !take {
-            i += 1;
+const USAGE: &str = "usage: repro <experiment> [--paper-data] [--quick] [--jobs N] \
+[--resume] [--retries N] [--faults SPEC] [--journal PATH]  (see --help)";
+
+/// Parsed command line of the `repro` binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Cli {
+    /// The experiment to run.
+    cmd: String,
+    /// `--quick`: demo-scale exploration budget.
+    quick: bool,
+    /// `--paper-data`: analyse the published Table 5 instead.
+    paper_data: bool,
+    /// `--jobs N`: worker threads (0 = available parallelism; an
+    /// explicit `--jobs 0` is rejected at parse time).
+    jobs: usize,
+    /// `--resume`: replay the journal, re-run only missing tasks.
+    resume: bool,
+    /// `--retries N`: per-task retry budget override.
+    retries: Option<u32>,
+    /// `--faults SPEC`: deterministic fault injection (validated at
+    /// parse time, kept as the raw spec).
+    faults: Option<String>,
+    /// `--journal PATH`: journal location override.
+    journal: Option<PathBuf>,
+    /// `--help` / `-h`.
+    help: bool,
+}
+
+/// Consume the value of `--flag VALUE` / `--flag=VALUE` at `args[*i]`.
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    if let Some(rest) = args[*i].strip_prefix(flag) {
+        if let Some(v) = rest.strip_prefix('=') {
+            return Ok(v.to_string());
         }
     }
-    Ok(jobs)
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} requires a value (as in `{flag} N` or `{flag}=N`)"))
+}
+
+/// Parse the argument list strictly: every flag is known, every value
+/// is validated, and anything else is a one-line actionable error —
+/// a typo can no longer silently run the wrong experiment.
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let name = arg.split('=').next().unwrap_or(&arg);
+        let is_bool = matches!(
+            name,
+            "--quick" | "--paper-data" | "--resume" | "--help" | "-h"
+        );
+        if is_bool && arg != name {
+            return Err(format!("{name} takes no value (got `{arg}`)"));
+        }
+        match name {
+            "--quick" => cli.quick = true,
+            "--paper-data" => cli.paper_data = true,
+            "--resume" => cli.resume = true,
+            "--help" | "-h" => cli.help = true,
+            "--jobs" => {
+                let v = flag_value(args, &mut i, "--jobs")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
+                if n == 0 {
+                    return Err(
+                        "--jobs 0 is not a worker count; pass --jobs N with N >= 1, \
+                         or omit --jobs to use all available cores"
+                            .to_string(),
+                    );
+                }
+                cli.jobs = n;
+            }
+            "--retries" => {
+                let v = flag_value(args, &mut i, "--retries")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--retries expects a number, got `{v}`"))?;
+                cli.retries = Some(n);
+            }
+            "--faults" => {
+                let v = flag_value(args, &mut i, "--faults")?;
+                FaultPlan::parse(&v)?;
+                cli.faults = Some(v);
+            }
+            "--journal" => {
+                let v = flag_value(args, &mut i, "--journal")?;
+                cli.journal = Some(PathBuf::from(v));
+            }
+            _ if name.starts_with('-') => {
+                return Err(format!(
+                    "unknown flag `{name}` (flags: --paper-data --quick --jobs N \
+                     --resume --retries N --faults SPEC --journal PATH --help)"
+                ));
+            }
+            _ => {
+                if cli.cmd.is_empty() {
+                    cli.cmd = arg;
+                } else {
+                    return Err(format!(
+                        "unexpected argument `{arg}` (already running `{}`; \
+                         one experiment per invocation)",
+                        cli.cmd
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+    if !cli.help && cli.cmd.is_empty() {
+        return Err(format!("missing experiment; {USAGE}"));
+    }
+    Ok(cli)
+}
+
+/// Campaign options shared by every experiment that may trigger the
+/// measured exploration. Set once in `main`; a process-wide cell
+/// avoids threading the knobs through every table function.
+#[derive(Debug, Default)]
+struct RunOpts {
+    jobs: usize,
+    resume: bool,
+    retries: Option<u32>,
+    faults: Option<FaultPlan>,
+    journal: Option<PathBuf>,
+}
+
+static RUN: OnceLock<RunOpts> = OnceLock::new();
+
+fn run_opts() -> &'static RunOpts {
+    RUN.get_or_init(RunOpts::default)
 }
 
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = match extract_jobs(&mut args) {
-        Ok(j) => j,
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("repro: {e}");
             return ExitCode::FAILURE;
         }
     };
-    JOBS.store(jobs, Ordering::Relaxed);
-    let quick = args.iter().any(|a| a == "--quick");
-    let source = if args.iter().any(|a| a == "--paper-data") {
+    if cli.help || cli.cmd == "help" {
+        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize all");
+        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH");
+        return ExitCode::SUCCESS;
+    }
+    let faults = match cli.faults.as_deref().map(FaultPlan::parse).transpose() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    RUN.set(RunOpts {
+        jobs: cli.jobs,
+        resume: cli.resume,
+        retries: cli.retries,
+        faults,
+        journal: cli.journal.clone(),
+    })
+    .expect("options set once");
+    let source = if cli.paper_data {
         Source::Paper
     } else {
         Source::Measured
     };
-    let cmd = match args.iter().find(|a| !a.starts_with("--")) {
-        Some(c) => c.clone(),
-        None => {
-            eprintln!(
-                "usage: repro <experiment> [--paper-data] [--quick] [--jobs N]  (see --help)"
-            );
-            return ExitCode::FAILURE;
-        }
-    };
-    if cmd == "--help" || cmd == "help" {
-        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule all");
-        println!("flags: --paper-data --quick --jobs N");
-        return ExitCode::SUCCESS;
-    }
-    let run = |c: &str| -> Result<(), String> {
-        match c {
-            "explore" => {
-                explore(quick)?;
-                Ok(())
+    let quick = cli.quick;
+    let outcome = if cli.cmd == "all" {
+        (|| {
+            for c in [
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "table7",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "appendix-a",
+                "pitfall",
+                "schedule",
+                "ablation-tech",
+                "ablation-power",
+                "ablation-predictor",
+                "ablation-search",
+                "ablation-prefetch",
+                "dendrogram",
+                "visualize",
+            ] {
+                println!("\n================ {c} ================\n");
+                run_dispatch(c, source, quick)?;
             }
-            "table1" => Ok(table1()),
-            "table2" => Ok(table2()),
-            "table3" => Ok(table3()),
-            "table4" => table4(source, quick),
-            "table5" => table5(source, quick),
-            "table6" => table6(source, quick),
-            "table7" => table7_cmd(source, quick),
-            "fig1" => Ok(fig1(quick)),
-            "fig2" => Ok(fig2()),
-            "fig3" => fig3(source, quick),
-            "fig4" => fig4(source, quick),
-            "fig5" => Ok(fig5()),
-            "fig6" => figs678(source, quick, Propagation::None),
-            "fig7" => figs678(source, quick, Propagation::ForwardBackward),
-            "fig8" => figs678(source, quick, Propagation::Forward),
-            "appendix-a" => appendix_a(source, quick),
-            "pitfall" => pitfall(source, quick),
-            "schedule" => schedule(source, quick),
-            "ablation-tech" => Ok(ablation_tech()),
-            "ablation-power" => Ok(ablation_power()),
-            "ablation-predictor" => Ok(ablation_predictor()),
-            "ablation-search" => Ok(ablation_search()),
-            "ablation-prefetch" => Ok(ablation_prefetch()),
-            "dendrogram" => Ok(dendrogram_cmd(quick)),
-            "visualize" => visualize(source, quick),
-            "all" => {
-                for c in [
-                    "table1",
-                    "table2",
-                    "table3",
-                    "table4",
-                    "table5",
-                    "table6",
-                    "table7",
-                    "fig1",
-                    "fig2",
-                    "fig3",
-                    "fig4",
-                    "fig5",
-                    "fig6",
-                    "fig7",
-                    "fig8",
-                    "appendix-a",
-                    "pitfall",
-                    "schedule",
-                    "ablation-tech",
-                    "ablation-power",
-                    "ablation-predictor",
-                    "ablation-search",
-                    "ablation-prefetch",
-                    "dendrogram",
-                    "visualize",
-                ] {
-                    println!("\n================ {c} ================\n");
-                    run_dispatch(c, source, quick)?;
-                }
-                Ok(())
-            }
-            other => Err(format!("unknown experiment `{other}`")),
-        }
+            Ok(())
+        })()
+    } else {
+        run_dispatch(&cli.cmd, source, quick)
     };
-    match run(&cmd) {
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("repro {cmd}: {e}");
+            eprintln!("repro {}: {e}", cli.cmd);
             ExitCode::FAILURE
         }
     }
 }
 
-fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), String> {
+fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     match c {
+        "explore" => {
+            explore(quick)?;
+            Ok(())
+        }
         "table1" => Ok(table1()),
         "table2" => Ok(table2()),
         "table3" => Ok(table3()),
@@ -234,26 +330,32 @@ fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), String> {
         "ablation-prefetch" => Ok(ablation_prefetch()),
         "dendrogram" => Ok(dendrogram_cmd(quick)),
         "visualize" => visualize(source, quick),
-        _ => Err(format!("unknown experiment `{c}`")),
+        _ => Err(format!("unknown experiment `{c}` (run `repro --help` for the list)").into()),
     }
 }
 
-/// Run (or reuse) the measured campaign.
-fn measured(quick: bool) -> Result<Measured, String> {
+/// Run (or reuse) the measured campaign. A missing results file means
+/// "no campaign yet" and triggers one; a corrupt or truncated file is
+/// an error — it is never silently explored over.
+fn measured(quick: bool) -> Result<Measured, Box<dyn Error>> {
     let path = measured_path();
-    if let Ok(m) = load_measured(&path) {
-        if m.quick == quick {
+    match load_measured(&path) {
+        Ok(m) if m.quick == quick => {
             eprintln!(
                 "[using cached {} — delete it to re-explore]",
                 path.display()
             );
             return Ok(m);
         }
+        Ok(_) => {} // budget mismatch: re-explore
+        Err(e) if e.is_not_found() => {}
+        Err(e) => return Err(format!("{e}; delete the file to re-explore").into()),
     }
     explore(quick)
 }
 
-fn explore(quick: bool) -> Result<Measured, String> {
+fn explore(quick: bool) -> Result<Measured, Box<dyn Error>> {
+    let opts = run_opts();
     eprintln!(
         "[running measured exploration campaign ({}) — this simulates ~10^9 micro-ops]",
         if quick { "quick" } else { "full" }
@@ -263,9 +365,32 @@ fn explore(quick: bool) -> Result<Measured, String> {
     } else {
         Pipeline::default()
     };
-    pipeline.explore.jobs = JOBS.load(Ordering::Relaxed);
+    pipeline.explore.jobs = opts.jobs;
+    let journal_path = opts
+        .journal
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(JOURNAL_PATH));
+    let journal = if opts.resume {
+        Journal::open(&journal_path)?
+    } else {
+        Journal::create(&journal_path)?
+    };
+    if opts.resume {
+        eprintln!(
+            "[resuming from {}: {} journaled task(s)]",
+            journal_path.display(),
+            journal.loaded()
+        );
+    }
+    let mut ctx = RunContext::from_env()?.with_journal(journal);
+    if let Some(r) = opts.retries {
+        ctx = ctx.with_retries(r);
+    }
+    if let Some(plan) = opts.faults.clone() {
+        ctx = ctx.with_faults(plan);
+    }
     let t0 = std::time::Instant::now();
-    let result = pipeline.run(&spec::all_profiles());
+    let result = pipeline.run_recoverable(&spec::all_profiles(), &ctx)?;
     let wall = t0.elapsed().as_secs_f64();
     let s = &result.stats;
     eprintln!(
@@ -280,13 +405,34 @@ fn explore(quick: bool) -> Result<Measured, String> {
             .collect::<Vec<_>>()
             .join("/"),
     );
+    let r = &s.recovery;
+    eprintln!(
+        "[crash-safety: {} task(s) executed, {} salvaged from the journal, {} retried, {} fault(s) injected{}]",
+        r.executed,
+        r.salvaged,
+        r.retried,
+        r.faults_injected,
+        if r.failed_tasks.is_empty() {
+            String::new()
+        } else {
+            format!("; degraded around failed tasks: {}", r.failed_tasks.join(", "))
+        }
+    );
     let m = Measured::from((result, quick));
     save_measured(&m, &measured_path())?;
     eprintln!("[saved {}]", measured_path().display());
+    // The campaign is persisted; the checkpoints have served their
+    // purpose.
+    if let Some(j) = ctx.take_journal() {
+        j.discard()?;
+    }
     Ok(m)
 }
 
-fn matrix_for(source: Source, quick: bool) -> Result<(CrossPerfMatrix, &'static str), String> {
+fn matrix_for(
+    source: Source,
+    quick: bool,
+) -> Result<(CrossPerfMatrix, &'static str), Box<dyn Error>> {
     match source {
         Source::Paper => Ok((paper::table5_matrix(), "published Table 5")),
         Source::Measured => Ok((measured(quick)?.matrix, "measured matrix")),
@@ -436,7 +582,7 @@ fn config_table(configs: &[CoreConfig]) -> String {
     render_table(&header, &rows)
 }
 
-fn table4(source: Source, quick: bool) -> Result<(), String> {
+fn table4(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let configs = match source {
         Source::Paper => paper::table4_configs(),
         Source::Measured => measured(quick)?
@@ -470,14 +616,14 @@ fn matrix_table(m: &CrossPerfMatrix, cell: impl Fn(usize, usize) -> String) -> S
     render_table(&header, &rows)
 }
 
-fn table5(source: Source, quick: bool) -> Result<(), String> {
+fn table5(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     println!("Table 5: IPT of each benchmark (rows) on each customized architecture (columns) [{label}]\n");
     println!("{}", matrix_table(&m, |w, c| format!("{:.2}", m.ipt(w, c))));
     Ok(())
 }
 
-fn appendix_a(source: Source, quick: bool) -> Result<(), String> {
+fn appendix_a(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     println!("Appendix A: percentage slowdown on other benchmarks' architectures [{label}]\n");
     println!(
@@ -487,7 +633,7 @@ fn appendix_a(source: Source, quick: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn table6(source: Source, quick: bool) -> Result<(), String> {
+fn table6(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     println!("Table 6: best core combinations and their performance [{label}]\n");
     let mut rows = Vec::new();
@@ -524,7 +670,7 @@ fn table6(source: Source, quick: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn table7_cmd(source: Source, quick: bool) -> Result<(), String> {
+fn table7_cmd(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     println!("Table 7: dual-core CMP summary [{label}]\n");
     let t = table7(&m);
@@ -636,7 +782,7 @@ fn fig2() {
     );
 }
 
-fn fig3(source: Source, quick: bool) -> Result<(), String> {
+fn fig3(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     use xps_core::communal::compare_methodologies;
     let (m, label) = matrix_for(source, quick)?;
     println!("Figure 3: subset-first (a) vs customize-first (b) methodologies [{label}]\n");
@@ -692,7 +838,7 @@ fn fig3(source: Source, quick: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn fig4(source: Source, quick: bool) -> Result<(), String> {
+fn fig4(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     println!("Figure 4: per-benchmark IPT on the best available core [{label}]\n");
     let single = best_combination(&m, 1, Merit::Average).cores;
@@ -765,7 +911,7 @@ fn print_surrogating(m: &CrossPerfMatrix, s: &Surrogating) {
     );
 }
 
-fn figs678(source: Source, quick: bool, mode: Propagation) -> Result<(), String> {
+fn figs678(source: Source, quick: bool, mode: Propagation) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     let (figure, target) = match mode {
         Propagation::None => ("Figure 6 (no propagation)", 1),
@@ -792,7 +938,7 @@ fn figs678(source: Source, quick: bool, mode: Propagation) -> Result<(), String>
     Ok(())
 }
 
-fn pitfall(source: Source, quick: bool) -> Result<(), String> {
+fn pitfall(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     println!("§5.3 subsetting pitfall [{label}]\n");
     if let (Some(b), Some(g)) = (m.index_of("bzip"), m.index_of("gzip")) {
@@ -816,7 +962,7 @@ fn pitfall(source: Source, quick: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn schedule(source: Source, quick: bool) -> Result<(), String> {
+fn schedule(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     println!("§5.5 multithreaded job submission [{label}]\n");
     let pair = best_combination(&m, 2, Merit::HarmonicMean).cores;
@@ -1122,7 +1268,7 @@ fn dendrogram_cmd(quick: bool) {
 
 /// Heat-map view of the cross-configuration slowdown matrix — the
 /// xp-scalar framework's visualization tool, in ASCII.
-fn visualize(source: Source, quick: bool) -> Result<(), String> {
+fn visualize(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     let (m, label) = matrix_for(source, quick)?;
     println!("Cross-configuration slowdown heat map [{label}]\n");
     println!(
@@ -1168,4 +1314,77 @@ fn smoke() {
         "smoke: gzip on its published config: {:.2} IPT",
         stats.ipt()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_cli(&owned)
+    }
+
+    #[test]
+    fn flags_parse_in_both_spellings() {
+        let c = parse(&[
+            "explore",
+            "--quick",
+            "--jobs=3",
+            "--resume",
+            "--retries",
+            "5",
+            "--journal",
+            "j.jsonl",
+        ])
+        .expect("valid command line");
+        assert_eq!(c.cmd, "explore");
+        assert!(c.quick && c.resume && !c.paper_data);
+        assert_eq!(c.jobs, 3);
+        assert_eq!(c.retries, Some(5));
+        assert_eq!(c.journal, Some(PathBuf::from("j.jsonl")));
+    }
+
+    #[test]
+    fn jobs_zero_is_rejected_with_guidance() {
+        let e = parse(&["explore", "--jobs", "0"]).expect_err("--jobs 0 must be rejected");
+        assert!(e.contains("--jobs"), "unhelpful message: {e}");
+        assert!(e.contains("omit"), "message must say how to get auto: {e}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_not_ignored() {
+        let e = parse(&["table4", "--jbos", "4"]).expect_err("typo must be rejected");
+        assert!(e.contains("unknown flag `--jbos`"), "message: {e}");
+    }
+
+    #[test]
+    fn extra_positional_is_rejected() {
+        let e = parse(&["table4", "table5"]).expect_err("two experiments");
+        assert!(e.contains("table5"), "message: {e}");
+    }
+
+    #[test]
+    fn missing_experiment_is_rejected() {
+        let e = parse(&["--quick"]).expect_err("no experiment");
+        assert!(e.contains("missing experiment"), "message: {e}");
+    }
+
+    #[test]
+    fn malformed_faults_spec_fails_at_parse_time() {
+        let e = parse(&["explore", "--faults", "rate=200"]).expect_err("bad rate");
+        assert!(e.contains("100"), "message: {e}");
+        parse(&[
+            "explore",
+            "--faults",
+            "rate=20,seed=7,attempts=1,kind=panic",
+        ])
+        .expect("valid spec");
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let e = parse(&["table4", "--quick=yes"]).expect_err("boolean with value");
+        assert!(e.contains("takes no value"), "message: {e}");
+    }
 }

@@ -11,14 +11,86 @@
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::path::{Path, PathBuf};
 use xps_core::communal::CrossPerfMatrix;
 use xps_core::explore::CustomizedCore;
+use xps_core::explore::{fnv64, write_atomic};
 use xps_core::pipeline::PipelineResult;
 
 /// Default location of persisted measured results, relative to the
 /// working directory.
 pub const MEASURED_PATH: &str = "results/measured.json";
+
+/// Why persisted measured results could not be loaded (or saved).
+///
+/// [`MeasuredError::is_not_found`] distinguishes "no campaign has run
+/// yet" (fine — run one) from a corrupt or unreadable file, which is
+/// surfaced instead of silently re-exploring over it.
+#[derive(Debug)]
+pub enum MeasuredError {
+    /// Reading or writing the file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file exists but is not valid measured-results JSON.
+    Format {
+        /// The file involved.
+        path: PathBuf,
+        /// What the parser objected to.
+        detail: String,
+    },
+    /// The file parsed but its checksum does not match its payload —
+    /// it was truncated or edited.
+    Integrity {
+        /// The file involved.
+        path: PathBuf,
+    },
+}
+
+impl MeasuredError {
+    /// True when the error is simply "the file does not exist".
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, MeasuredError::Io { source, .. }
+            if source.kind() == std::io::ErrorKind::NotFound)
+    }
+}
+
+impl fmt::Display for MeasuredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasuredError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            MeasuredError::Format { path, detail } => {
+                write!(
+                    f,
+                    "{}: not valid measured results: {detail}",
+                    path.display()
+                )
+            }
+            MeasuredError::Integrity { path } => {
+                write!(
+                    f,
+                    "{}: checksum mismatch (file truncated or edited)",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasuredError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasuredError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// A measured exploration campaign, as persisted by `repro explore`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,28 +113,79 @@ impl From<(PipelineResult, bool)> for Measured {
     }
 }
 
-/// Save measured results as JSON.
-///
-/// # Errors
-///
-/// Returns an I/O or serialization error message.
-pub fn save_measured(m: &Measured, path: &Path) -> Result<(), String> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    }
-    let json = serde_json::to_string_pretty(m).map_err(|e| format!("serialize: {e}"))?;
-    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+/// On-disk envelope for measured results: the payload plus a checksum
+/// over its canonical (compact) serialization, so truncation or a
+/// stray edit is detected on load instead of silently re-explored
+/// over.
+#[derive(Serialize, Deserialize)]
+struct Checksummed {
+    crc: String,
+    measured: Measured,
 }
 
-/// Load measured results saved by [`save_measured`].
+fn measured_crc(m: &Measured) -> Result<String, String> {
+    let canonical = serde_json::to_string(m).map_err(|e| e.to_string())?;
+    Ok(format!("{:016x}", fnv64(0, canonical.as_bytes())))
+}
+
+/// Save measured results as checksummed JSON, atomically: the file is
+/// written to a temporary sibling and renamed into place, so a crash
+/// mid-save leaves the previous results intact rather than a
+/// half-written file.
 ///
 /// # Errors
 ///
-/// Returns an I/O or deserialization error message.
-pub fn load_measured(path: &Path) -> Result<Measured, String> {
-    let json =
-        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    serde_json::from_str(&json).map_err(|e| format!("parse {}: {e}", path.display()))
+/// Returns [`MeasuredError`] on I/O or serialization failure.
+pub fn save_measured(m: &Measured, path: &Path) -> Result<(), MeasuredError> {
+    let envelope = Checksummed {
+        crc: measured_crc(m).map_err(|detail| MeasuredError::Format {
+            path: path.to_path_buf(),
+            detail,
+        })?,
+        measured: m.clone(),
+    };
+    let json = serde_json::to_string_pretty(&envelope).map_err(|e| MeasuredError::Format {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    write_atomic(path, &json).map_err(|source| MeasuredError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Load measured results saved by [`save_measured`]. Files from
+/// before the checksummed envelope (a bare `Measured` object) still
+/// load.
+///
+/// # Errors
+///
+/// Returns [`MeasuredError`]: `Io` when the file cannot be read (use
+/// [`MeasuredError::is_not_found`] to treat a missing file as "no
+/// campaign yet"), `Format` when it is not measured-results JSON, and
+/// `Integrity` when the checksum does not match the payload.
+pub fn load_measured(path: &Path) -> Result<Measured, MeasuredError> {
+    let json = std::fs::read_to_string(path).map_err(|source| MeasuredError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    if let Ok(envelope) = serde_json::from_str::<Checksummed>(&json) {
+        let expect = measured_crc(&envelope.measured).map_err(|detail| MeasuredError::Format {
+            path: path.to_path_buf(),
+            detail,
+        })?;
+        if envelope.crc != expect {
+            return Err(MeasuredError::Integrity {
+                path: path.to_path_buf(),
+            });
+        }
+        return Ok(envelope.measured);
+    }
+    // Pre-envelope files are a bare `Measured` object.
+    serde_json::from_str(&json).map_err(|e| MeasuredError::Format {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })
 }
 
 /// The default measured-results path.
@@ -135,19 +258,78 @@ mod tests {
         assert!(s.contains("##########"));
     }
 
+    fn sample_measured() -> Measured {
+        Measured {
+            cores: vec![],
+            matrix: xps_core::paper::table5_matrix(),
+            quick: true,
+        }
+    }
+
     #[test]
     fn measured_roundtrip() {
-        use xps_core::paper;
         let dir = std::env::temp_dir().join("xps-bench-test");
         let path = dir.join("m.json");
-        let m = Measured {
-            cores: vec![],
-            matrix: paper::table5_matrix(),
-            quick: true,
-        };
+        let m = sample_measured();
         save_measured(&m, &path).expect("save");
         let back = load_measured(&path).expect("load");
         assert_eq!(back.matrix, m.matrix);
+        assert!(back.quick);
+        assert!(
+            !path.with_extension("json.tmp").exists(),
+            "atomic save must clean up its temporary file"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn measured_missing_file_is_not_found() {
+        let path = std::env::temp_dir().join("xps-bench-test-nonexistent/m.json");
+        let err = load_measured(&path).expect_err("missing file");
+        assert!(err.is_not_found(), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn measured_tampering_is_an_integrity_error() {
+        let dir = std::env::temp_dir().join("xps-bench-test-tamper");
+        let path = dir.join("m.json");
+        let m = sample_measured();
+        save_measured(&m, &path).expect("save");
+        let tampered = std::fs::read_to_string(&path)
+            .expect("read")
+            .replacen("true", "false", 1);
+        std::fs::write(&path, tampered).expect("write");
+        let err = load_measured(&path).expect_err("tampered file");
+        assert!(
+            matches!(err, MeasuredError::Integrity { .. }),
+            "unexpected error: {err}"
+        );
+        assert!(!err.is_not_found());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn measured_garbage_is_a_format_error() {
+        let dir = std::env::temp_dir().join("xps-bench-test-garbage");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("m.json");
+        std::fs::write(&path, "not json at all").expect("write");
+        let err = load_measured(&path).expect_err("garbage file");
+        assert!(
+            matches!(err, MeasuredError::Format { .. }),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn measured_legacy_bare_format_still_loads() {
+        let dir = std::env::temp_dir().join("xps-bench-test-legacy");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("m.json");
+        let bare = serde_json::to_string_pretty(&sample_measured()).expect("serialize");
+        std::fs::write(&path, bare).expect("write");
+        let back = load_measured(&path).expect("legacy load");
         assert!(back.quick);
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -30,7 +30,7 @@ fn measured_persistence_roundtrip_with_paper_matrix() {
 fn load_missing_file_is_an_error() {
     let err = load_measured(std::path::Path::new("/nonexistent/xps.json"))
         .expect_err("missing file must error");
-    assert!(err.contains("read"));
+    assert!(err.is_not_found(), "unexpected error: {err}");
 }
 
 #[test]

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod paper;
 pub mod pipeline;
 pub mod report;
@@ -50,7 +51,9 @@ pub use xps_sim as sim;
 /// Re-export of the workload models and characterization.
 pub use xps_workload as workload;
 
+pub use error::PipelineError;
 pub use pipeline::{
-    cross_matrix, cross_matrix_with, measure, Pipeline, PipelineResult, PipelineStats,
+    cross_matrix, cross_matrix_recoverable, cross_matrix_with, measure, Pipeline, PipelineResult,
+    PipelineStats, FAILED_CELL_IPT,
 };
 pub use report::{table7, Table7, Table7Row};

@@ -4,14 +4,22 @@
 //! matrix → communal customization`, i.e. the paper's methodology run
 //! on this repository's own substrate instead of the published data.
 
+use crate::error::PipelineError;
 use serde::{Deserialize, Serialize};
 use xps_communal::CrossPerfMatrix;
 use xps_explore::{
-    merge_counts, resolve_jobs, run_parallel, CacheCounters, CustomizedCore, EvalCache,
-    ExploreOptions, Explorer,
+    merge_counts, resolve_jobs, CacheCounters, CustomizedCore, EvalCache, ExploreOptions, Explorer,
+    RecoveryStats, RunContext,
 };
 use xps_sim::{CoreConfig, Simulator};
 use xps_workload::{with_generator, WorkloadProfile};
+
+/// The IPT substituted for a matrix cell whose measurement failed
+/// every retry. Positive (so the matrix stays valid) but smaller than
+/// any real measurement, so a failed cell can never win a replacement
+/// decision; the failed task is listed in the run's
+/// [`RecoveryStats::failed_tasks`].
+pub const FAILED_CELL_IPT: f64 = f64::MIN_POSITIVE;
 
 /// Options of the full measured pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +54,24 @@ impl Pipeline {
             replacement_passes: 2,
         }
     }
+
+    /// Check every invariant of the pipeline options (including the
+    /// nested exploration and annealing options), so a bad
+    /// configuration is one typed error up front instead of a panic
+    /// mid-campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        self.explore.validate()?;
+        if self.matrix_ops == 0 {
+            return Err(PipelineError::InvalidPipeline(
+                "matrix_ops must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Execution counters of one pipeline run: pool shape and evaluation
@@ -59,6 +85,10 @@ pub struct PipelineStats {
     pub per_worker_tasks: Vec<u64>,
     /// Evaluation-cache counters, shared across both phases.
     pub cache: CacheCounters,
+    /// Crash-safety counters spanning both phases: executed vs
+    /// journal-salvaged tasks, retries, injected faults, and
+    /// permanently failed tasks.
+    pub recovery: RecoveryStats,
 }
 
 /// Everything the measured pipeline produces.
@@ -111,17 +141,56 @@ pub fn cross_matrix_with(
         configs.len(),
         "one configuration per workload"
     );
+    let ctx = RunContext::from_env().unwrap_or_else(|e| panic!("{e}"));
+    cross_matrix_recoverable(profiles, configs, ops, passes, jobs, cache, &ctx)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The crash-safe [`cross_matrix_with`]: every cell measurement runs
+/// through `ctx` — panic-isolated, retried, optionally journaled and
+/// fault-injected. A cell that fails every attempt is reported in the
+/// context's [`RecoveryStats`] and measured as [`FAILED_CELL_IPT`]
+/// (so it can never win a replacement decision) instead of aborting
+/// the run.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the configuration count mismatches
+/// the workload count, the journal fails, or the assembled matrix is
+/// invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn cross_matrix_recoverable(
+    profiles: &[WorkloadProfile],
+    configs: &mut [CoreConfig],
+    ops: u64,
+    passes: u32,
+    jobs: usize,
+    cache: Option<&EvalCache>,
+    ctx: &RunContext,
+) -> Result<(CrossPerfMatrix, Vec<u64>), PipelineError> {
+    if profiles.len() != configs.len() {
+        return Err(PipelineError::InvalidPipeline(format!(
+            "one configuration per workload ({} profiles, {} configs)",
+            profiles.len(),
+            configs.len()
+        )));
+    }
     let n = profiles.len();
     let cell = |w: usize, cfg: &CoreConfig| match cache {
         Some(cache) => cache.ipt(&profiles[w], cfg, ops),
         None => measure(&profiles[w], cfg, ops),
     };
+    let unwrap_cell = |item: Result<f64, xps_explore::TaskError>| match item {
+        Ok(v) => v,
+        // Already recorded in the context's failed-task list; degrade.
+        Err(_) => FAILED_CELL_IPT,
+    };
     let mut per_worker_tasks = Vec::new();
     let mut ipt = vec![vec![0.0f64; n]; n];
-    let fan = run_parallel(jobs, n * n, |t| cell(t / n, &configs[t % n]));
+    let fan = ctx.run_fan(jobs, "matrix", n * n, |t| cell(t / n, &configs[t % n]))?;
     merge_counts(&mut per_worker_tasks, &fan.per_worker);
-    for (t, v) in fan.results.into_iter().enumerate() {
-        ipt[t / n][t % n] = v;
+    for (t, item) in fan.items.into_iter().enumerate() {
+        ipt[t / n][t % n] = unwrap_cell(item);
     }
     for _ in 0..passes {
         let mut changed = false;
@@ -138,15 +207,16 @@ pub fn cross_matrix_with(
                     ..configs[best].clone()
                 };
                 changed = true;
-                let fan = run_parallel(jobs, 2 * n, |t| {
+                let fan = ctx.run_fan(jobs, "rematrix", 2 * n, |t| {
                     if t < n {
                         cell(w, &configs[t])
                     } else {
                         cell(t - n, &configs[w])
                     }
-                });
+                })?;
                 merge_counts(&mut per_worker_tasks, &fan.per_worker);
-                for (t, v) in fan.results.into_iter().enumerate() {
+                for (t, item) in fan.items.into_iter().enumerate() {
+                    let v = unwrap_cell(item);
                     if t < n {
                         ipt[w][t] = v;
                     } else {
@@ -163,10 +233,10 @@ pub fn cross_matrix_with(
         CrossPerfMatrix::from_fn(profiles.iter().map(|p| p.name.clone()).collect(), |w, c| {
             ipt[w][c]
         })
-        .expect("measured IPTs are positive")
+        .map_err(PipelineError::InvalidMatrix)?
         .with_weights(profiles.iter().map(|p| p.weight).collect())
-        .expect("profile weights are positive");
-    (matrix, per_worker_tasks)
+        .map_err(PipelineError::InvalidMatrix)?;
+    Ok((matrix, per_worker_tasks))
 }
 
 impl Pipeline {
@@ -180,21 +250,57 @@ impl Pipeline {
     ///
     /// # Panics
     ///
-    /// Panics if `profiles` is empty.
+    /// Panics if `profiles` is empty, the pipeline options are
+    /// invalid, or the run fails terminally; see [`Pipeline::try_run`]
+    /// for the same run with typed errors.
     pub fn run(&self, profiles: &[WorkloadProfile]) -> PipelineResult {
+        self.try_run(profiles).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Pipeline::run`] with typed errors, honouring the `XPS_FAULTS`
+    /// environment variable (deterministic fault injection for tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when the options are invalid, the
+    /// fault specification is malformed, or the run fails terminally.
+    pub fn try_run(&self, profiles: &[WorkloadProfile]) -> Result<PipelineResult, PipelineError> {
+        let ctx = RunContext::from_env()?;
+        self.run_recoverable(profiles, &ctx)
+    }
+
+    /// The crash-safe [`Pipeline::run`]: every task — anneal start,
+    /// cross-seed evaluation, re-anneal, matrix cell — runs through
+    /// `ctx`, which isolates panics, retries failed attempts, and
+    /// (when a journal is attached) checkpoints each completed task so
+    /// an interrupted campaign can resume without re-running finished
+    /// work. Results are bit-identical to an uninterrupted
+    /// single-threaded run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when the options are invalid, the
+    /// journal fails, or a whole workload fails terminally.
+    pub fn run_recoverable(
+        &self,
+        profiles: &[WorkloadProfile],
+        ctx: &RunContext,
+    ) -> Result<PipelineResult, PipelineError> {
+        self.validate()?;
         let cache = EvalCache::new();
-        let explorer = Explorer::new(self.explore.clone());
-        let explored = explorer.explore_with(profiles, &cache);
+        let explorer = Explorer::try_new(self.explore.clone())?;
+        let explored = explorer.explore_recoverable(profiles, &cache, ctx)?;
         let mut configs: Vec<CoreConfig> =
             explored.cores.iter().map(|c| c.config.clone()).collect();
-        let (matrix, matrix_tasks) = cross_matrix_with(
+        let (matrix, matrix_tasks) = cross_matrix_recoverable(
             profiles,
             &mut configs,
             self.matrix_ops,
             self.replacement_passes,
             self.explore.jobs,
             Some(&cache),
-        );
+            ctx,
+        )?;
         let mut per_worker_tasks = explored.stats.per_worker_tasks.clone();
         merge_counts(&mut per_worker_tasks, &matrix_tasks);
         let cores = explored
@@ -208,15 +314,16 @@ impl Pipeline {
                 core
             })
             .collect();
-        PipelineResult {
+        Ok(PipelineResult {
             cores,
             matrix,
             stats: PipelineStats {
                 workers: resolve_jobs(self.explore.jobs),
                 per_worker_tasks,
                 cache: cache.counters(),
+                recovery: ctx.stats(),
             },
-        }
+        })
     }
 }
 

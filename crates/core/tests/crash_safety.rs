@@ -1,0 +1,153 @@
+//! End-to-end crash-safety guarantees of the measured pipeline:
+//!
+//! * fault-injected runs (transient panics in ~20% of tasks) retry to
+//!   success and produce **byte-identical** Table 4 / Table 5 output
+//!   to a fault-free single-threaded run;
+//! * a run interrupted mid-campaign resumes from its journal, re-runs
+//!   only the unjournaled tasks (the counters prove it), and again
+//!   reproduces the identical bytes;
+//! * a permanently failing task degrades the run instead of aborting
+//!   it, and is reported by name.
+
+use std::path::PathBuf;
+use xps_core::explore::{FaultKind, FaultPlan, Journal, RunContext};
+use xps_core::pipeline::{Pipeline, PipelineResult};
+use xps_core::workload::{spec, WorkloadProfile};
+
+fn profiles() -> Vec<WorkloadProfile> {
+    ["gzip", "mcf", "crafty"]
+        .iter()
+        .map(|n| spec::profile(n).expect("known benchmark"))
+        .collect()
+}
+
+/// A reduced-budget pipeline so each test run stays in the seconds
+/// range; the crash-safety machinery is budget-independent.
+fn mini(jobs: usize) -> Pipeline {
+    let mut p = Pipeline::quick();
+    p.explore.anneal.iterations = 40;
+    p.explore.anneal.eval_ops_early = 10_000;
+    p.explore.anneal.eval_ops_late = 20_000;
+    p.explore.reanneal_iterations = 8;
+    p.explore.jobs = jobs;
+    p.matrix_ops = 20_000;
+    p
+}
+
+/// The deliverable bytes of a run: the serialized Table 4 (customized
+/// cores) and Table 5 (cross-configuration matrix). Stats are
+/// excluded — counters legitimately differ between runs.
+fn deliverable(r: &PipelineResult) -> String {
+    serde_json::to_string(&(&r.cores, &r.matrix)).expect("results serialize")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("xps-crash-safety");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn transient_faults_retry_to_byte_identical_output() {
+    let p = profiles();
+    let clean = mini(1)
+        .run_recoverable(&p, &RunContext::new())
+        .expect("clean run");
+
+    // ~20% of first attempts panic, selected deterministically by task
+    // key; every task succeeds on retry.
+    let ctx = RunContext::new()
+        .with_faults(FaultPlan::rate(20, 7, 1, FaultKind::Panic))
+        .with_retries(2);
+    let faulted = mini(2).run_recoverable(&p, &ctx).expect("faulted run");
+
+    let rec = &faulted.stats.recovery;
+    assert!(rec.faults_injected > 0, "the plan must actually fire");
+    assert!(rec.retried > 0, "faulted tasks must be retried");
+    assert!(
+        rec.failed_tasks.is_empty(),
+        "single-attempt faults must never exhaust a 2-retry budget"
+    );
+    assert_eq!(
+        deliverable(&faulted),
+        deliverable(&clean),
+        "recovered output must be byte-identical to the fault-free run"
+    );
+}
+
+#[test]
+fn interrupted_run_resumes_from_journal_bit_for_bit() {
+    let p = profiles();
+    let path = tmp("resume");
+
+    // Full journaled run — the reference output and the journal an
+    // interrupted campaign would have left behind (a kill between
+    // tasks leaves a clean prefix of it; we simulate one below).
+    let mut ctx = RunContext::new().with_journal(Journal::create(&path).expect("create"));
+    let full = mini(2).run_recoverable(&p, &ctx).expect("full run");
+    let total = ctx.stats().executed;
+    assert_eq!(ctx.stats().salvaged, 0);
+    drop(ctx.take_journal());
+
+    // Interrupt: keep only the first half of the journal's records, as
+    // if the process died mid-campaign.
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len() as u64, total, "one record per executed task");
+    let keep = lines.len() / 2;
+    let mut truncated: String = lines[..keep].join("\n");
+    truncated.push('\n');
+    std::fs::write(&path, truncated).expect("truncate journal");
+
+    // Resume: journaled tasks are salvaged, the rest re-run, and the
+    // deliverable bytes match the uninterrupted run exactly.
+    let ctx = RunContext::new().with_journal(Journal::open(&path).expect("open"));
+    let resumed = mini(2).run_recoverable(&p, &ctx).expect("resumed run");
+    let rec = ctx.stats();
+    assert_eq!(rec.salvaged, keep as u64, "salvage exactly the journal");
+    assert_eq!(
+        rec.executed,
+        total - keep as u64,
+        "re-run exactly the missing tasks"
+    );
+    assert_eq!(
+        deliverable(&resumed),
+        deliverable(&full),
+        "resumed output must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn permanent_matrix_failures_degrade_and_are_reported() {
+    let p = profiles();
+    // Every cross-matrix cell fails every attempt; the pipeline must
+    // still complete (cells degrade to the failed-cell sentinel) and
+    // name what it lost.
+    let ctx = RunContext::new()
+        .with_faults(FaultPlan::targets(["matrix#"], u32::MAX, FaultKind::Panic))
+        .with_retries(1);
+    let r = mini(2)
+        .run_recoverable(&p, &ctx)
+        .expect("degraded run still completes");
+    let rec = &r.stats.recovery;
+    assert!(
+        rec.failed_tasks.iter().all(|t| t.starts_with("matrix#")),
+        "only matrix cells were targeted: {:?}",
+        rec.failed_tasks
+    );
+    assert_eq!(
+        rec.failed_tasks.len(),
+        p.len() * p.len(),
+        "every cell of the first matrix fan failed"
+    );
+    for w in 0..r.matrix.len() {
+        for c in 0..r.matrix.len() {
+            assert_eq!(
+                r.matrix.ipt(w, c),
+                xps_core::FAILED_CELL_IPT,
+                "failed cells must carry the sentinel"
+            );
+        }
+    }
+}

@@ -74,6 +74,46 @@ impl AnnealOptions {
             ..AnnealOptions::default()
         }
     }
+
+    /// Check every invariant the annealing loop relies on, so bad
+    /// options fail at construction with one actionable message
+    /// instead of panicking (or spinning) deep inside a walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidOptions`] naming the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), crate::ExploreError> {
+        let bad = |msg: String| Err(crate::ExploreError::InvalidOptions(msg));
+        if self.iterations == 0 {
+            return bad("iterations must be >= 1".into());
+        }
+        if self.eval_ops_early == 0 || self.eval_ops_late == 0 {
+            return bad(format!(
+                "evaluation budgets must be >= 1 op (early {}, late {})",
+                self.eval_ops_early, self.eval_ops_late
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.early_fraction) {
+            return bad(format!(
+                "early_fraction {} outside [0, 1]",
+                self.early_fraction
+            ));
+        }
+        if !self.temperature.is_finite() || self.temperature <= 0.0 {
+            return bad(format!("temperature {} must be positive", self.temperature));
+        }
+        if !self.cooling.is_finite() || self.cooling <= 0.0 || self.cooling > 1.0 {
+            return bad(format!("cooling {} outside (0, 1]", self.cooling));
+        }
+        if !(0.0..=1.0).contains(&self.rollback_fraction) {
+            return bad(format!(
+                "rollback_fraction {} outside [0, 1]",
+                self.rollback_fraction
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Outcome of one annealing run.

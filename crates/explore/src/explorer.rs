@@ -3,8 +3,10 @@
 
 use crate::anneal::{anneal_with, AnnealOptions, AnnealResult};
 use crate::cache::{CacheCounters, EvalCache};
-use crate::parallel::{merge_counts, resolve_jobs, run_parallel};
+use crate::error::{ExploreError, TaskError};
+use crate::parallel::{merge_counts, resolve_jobs};
 use crate::point::DesignPoint;
+use crate::recovery::{RecoveryStats, RunContext};
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
 use xps_sim::CoreConfig;
@@ -49,6 +51,24 @@ impl ExploreOptions {
             jobs: 0,
         }
     }
+
+    /// Check every invariant of a campaign's options (including the
+    /// nested annealing options), so a bad configuration is one typed
+    /// error at construction instead of a panic mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidOptions`] naming the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), ExploreError> {
+        self.anneal.validate()?;
+        if self.reanneal_iterations == 0 {
+            return Err(ExploreError::InvalidOptions(
+                "reanneal_iterations must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Execution counters of one exploration: how the work spread over the
@@ -63,6 +83,9 @@ pub struct ExploreStats {
     pub per_worker_tasks: Vec<u64>,
     /// Evaluation-cache hit/miss counters.
     pub cache: CacheCounters,
+    /// Crash-safety counters: executed vs journal-salvaged tasks,
+    /// retries, injected faults, and permanently failed tasks.
+    pub recovery: RecoveryStats,
 }
 
 /// One workload's customized core: its configurational
@@ -100,17 +123,39 @@ pub struct Explorer {
 }
 
 impl Explorer {
-    /// Build an explorer with the default technology.
-    pub fn new(opts: ExploreOptions) -> Explorer {
-        Explorer {
+    /// Build an explorer with the default technology, validating the
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidOptions`] when an option
+    /// violates an invariant.
+    pub fn try_new(opts: ExploreOptions) -> Result<Explorer, ExploreError> {
+        opts.validate()?;
+        Ok(Explorer {
             opts,
             tech: Technology::default(),
-        }
+        })
+    }
+
+    /// Build an explorer with the default technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options are invalid; use
+    /// [`try_new`](Explorer::try_new) for a typed error.
+    pub fn new(opts: ExploreOptions) -> Explorer {
+        Explorer::try_new(opts).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Build an explorer for a specific technology point (the paper
     /// stresses that these physical properties shape the outcome).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options are invalid.
     pub fn with_technology(opts: ExploreOptions, tech: Technology) -> Explorer {
+        opts.validate().unwrap_or_else(|e| panic!("{e}"));
         Explorer { opts, tech }
     }
 
@@ -140,13 +185,49 @@ impl Explorer {
     ///
     /// # Panics
     ///
-    /// Panics if `profiles` is empty.
+    /// Panics if `profiles` is empty or a workload fails terminally;
+    /// use [`explore_recoverable`](Explorer::explore_recoverable) for
+    /// typed errors, journaling, and fault injection.
     pub fn explore_with(
         &self,
         profiles: &[WorkloadProfile],
         cache: &EvalCache,
     ) -> ExplorationResult {
-        assert!(!profiles.is_empty(), "need at least one workload");
+        let ctx = RunContext::from_env().unwrap_or_else(|e| panic!("{e}"));
+        self.explore_recoverable(profiles, cache, &ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The crash-safe campaign: as
+    /// [`explore_with`](Explorer::explore_with), but every task runs
+    /// through `ctx` — panic-isolated, retried, optionally journaled
+    /// for `--resume`, and optionally fault-injected.
+    ///
+    /// A task that fails every attempt degrades the run instead of
+    /// aborting it: a failed anneal start falls back to the workload's
+    /// surviving starts, a failed cross evaluation skips that foreign
+    /// candidate, and a failed re-anneal keeps the pre-adoption
+    /// configuration. Each such task is listed in
+    /// [`ExploreStats::recovery`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ExploreError::EmptyWorkloads`] / `InvalidOptions` before
+    ///   any work starts;
+    /// * [`ExploreError::WorkloadFailed`] when every start of one
+    ///   workload failed permanently (nothing to degrade to);
+    /// * [`ExploreError::Journal`] when the checkpoint journal cannot
+    ///   be read or written.
+    pub fn explore_recoverable(
+        &self,
+        profiles: &[WorkloadProfile],
+        cache: &EvalCache,
+        ctx: &RunContext,
+    ) -> Result<ExplorationResult, ExploreError> {
+        if profiles.is_empty() {
+            return Err(ExploreError::EmptyWorkloads);
+        }
+        self.opts.validate()?;
         let workers = resolve_jobs(self.opts.jobs);
         let mut per_worker_tasks = Vec::new();
         // Multi-start annealing: the Table 3 start plus two corner
@@ -161,29 +242,48 @@ impl Explorer {
         // Fan out every (workload, start) pair: each anneal seeds its
         // own RNG from (opts.seed ^ start index, profile seed), so the
         // walks are identical no matter which worker runs them.
-        let fan = run_parallel(self.opts.jobs, profiles.len() * starts.len(), |t| {
-            let (p, i) = (&profiles[t / starts.len()], t % starts.len());
-            let mut opts = self.opts.anneal.clone();
-            opts.seed ^= (i as u64) << 32;
-            anneal_with(p, &starts[i], &opts, &self.tech, Some(cache))
-        });
+        let fan = ctx.run_fan(
+            self.opts.jobs,
+            "anneal",
+            profiles.len() * starts.len(),
+            |t| {
+                let (p, i) = (&profiles[t / starts.len()], t % starts.len());
+                let mut opts = self.opts.anneal.clone();
+                opts.seed ^= (i as u64) << 32;
+                anneal_with(p, &starts[i], &opts, &self.tech, Some(cache))
+            },
+        )?;
         merge_counts(&mut per_worker_tasks, &fan.per_worker);
         // Keep each workload's best start; `>=` keeps the *last* of
-        // tied maxima, matching the serial `max_by` fold.
-        let mut runs = fan.results.into_iter();
-        let mut results: Vec<AnnealResult> = profiles
-            .iter()
-            .map(|_| {
-                let mut best = runs.next().expect("one result per task");
-                for _ in 1..starts.len() {
-                    let r = runs.next().expect("one result per task");
-                    if r.ipt >= best.ipt {
-                        best = r;
+        // tied maxima, matching the serial `max_by` fold. A start that
+        // failed every attempt is skipped; a workload with no
+        // surviving start is a terminal error.
+        let mut runs = fan.items.into_iter();
+        let mut results: Vec<AnnealResult> = Vec::with_capacity(profiles.len());
+        for p in profiles {
+            let mut best: Option<AnnealResult> = None;
+            let mut last_err: Option<TaskError> = None;
+            for _ in 0..starts.len() {
+                match runs.next().expect("one result per task") {
+                    Ok(r) => {
+                        best = Some(match best {
+                            Some(b) if r.ipt < b.ipt => b,
+                            _ => r,
+                        });
                     }
+                    Err(e) => last_err = Some(e),
                 }
-                best
-            })
-            .collect();
+            }
+            match best {
+                Some(b) => results.push(b),
+                None => {
+                    return Err(ExploreError::WorkloadFailed {
+                        workload: p.name.clone(),
+                        error: last_err.expect("no best implies at least one error"),
+                    })
+                }
+            }
+        }
 
         let mut adoptions = 0;
         for _ in 0..self.opts.cross_rounds {
@@ -192,7 +292,7 @@ impl Explorer {
                 // Evaluate workload i on every other best config, in
                 // parallel. Configurations adopted earlier in this
                 // round are visible here, exactly as in a serial sweep.
-                let cross = run_parallel(self.opts.jobs, results.len(), |j| {
+                let cross = ctx.run_fan(self.opts.jobs, "seed", results.len(), |j| {
                     if i == j {
                         None
                     } else {
@@ -202,28 +302,34 @@ impl Explorer {
                             self.opts.anneal.eval_ops_late,
                         ))
                     }
-                });
+                })?;
                 merge_counts(&mut per_worker_tasks, &cross.per_worker);
                 let mut best_foreign: Option<(usize, f64)> = None;
-                for (j, ipt) in cross.results.into_iter().enumerate() {
-                    let Some(ipt) = ipt else { continue };
+                for (j, item) in cross.items.into_iter().enumerate() {
+                    // A permanently failed evaluation skips candidate
+                    // j — degraded, and recorded in the stats.
+                    let Ok(Some(ipt)) = item else { continue };
                     if ipt > results[i].ipt && best_foreign.map(|(_, b)| ipt > b).unwrap_or(true) {
                         best_foreign = Some((j, ipt));
                     }
                 }
                 if let Some((j, _)) = best_foreign {
                     // Adopt the foreign point and re-anneal briefly
-                    // from it to specialize further.
+                    // from it to specialize further. A failed re-anneal
+                    // keeps workload i's own configuration.
                     let seed_point = results[j].point.clone();
                     let mut re_opts = self.opts.anneal.clone();
                     re_opts.iterations = self.opts.reanneal_iterations;
                     re_opts.early_fraction = 0.0;
-                    let r =
-                        anneal_with(&profiles[i], &seed_point, &re_opts, &self.tech, Some(cache));
-                    if r.ipt > results[i].ipt {
-                        results[i] = r;
-                        adoptions += 1;
-                        improved = true;
+                    let reanneal = ctx.run_task("reanneal", || {
+                        anneal_with(&profiles[i], &seed_point, &re_opts, &self.tech, Some(cache))
+                    })?;
+                    if let Ok(r) = reanneal {
+                        if r.ipt > results[i].ipt {
+                            results[i] = r;
+                            adoptions += 1;
+                            improved = true;
+                        }
                     }
                 }
             }
@@ -245,15 +351,16 @@ impl Explorer {
                 ipt: r.ipt,
             })
             .collect();
-        ExplorationResult {
+        Ok(ExplorationResult {
             cores,
             adoptions,
             stats: ExploreStats {
                 workers,
                 per_worker_tasks,
                 cache: cache.counters(),
+                recovery: ctx.stats(),
             },
-        }
+        })
     }
 }
 
@@ -283,6 +390,77 @@ mod tests {
     #[should_panic(expected = "at least one workload")]
     fn empty_input_panics() {
         Explorer::new(ExploreOptions::quick()).explore(&[]);
+    }
+
+    #[test]
+    fn invalid_options_are_typed_errors_at_construction() {
+        let mut opts = ExploreOptions::quick();
+        opts.anneal.iterations = 0;
+        assert!(matches!(
+            Explorer::try_new(opts),
+            Err(ExploreError::InvalidOptions(_))
+        ));
+        let mut opts = ExploreOptions::quick();
+        opts.anneal.cooling = 1.5;
+        assert!(opts.validate().is_err());
+        let mut opts = ExploreOptions::quick();
+        opts.reanneal_iterations = 0;
+        assert!(opts.validate().is_err());
+        assert!(ExploreOptions::quick().validate().is_ok());
+        assert!(ExploreOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn permanently_failed_start_degrades_to_survivors() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let profiles = vec![
+            spec::profile("gzip").expect("gzip exists"),
+            spec::profile("mcf").expect("mcf exists"),
+        ];
+        let mut opts = ExploreOptions::quick();
+        opts.anneal.iterations = 10;
+        opts.anneal.eval_ops_early = 3000;
+        opts.anneal.eval_ops_late = 6000;
+        opts.reanneal_iterations = 3;
+        opts.jobs = 2;
+        let explorer = Explorer::new(opts);
+        // Kill gzip's corner start (task 1 of its three) on every
+        // attempt: the run must degrade to its surviving starts.
+        let ctx = RunContext::new()
+            .with_faults(FaultPlan::targets(
+                ["anneal#0/1"],
+                u32::MAX,
+                FaultKind::Panic,
+            ))
+            .with_retries(1);
+        let r = explorer
+            .explore_recoverable(&profiles, &EvalCache::new(), &ctx)
+            .expect("degrades, does not abort");
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.cores.iter().all(|c| c.ipt > 0.0));
+        assert_eq!(
+            r.stats.recovery.failed_tasks,
+            vec!["anneal#0/1".to_string()]
+        );
+        assert!(r.stats.recovery.retried >= 1);
+    }
+
+    #[test]
+    fn all_starts_failing_is_a_terminal_typed_error() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let profiles = vec![spec::profile("gzip").expect("gzip exists")];
+        let mut opts = ExploreOptions::quick();
+        opts.anneal.iterations = 5;
+        opts.anneal.eval_ops_early = 2000;
+        opts.anneal.eval_ops_late = 4000;
+        let explorer = Explorer::new(opts);
+        let ctx = RunContext::new()
+            .with_faults(FaultPlan::targets(["anneal#"], u32::MAX, FaultKind::Error))
+            .with_retries(0);
+        match explorer.explore_recoverable(&profiles, &EvalCache::new(), &ctx) {
+            Err(ExploreError::WorkloadFailed { workload, .. }) => assert_eq!(workload, "gzip"),
+            other => panic!("expected WorkloadFailed, got {other:?}"),
+        }
     }
 
     #[test]

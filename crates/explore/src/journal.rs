@@ -1,0 +1,401 @@
+//! Crash-safe checkpoint journal for exploration runs.
+//!
+//! A full campaign is hours of independent tasks — 33 multi-start
+//! anneals, hundreds of cross-matrix cells, replacement-pass
+//! re-measurements. The journal is a write-ahead record of every
+//! *completed* task result: as each task finishes, its result is
+//! serialized, checksummed, and persisted, so an interrupt (SIGKILL,
+//! OOM, power loss) costs at most the tasks that were in flight.
+//! Because the engine is deterministic, replaying the journal and
+//! re-running only the missing tasks reproduces the uninterrupted run
+//! byte for byte.
+//!
+//! Two properties make it crash-safe rather than merely convenient:
+//!
+//! * **Atomic persistence** — every write goes to a temp file in the
+//!   same directory which is then renamed over the journal, so the
+//!   on-disk file is always a complete, parseable snapshot; a torn
+//!   write can never be observed.
+//! * **Per-record checksums** — each line carries an FNV-1a checksum
+//!   of its task key and payload; a flipped bit or hand-edited record
+//!   surfaces as a typed [`JournalError::Checksum`] instead of
+//!   silently steering a resumed run.
+//!
+//! The format is JSON lines (one record per line, sorted by task key),
+//! human-inspectable with standard tools.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Ways the journal can fail. Distinct from task failures: these are
+/// about the checkpoint file itself.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An I/O operation on the journal file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// What was being attempted (`read`, `write`, `rename`, …).
+        op: &'static str,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A line is not a valid journal record.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// Parser detail.
+        detail: String,
+    },
+    /// A record parsed but its checksum does not match its payload.
+    Checksum {
+        /// The task key of the offending record.
+        task: String,
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, op, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            JournalError::Corrupt { path, line, detail } => {
+                write!(f, "{}:{line}: corrupt record: {detail}", path.display())
+            }
+            JournalError::Checksum { task, line } => {
+                write!(f, "line {line}: checksum mismatch on task `{task}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a over `bytes`, folded in after `seed`. Used for journal
+/// record checksums and for deterministic fault selection; also
+/// exported for the measured-results file in the bench harness.
+pub fn fnv64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Write `contents` to `path` atomically: the bytes go to a temp file
+/// in the same directory (so the rename cannot cross filesystems),
+/// which is then renamed over `path`. Readers observe either the old
+/// complete file or the new complete file, never a prefix.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// One persisted record: a task key, its serialized result, and a
+/// checksum over both. The checksum is stored as fixed-width hex so
+/// records remain valid JSON for any value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Record {
+    task: String,
+    crc: String,
+    value: String,
+}
+
+fn record_crc(task: &str, value: &str) -> String {
+    format!(
+        "{:016x}",
+        fnv64(fnv64(0, task.as_bytes()), value.as_bytes())
+    )
+}
+
+/// The write-ahead journal of one exploration run.
+///
+/// Thread-safe: workers record completed tasks concurrently; each
+/// record is persisted (atomically) before `record` returns, so a
+/// crash immediately afterwards still finds it on resume.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    inner: Mutex<BTreeMap<String, Record>>,
+    loaded: usize,
+}
+
+impl Journal {
+    /// Start a fresh journal at `path`, discarding any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the old file cannot be
+    /// removed.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let path = path.into();
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(source) => {
+                return Err(JournalError::Io {
+                    path,
+                    op: "remove",
+                    source,
+                })
+            }
+        }
+        Ok(Journal {
+            path,
+            inner: Mutex::new(BTreeMap::new()),
+            loaded: 0,
+        })
+    }
+
+    /// Open the journal at `path` for a resumed run, replaying every
+    /// record already on disk. A missing file is an empty journal, not
+    /// an error (resume of a run that died before its first record).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Corrupt`] / [`JournalError::Checksum`]
+    /// when a record cannot be trusted — resuming from a damaged
+    /// journal would silently diverge, so this is fatal by design.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let path = path.into();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(source) => {
+                return Err(JournalError::Io {
+                    path,
+                    op: "read",
+                    source,
+                })
+            }
+        };
+        let mut records = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: Record = serde_json::from_str(line).map_err(|e| JournalError::Corrupt {
+                path: path.clone(),
+                line: i + 1,
+                detail: e.to_string(),
+            })?;
+            if rec.crc != record_crc(&rec.task, &rec.value) {
+                return Err(JournalError::Checksum {
+                    task: rec.task,
+                    line: i + 1,
+                });
+            }
+            records.insert(rec.task.clone(), rec);
+        }
+        let loaded = records.len();
+        Ok(Journal {
+            path,
+            inner: Mutex::new(records),
+            loaded,
+        })
+    }
+
+    /// The serialized result of `task`, when a previous (or the
+    /// current) run completed it.
+    pub fn get(&self, task: &str) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("journal lock poisoned")
+            .get(task)
+            .map(|r| r.value.clone())
+    }
+
+    /// Record a completed task and persist the journal atomically
+    /// before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the snapshot cannot be
+    /// written; the in-memory record is kept either way, so a later
+    /// record may still persist it.
+    pub fn record(&self, task: &str, value: String) -> Result<(), JournalError> {
+        let rec = Record {
+            task: task.to_string(),
+            crc: record_crc(task, &value),
+            value,
+        };
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        inner.insert(rec.task.clone(), rec);
+        self.persist(&inner)
+    }
+
+    fn persist(&self, records: &BTreeMap<String, Record>) -> Result<(), JournalError> {
+        let mut out = String::new();
+        for rec in records.values() {
+            out.push_str(&serde_json::to_string(rec).expect("journal records serialize"));
+            out.push('\n');
+        }
+        write_atomic(&self.path, &out).map_err(|source| JournalError::Io {
+            path: self.path.clone(),
+            op: "write",
+            source,
+        })
+    }
+
+    /// Number of records currently held (loaded + recorded).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal lock poisoned").len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records replayed from disk when this journal was
+    /// opened (0 for a fresh journal).
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Delete the journal file (the run completed; the checkpoint has
+    /// served its purpose). A missing file is fine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] for any other removal failure.
+    pub fn discard(self) -> Result<(), JournalError> {
+        match std::fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(source) => Err(JournalError::Io {
+                path: self.path,
+                op: "remove",
+                source,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("xps-journal-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn record_and_reopen_roundtrip() {
+        let path = tmp("roundtrip");
+        let j = Journal::create(&path).expect("create");
+        j.record("a#0/0", "[1.5,2.5]".into()).expect("record");
+        j.record("a#0/1", "\"text\"".into()).expect("record");
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.loaded(), 0);
+        let j2 = Journal::open(&path).expect("open");
+        assert_eq!(j2.loaded(), 2);
+        assert_eq!(j2.get("a#0/0").as_deref(), Some("[1.5,2.5]"));
+        assert_eq!(j2.get("a#0/1").as_deref(), Some("\"text\""));
+        assert_eq!(j2.get("missing"), None);
+        j2.discard().expect("discard");
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn writes_are_atomic_no_temp_residue() {
+        let path = tmp("atomic");
+        let j = Journal::create(&path).expect("create");
+        j.record("t#0/0", "1".into()).expect("record");
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(
+            !PathBuf::from(tmp_name).exists(),
+            "temp file must be renamed away"
+        );
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_truncates_previous_run() {
+        let path = tmp("truncate");
+        let j = Journal::create(&path).expect("create");
+        j.record("old#0/0", "1".into()).expect("record");
+        let j = Journal::create(&path).expect("recreate");
+        assert!(j.is_empty());
+        assert_eq!(Journal::open(&path).expect("open").loaded(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_line_is_a_typed_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "{not json\n").expect("write");
+        match Journal::open(&path) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let path = tmp("checksum");
+        let j = Journal::create(&path).expect("create");
+        j.record("t#0/0", "3.25".into()).expect("record");
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, text.replace("3.25", "4.25")).expect("tamper");
+        match Journal::open(&path) {
+            Err(JournalError::Checksum { task, line }) => {
+                assert_eq!(task, "t#0/0");
+                assert_eq!(line, 1);
+            }
+            other => panic!("expected Checksum, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_opens_empty() {
+        let path = tmp("missing-nonexistent");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).expect("open");
+        assert!(j.is_empty());
+        assert_eq!(j.loaded(), 0);
+    }
+
+    #[test]
+    fn fnv64_distinguishes_seed_and_bytes() {
+        assert_ne!(fnv64(0, b"abc"), fnv64(1, b"abc"));
+        assert_ne!(fnv64(0, b"abc"), fnv64(0, b"abd"));
+        assert_eq!(fnv64(7, b"abc"), fnv64(7, b"abc"));
+    }
+}

@@ -45,17 +45,25 @@
 
 mod anneal;
 mod cache;
+mod error;
 mod explorer;
+mod fault;
 mod grid;
+pub mod journal;
 mod parallel;
 mod point;
+mod recovery;
 
 pub use anneal::{anneal, anneal_with, score, score_with, AnnealOptions, AnnealResult, Objective};
 pub use cache::{CacheCounters, EvalCache};
+pub use error::{ExploreError, TaskError, TaskFailure};
 pub use explorer::{CustomizedCore, ExplorationResult, ExploreOptions, ExploreStats, Explorer};
+pub use fault::{FaultKind, FaultPlan};
 pub use grid::{grid_search, grid_search_with, GridResult, GridSpec};
+pub use journal::{fnv64, write_atomic, Journal, JournalError};
 pub use parallel::{merge_counts, resolve_jobs, run_parallel, ParallelRun};
 pub use point::DesignPoint;
+pub use recovery::{FanOutcome, RecoveryStats, RunContext, DEFAULT_RETRIES};
 
 /// Re-exported fixed design constants (the paper's Table 2).
 pub mod constants {

@@ -77,7 +77,15 @@ where
             })
             .collect();
         for (w, handle) in handles.into_iter().enumerate() {
-            let mine = handle.join().expect("worker panicked");
+            // A worker thread only unwinds when `f` itself panicked —
+            // the recovery layer catches per-task panics before they
+            // get here. Re-raise the original payload on the caller
+            // thread so the real message (not a generic join error)
+            // reaches the user.
+            let mine = match handle.join() {
+                Ok(mine) => mine,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             per_worker[w] = mine.len() as u64;
             for (i, value) in mine {
                 slots[i] = Some(value);

@@ -1,0 +1,460 @@
+//! Panic-isolated, retrying, journaled task execution.
+//!
+//! [`RunContext`] wraps the raw worker pool of [`run_parallel`] with
+//! the three crash-safety behaviours the long-haul pipeline needs:
+//!
+//! * **Panic isolation** — every task runs under `catch_unwind`, so a
+//!   panicking evaluation becomes a typed [`TaskError`] instead of
+//!   tearing down the whole campaign.
+//! * **Bounded retries** — a failed attempt is retried up to the
+//!   context's retry budget before the task is declared failed; the
+//!   caller then degrades (skip the start, report the cell) rather
+//!   than aborting.
+//! * **Write-ahead journaling** — each completed task result is
+//!   persisted through the [`Journal`] before the fan-out returns it,
+//!   and journaled results are replayed instead of re-executed, which
+//!   is what makes `--resume` re-run only the missing work.
+//!
+//! Task identity is `label#fan/item`: the fan sequence number is
+//! deterministic because the pipeline's control flow is a pure
+//! function of task results, which are themselves deterministic — so
+//! a resumed run asks for exactly the same keys in exactly the same
+//! order.
+
+use crate::error::{ExploreError, TaskError, TaskFailure};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::journal::{Journal, JournalError};
+use crate::parallel::run_parallel;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default retry budget: a task may fail twice and still succeed on
+/// its third attempt before being declared failed.
+pub const DEFAULT_RETRIES: u32 = 2;
+
+/// Counters of one run's crash-safety machinery. Informational — the
+/// explored results never depend on them — except `failed_tasks`,
+/// which lists every task that exhausted its retries and was degraded
+/// around.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Tasks executed in this process (successful attempts).
+    pub executed: u64,
+    /// Tasks served from the journal without re-running.
+    pub salvaged: u64,
+    /// Extra attempts made after a failed first attempt.
+    pub retried: u64,
+    /// Faults the [`FaultPlan`] injected.
+    pub faults_injected: u64,
+    /// Journal keys of tasks that failed every attempt.
+    pub failed_tasks: Vec<String>,
+}
+
+/// The outcome of one journaled fan-out: per-item results in item
+/// order (failed tasks carry their [`TaskError`]) plus the pool's
+/// per-worker task counts.
+#[derive(Debug)]
+pub struct FanOutcome<T> {
+    /// Item `i` holds task `i`'s result or its terminal error.
+    pub items: Vec<Result<T, TaskError>>,
+    /// How many items each worker ran (journal-salvaged items are not
+    /// counted — they never reached the pool).
+    pub per_worker: Vec<u64>,
+}
+
+/// Crash-safety context threaded through an exploration run: the
+/// optional checkpoint journal, the optional fault plan, the retry
+/// budget, and the counters that report what happened.
+#[derive(Debug)]
+pub struct RunContext {
+    journal: Option<Journal>,
+    faults: Option<FaultPlan>,
+    retries: u32,
+    fan_seq: AtomicU64,
+    executed: AtomicU64,
+    salvaged: AtomicU64,
+    retried: AtomicU64,
+    injected: AtomicU64,
+    failed: Mutex<Vec<String>>,
+    journal_error: Mutex<Option<JournalError>>,
+}
+
+impl Default for RunContext {
+    fn default() -> RunContext {
+        RunContext::new()
+    }
+}
+
+impl RunContext {
+    /// A context with no journal, no faults, and the default retry
+    /// budget.
+    pub fn new() -> RunContext {
+        RunContext {
+            journal: None,
+            faults: None,
+            retries: DEFAULT_RETRIES,
+            fan_seq: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            salvaged: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            failed: Mutex::new(Vec::new()),
+            journal_error: Mutex::new(None),
+        }
+    }
+
+    /// [`RunContext::new`] plus the fault plan configured in the
+    /// `XPS_FAULTS` environment variable, when set. This is what the
+    /// default pipeline entry points use, so CI can exercise the
+    /// isolation and retry paths of the entire test suite by exporting
+    /// one variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::InvalidOptions`] for a malformed
+    /// `XPS_FAULTS` value.
+    pub fn from_env() -> Result<RunContext, ExploreError> {
+        let faults = FaultPlan::from_env().map_err(ExploreError::InvalidOptions)?;
+        Ok(RunContext {
+            faults,
+            ..RunContext::new()
+        })
+    }
+
+    /// Attach a checkpoint journal: completed tasks are persisted and
+    /// already-journaled tasks are replayed instead of re-run.
+    pub fn with_journal(mut self, journal: Journal) -> RunContext {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Attach a fault plan (tests and the `--faults` flag).
+    pub fn with_faults(mut self, faults: FaultPlan) -> RunContext {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Override the retry budget (extra attempts after a failure).
+    pub fn with_retries(mut self, retries: u32) -> RunContext {
+        self.retries = retries;
+        self
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Detach and return the journal (to discard it after a completed
+    /// run).
+    pub fn take_journal(&mut self) -> Option<Journal> {
+        self.journal.take()
+    }
+
+    /// Snapshot of the recovery counters.
+    pub fn stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            salvaged: self.salvaged.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            faults_injected: self.injected.load(Ordering::Relaxed),
+            failed_tasks: self.failed.lock().expect("failed-list lock").clone(),
+        }
+    }
+
+    /// Evaluate tasks `f(0) … f(n-1)` on `jobs` workers with panic
+    /// isolation, retries, and journaling. Results come back in item
+    /// order; a task that failed every attempt yields `Err(TaskError)`
+    /// in its slot (and is listed in [`RecoveryStats::failed_tasks`])
+    /// so the caller can degrade instead of aborting.
+    ///
+    /// `label` names the fan in the journal keyspace; each call gets a
+    /// fresh fan sequence number, so keys are unique and reproducible
+    /// across a resumed run.
+    ///
+    /// # Errors
+    ///
+    /// Only journal problems (unreadable record, failed persist) abort
+    /// the fan — task failures are per-item by design.
+    pub fn run_fan<T, F>(
+        &self,
+        jobs: usize,
+        label: &str,
+        n: usize,
+        f: F,
+    ) -> Result<FanOutcome<T>, ExploreError>
+    where
+        T: Send + Serialize + Deserialize,
+        F: Fn(usize) -> T + Sync,
+    {
+        let fan = self.fan_seq.fetch_add(1, Ordering::Relaxed);
+        let key_of = |i: usize| format!("{label}#{fan}/{i}");
+        let mut slots: Vec<Option<Result<T, TaskError>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut missing: Vec<usize> = Vec::with_capacity(n);
+        if let Some(journal) = &self.journal {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let key = key_of(i);
+                match journal.get(&key) {
+                    Some(json) => {
+                        let value: T =
+                            serde_json::from_str(&json).map_err(|e| JournalError::Corrupt {
+                                path: journal.path().to_path_buf(),
+                                line: 0,
+                                detail: format!("task `{key}` does not deserialize: {e}"),
+                            })?;
+                        self.salvaged.fetch_add(1, Ordering::Relaxed);
+                        *slot = Some(Ok(value));
+                    }
+                    None => missing.push(i),
+                }
+            }
+        } else {
+            missing.extend(0..n);
+        }
+
+        let mut per_worker = vec![0u64];
+        if !missing.is_empty() {
+            let run = run_parallel(jobs, missing.len(), |k| {
+                let i = missing[k];
+                let key = key_of(i);
+                let result = self.attempt(&key, || f(i));
+                if let (Ok(value), Some(journal)) = (&result, &self.journal) {
+                    let json =
+                        serde_json::to_string(value).expect("task results serialize to JSON");
+                    if let Err(e) = journal.record(&key, json) {
+                        // Keep the computed value; surface the persist
+                        // failure once the fan completes.
+                        let mut slot = self.journal_error.lock().expect("journal-error lock");
+                        slot.get_or_insert(e);
+                    }
+                }
+                result
+            });
+            per_worker = run.per_worker;
+            for (k, result) in run.results.into_iter().enumerate() {
+                slots[missing[k]] = Some(result);
+            }
+        }
+        if let Some(e) = self
+            .journal_error
+            .lock()
+            .expect("journal-error lock")
+            .take()
+        {
+            return Err(e.into());
+        }
+        let items = slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect();
+        Ok(FanOutcome { items, per_worker })
+    }
+
+    /// [`run_fan`](RunContext::run_fan) for a single inline task (the
+    /// re-anneal after a cross-seeding adoption).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_fan`](RunContext::run_fan): only journal problems.
+    pub fn run_task<T, F>(&self, label: &str, f: F) -> Result<Result<T, TaskError>, ExploreError>
+    where
+        T: Send + Serialize + Deserialize,
+        F: Fn() -> T + Sync,
+    {
+        let mut fan = self.run_fan(1, label, 1, |_| f())?;
+        Ok(fan.items.pop().expect("one item"))
+    }
+
+    /// Run one task with fault injection, panic isolation, and
+    /// retries.
+    fn attempt<T>(&self, key: &str, f: impl Fn() -> T) -> Result<T, TaskError> {
+        let max_attempts = self.retries.saturating_add(1);
+        let mut failure = TaskFailure::Failed("no attempts made".into());
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.retried.fetch_add(1, Ordering::Relaxed);
+            }
+            let injected = self.faults.as_ref().and_then(|p| p.injects(key, attempt));
+            if injected.is_some() {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+            }
+            if injected == Some(FaultKind::Error) {
+                failure = TaskFailure::Failed(format!("injected fault (attempt {attempt})"));
+                continue;
+            }
+            // Tasks are pure functions of their index: nothing observes
+            // a half-updated state after an unwind, so AssertUnwindSafe
+            // is sound here.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if injected == Some(FaultKind::Panic) {
+                    panic!("injected fault in `{key}` (attempt {attempt})");
+                }
+                f()
+            }));
+            match outcome {
+                Ok(value) => {
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value);
+                }
+                Err(payload) => failure = TaskFailure::Panicked(panic_message(payload.as_ref())),
+            }
+        }
+        self.failed
+            .lock()
+            .expect("failed-list lock")
+            .push(key.to_string());
+        Err(TaskError {
+            task: key.to_string(),
+            attempts: max_attempts,
+            failure,
+        })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("xps-recovery-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn clean_fan_matches_direct_evaluation() {
+        let ctx = RunContext::new();
+        let fan = ctx.run_fan(3, "sq", 10, |i| (i * i) as u64).expect("fan");
+        let values: Vec<u64> = fan.items.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(values, (0..10).map(|i| (i * i) as u64).collect::<Vec<_>>());
+        let s = ctx.stats();
+        assert_eq!(s.executed, 10);
+        assert_eq!((s.salvaged, s.retried, s.faults_injected), (0, 0, 0));
+    }
+
+    #[test]
+    fn injected_panics_retry_to_success() {
+        let ctx = RunContext::new()
+            .with_faults(FaultPlan::rate(100, 0, 2, FaultKind::Panic))
+            .with_retries(2);
+        let fan = ctx.run_fan(2, "t", 6, |i| i as u64).expect("fan");
+        for (i, r) in fan.items.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("third attempt succeeds"), i as u64);
+        }
+        let s = ctx.stats();
+        assert_eq!(s.executed, 6);
+        assert_eq!(s.retried, 12, "two retries per task");
+        assert_eq!(s.faults_injected, 12);
+        assert!(s.failed_tasks.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_isolate_the_failing_task() {
+        let ctx = RunContext::new()
+            .with_faults(FaultPlan::targets(["t#0/2"], u32::MAX, FaultKind::Panic))
+            .with_retries(1);
+        let fan = ctx.run_fan(2, "t", 5, |i| i as u64).expect("fan");
+        for (i, r) in fan.items.iter().enumerate() {
+            if i == 2 {
+                let e = r.as_ref().expect_err("task 2 fails permanently");
+                assert_eq!(e.attempts, 2);
+                assert!(matches!(e.failure, TaskFailure::Panicked(_)));
+            } else {
+                assert_eq!(*r.as_ref().expect("others unaffected"), i as u64);
+            }
+        }
+        assert_eq!(ctx.stats().failed_tasks, vec!["t#0/2".to_string()]);
+    }
+
+    #[test]
+    fn error_faults_fail_without_unwinding() {
+        let ctx = RunContext::new()
+            .with_faults(FaultPlan::targets(["t#0/0"], u32::MAX, FaultKind::Error))
+            .with_retries(0);
+        let fan = ctx.run_fan(1, "t", 1, |i| i as u64).expect("fan");
+        let e = fan.items[0].as_ref().expect_err("fails");
+        assert!(matches!(e.failure, TaskFailure::Failed(_)));
+    }
+
+    #[test]
+    fn journaled_tasks_are_salvaged_not_rerun() {
+        let path = tmp("salvage");
+        let calls = AtomicUsize::new(0);
+        {
+            let journal = Journal::create(&path).expect("create");
+            let ctx = RunContext::new().with_journal(journal);
+            let fan = ctx
+                .run_fan(2, "v", 8, |i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i as f64 + 0.5
+                })
+                .expect("fan");
+            assert_eq!(fan.items.len(), 8);
+            assert_eq!(calls.load(Ordering::Relaxed), 8);
+        }
+        // Resume: all eight tasks replay from disk; f never runs.
+        let journal = Journal::open(&path).expect("open");
+        assert_eq!(journal.loaded(), 8);
+        let ctx = RunContext::new().with_journal(journal);
+        let fan = ctx
+            .run_fan(2, "v", 8, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i as f64 + 0.5
+            })
+            .expect("fan");
+        assert_eq!(calls.load(Ordering::Relaxed), 8, "no task re-ran");
+        for (i, r) in fan.items.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("ok"), i as f64 + 0.5);
+        }
+        let s = ctx.stats();
+        assert_eq!((s.executed, s.salvaged), (0, 8));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_tasks_are_not_journaled() {
+        let path = tmp("failed-not-journaled");
+        let journal = Journal::create(&path).expect("create");
+        let ctx = RunContext::new()
+            .with_journal(journal)
+            .with_faults(FaultPlan::targets(["w#0/1"], u32::MAX, FaultKind::Panic))
+            .with_retries(0);
+        let fan = ctx.run_fan(1, "w", 3, |i| i as u64).expect("fan");
+        assert!(fan.items[1].is_err());
+        let journal = Journal::open(&path).expect("open");
+        assert_eq!(journal.loaded(), 2, "only the two successes persist");
+        assert!(journal.get("w#0/1").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fan_sequence_distinguishes_same_label() {
+        let ctx = RunContext::new();
+        let a = ctx.run_task("x", || 1u64).expect("fan").expect("ok");
+        let b = ctx.run_task("x", || 2u64).expect("fan").expect("ok");
+        assert_eq!((a, b), (1, 2));
+        // With a journal the two calls must land on distinct keys.
+        let path = tmp("fan-seq");
+        let ctx = RunContext::new().with_journal(Journal::create(&path).expect("create"));
+        ctx.run_task("x", || 1u64).expect("fan").expect("ok");
+        ctx.run_task("x", || 2u64).expect("fan").expect("ok");
+        assert_eq!(ctx.journal().expect("journal").len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}
