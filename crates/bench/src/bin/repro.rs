@@ -30,7 +30,9 @@
 //!   ablation-prefetch  what a prefetcher would absorb of the story
 //!   dendrogram   subsetting dendrogram of raw characteristics
 //!   visualize    cross-configuration slowdown heat map
-//!   all          everything above, in order
+//!   serve        run the exploration-as-a-service daemon (xps-serve)
+//!   client       submit a smoke exploration to a running daemon
+//!   all          everything above (except serve/client), in order
 //!
 //! `--paper-data` analyses the paper's published Table 5 instead of
 //! this repository's measured matrix; `--quick` shrinks the measured
@@ -49,6 +51,12 @@
 //! * `--faults SPEC` — deterministic fault injection, e.g.
 //!   `rate=20,seed=7,attempts=1,kind=panic`.
 //! * `--journal PATH` — journal location override.
+//!
+//! Serving flags (`serve` and `client` only):
+//!
+//! * `--addr HOST:PORT` — daemon bind / client target address
+//!   (default `127.0.0.1:7780`).
+//! * `--data-dir PATH` — daemon state root (default `results/serve`).
 //! ```
 
 // The dispatch tables below use `Ok(experiment())` so each arm stays a
@@ -83,7 +91,8 @@ enum Source {
 const JOURNAL_PATH: &str = "results/journal.jsonl";
 
 const USAGE: &str = "usage: repro <experiment> [--paper-data] [--quick] [--jobs N] \
-[--resume] [--retries N] [--faults SPEC] [--journal PATH]  (see --help)";
+[--resume] [--retries N] [--faults SPEC] [--journal PATH] [--addr HOST:PORT] \
+[--data-dir PATH]  (see --help)";
 
 /// Parsed command line of the `repro` binary.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -106,6 +115,10 @@ struct Cli {
     faults: Option<String>,
     /// `--journal PATH`: journal location override.
     journal: Option<PathBuf>,
+    /// `--addr HOST:PORT`: daemon bind / client target address.
+    addr: Option<String>,
+    /// `--data-dir PATH`: daemon state root.
+    data_dir: Option<PathBuf>,
     /// `--help` / `-h`.
     help: bool,
 }
@@ -174,10 +187,22 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 let v = flag_value(args, &mut i, "--journal")?;
                 cli.journal = Some(PathBuf::from(v));
             }
+            "--addr" => {
+                let v = flag_value(args, &mut i, "--addr")?;
+                if !v.contains(':') {
+                    return Err(format!("--addr expects HOST:PORT, got `{v}`"));
+                }
+                cli.addr = Some(v);
+            }
+            "--data-dir" => {
+                let v = flag_value(args, &mut i, "--data-dir")?;
+                cli.data_dir = Some(PathBuf::from(v));
+            }
             _ if name.starts_with('-') => {
                 return Err(format!(
                     "unknown flag `{name}` (flags: --paper-data --quick --jobs N \
-                     --resume --retries N --faults SPEC --journal PATH --help)"
+                     --resume --retries N --faults SPEC --journal PATH \
+                     --addr HOST:PORT --data-dir PATH --help)"
                 ));
             }
             _ => {
@@ -210,6 +235,8 @@ struct RunOpts {
     retries: Option<u32>,
     faults: Option<FaultPlan>,
     journal: Option<PathBuf>,
+    addr: Option<String>,
+    data_dir: Option<PathBuf>,
 }
 
 static RUN: OnceLock<RunOpts> = OnceLock::new();
@@ -228,8 +255,8 @@ fn main() -> ExitCode {
         }
     };
     if cli.help || cli.cmd == "help" {
-        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize all");
-        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH");
+        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize serve client all");
+        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH");
         return ExitCode::SUCCESS;
     }
     let faults = match cli.faults.as_deref().map(FaultPlan::parse).transpose() {
@@ -245,6 +272,8 @@ fn main() -> ExitCode {
         retries: cli.retries,
         faults,
         journal: cli.journal.clone(),
+        addr: cli.addr.clone(),
+        data_dir: cli.data_dir.clone(),
     })
     .expect("options set once");
     let source = if cli.paper_data {
@@ -330,6 +359,8 @@ fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), Box<dyn Erro
         "ablation-prefetch" => Ok(ablation_prefetch()),
         "dendrogram" => Ok(dendrogram_cmd(quick)),
         "visualize" => visualize(source, quick),
+        "serve" => serve_cmd(),
+        "client" => client_cmd(quick),
         _ => Err(format!("unknown experiment `{c}` (run `repro --help` for the list)").into()),
     }
 }
@@ -1303,6 +1334,81 @@ fn visualize(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Run the exploration-as-a-service daemon in the foreground until
+/// SIGTERM/ctrl-c, serving explore/evaluate/combination/slowdown jobs
+/// over HTTP. `--addr` sets the bind address, `--data-dir` the state
+/// root, `--jobs` the worker threads per campaign.
+fn serve_cmd() -> Result<(), Box<dyn Error>> {
+    use xps_serve::{install_signal_handlers, Server, ServerConfig};
+    let opts = run_opts();
+    let mut config = ServerConfig::new(
+        opts.data_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/serve")),
+    );
+    config.addr = opts
+        .addr
+        .clone()
+        .unwrap_or_else(|| "127.0.0.1:7780".to_string());
+    config.pipeline_jobs = opts.jobs;
+    let server = Server::bind(&config)?;
+    let addr = server.local_addr()?;
+    install_signal_handlers(server.shutdown_handle());
+    println!(
+        "xps-serve listening on {addr} (data dir {})",
+        config.data_dir.display()
+    );
+    server.run()?;
+    println!("xps-serve drained cleanly");
+    Ok(())
+}
+
+/// Submit one exploration to a running daemon (`repro serve` or the
+/// `xps-serve` binary), stream a few progress events, and print the
+/// customized configurations — the end-to-end smoke of the serving
+/// path. `--quick` uses the seconds-scale smoke profile.
+fn client_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
+    use xps_serve::client;
+    let opts = run_opts();
+    let addr = opts
+        .addr
+        .clone()
+        .unwrap_or_else(|| "127.0.0.1:7780".to_string());
+    let profile = if quick { "smoke" } else { "quick" };
+    let job_json =
+        format!(r#"{{"kind":"explore","profile":"{profile}","workloads":["gzip","mcf"]}}"#);
+    println!("submitting to {addr}: {job_json}");
+    let (job, resp) = client::submit(&addr, &job_json)?;
+    println!("job {job}: HTTP {} {}", resp.status, resp.body);
+    if resp.status == 202 {
+        let shown = client::stream_events(&addr, &job, 5, |line| println!("  event: {line}"))?;
+        println!("  ({shown} progress events shown)");
+    }
+    let body = client::wait_for_result(&addr, &job, std::time::Duration::from_secs(1200))?;
+    let doc: serde::Value =
+        serde_json::from_str(&body).map_err(|e| format!("result is not JSON: {e}"))?;
+    if let Ok(serde::Value::Arr(cores)) = doc.member("cores") {
+        let mut rows = Vec::new();
+        for core in cores {
+            let name = core
+                .member("profile")
+                .and_then(|p| p.member("name"))
+                .and_then(|v| v.as_str().map(String::from))
+                .unwrap_or_else(|_| "?".to_string());
+            let ipt = match core.member("ipt") {
+                Ok(serde::Value::F64(x)) => format!("{x:.2}"),
+                _ => "?".to_string(),
+            };
+            rows.push(vec![name, ipt]);
+        }
+        println!(
+            "{}",
+            render_table(&["benchmark".into(), "customized IPT".into()], &rows)
+        );
+    }
+    Ok(())
+}
+
 /// Sanity helper kept for `--quick` smoke runs: simulate one benchmark
 /// on one published configuration.
 #[allow(dead_code)]
@@ -1380,6 +1486,17 @@ mod tests {
             "rate=20,seed=7,attempts=1,kind=panic",
         ])
         .expect("valid spec");
+    }
+
+    #[test]
+    fn serving_flags_parse_and_validate() {
+        let c = parse(&["serve", "--addr", "0.0.0.0:9000", "--data-dir=/tmp/d"])
+            .expect("valid serve command line");
+        assert_eq!(c.cmd, "serve");
+        assert_eq!(c.addr.as_deref(), Some("0.0.0.0:9000"));
+        assert_eq!(c.data_dir, Some(PathBuf::from("/tmp/d")));
+        let e = parse(&["serve", "--addr", "no-port"]).expect_err("missing port");
+        assert!(e.contains("HOST:PORT"), "message: {e}");
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod matrix;
 mod methodology;
 mod metrics;
 mod partition;
+mod query;
 mod schedule;
 mod subset;
 mod surrogate;
@@ -46,6 +47,9 @@ pub use matrix::CrossPerfMatrix;
 pub use methodology::{compare_methodologies, MethodologyComparison};
 pub use metrics::Merit;
 pub use partition::{balanced_partition, BalancedPartition};
+pub use query::{
+    combination_query, merit_by_name, slowdown_row, QueryError, SlowdownEntry, SlowdownRow,
+};
 pub use schedule::{simulate_jobs, JobPolicy, ScheduleOptions, ScheduleStats};
 pub use subset::{
     cluster, dendrogram, nearest_neighbor, pitfall_experiment, Cluster, Dendrogram, Merge,

@@ -1,0 +1,212 @@
+//! Name-keyed query entry points over a cross-performance matrix.
+//!
+//! The analysis functions in this crate are index-based; a service
+//! endpoint (or any caller holding user-provided strings) wants to ask
+//! by *name* — "the slowdown row of `mcf`", "the best 4-core
+//! combination under the harmonic mean" — and get typed, actionable
+//! errors when the name or arity is wrong. These wrappers are that
+//! layer; `xps-serve`'s communal endpoints call straight into them.
+
+use crate::combin::{best_combination, ComboResult};
+use crate::matrix::CrossPerfMatrix;
+use crate::metrics::Merit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything that can go wrong resolving a name-keyed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The named workload is not a row of the matrix.
+    UnknownWorkload {
+        /// The name that failed to resolve.
+        workload: String,
+        /// The names that would have resolved.
+        known: Vec<String>,
+    },
+    /// The merit name matches none of the §5.2 figures of merit.
+    UnknownMerit(String),
+    /// The requested combination size is outside `1..=n`.
+    BadCoreCount {
+        /// Requested combination size.
+        k: usize,
+        /// Number of architectures in the matrix.
+        n: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownWorkload { workload, known } => write!(
+                f,
+                "unknown workload `{workload}`; known: {}",
+                known.join(", ")
+            ),
+            QueryError::UnknownMerit(name) => write!(
+                f,
+                "unknown merit `{name}`; known: avg, har, cw-har (aliases: average, \
+                 harmonic, contention)"
+            ),
+            QueryError::BadCoreCount { k, n } => {
+                write!(f, "core count {k} outside 1..={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Resolve a figure of merit from its table label or a spelled-out
+/// alias (case-insensitive): `avg`/`average`, `har`/`harmonic`,
+/// `cw-har`/`contention`.
+///
+/// # Errors
+///
+/// Returns [`QueryError::UnknownMerit`] listing the accepted names.
+pub fn merit_by_name(name: &str) -> Result<Merit, QueryError> {
+    match name.to_ascii_lowercase().as_str() {
+        "avg" | "average" => Ok(Merit::Average),
+        "har" | "harmonic" | "harmonic-mean" => Ok(Merit::HarmonicMean),
+        "cw-har" | "contention" | "contention-weighted" => {
+            Ok(Merit::ContentionWeightedHarmonicMean)
+        }
+        _ => Err(QueryError::UnknownMerit(name.to_string())),
+    }
+}
+
+/// One cell of a workload's slowdown row: how the workload fares on
+/// one (foreign or own) customized architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowdownEntry {
+    /// The architecture (named after the workload it was customized
+    /// for).
+    pub config: String,
+    /// The workload's IPT on that architecture.
+    pub ipt: f64,
+    /// Percentage of the workload's own-architecture performance lost
+    /// (0 on the diagonal; the Appendix A presentation).
+    pub slowdown_pct: f64,
+}
+
+/// A workload's full row of the percentage-slowdown matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowdownRow {
+    /// The workload the row describes.
+    pub workload: String,
+    /// One entry per architecture, in matrix (input) order.
+    pub entries: Vec<SlowdownEntry>,
+}
+
+/// The named workload's slowdown row (Appendix A): its IPT and
+/// percentage slowdown on every customized architecture.
+///
+/// # Errors
+///
+/// Returns [`QueryError::UnknownWorkload`] when the name is not a row.
+pub fn slowdown_row(m: &CrossPerfMatrix, workload: &str) -> Result<SlowdownRow, QueryError> {
+    let w = m
+        .index_of(workload)
+        .ok_or_else(|| QueryError::UnknownWorkload {
+            workload: workload.to_string(),
+            known: m.names().to_vec(),
+        })?;
+    let entries = (0..m.len())
+        .map(|c| SlowdownEntry {
+            config: m.names()[c].clone(),
+            ipt: m.ipt(w, c),
+            slowdown_pct: 100.0 * m.slowdown(w, c),
+        })
+        .collect();
+    Ok(SlowdownRow {
+        workload: workload.to_string(),
+        entries,
+    })
+}
+
+/// Complete-search best `k`-core combination under the merit named
+/// `merit` (see [`merit_by_name`]) — the Table 6 query, by name.
+///
+/// # Errors
+///
+/// Returns [`QueryError::BadCoreCount`] for `k` outside `1..=n` and
+/// [`QueryError::UnknownMerit`] for an unrecognized merit name.
+pub fn combination_query(
+    m: &CrossPerfMatrix,
+    k: usize,
+    merit: &str,
+) -> Result<ComboResult, QueryError> {
+    let merit = merit_by_name(merit)?;
+    if k == 0 || k > m.len() {
+        return Err(QueryError::BadCoreCount { k, n: m.len() });
+    }
+    Ok(best_combination(m, k, merit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CrossPerfMatrix {
+        CrossPerfMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![2.0, 1.0, 1.5],
+                vec![0.5, 1.5, 0.75],
+                vec![1.0, 1.2, 2.5],
+            ],
+        )
+        .expect("valid matrix")
+    }
+
+    #[test]
+    fn merit_names_resolve_case_insensitively() {
+        assert_eq!(merit_by_name("AVG").unwrap(), Merit::Average);
+        assert_eq!(merit_by_name("harmonic").unwrap(), Merit::HarmonicMean);
+        assert_eq!(
+            merit_by_name("cw-har").unwrap(),
+            Merit::ContentionWeightedHarmonicMean
+        );
+        let e = merit_by_name("geometric").expect_err("unknown");
+        assert!(e.to_string().contains("geometric") && e.to_string().contains("cw-har"));
+    }
+
+    #[test]
+    fn slowdown_row_matches_matrix_cells() {
+        let m = matrix();
+        let row = slowdown_row(&m, "a").expect("a exists");
+        assert_eq!(row.workload, "a");
+        assert_eq!(row.entries.len(), 3);
+        assert_eq!(row.entries[0].config, "a");
+        assert!((row.entries[0].slowdown_pct - 0.0).abs() < 1e-12);
+        assert!((row.entries[1].slowdown_pct - 50.0).abs() < 1e-12);
+        assert!((row.entries[1].ipt - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_workload_lists_known_names() {
+        let e = slowdown_row(&matrix(), "zzz").expect_err("unknown");
+        let msg = e.to_string();
+        assert!(msg.contains("zzz") && msg.contains("a, b, c"));
+    }
+
+    #[test]
+    fn combination_query_validates_and_searches() {
+        let m = matrix();
+        let combo = combination_query(&m, 2, "har").expect("valid query");
+        assert_eq!(combo.cores.len(), 2);
+        assert_eq!(combo.names.len(), 2);
+        assert!(combo.merit_value > 0.0);
+        assert!(matches!(
+            combination_query(&m, 0, "avg"),
+            Err(QueryError::BadCoreCount { k: 0, n: 3 })
+        ));
+        assert!(matches!(
+            combination_query(&m, 4, "avg"),
+            Err(QueryError::BadCoreCount { k: 4, n: 3 })
+        ));
+        assert!(matches!(
+            combination_query(&m, 2, "nope"),
+            Err(QueryError::UnknownMerit(_))
+        ));
+    }
+}

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use xps_communal::CrossPerfMatrix;
 use xps_explore::{
     merge_counts, resolve_jobs, CacheCounters, CustomizedCore, EvalCache, ExploreOptions, Explorer,
-    RecoveryStats, RunContext,
+    ProgressSink, RecoveryStats, RunContext,
 };
 use xps_sim::{CoreConfig, Simulator};
 use xps_workload::{with_generator, WorkloadProfile};
@@ -286,10 +286,33 @@ impl Pipeline {
         profiles: &[WorkloadProfile],
         ctx: &RunContext,
     ) -> Result<PipelineResult, PipelineError> {
+        self.run_recoverable_with(profiles, ctx, &EvalCache::new(), None)
+    }
+
+    /// [`Pipeline::run_recoverable`] against a caller-supplied
+    /// evaluation cache and an optional progress sink — the embedding
+    /// entry point for a long-lived service. The cache outlives the
+    /// run, so a daemon serving repeated or overlapping requests reuses
+    /// every evaluation across them; the sink streams annealing steps
+    /// and task completions live. Both are observational: results are
+    /// bit-identical to [`Pipeline::run_recoverable`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::run_recoverable`].
+    pub fn run_recoverable_with(
+        &self,
+        profiles: &[WorkloadProfile],
+        ctx: &RunContext,
+        cache: &EvalCache,
+        progress: Option<&ProgressSink>,
+    ) -> Result<PipelineResult, PipelineError> {
         self.validate()?;
-        let cache = EvalCache::new();
-        let explorer = Explorer::try_new(self.explore.clone())?;
-        let explored = explorer.explore_recoverable(profiles, &cache, ctx)?;
+        let mut explorer = Explorer::try_new(self.explore.clone())?;
+        if let Some(sink) = progress {
+            explorer = explorer.with_progress(sink.clone());
+        }
+        let explored = explorer.explore_recoverable(profiles, cache, ctx)?;
         let mut configs: Vec<CoreConfig> =
             explored.cores.iter().map(|c| c.config.clone()).collect();
         let (matrix, matrix_tasks) = cross_matrix_recoverable(
@@ -298,7 +321,7 @@ impl Pipeline {
             self.matrix_ops,
             self.replacement_passes,
             self.explore.jobs,
-            Some(&cache),
+            Some(cache),
             ctx,
         )?;
         let mut per_worker_tasks = explored.stats.per_worker_tasks.clone();

@@ -2,6 +2,7 @@
 
 use crate::cache::EvalCache;
 use crate::point::DesignPoint;
+use crate::progress::{ProgressEvent, ProgressSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -264,6 +265,22 @@ pub fn anneal_with(
     tech: &Technology,
     cache: Option<&EvalCache>,
 ) -> AnnealResult {
+    anneal_observed(profile, start, opts, tech, cache, None)
+}
+
+/// [`anneal_with`] plus an optional progress sink that receives one
+/// [`ProgressEvent::AnnealStep`] per iteration (tagged `start: 0`; a
+/// multi-start caller re-tags through a wrapping sink). Observation is
+/// read-only: the walk, and therefore the result, is bit-identical
+/// with or without a sink.
+pub fn anneal_observed(
+    profile: &WorkloadProfile,
+    start: &DesignPoint,
+    opts: &AnnealOptions,
+    tech: &Technology,
+    cache: Option<&EvalCache>,
+    sink: Option<&ProgressSink>,
+) -> AnnealResult {
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ profile.seed);
     let name = profile.name.clone();
 
@@ -335,6 +352,16 @@ pub fn anneal_with(
         }
         temp *= opts.cooling;
         history.push(best_ipt);
+        if let Some(sink) = sink {
+            sink.emit(&ProgressEvent::AnnealStep {
+                workload: name.clone(),
+                start: 0,
+                iteration: it + 1,
+                iterations: opts.iterations,
+                temperature: temp,
+                best: best_ipt,
+            });
+        }
     }
 
     // Final measurement at the long trace length for a fair Table 5.

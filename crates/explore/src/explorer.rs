@@ -1,11 +1,12 @@
 //! The full §4 methodology: per-workload annealing plus
 //! cross-configuration seeding across workloads.
 
-use crate::anneal::{anneal_with, AnnealOptions, AnnealResult};
+use crate::anneal::{anneal_observed, AnnealOptions, AnnealResult};
 use crate::cache::{CacheCounters, EvalCache};
 use crate::error::{ExploreError, TaskError};
 use crate::parallel::{merge_counts, resolve_jobs};
 use crate::point::DesignPoint;
+use crate::progress::{ProgressEvent, ProgressSink};
 use crate::recovery::{RecoveryStats, RunContext};
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
@@ -120,6 +121,7 @@ pub struct ExplorationResult {
 pub struct Explorer {
     opts: ExploreOptions,
     tech: Technology,
+    progress: Option<ProgressSink>,
 }
 
 impl Explorer {
@@ -135,6 +137,7 @@ impl Explorer {
         Ok(Explorer {
             opts,
             tech: Technology::default(),
+            progress: None,
         })
     }
 
@@ -156,7 +159,20 @@ impl Explorer {
     /// Panics when the options are invalid.
     pub fn with_technology(opts: ExploreOptions, tech: Technology) -> Explorer {
         opts.validate().unwrap_or_else(|e| panic!("{e}"));
-        Explorer { opts, tech }
+        Explorer {
+            opts,
+            tech,
+            progress: None,
+        }
+    }
+
+    /// Attach a progress sink: every annealing iteration of the
+    /// campaign emits one [`ProgressEvent::AnnealStep`] (tagged with
+    /// the workload and the multi-start index). Observation is
+    /// read-only — results are bit-identical with or without a sink.
+    pub fn with_progress(mut self, sink: ProgressSink) -> Explorer {
+        self.progress = Some(sink);
+        self
     }
 
     /// The technology in use.
@@ -250,7 +266,32 @@ impl Explorer {
                 let (p, i) = (&profiles[t / starts.len()], t % starts.len());
                 let mut opts = self.opts.anneal.clone();
                 opts.seed ^= (i as u64) << 32;
-                anneal_with(p, &starts[i], &opts, &self.tech, Some(cache))
+                // Wrap the campaign sink so this walk's steps carry
+                // their multi-start index (the annealer itself always
+                // tags `start: 0`).
+                let sink = self.progress.as_ref().map(|outer| {
+                    let outer = outer.clone();
+                    let start = i as u32;
+                    ProgressSink::new(move |e| match e {
+                        ProgressEvent::AnnealStep {
+                            workload,
+                            iteration,
+                            iterations,
+                            temperature,
+                            best,
+                            ..
+                        } => outer.emit(&ProgressEvent::AnnealStep {
+                            workload: workload.clone(),
+                            start,
+                            iteration: *iteration,
+                            iterations: *iterations,
+                            temperature: *temperature,
+                            best: *best,
+                        }),
+                        other => outer.emit(other),
+                    })
+                });
+                anneal_observed(p, &starts[i], &opts, &self.tech, Some(cache), sink.as_ref())
             },
         )?;
         merge_counts(&mut per_worker_tasks, &fan.per_worker);
@@ -322,7 +363,14 @@ impl Explorer {
                     re_opts.iterations = self.opts.reanneal_iterations;
                     re_opts.early_fraction = 0.0;
                     let reanneal = ctx.run_task("reanneal", || {
-                        anneal_with(&profiles[i], &seed_point, &re_opts, &self.tech, Some(cache))
+                        anneal_observed(
+                            &profiles[i],
+                            &seed_point,
+                            &re_opts,
+                            &self.tech,
+                            Some(cache),
+                            self.progress.as_ref(),
+                        )
                     })?;
                     if let Ok(r) = reanneal {
                         if r.ipt > results[i].ipt {
@@ -461,6 +509,60 @@ mod tests {
             Err(ExploreError::WorkloadFailed { workload, .. }) => assert_eq!(workload, "gzip"),
             other => panic!("expected WorkloadFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn progress_sink_observes_without_changing_results() {
+        use std::sync::{Arc, Mutex};
+        let profiles = vec![
+            spec::profile("gzip").expect("gzip exists"),
+            spec::profile("mcf").expect("mcf exists"),
+        ];
+        let mut opts = ExploreOptions::quick();
+        opts.anneal.iterations = 8;
+        opts.anneal.eval_ops_early = 3000;
+        opts.anneal.eval_ops_late = 6000;
+        opts.reanneal_iterations = 3;
+        opts.jobs = 2;
+        let plain = Explorer::new(opts.clone()).explore(&profiles);
+        let steps: Arc<Mutex<Vec<(String, u32, u32)>>> = Arc::default();
+        let sink = {
+            let steps = steps.clone();
+            ProgressSink::new(move |e| {
+                if let ProgressEvent::AnnealStep {
+                    workload,
+                    start,
+                    iteration,
+                    ..
+                } = e
+                {
+                    steps
+                        .lock()
+                        .unwrap()
+                        .push((workload.clone(), *start, *iteration));
+                }
+            })
+        };
+        let observed = Explorer::new(opts.clone())
+            .with_progress(sink)
+            .explore(&profiles);
+        for (a, b) in plain.cores.iter().zip(&observed.cores) {
+            assert_eq!(a.point, b.point);
+            assert!((a.ipt - b.ipt).abs() == 0.0, "observation must not perturb");
+        }
+        let steps = steps.lock().unwrap();
+        // Three starts per workload, `iterations` steps per start, plus
+        // any re-anneal steps.
+        let base = 2 * 3 * opts.anneal.iterations as usize;
+        assert!(steps.len() >= base, "{} < {base}", steps.len());
+        assert!(steps.iter().any(|(w, _, _)| w == "gzip"));
+        assert!(
+            steps.iter().any(|(_, s, _)| *s == 2),
+            "corner starts tagged"
+        );
+        assert!(steps
+            .iter()
+            .all(|(_, _, it)| *it >= 1 && *it <= opts.anneal.iterations));
     }
 
     #[test]

@@ -52,9 +52,13 @@ mod grid;
 pub mod journal;
 mod parallel;
 mod point;
+mod progress;
 mod recovery;
+mod stats;
 
-pub use anneal::{anneal, anneal_with, score, score_with, AnnealOptions, AnnealResult, Objective};
+pub use anneal::{
+    anneal, anneal_observed, anneal_with, score, score_with, AnnealOptions, AnnealResult, Objective,
+};
 pub use cache::{CacheCounters, EvalCache};
 pub use error::{ExploreError, TaskError, TaskFailure};
 pub use explorer::{CustomizedCore, ExplorationResult, ExploreOptions, ExploreStats, Explorer};
@@ -63,7 +67,9 @@ pub use grid::{grid_search, grid_search_with, GridResult, GridSpec};
 pub use journal::{fnv64, write_atomic, Journal, JournalError};
 pub use parallel::{merge_counts, resolve_jobs, run_parallel, ParallelRun};
 pub use point::DesignPoint;
+pub use progress::{ProgressEvent, ProgressSink};
 pub use recovery::{FanOutcome, RecoveryStats, RunContext, DEFAULT_RETRIES};
+pub use stats::EngineStats;
 
 /// Re-exported fixed design constants (the paper's Table 2).
 pub mod constants {

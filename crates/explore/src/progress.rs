@@ -1,0 +1,104 @@
+//! Live progress events for embedding the explorer in a service.
+//!
+//! A batch `repro` run only needs the final summary line, but a
+//! long-lived daemon serving exploration jobs wants to stream what the
+//! engine is doing *right now* — which anneal step it is on, how hot
+//! the walk still is, the best score so far — to clients polling or
+//! streaming a job. [`ProgressSink`] is that hook: a cheap, clonable,
+//! thread-safe callback that the [`Explorer`](crate::Explorer) and
+//! [`RunContext`](crate::RunContext) invoke as work happens.
+//!
+//! Progress is strictly observational: emitting events never changes a
+//! walk, a journal record, or a result byte. Sinks are called from
+//! worker threads, so they must be fast and must not block on the
+//! threads that produce results.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One observable step of an exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// One simulated-annealing iteration finished.
+    AnnealStep {
+        /// The workload being customized.
+        workload: String,
+        /// Which multi-start corner this walk began from (0 = the
+        /// Table 3 start).
+        start: u32,
+        /// 1-based iteration just completed.
+        iteration: u32,
+        /// Total iterations of this walk.
+        iterations: u32,
+        /// Current acceptance temperature.
+        temperature: f64,
+        /// Best objective score seen so far in this walk.
+        best: f64,
+    },
+    /// One pool task (an anneal, a cross evaluation, a matrix cell)
+    /// finished.
+    TaskDone {
+        /// The task's journal key, e.g. `matrix#0/17`.
+        key: String,
+        /// Whether the result was replayed from the journal instead of
+        /// executed.
+        salvaged: bool,
+    },
+}
+
+type ProgressFn = dyn Fn(&ProgressEvent) + Send + Sync;
+
+/// A thread-safe progress callback handle.
+///
+/// Cloning shares the underlying callback; the explorer clones the
+/// sink into its worker closures freely.
+#[derive(Clone)]
+pub struct ProgressSink(Arc<ProgressFn>);
+
+impl ProgressSink {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> ProgressSink {
+        ProgressSink(Arc::new(f))
+    }
+
+    /// Deliver one event to the callback.
+    pub fn emit(&self, event: &ProgressEvent) {
+        (self.0)(event);
+    }
+}
+
+impl fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressSink(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn sink_delivers_events_to_all_clones() {
+        let seen: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = {
+            let seen = seen.clone();
+            ProgressSink::new(move |e| {
+                if let ProgressEvent::TaskDone { key, .. } = e {
+                    seen.lock().unwrap().push(key.clone());
+                }
+            })
+        };
+        let other = sink.clone();
+        sink.emit(&ProgressEvent::TaskDone {
+            key: "a#0/0".into(),
+            salvaged: false,
+        });
+        other.emit(&ProgressEvent::TaskDone {
+            key: "a#0/1".into(),
+            salvaged: true,
+        });
+        assert_eq!(*seen.lock().unwrap(), vec!["a#0/0", "a#0/1"]);
+        assert_eq!(format!("{sink:?}"), "ProgressSink(..)");
+    }
+}

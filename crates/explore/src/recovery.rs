@@ -25,10 +25,11 @@ use crate::error::{ExploreError, TaskError, TaskFailure};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::journal::{Journal, JournalError};
 use crate::parallel::run_parallel;
+use crate::progress::{ProgressEvent, ProgressSink};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Default retry budget: a task may fail twice and still succeed on
 /// its third attempt before being declared failed.
@@ -71,6 +72,8 @@ pub struct FanOutcome<T> {
 pub struct RunContext {
     journal: Option<Journal>,
     faults: Option<FaultPlan>,
+    cancel: Option<Arc<AtomicBool>>,
+    observer: Option<ProgressSink>,
     retries: u32,
     fan_seq: AtomicU64,
     executed: AtomicU64,
@@ -94,6 +97,8 @@ impl RunContext {
         RunContext {
             journal: None,
             faults: None,
+            cancel: None,
+            observer: None,
             retries: DEFAULT_RETRIES,
             fan_seq: AtomicU64::new(0),
             executed: AtomicU64::new(0),
@@ -134,6 +139,31 @@ impl RunContext {
     pub fn with_faults(mut self, faults: FaultPlan) -> RunContext {
         self.faults = Some(faults);
         self
+    }
+
+    /// Attach a cancellation flag (graceful shutdown). Once the flag
+    /// is set, not-yet-started tasks are skipped and the surrounding
+    /// fan returns [`ExploreError::Cancelled`]; tasks that already
+    /// completed are journaled as usual, so a resumed run re-executes
+    /// only the skipped work.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> RunContext {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attach a progress observer, called once per finished task
+    /// (executed or journal-salvaged). Observational only: results are
+    /// bit-identical with or without an observer.
+    pub fn with_observer(mut self, observer: ProgressSink) -> RunContext {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Whether the cancellation flag is set.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
     /// Override the retry budget (extra attempts after a failure).
@@ -191,6 +221,9 @@ impl RunContext {
     {
         let fan = self.fan_seq.fetch_add(1, Ordering::Relaxed);
         let key_of = |i: usize| format!("{label}#{fan}/{i}");
+        if self.cancelled() {
+            return Err(ExploreError::Cancelled);
+        }
         let mut slots: Vec<Option<Result<T, TaskError>>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         let mut missing: Vec<usize> = Vec::with_capacity(n);
@@ -206,6 +239,12 @@ impl RunContext {
                                 detail: format!("task `{key}` does not deserialize: {e}"),
                             })?;
                         self.salvaged.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &self.observer {
+                            obs.emit(&ProgressEvent::TaskDone {
+                                key,
+                                salvaged: true,
+                            });
+                        }
                         *slot = Some(Ok(value));
                     }
                     None => missing.push(i),
@@ -231,6 +270,14 @@ impl RunContext {
                         slot.get_or_insert(e);
                     }
                 }
+                if result.is_ok() {
+                    if let Some(obs) = &self.observer {
+                        obs.emit(&ProgressEvent::TaskDone {
+                            key,
+                            salvaged: false,
+                        });
+                    }
+                }
                 result
             });
             per_worker = run.per_worker;
@@ -245,6 +292,12 @@ impl RunContext {
             .take()
         {
             return Err(e.into());
+        }
+        // A cancelled fan aborts the run *after* persisting whatever
+        // completed: the journal now holds every finished task, and the
+        // skipped ones re-run on resume.
+        if self.cancelled() {
+            return Err(ExploreError::Cancelled);
         }
         let items = slots
             .into_iter()
@@ -274,6 +327,16 @@ impl RunContext {
         let max_attempts = self.retries.saturating_add(1);
         let mut failure = TaskFailure::Failed("no attempts made".into());
         for attempt in 0..max_attempts {
+            // Cancellation short-circuits tasks that have not run yet;
+            // this is a skip, not a failure, so it is neither retried
+            // nor listed in the failed-task report.
+            if self.cancelled() {
+                return Err(TaskError {
+                    task: key.to_string(),
+                    attempts: attempt,
+                    failure: TaskFailure::Cancelled,
+                });
+            }
             if attempt > 0 {
                 self.retried.fetch_add(1, Ordering::Relaxed);
             }
@@ -440,6 +503,87 @@ mod tests {
         let journal = Journal::open(&path).expect("open");
         assert_eq!(journal.loaded(), 2, "only the two successes persist");
         assert!(journal.get("w#0/1").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cancellation_skips_pending_tasks_and_resumes() {
+        let path = tmp("cancel");
+        let cancel = Arc::new(AtomicBool::new(false));
+        let calls = AtomicUsize::new(0);
+        {
+            let ctx = RunContext::new()
+                .with_journal(Journal::create(&path).expect("create"))
+                .with_cancel(cancel.clone());
+            let err = ctx
+                .run_fan(1, "c", 6, |i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    if i == 2 {
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                    i as u64
+                })
+                .expect_err("cancelled mid-fan");
+            assert!(matches!(err, ExploreError::Cancelled));
+            // One worker runs items in order: 0, 1, 2 complete, the
+            // flag flips during 2, and 3..6 are skipped.
+            assert_eq!(calls.load(Ordering::Relaxed), 3);
+            // Skips are not failures.
+            assert!(ctx.stats().failed_tasks.is_empty());
+        }
+        // Resume without the flag: only the skipped tasks execute.
+        let ctx = RunContext::new().with_journal(Journal::open(&path).expect("open"));
+        let fan = ctx
+            .run_fan(1, "c", 6, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i as u64
+            })
+            .expect("resumed fan");
+        for (i, r) in fan.items.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("ok"), i as u64);
+        }
+        let s = ctx.stats();
+        assert_eq!((s.salvaged, s.executed), (3, 3));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn already_cancelled_context_refuses_new_fans() {
+        let cancel = Arc::new(AtomicBool::new(true));
+        let ctx = RunContext::new().with_cancel(cancel);
+        let err = ctx
+            .run_fan(2, "c", 4, |i| i as u64)
+            .expect_err("refused up front");
+        assert!(matches!(err, ExploreError::Cancelled));
+        assert_eq!(ctx.stats().executed, 0);
+    }
+
+    #[test]
+    fn observer_reports_executed_and_salvaged_tasks() {
+        let seen: Arc<Mutex<Vec<(String, bool)>>> = Arc::default();
+        let sink = {
+            let seen = seen.clone();
+            ProgressSink::new(move |e| {
+                if let ProgressEvent::TaskDone { key, salvaged } = e {
+                    seen.lock().unwrap().push((key.clone(), *salvaged));
+                }
+            })
+        };
+        let path = tmp("observer");
+        {
+            let ctx = RunContext::new()
+                .with_journal(Journal::create(&path).expect("create"))
+                .with_observer(sink.clone());
+            ctx.run_fan(1, "o", 2, |i| i as u64).expect("fan");
+        }
+        let ctx = RunContext::new()
+            .with_journal(Journal::open(&path).expect("open"))
+            .with_observer(sink);
+        ctx.run_fan(1, "o", 2, |i| i as u64).expect("fan");
+        let events = seen.lock().unwrap().clone();
+        assert_eq!(events.len(), 4);
+        assert!(events[..2].iter().all(|(_, salvaged)| !*salvaged));
+        assert!(events[2..].iter().all(|(_, salvaged)| *salvaged));
         let _ = std::fs::remove_file(&path);
     }
 

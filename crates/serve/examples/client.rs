@@ -1,0 +1,72 @@
+//! End-to-end client smoke: submit an exploration to a running
+//! daemon, stream a few progress events, poll to completion, and print
+//! the customized configurations.
+//!
+//! ```text
+//! xps-serve --addr 127.0.0.1:7780 &
+//! cargo run --release -p xps-serve --example client -- 127.0.0.1:7780
+//! ```
+//!
+//! The address may also come from `XPS_SERVE_ADDR`; the job request
+//! from the second CLI argument (defaults to a smoke-profile explore
+//! of gzip + mcf). Exits non-zero on any failure, so CI can use it as
+//! the daemon's smoke test.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use xps_serve::client;
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let addr = args
+        .next()
+        .or_else(|| std::env::var("XPS_SERVE_ADDR").ok())
+        .unwrap_or_else(|| "127.0.0.1:7780".to_string());
+    let job_json = args.next().unwrap_or_else(|| {
+        r#"{"kind":"explore","profile":"smoke","workloads":["gzip","mcf"]}"#.to_string()
+    });
+
+    println!("submitting to {addr}: {job_json}");
+    let (job, resp) = client::submit(&addr, &job_json)?;
+    println!("job {job}: HTTP {} {}", resp.status, resp.body);
+
+    // A store-answered job has no live feed to stream; otherwise show
+    // the first few progress lines (anneal steps, task completions).
+    if resp.status == 202 {
+        let shown = client::stream_events(&addr, &job, 5, |line| println!("  event: {line}"))?;
+        println!("  ({shown} progress events shown)");
+    }
+
+    let body = client::wait_for_result(&addr, &job, Duration::from_secs(600))?;
+    let doc = serde_json::from_str::<serde::Value>(&body)
+        .map_err(|e| format!("result is not JSON: {e}"))?;
+    println!("result: {body}");
+
+    // Print the customized configuration per workload, the paper's
+    // Table 4 shape, when the answer carries one.
+    if let Ok(serde::Value::Arr(cores)) = doc.member("cores") {
+        for core in cores {
+            let name = core
+                .member("profile")
+                .and_then(|p| p.member("name"))
+                .and_then(|v| v.as_str().map(String::from))
+                .unwrap_or_else(|_| "?".to_string());
+            let ipt = match core.member("ipt") {
+                Ok(serde::Value::F64(x)) => format!("{x:.2}"),
+                _ => "?".to_string(),
+            };
+            println!("  core for {name}: ipt {ipt}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A tiny blocking HTTP client for the daemon.
+//!
+//! Deliberately minimal and dependency-free, like the server's HTTP
+//! layer: one request per connection, `Content-Length` or chunked
+//! response bodies. It exists so the `client` example, the
+//! integration tests, and `repro client` all drive the daemon through
+//! the same code path instead of three hand-rolled socket loops.
+
+use crate::error::ServeError;
+use crate::http::read_chunked;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The decoded body (chunked bodies are de-framed).
+    pub body: String,
+}
+
+impl Response {
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the body is not JSON.
+    pub fn json(&self) -> Result<Value, ServeError> {
+        serde_json::from_str(&self.body)
+            .map_err(|e| ServeError::BadRequest(format!("response is not JSON: {e}")))
+    }
+}
+
+/// Send one request and read the full response.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connection trouble and
+/// [`ServeError::BadRequest`] on unparseable response framing.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Parse a status line + headers + body from `r`.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn read_response(r: &mut impl BufRead) -> Result<Response, ServeError> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            ServeError::BadRequest(format!("malformed status line `{}`", line.trim()))
+        })?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => content_length = value.trim().parse().ok(),
+                "transfer-encoding" if value.trim().eq_ignore_ascii_case("chunked") => {
+                    chunked = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    let body = if chunked {
+        read_chunked(r)?
+    } else if let Some(len) = content_length {
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)
+            .map_err(|_| ServeError::BadRequest("response body truncated".into()))?;
+        buf
+    } else {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        buf
+    };
+    Ok(Response {
+        status,
+        body: String::from_utf8(body)
+            .map_err(|_| ServeError::BadRequest("response body is not UTF-8".into()))?,
+    })
+}
+
+/// Submit a job request and return `(job id, submit response)`.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] when the daemon refuses the submission
+/// (carrying its status and body), plus the [`request`] errors.
+pub fn submit(addr: &str, job_json: &str) -> Result<(String, Response), ServeError> {
+    let resp = request(addr, "POST", "/jobs", Some(job_json))?;
+    if resp.status != 200 && resp.status != 202 {
+        return Err(ServeError::BadRequest(format!(
+            "submission refused: HTTP {}: {}",
+            resp.status, resp.body
+        )));
+    }
+    let id = resp
+        .json()?
+        .member("job")
+        .and_then(|v| v.as_str().map(String::from))
+        .map_err(ServeError::BadRequest)?;
+    Ok((id, resp))
+}
+
+/// Poll `GET /jobs/<id>` until the job finishes, returning the result
+/// document (HTTP 200 body).
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] when the job fails, is unknown, or
+/// `timeout` elapses first.
+pub fn wait_for_result(addr: &str, job: &str, timeout: Duration) -> Result<String, ServeError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let resp = request(addr, "GET", &format!("/jobs/{job}"), None)?;
+        match resp.status {
+            200 => return Ok(resp.body),
+            202 => {}
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "job `{job}` did not complete: HTTP {other}: {}",
+                    resp.body
+                )))
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(ServeError::BadRequest(format!(
+                "job `{job}` still pending after {timeout:?}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Stream up to `max_lines` NDJSON progress lines from
+/// `GET /jobs/<id>/events`, invoking `on_line` per line, until the
+/// feed closes or the cap is reached.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn stream_events(
+    addr: &str,
+    job: &str,
+    max_lines: usize,
+    mut on_line: impl FnMut(&str),
+) -> Result<usize, ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "GET /jobs/{job}/events HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut r = BufReader::new(stream);
+    let resp = read_response(&mut r)?;
+    if resp.status != 200 {
+        return Err(ServeError::BadRequest(format!(
+            "event stream refused: HTTP {}: {}",
+            resp.status, resp.body
+        )));
+    }
+    let mut n = 0;
+    for line in resp.body.lines().take(max_lines) {
+        on_line(line);
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_content_length_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let r = read_response(&mut Cursor::new(&raw[..])).expect("parses");
+        assert_eq!((r.status, r.body.as_str()), (200, "{}"));
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let r = read_response(&mut Cursor::new(&raw[..])).expect("parses");
+        assert_eq!((r.status, r.body.as_str()), (200, "abc"));
+    }
+
+    #[test]
+    fn rejects_garbage_status_line() {
+        let e = read_response(&mut Cursor::new(&b"not http\r\n\r\n"[..])).expect_err("garbage");
+        assert!(e.to_string().contains("status line"));
+    }
+}

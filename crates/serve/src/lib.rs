@@ -1,0 +1,64 @@
+//! `xps-serve`: exploration-as-a-service over the `xp-scalar`
+//! pipeline.
+//!
+//! The batch `repro` binary answers one question per invocation and
+//! re-simulates from scratch every time. This crate turns the same
+//! deterministic engine into a long-lived daemon: clients POST JSON
+//! job requests (explore a workload set, evaluate one workload on
+//! another's customized architecture, best k-core combination,
+//! slowdown rows) over a hand-rolled, dependency-free HTTP/1.1 layer;
+//! jobs flow through a bounded FIFO [`JobQueue`] with backpressure
+//! (overflow → 429) into scheduler workers that drive the existing
+//! parallel worker pool and shared [`EvalCache`](xps_core::explore::EvalCache);
+//! finished bodies land in a content-addressed, checksummed
+//! [`ResultStore`], so a repeated request — today, from another
+//! client, after a restart — is answered byte-identically without one
+//! new simulation.
+//!
+//! Clients poll `GET /jobs/<id>` or stream live NDJSON progress
+//! (anneal step, temperature, best IPT, cache hit rate) from
+//! `GET /jobs/<id>/events` over chunked transfer; `GET /metrics`
+//! exposes queue depth, job counters, cache hit/miss rates, and
+//! per-endpoint latency histograms. Shutdown (SIGTERM / ctrl-c) is a
+//! graceful drain: the in-flight job checkpoints to its journal, goes
+//! back on the persistent queue, and a restarted daemon resumes it —
+//! completing byte-identically — from where it stopped.
+//!
+//! Module map:
+//!
+//! * [`http`] — minimal HTTP/1.1 request parsing, fixed and chunked
+//!   response framing, over generic `BufRead`/`Write`.
+//! * [`store`] — the content-addressed result store (FNV fingerprints,
+//!   atomic checksummed records).
+//! * [`queue`] — the bounded, persistent, coalescing job queue.
+//! * [`engine`] — request canonicalization and job execution over the
+//!   pipeline.
+//! * [`progress`] — per-job live feeds behind the streaming endpoint.
+//! * [`metrics`] — daemon-wide counters and latency histograms.
+//! * [`server`] — the TCP daemon tying all of it together.
+//! * [`client`] — a tiny blocking HTTP client (examples, tests, smoke
+//!   runs).
+
+pub mod client;
+mod engine;
+mod error;
+pub mod http;
+mod metrics;
+mod progress;
+mod queue;
+mod server;
+mod store;
+
+pub use engine::{is_cancelled, Engine, JobRequest, Profile, Question};
+pub use error::ServeError;
+pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_US};
+pub use progress::{FeedRead, ProgressHub, MAX_FEED_LINES};
+pub use queue::{Job, JobQueue, JobStatus, SubmitOutcome};
+pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};
+pub use store::{content_id, ResultStore};
+
+/// Render a JSON value the daemon built itself. Infallible by
+/// construction: every number the daemon emits is finite.
+pub(crate) fn json(v: &serde::Value) -> String {
+    serde_json::to_string(v).expect("daemon documents contain only finite numbers")
+}

@@ -1,0 +1,163 @@
+//! Per-job live progress feeds.
+//!
+//! The engine publishes one NDJSON line per observable step (an
+//! annealing iteration, a finished pool task) into its job's feed;
+//! any number of streaming clients read the feed concurrently, each at
+//! its own offset, over chunked HTTP. Feeds are append-only while the
+//! job runs and are closed when it finishes, which is what lets a
+//! streaming handler terminate its chunked response.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Most lines retained per feed; past this, publishes are counted but
+/// dropped (the closing line reports how many).
+pub const MAX_FEED_LINES: usize = 10_000;
+
+#[derive(Debug, Default)]
+struct Feed {
+    lines: Vec<String>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// What one read of a feed returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedRead {
+    /// Lines from the requested offset onward.
+    pub lines: Vec<String>,
+    /// The offset to pass next time.
+    pub next: usize,
+    /// Whether the feed is closed (no further lines will appear).
+    pub closed: bool,
+}
+
+/// The hub of all live job feeds.
+#[derive(Debug, Default)]
+pub struct ProgressHub {
+    feeds: Mutex<HashMap<String, Feed>>,
+    wake: Condvar,
+}
+
+impl ProgressHub {
+    /// A hub with no feeds.
+    pub fn new() -> ProgressHub {
+        ProgressHub::default()
+    }
+
+    /// Append one line to a job's feed (creating the feed on first
+    /// publish). Lines past [`MAX_FEED_LINES`] are dropped and
+    /// counted.
+    pub fn publish(&self, job: &str, line: String) {
+        let mut feeds = self.feeds.lock().expect("hub lock");
+        let feed = feeds.entry(job.to_string()).or_default();
+        if feed.closed {
+            return;
+        }
+        if feed.lines.len() >= MAX_FEED_LINES {
+            feed.dropped += 1;
+        } else {
+            feed.lines.push(line);
+        }
+        drop(feeds);
+        self.wake.notify_all();
+    }
+
+    /// Close a job's feed: append a terminal line and wake every
+    /// reader.
+    pub fn close(&self, job: &str, final_line: String) {
+        let mut feeds = self.feeds.lock().expect("hub lock");
+        let feed = feeds.entry(job.to_string()).or_default();
+        if !feed.closed {
+            if feed.dropped > 0 {
+                feed.lines.push(format!(
+                    "{{\"event\":\"dropped\",\"lines\":{}}}",
+                    feed.dropped
+                ));
+            }
+            feed.lines.push(final_line);
+            feed.closed = true;
+        }
+        drop(feeds);
+        self.wake.notify_all();
+    }
+
+    /// Read a feed from `offset`, blocking up to `wait` for news when
+    /// nothing is pending. A job with no feed yet reads as empty and
+    /// open.
+    pub fn read_from(&self, job: &str, offset: usize, wait: Duration) -> FeedRead {
+        let mut feeds = self.feeds.lock().expect("hub lock");
+        loop {
+            if let Some(feed) = feeds.get(job) {
+                if feed.lines.len() > offset || feed.closed {
+                    let lines = feed.lines[offset.min(feed.lines.len())..].to_vec();
+                    return FeedRead {
+                        next: offset + lines.len(),
+                        lines,
+                        closed: feed.closed,
+                    };
+                }
+            }
+            let (next, timeout) = self.wake.wait_timeout(feeds, wait).expect("hub lock");
+            feeds = next;
+            if timeout.timed_out() {
+                let closed = feeds.get(job).is_some_and(|f| f.closed);
+                return FeedRead {
+                    lines: Vec::new(),
+                    next: offset,
+                    closed,
+                };
+            }
+        }
+    }
+
+    /// Drop a feed entirely (frees memory once its job's result is in
+    /// the store and no streamer needs history).
+    pub fn forget(&self, job: &str) {
+        self.feeds.lock().expect("hub lock").remove(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn readers_see_lines_in_order_then_close() {
+        let hub = ProgressHub::new();
+        hub.publish("j", "a".into());
+        hub.publish("j", "b".into());
+        let r = hub.read_from("j", 0, Duration::from_millis(1));
+        assert_eq!(r.lines, vec!["a", "b"]);
+        assert_eq!(r.next, 2);
+        assert!(!r.closed);
+        hub.close("j", "end".into());
+        let r = hub.read_from("j", r.next, Duration::from_millis(1));
+        assert_eq!(r.lines, vec!["end"]);
+        assert!(r.closed);
+        // Publishing after close is ignored.
+        hub.publish("j", "late".into());
+        let r = hub.read_from("j", 3, Duration::from_millis(1));
+        assert!(r.lines.is_empty() && r.closed);
+    }
+
+    #[test]
+    fn blocking_reader_wakes_on_publish() {
+        let hub = Arc::new(ProgressHub::new());
+        let h2 = hub.clone();
+        let t = std::thread::spawn(move || h2.read_from("j", 0, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        hub.publish("j", "x".into());
+        let r = t.join().expect("no panic");
+        assert_eq!(r.lines, vec!["x"]);
+    }
+
+    #[test]
+    fn unknown_feed_reads_empty_and_open() {
+        let hub = ProgressHub::new();
+        let r = hub.read_from("nope", 0, Duration::from_millis(1));
+        assert!(r.lines.is_empty() && !r.closed && r.next == 0);
+    }
+}

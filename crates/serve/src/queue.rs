@@ -1,0 +1,404 @@
+//! The bounded FIFO job queue and job table.
+//!
+//! Submissions land here: each job is keyed by its content id (the
+//! fingerprint of its canonical request), so identical requests
+//! coalesce onto one queue entry instead of running twice. The queue
+//! is bounded — a submission past capacity is refused with a typed
+//! error the HTTP layer renders as 429 — and persistent: the pending
+//! set (including the job being executed) is mirrored to `queue.json`
+//! in the data directory on every change, atomically, so a daemon
+//! killed mid-job re-queues exactly the unfinished work on restart.
+
+use crate::error::ServeError;
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+use xps_core::explore::write_atomic;
+
+/// Lifecycle state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the FIFO.
+    Queued,
+    /// Being executed by a scheduler worker.
+    Running,
+    /// Finished; the result body is in the store.
+    Done,
+    /// Failed terminally; the error message is on the job.
+    Failed,
+}
+
+impl JobStatus {
+    /// The wire name of this status.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One tracked job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Content id: the fingerprint of the canonical request.
+    pub id: String,
+    /// The canonical request JSON (what the engine executes).
+    pub canonical: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Terminal error message, for failed jobs.
+    pub error: Option<String>,
+}
+
+/// What a submission did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// A new queue entry was created.
+    Created,
+    /// An identical job already exists (in the given state); the
+    /// submission coalesced onto it.
+    Coalesced(JobStatus),
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: VecDeque<String>,
+    jobs: HashMap<String, Job>,
+    closed: bool,
+}
+
+/// The bounded, persistent, coalescing job queue.
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    wake: Condvar,
+    persist: Option<PathBuf>,
+}
+
+impl JobQueue {
+    /// An in-memory queue (tests).
+    pub fn in_memory(capacity: usize) -> JobQueue {
+        JobQueue {
+            capacity,
+            state: Mutex::new(QueueState::default()),
+            wake: Condvar::new(),
+            persist: None,
+        }
+    }
+
+    /// A queue persisted to `path`, re-queueing any jobs a previous
+    /// process left unfinished there.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the file exists but cannot be read, and
+    /// [`ServeError::StoreCorrupt`] when it does not parse.
+    pub fn open(capacity: usize, path: &Path) -> Result<JobQueue, ServeError> {
+        let queue = JobQueue {
+            persist: Some(path.to_path_buf()),
+            ..JobQueue::in_memory(capacity)
+        };
+        match std::fs::read_to_string(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+            Ok(raw) => {
+                let corrupt = |detail: String| ServeError::StoreCorrupt {
+                    path: path.to_path_buf(),
+                    detail,
+                };
+                let value = serde_json::from_str::<serde::Value>(&raw)
+                    .map_err(|e| corrupt(format!("queue journal does not parse: {e}")))?;
+                let pending = match value.member("pending").map_err(&corrupt)? {
+                    serde::Value::Arr(items) => items.clone(),
+                    other => return Err(corrupt(format!("`pending` is not an array: {other:?}"))),
+                };
+                let mut state = queue.state.lock().expect("queue lock");
+                for item in &pending {
+                    let id = item.member("id").and_then(|v| v.as_str().map(String::from));
+                    let canonical = item
+                        .member("canonical")
+                        .and_then(|v| v.as_str().map(String::from));
+                    let (id, canonical) = match (id, canonical) {
+                        (Ok(id), Ok(c)) => (id, c),
+                        _ => return Err(corrupt(format!("malformed pending entry {item:?}"))),
+                    };
+                    state.pending.push_back(id.clone());
+                    state.jobs.insert(
+                        id.clone(),
+                        Job {
+                            id,
+                            canonical,
+                            status: JobStatus::Queued,
+                            error: None,
+                        },
+                    );
+                }
+                drop(state);
+            }
+        }
+        Ok(queue)
+    }
+
+    fn persist_locked(&self, state: &QueueState) -> Result<(), ServeError> {
+        let Some(path) = &self.persist else {
+            return Ok(());
+        };
+        // Queued and Running jobs are both unfinished work a restarted
+        // daemon must pick back up; completed results live in the
+        // store, failed jobs are not retried automatically.
+        let entries: Vec<serde::Value> = state
+            .pending
+            .iter()
+            .chain(
+                state
+                    .jobs
+                    .values()
+                    .filter(|j| j.status == JobStatus::Running)
+                    .map(|j| &j.id),
+            )
+            .filter_map(|id| state.jobs.get(id))
+            .map(|j| {
+                serde::Value::Obj(vec![
+                    ("id".to_string(), serde::Value::Str(j.id.clone())),
+                    (
+                        "canonical".to_string(),
+                        serde::Value::Str(j.canonical.clone()),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = serde::Value::Obj(vec![("pending".to_string(), serde::Value::Arr(entries))]);
+        write_atomic(path, &crate::json(&doc))?;
+        Ok(())
+    }
+
+    /// Submit a job: coalesce onto an identical one, or enqueue a new
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] past capacity,
+    /// [`ServeError::ShuttingDown`] once the queue is closed, and
+    /// [`ServeError::Io`] when persisting fails.
+    pub fn submit(&self, id: &str, canonical: &str) -> Result<SubmitOutcome, ServeError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if let Some(job) = state.jobs.get(id) {
+            return Ok(SubmitOutcome::Coalesced(job.status));
+        }
+        if state.pending.len() >= self.capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        state.pending.push_back(id.to_string());
+        state.jobs.insert(
+            id.to_string(),
+            Job {
+                id: id.to_string(),
+                canonical: canonical.to_string(),
+                status: JobStatus::Queued,
+                error: None,
+            },
+        );
+        self.persist_locked(&state)?;
+        drop(state);
+        self.wake.notify_one();
+        Ok(SubmitOutcome::Created)
+    }
+
+    /// Block until a job is available (marking it running) or the
+    /// queue is closed / `cancel` is set (returning `None`).
+    pub fn next_job(&self, cancel: &AtomicBool) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed || cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(id) = state.pending.pop_front() {
+                let job = state.jobs.get_mut(&id).expect("pending ids are tracked");
+                job.status = JobStatus::Running;
+                let job = job.clone();
+                // Running jobs stay persisted so a kill re-queues them.
+                let _ = self.persist_locked(&state);
+                return Some(job);
+            }
+            let (next, _) = self
+                .wake
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("queue lock");
+            state = next;
+        }
+    }
+
+    /// Mark a job done (its body is in the store).
+    pub fn complete(&self, id: &str) {
+        self.finish(id, JobStatus::Done, None);
+    }
+
+    /// Mark a job terminally failed.
+    pub fn fail(&self, id: &str, error: String) {
+        self.finish(id, JobStatus::Failed, Some(error));
+    }
+
+    fn finish(&self, id: &str, status: JobStatus, error: Option<String>) {
+        let mut state = self.state.lock().expect("queue lock");
+        if let Some(job) = state.jobs.get_mut(id) {
+            job.status = status;
+            job.error = error;
+        }
+        let _ = self.persist_locked(&state);
+    }
+
+    /// Put a cancelled in-flight job back at the *front* of the queue
+    /// (it resumes first, from its journal, after a restart).
+    pub fn requeue(&self, id: &str) {
+        let mut state = self.state.lock().expect("queue lock");
+        if let Some(job) = state.jobs.get_mut(id) {
+            job.status = JobStatus::Queued;
+            job.error = None;
+            if !state.pending.contains(&id.to_string()) {
+                state.pending.push_front(id.to_string());
+            }
+        }
+        let _ = self.persist_locked(&state);
+        drop(state);
+        self.wake.notify_one();
+    }
+
+    /// Look up a job by id.
+    pub fn get(&self, id: &str) -> Option<Job> {
+        self.state.lock().expect("queue lock").jobs.get(id).cloned()
+    }
+
+    /// Jobs currently waiting (excludes the running ones).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").pending.len()
+    }
+
+    /// Ids of all unfinished (queued or running) jobs, queue order.
+    pub fn unfinished(&self) -> Vec<String> {
+        let state = self.state.lock().expect("queue lock");
+        state
+            .pending
+            .iter()
+            .cloned()
+            .chain(
+                state
+                    .jobs
+                    .values()
+                    .filter(|j| j.status == JobStatus::Running)
+                    .map(|j| j.id.clone()),
+            )
+            .collect()
+    }
+
+    /// Refuse new submissions and wake every blocked worker.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_coalescing() {
+        let q = JobQueue::in_memory(8);
+        assert_eq!(q.submit("a", "{\"a\"}").expect("a"), SubmitOutcome::Created);
+        assert_eq!(q.submit("b", "{\"b\"}").expect("b"), SubmitOutcome::Created);
+        assert_eq!(
+            q.submit("a", "{\"a\"}").expect("dup"),
+            SubmitOutcome::Coalesced(JobStatus::Queued)
+        );
+        assert_eq!(q.depth(), 2);
+        let cancel = AtomicBool::new(false);
+        let first = q.next_job(&cancel).expect("first");
+        assert_eq!(first.id, "a");
+        assert_eq!(first.status, JobStatus::Running);
+        assert_eq!(
+            q.submit("a", "{\"a\"}").expect("dup while running"),
+            SubmitOutcome::Coalesced(JobStatus::Running)
+        );
+        q.complete("a");
+        assert_eq!(q.get("a").expect("tracked").status, JobStatus::Done);
+        assert_eq!(q.next_job(&cancel).expect("second").id, "b");
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = JobQueue::in_memory(2);
+        q.submit("a", "{}").expect("a");
+        q.submit("b", "{}").expect("b");
+        let e = q.submit("c", "{}").expect_err("full");
+        assert!(matches!(e, ServeError::QueueFull { capacity: 2 }));
+        assert_eq!(e.status(), 429);
+    }
+
+    #[test]
+    fn cancel_and_close_unblock_workers() {
+        let q = JobQueue::in_memory(2);
+        let cancelled = AtomicBool::new(true);
+        assert!(q.next_job(&cancelled).is_none());
+        q.close();
+        assert!(q.next_job(&AtomicBool::new(false)).is_none());
+        assert!(matches!(q.submit("a", "{}"), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn unfinished_work_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("xps-queue-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("dir");
+        let path = dir.join("queue.json");
+        {
+            let q = JobQueue::open(8, &path).expect("open fresh");
+            q.submit("a", "{\"k\":\"a\"}").expect("a");
+            q.submit("b", "{\"k\":\"b\"}").expect("b");
+            q.submit("c", "{\"k\":\"c\"}").expect("c");
+            let cancel = AtomicBool::new(false);
+            let running = q.next_job(&cancel).expect("a runs");
+            assert_eq!(running.id, "a");
+            // `a` completes, `b` is mid-flight when the process dies,
+            // `c` never started.
+            q.complete("a");
+            let b = q.next_job(&cancel).expect("b runs");
+            assert_eq!(b.id, "b");
+        }
+        let q = JobQueue::open(8, &path).expect("reopen");
+        // The running job and the queued job are back; the completed
+        // one is not.
+        let mut unfinished = q.unfinished();
+        unfinished.sort();
+        assert_eq!(unfinished, vec!["b".to_string(), "c".to_string()]);
+        assert!(q.get("a").is_none());
+        assert_eq!(
+            q.get("b").expect("b back").canonical,
+            "{\"k\":\"b\"}",
+            "canonical request round-trips"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn requeue_puts_job_at_the_front() {
+        let q = JobQueue::in_memory(8);
+        q.submit("a", "{}").expect("a");
+        q.submit("b", "{}").expect("b");
+        let cancel = AtomicBool::new(false);
+        let a = q.next_job(&cancel).expect("a runs");
+        q.requeue(&a.id);
+        assert_eq!(q.get("a").expect("a").status, JobStatus::Queued);
+        assert_eq!(q.next_job(&cancel).expect("front").id, "a");
+    }
+}

@@ -1,0 +1,511 @@
+//! The daemon: TCP accept loop, request router, scheduler workers,
+//! and graceful drain-and-checkpoint shutdown.
+//!
+//! One connection carries one request (`Connection: close`). Handler
+//! threads do only cheap work — parse, enqueue, look up, render — so
+//! backpressure lives entirely in the bounded [`JobQueue`]; the
+//! expensive simulation happens on dedicated scheduler workers that
+//! drain the queue through the [`Engine`]. Shutdown flips one shared
+//! flag: the accept loop stops taking connections, the in-flight job
+//! checkpoints to its journal and goes back on the persistent queue,
+//! and `run` returns once the workers have drained — so a restarted
+//! daemon picks the job back up and finishes it byte-identically.
+
+use crate::engine::{is_cancelled, Engine};
+use crate::error::ServeError;
+use crate::http::{write_error, write_response, ChunkedWriter, Request};
+use crate::metrics::{Endpoint, Metrics};
+use crate::progress::ProgressHub;
+use crate::queue::{JobQueue, JobStatus, SubmitOutcome};
+use crate::store::{content_id, ResultStore};
+use serde::Value;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the daemon is configured.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7780` (`:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Root of the daemon's persistent state: the result store, the
+    /// queue journal, and per-campaign checkpoint journals.
+    pub data_dir: PathBuf,
+    /// Most jobs waiting in the queue before submissions get 429.
+    pub queue_capacity: usize,
+    /// Scheduler worker threads draining the queue.
+    pub workers: usize,
+    /// Worker threads per pipeline run (0 = available parallelism).
+    pub pipeline_jobs: usize,
+}
+
+impl ServerConfig {
+    /// Defaults rooted at `data_dir`: loopback on an ephemeral port,
+    /// a queue of 64, one scheduler worker, all cores per pipeline
+    /// run.
+    pub fn new(data_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: data_dir.into(),
+            queue_capacity: 64,
+            workers: 1,
+            pipeline_jobs: 0,
+        }
+    }
+}
+
+/// A clonable handle that triggers graceful drain from anywhere — a
+/// signal handler, a test, another thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    cancel: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Begin graceful shutdown: stop accepting work, checkpoint and
+    /// requeue the in-flight job, return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the handler and scheduler threads share.
+struct Shared {
+    queue: JobQueue,
+    store: Arc<ResultStore>,
+    engine: Engine,
+    hub: Arc<ProgressHub>,
+    metrics: Metrics,
+    cancel: Arc<AtomicBool>,
+}
+
+/// The bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl Server {
+    /// Bind the listener and open (or resume) the persistent state
+    /// under the configured data directory: unfinished jobs a previous
+    /// process left in `queue.json` are re-queued and will be the
+    /// first thing the scheduler resumes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound or the data
+    /// directory is unusable; [`ServeError::StoreCorrupt`] when the
+    /// persisted queue does not parse.
+    pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let store = Arc::new(ResultStore::open(&config.data_dir.join("store"))?);
+        let queue = JobQueue::open(
+            config.queue_capacity.max(1),
+            &config.data_dir.join("queue.json"),
+        )?;
+        let hub = Arc::new(ProgressHub::new());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let engine = Engine::new(
+            config.data_dir.clone(),
+            store.clone(),
+            hub.clone(),
+            cancel.clone(),
+            config.pipeline_jobs,
+        );
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                queue,
+                store,
+                engine,
+                hub,
+                metrics: Metrics::new(),
+                cancel,
+            }),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The address actually bound (resolves `:0` to the ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers graceful drain of this server.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            cancel: self.shared.cancel.clone(),
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain: close the
+    /// queue, join the scheduler workers (the in-flight job requeues
+    /// itself via cancellation), and join the connection handlers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on a non-recoverable accept error.
+    pub fn run(self) -> Result<(), ServeError> {
+        let mut schedulers = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let shared = self.shared.clone();
+            schedulers.push(
+                std::thread::Builder::new()
+                    .name(format!("xps-sched-{i}"))
+                    .spawn(move || scheduler_loop(&shared))
+                    .expect("spawn scheduler"),
+            );
+        }
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.cancel.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = self.shared.clone();
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("xps-conn".to_string())
+                            .spawn(move || handle_connection(&shared, stream))
+                            .expect("spawn handler"),
+                    );
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Drain: no new submissions, wake blocked workers, let the
+        // in-flight job hit its cancellation checkpoint and requeue.
+        self.shared.queue.close();
+        for h in schedulers {
+            let _ = h.join();
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// One scheduler worker: drain jobs until the queue closes or
+/// shutdown is requested. Job execution is panic-isolated — a panic
+/// anywhere under `run_job` fails that job, never the worker.
+fn scheduler_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.next_job(&shared.cancel) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.engine.run_job(&job.id, &job.canonical)
+        }))
+        .unwrap_or_else(|p| {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_string());
+            Err(ServeError::BadRequest(format!("job panicked: {msg}")))
+        });
+        match outcome {
+            Ok((_, stats)) => {
+                shared.metrics.absorb_engine(&stats);
+                shared.queue.complete(&job.id);
+                shared.metrics.completed();
+                shared.hub.close(
+                    &job.id,
+                    crate::json(&Value::Obj(vec![
+                        ("event".to_string(), Value::Str("done".to_string())),
+                        ("status".to_string(), Value::Str("done".to_string())),
+                    ])),
+                );
+            }
+            Err(e) if is_cancelled(&e) => {
+                // Graceful drain: completed tasks are journaled; the
+                // job goes back to the front of the persistent queue
+                // and resumes after restart.
+                shared.queue.requeue(&job.id);
+                shared.metrics.requeued();
+                shared.hub.publish(
+                    &job.id,
+                    crate::json(&Value::Obj(vec![(
+                        "event".to_string(),
+                        Value::Str("requeued".to_string()),
+                    )])),
+                );
+            }
+            Err(e) => {
+                shared.queue.fail(&job.id, e.to_string());
+                shared.metrics.failed();
+                shared.hub.close(
+                    &job.id,
+                    crate::json(&Value::Obj(vec![
+                        ("event".to_string(), Value::Str("done".to_string())),
+                        ("status".to_string(), Value::Str("failed".to_string())),
+                        ("error".to_string(), Value::Str(e.to_string())),
+                    ])),
+                );
+            }
+        }
+    }
+}
+
+/// Serve one connection: parse one request, route it, record its
+/// latency. All errors render as `{"error": ...}` with their status.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let endpoint = match Request::parse(&mut reader) {
+        Err(e) => {
+            let _ = write_error(&mut writer, &e);
+            Endpoint::Other
+        }
+        Ok(req) => {
+            let endpoint = classify(&req);
+            if let Err(e) = route(shared, &req, &mut writer) {
+                let _ = write_error(&mut writer, &e);
+            }
+            endpoint
+        }
+    };
+    shared.metrics.record_latency(endpoint, started.elapsed());
+}
+
+fn classify(req: &Request) -> Endpoint {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("POST", "/jobs") => Endpoint::Submit,
+        ("GET", "/metrics") => Endpoint::Metrics,
+        ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/events") => Endpoint::Events,
+        ("GET", p) if p.starts_with("/jobs/") => Endpoint::Job,
+        _ => Endpoint::Other,
+    }
+}
+
+fn route(shared: &Shared, req: &Request, w: &mut impl Write) -> Result<(), ServeError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/jobs") => submit(shared, req, w),
+        ("GET", "/metrics") => {
+            let body = shared
+                .metrics
+                .render(shared.queue.depth(), shared.store.len()?);
+            Ok(write_response(w, 200, "application/json", body.as_bytes())?)
+        }
+        ("GET", "/healthz") => Ok(write_response(
+            w,
+            200,
+            "application/json",
+            b"{\"ok\":true}",
+        )?),
+        ("GET", path) if path.strip_prefix("/jobs/").is_some_and(|r| !r.is_empty()) => {
+            let rest = path.strip_prefix("/jobs/").expect("guarded");
+            match rest.strip_suffix("/events") {
+                Some(id) if !id.is_empty() => stream_events(shared, id, w),
+                _ => job_status(shared, rest, w),
+            }
+        }
+        ("GET" | "POST", path) => Err(ServeError::NotFound(format!("no such path `{path}`"))),
+        (method, path) => Err(ServeError::MethodNotAllowed {
+            method: method.to_string(),
+            path: path.to_string(),
+        }),
+    }
+}
+
+/// `POST /jobs`: canonicalize, answer from the store when the result
+/// already exists, otherwise enqueue (or coalesce onto an identical
+/// pending job).
+fn submit(shared: &Shared, req: &Request, w: &mut impl Write) -> Result<(), ServeError> {
+    let request = crate::engine::JobRequest::parse(req.body_str()?)?;
+    let canonical = request.canonical();
+    let id = content_id(&canonical);
+    let reply = |status: u16, state: &str, source: Option<&str>| {
+        let mut fields = vec![
+            ("job".to_string(), Value::Str(id.clone())),
+            ("status".to_string(), Value::Str(state.to_string())),
+        ];
+        if let Some(source) = source {
+            fields.push(("source".to_string(), Value::Str(source.to_string())));
+        }
+        (status, crate::json(&Value::Obj(fields)))
+    };
+    let (status, body) = if shared.store.get(&id)?.is_some() {
+        shared.metrics.store_hit();
+        reply(200, "done", Some("store"))
+    } else {
+        match shared.queue.submit(&id, &canonical)? {
+            SubmitOutcome::Created => {
+                shared.metrics.submitted();
+                reply(202, "queued", None)
+            }
+            SubmitOutcome::Coalesced(state) => {
+                shared.metrics.coalesced();
+                let code = if state == JobStatus::Done { 200 } else { 202 };
+                reply(code, state.label(), Some("coalesced"))
+            }
+        }
+    };
+    Ok(write_response(
+        w,
+        status,
+        "application/json",
+        body.as_bytes(),
+    )?)
+}
+
+/// `GET /jobs/<id>`: the stored result document for a finished job
+/// (200, byte-identical for every client), a status document while it
+/// is queued/running (202), the failure (500), or 404.
+fn job_status(shared: &Shared, id: &str, w: &mut impl Write) -> Result<(), ServeError> {
+    if let Some(body) = shared.store.get(id)? {
+        return Ok(write_response(w, 200, "application/json", body.as_bytes())?);
+    }
+    let Some(job) = shared.queue.get(id) else {
+        return Err(ServeError::NotFound(format!("no job `{id}`")));
+    };
+    match job.status {
+        JobStatus::Failed => {
+            let body = crate::json(&Value::Obj(vec![
+                ("job".to_string(), Value::Str(id.to_string())),
+                ("status".to_string(), Value::Str("failed".to_string())),
+                (
+                    "error".to_string(),
+                    Value::Str(job.error.unwrap_or_else(|| "unknown".to_string())),
+                ),
+            ]));
+            Ok(write_response(w, 500, "application/json", body.as_bytes())?)
+        }
+        state => {
+            let body = crate::json(&Value::Obj(vec![
+                ("job".to_string(), Value::Str(id.to_string())),
+                ("status".to_string(), Value::Str(state.label().to_string())),
+            ]));
+            Ok(write_response(w, 202, "application/json", body.as_bytes())?)
+        }
+    }
+}
+
+/// `GET /jobs/<id>/events`: stream the job's live NDJSON feed over
+/// chunked transfer until the job finishes (or the daemon drains).
+fn stream_events(shared: &Shared, id: &str, w: &mut impl Write) -> Result<(), ServeError> {
+    let known = shared.queue.get(id).is_some() || shared.store.get(id)?.is_some();
+    if !known {
+        return Err(ServeError::NotFound(format!("no job `{id}`")));
+    }
+    let mut cw = ChunkedWriter::start(w, 200, "application/x-ndjson")?;
+    // A job already answered from the store never opened a feed; emit
+    // its terminal line so streamers see a complete, closed stream.
+    if shared.queue.get(id).is_none() {
+        cw.chunk(b"{\"event\":\"done\",\"status\":\"done\",\"source\":\"store\"}\n")?;
+        cw.finish()?;
+        return Ok(());
+    }
+    let mut offset = 0;
+    loop {
+        let read = shared.hub.read_from(id, offset, Duration::from_millis(250));
+        for line in &read.lines {
+            cw.chunk(format!("{line}\n").as_bytes())?;
+        }
+        offset = read.next;
+        if read.closed {
+            break;
+        }
+        if shared.cancel.load(Ordering::Relaxed) && read.lines.is_empty() {
+            cw.chunk(b"{\"event\":\"draining\"}\n")?;
+            break;
+        }
+    }
+    cw.finish()?;
+    Ok(())
+}
+
+/// Install SIGTERM/SIGINT handlers that trigger graceful drain on
+/// `handle`. Callable once per process; later calls replace the
+/// handle the signals act on.
+///
+/// Hand-rolled over the C `signal` entry point (no `libc` crate — the
+/// workspace stays dependency-free); the handler body is one atomic
+/// store, which is async-signal-safe.
+#[cfg(unix)]
+pub fn install_signal_handlers(handle: ShutdownHandle) {
+    use std::sync::Mutex;
+    use std::sync::OnceLock;
+
+    static HANDLE: OnceLock<Mutex<ShutdownHandle>> = OnceLock::new();
+
+    extern "C" fn on_signal(_sig: i32) {
+        if let Some(cell) = HANDLE.get() {
+            // `try_lock`, not `lock`: a signal interrupting the very
+            // update below must not deadlock; it will be re-sent or
+            // the next signal will land.
+            if let Ok(h) = cell.try_lock() {
+                h.shutdown();
+            }
+        }
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    match HANDLE.get_or_init(|| Mutex::new(handle.clone())).lock() {
+        Ok(mut slot) => *slot = handle,
+        Err(poisoned) => *poisoned.into_inner() = handle,
+    }
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// No-op on non-unix targets (graceful drain is still available via
+/// [`ShutdownHandle`]).
+#[cfg(not(unix))]
+pub fn install_signal_handlers(_handle: ShutdownHandle) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_handle_flips_the_flag() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let handle = ShutdownHandle {
+            cancel: cancel.clone(),
+        };
+        assert!(!handle.is_shutdown());
+        handle.shutdown();
+        assert!(handle.is_shutdown() && cancel.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::new("/tmp/xps-serve-test");
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.queue_capacity, 64);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.pipeline_jobs, 0);
+    }
+}

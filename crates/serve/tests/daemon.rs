@@ -1,0 +1,340 @@
+//! In-process integration tests of the daemon: real TCP on ephemeral
+//! ports, real scheduler workers, real persistence.
+//!
+//! The load-bearing properties under test are the ISSUE's acceptance
+//! criteria: identical concurrent submissions coalesce onto one
+//! execution and read back byte-identical bodies; a repeated request
+//! after completion is answered from the content-addressed store with
+//! zero new simulation work; and a drained (shutdown mid-job) daemon
+//! re-queues the in-flight job so a restarted daemon completes it —
+//! byte-identically to an uninterrupted run.
+
+use serde::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use xps_serve::{client, Server, ServerConfig, ShutdownHandle};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "xps-daemon-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Daemon {
+    addr: String,
+    handle: ShutdownHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+fn start(dir: &PathBuf) -> Daemon {
+    let mut config = ServerConfig::new(dir);
+    config.queue_capacity = 8;
+    config.pipeline_jobs = 2;
+    let server = Server::bind(&config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().expect("serve"));
+    Daemon {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl Daemon {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("drained cleanly");
+    }
+}
+
+fn metric(addr: &str, path: &[&str]) -> u64 {
+    let resp = client::request(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(resp.status, 200);
+    let mut v: &Value = &resp.json().expect("metrics json");
+    for key in path {
+        v = v.member(key).expect("metrics member");
+    }
+    match v {
+        Value::U64(n) => *n,
+        other => panic!("metric {path:?} is not a counter: {other:?}"),
+    }
+}
+
+const SMOKE_EXPLORE: &str = r#"{"kind":"explore","profile":"smoke","workloads":["gzip","mcf"]}"#;
+
+#[test]
+fn concurrent_identical_jobs_coalesce_and_match_bytes() {
+    let dir = data_dir("coalesce");
+    let daemon = start(&dir);
+    let addr = daemon.addr.clone();
+
+    // Two clients race the same request.
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (job, _) = client::submit(&addr, SMOKE_EXPLORE).expect("submit");
+                let body =
+                    client::wait_for_result(&addr, &job, Duration::from_secs(300)).expect("done");
+                (job, body)
+            })
+        })
+        .collect();
+    let results: Vec<(String, String)> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    // Same canonical request → same job id → byte-identical bodies.
+    assert_eq!(results[0].0, results[1].0, "content ids agree");
+    assert_eq!(results[0].1, results[1].1, "bodies are byte-identical");
+    assert!(results[0].1.contains("\"cores\""));
+
+    // Exactly one execution happened: one submission created the job,
+    // the other coalesced or hit the store.
+    assert_eq!(metric(&addr, &["jobs", "completed"]), 1);
+    assert_eq!(metric(&addr, &["jobs", "submitted"]), 1);
+    assert_eq!(
+        metric(&addr, &["jobs", "coalesced"]) + metric(&addr, &["store", "hits"]),
+        1
+    );
+
+    // A repeat after completion is served from the store: no new
+    // simulation work (the executed-task counter does not move), and
+    // the submit response says so.
+    let executed_before = metric(&addr, &["recovery", "tasks_executed"]);
+    let (job, resp) = client::submit(&addr, SMOKE_EXPLORE).expect("resubmit");
+    assert_eq!(resp.status, 200, "answered immediately: {}", resp.body);
+    assert!(resp.body.contains("\"source\":\"store\""), "{}", resp.body);
+    let body = client::wait_for_result(&addr, &job, Duration::from_secs(10)).expect("stored");
+    assert_eq!(body, results[0].1, "stored body is byte-identical");
+    assert_eq!(
+        metric(&addr, &["recovery", "tasks_executed"]),
+        executed_before
+    );
+    assert_eq!(
+        metric(&addr, &["jobs", "completed"]),
+        1,
+        "no second execution"
+    );
+
+    daemon.stop();
+
+    // A fresh daemon on the same data directory never ran the job, so
+    // it answers from the store — and streaming such a job yields a
+    // closed one-line feed instead of hanging on a feed that will
+    // never open.
+    let restarted = start(&dir);
+    let (again, resp) = client::submit(&restarted.addr, SMOKE_EXPLORE).expect("resubmit");
+    assert_eq!((again.as_str(), resp.status), (job.as_str(), 200));
+    let mut lines = Vec::new();
+    client::stream_events(&restarted.addr, &job, usize::MAX, |l| {
+        lines.push(l.to_string())
+    })
+    .expect("stream store-answered job");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].contains("\"source\":\"store\""));
+    restarted.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn progress_stream_carries_anneal_steps() {
+    let dir = data_dir("events");
+    let daemon = start(&dir);
+    let addr = daemon.addr.clone();
+
+    let (job, resp) = client::submit(&addr, SMOKE_EXPLORE).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let mut lines = Vec::new();
+    client::stream_events(&addr, &job, usize::MAX, |l| lines.push(l.to_string()))
+        .expect("stream to completion");
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"anneal\"")),
+        "anneal steps streamed: {:?}",
+        &lines[..lines.len().min(3)]
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"temperature\"") && l.contains("\"best_ipt\"")),
+        "steps carry temperature and best score"
+    );
+    assert!(
+        lines
+            .last()
+            .expect("nonempty")
+            .contains("\"event\":\"done\""),
+        "stream terminates with the done line"
+    );
+
+    // A second streamer replays the identical feed history: the feed
+    // is append-only, so late readers see the same closed stream.
+    let result = client::wait_for_result(&addr, &job, Duration::from_secs(60)).expect("done");
+    assert!(result.contains("\"cores\""));
+    let mut replay = Vec::new();
+    client::stream_events(&addr, &job, usize::MAX, |l| replay.push(l.to_string()))
+        .expect("stream after done");
+    assert_eq!(replay, lines, "replay equals the live stream");
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_requests_and_unknown_jobs_get_typed_statuses() {
+    let dir = data_dir("errors");
+    let daemon = start(&dir);
+    let addr = daemon.addr.clone();
+
+    let bad =
+        client::request(&addr, "POST", "/jobs", Some("{\"kind\":\"dance\"}")).expect("responds");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("unknown kind"), "{}", bad.body);
+
+    let missing = client::request(&addr, "GET", "/jobs/ffffffffffffffff", None).expect("responds");
+    assert_eq!(missing.status, 404);
+
+    let method = client::request(&addr, "DELETE", "/jobs", None).expect("responds");
+    assert_eq!(method.status, 405);
+
+    let path = client::request(&addr, "GET", "/nope", None).expect("responds");
+    assert_eq!(path.status, 404);
+
+    let health = client::request(&addr, "GET", "/healthz", None).expect("responds");
+    assert_eq!(
+        (health.status, health.body.as_str()),
+        (200, "{\"ok\":true}")
+    );
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queue_overflow_returns_429() {
+    let dir = data_dir("backpressure");
+    let mut config = ServerConfig::new(&dir);
+    // Capacity 1 and zero scheduler throughput: the worker count is 1
+    // and the first job occupies it, so the second queues and the
+    // third overflows.
+    config.queue_capacity = 1;
+    config.pipeline_jobs = 1;
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().expect("serve"));
+
+    let submit = |spec: &str| {
+        client::request(
+            &addr,
+            "POST",
+            "/jobs",
+            Some(&format!(
+                "{{\"kind\":\"explore\",\"profile\":\"smoke\",\"workloads\":[{spec}]}}"
+            )),
+        )
+        .expect("responds")
+    };
+    let first = submit("\"gzip\"");
+    assert_eq!(first.status, 202, "{}", first.body);
+    // Wait for the worker to pick the first job up, freeing the queue
+    // slot for exactly one more.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = client::request(&addr, "GET", "/metrics", None).expect("metrics");
+        let depth = resp
+            .json()
+            .expect("json")
+            .member("jobs")
+            .and_then(|j| j.member("queue_depth").cloned())
+            .expect("depth");
+        if depth == Value::U64(0) || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let second = submit("\"mcf\"");
+    assert_eq!(second.status, 202, "{}", second.body);
+    let third = submit("\"vpr\"");
+    assert_eq!(third.status, 429, "backpressure: {}", third.body);
+    assert!(third.body.contains("retry later"), "{}", third.body);
+
+    handle.shutdown();
+    thread.join().expect("drained");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The drain-and-resume property, in-process: shut the daemon down
+/// mid-job, assert the job is persisted as unfinished, restart on the
+/// same data directory, and require the resumed result to be
+/// byte-identical to an uninterrupted run of the same request on a
+/// fresh daemon.
+#[test]
+fn drained_job_resumes_after_restart_byte_identically() {
+    const JOB: &str = r#"{"kind":"explore","profile":"smoke","workloads":["gzip","mcf","vpr"]}"#;
+
+    // Reference: an uninterrupted run on its own data directory.
+    let ref_dir = data_dir("drain-ref");
+    let reference = start(&ref_dir);
+    let (ref_job, _) = client::submit(&reference.addr, JOB).expect("submit reference");
+    let ref_body = client::wait_for_result(&reference.addr, &ref_job, Duration::from_secs(300))
+        .expect("reference completes");
+    reference.stop();
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Interrupted run: drain as soon as the job is mid-campaign.
+    let dir = data_dir("drain");
+    let daemon = start(&dir);
+    let addr = daemon.addr.clone();
+    let (job, resp) = client::submit(&addr, JOB).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    assert_eq!(job, ref_job, "same canonical request, same content id");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = client::request(&addr, "GET", &format!("/jobs/{job}"), None).expect("poll");
+        if resp.body.contains("\"running\"") {
+            break;
+        }
+        assert!(
+            resp.status == 202,
+            "job must not finish early: {}",
+            resp.body
+        );
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Let it into the annealing loop, then drain.
+    std::thread::sleep(Duration::from_millis(150));
+    daemon.stop();
+
+    // The unfinished job is persisted for the next process.
+    let queue_json = std::fs::read_to_string(dir.join("queue.json")).expect("queue journal exists");
+    assert!(
+        queue_json.contains(&job),
+        "drained job is persisted as unfinished: {queue_json}"
+    );
+
+    // Restart on the same data directory: the job resumes from its
+    // checkpoint journal without a new submission.
+    let resumed = start(&dir);
+    let body = client::wait_for_result(&resumed.addr, &job, Duration::from_secs(300))
+        .expect("resumed job completes");
+    assert_eq!(body, ref_body, "resumed result is byte-identical");
+    // The resumed campaign salvaged checkpointed tasks instead of
+    // re-running them.
+    assert!(
+        metric(&resumed.addr, &["recovery", "journal_replayed"]) > 0,
+        "resume replayed the checkpoint journal"
+    );
+    resumed.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,138 @@
+//! Process-level graceful-drain test: a real `xps-serve` process,
+//! killed with SIGTERM mid-job, must exit cleanly (checkpointing and
+//! re-queueing the in-flight job), and a restarted process on the same
+//! data directory must complete that job byte-identically to an
+//! uninterrupted run.
+//!
+//! This is the one test that exercises the installed signal handler —
+//! the in-process drain tests flip the shutdown flag directly.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use xps_serve::client;
+
+const JOB: &str = r#"{"kind":"explore","profile":"smoke","workloads":["gzip","mcf","vpr"]}"#;
+
+fn data_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xps-sigterm-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A spawned daemon process, killed hard on drop so a failing test
+/// never leaks it.
+struct DaemonProc {
+    child: Child,
+    addr: String,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl DaemonProc {
+    fn spawn(dir: &Path) -> DaemonProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_xps-serve"))
+            .args(["--addr", "127.0.0.1:0", "--data-dir"])
+            .arg(dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn xps-serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        // The first stdout line is machine-readable:
+        // `xps-serve listening on 127.0.0.1:PORT (data dir ...)`.
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("startup line");
+        let addr = line
+            .split_whitespace()
+            .nth(3)
+            .unwrap_or_else(|| panic!("unparseable startup line `{}`", line.trim()))
+            .to_string();
+        DaemonProc {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    fn sigterm(&self) {
+        // std::process cannot send signals; shell out to kill(1).
+        let status = Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .expect("run kill");
+        assert!(status.success(), "kill -TERM failed");
+    }
+
+    /// Wait for exit and return (exit success, remaining stdout).
+    fn wait(mut self) -> (bool, String) {
+        let status = self.child.wait().expect("wait for daemon");
+        let mut rest = String::new();
+        use std::io::Read;
+        self.stdout.read_to_string(&mut rest).expect("drain stdout");
+        // `wait` consumed the child; don't let drop kill a dead pid.
+        std::mem::forget(self);
+        (status.success(), rest)
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn sigterm_drains_and_restart_completes_byte_identically() {
+    // Reference: the same job run to completion without interruption.
+    let ref_dir = data_dir("ref");
+    let reference = DaemonProc::spawn(&ref_dir);
+    let (ref_job, _) = client::submit(&reference.addr, JOB).expect("submit reference");
+    let ref_body = client::wait_for_result(&reference.addr, &ref_job, Duration::from_secs(300))
+        .expect("reference completes");
+    reference.sigterm();
+    let (clean, out) = reference.wait();
+    assert!(clean, "idle daemon exits cleanly on SIGTERM");
+    assert!(out.contains("drained cleanly"), "stdout: {out}");
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Interrupted run: SIGTERM lands while the job is mid-campaign.
+    let dir = data_dir("drain");
+    let daemon = DaemonProc::spawn(&dir);
+    let addr = daemon.addr.clone();
+    let (job, resp) = client::submit(&addr, JOB).expect("submit");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = client::request(&addr, "GET", &format!("/jobs/{job}"), None).expect("poll");
+        if resp.body.contains("\"running\"") {
+            break;
+        }
+        assert_eq!(resp.status, 202, "job must not finish early: {}", resp.body);
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    daemon.sigterm();
+    let (clean, out) = daemon.wait();
+    assert!(clean, "busy daemon drains cleanly on SIGTERM: {out}");
+    assert!(out.contains("drained cleanly"), "stdout: {out}");
+
+    // The in-flight job survived as unfinished work on disk.
+    let queue_json = std::fs::read_to_string(dir.join("queue.json")).expect("queue journal");
+    assert!(queue_json.contains(&job), "job persisted: {queue_json}");
+
+    // A restarted process completes it, byte-identical to the
+    // uninterrupted reference.
+    let resumed = DaemonProc::spawn(&dir);
+    let body = client::wait_for_result(&resumed.addr, &job, Duration::from_secs(300))
+        .expect("resumed job completes");
+    assert_eq!(body, ref_body, "resumed result is byte-identical");
+    resumed.sigterm();
+    let (clean, _) = resumed.wait();
+    assert!(clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
