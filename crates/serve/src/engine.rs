@@ -20,9 +20,10 @@ use crate::error::ServeError;
 use crate::progress::ProgressHub;
 use crate::store::{content_id, ResultStore};
 use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use xps_core::communal::{combination_query, slowdown_row, CrossPerfMatrix};
 use xps_core::explore::{
     EngineStats, EvalCache, ExploreError, Journal, ProgressEvent, ProgressSink, RunContext,
@@ -297,6 +298,16 @@ pub struct Engine {
     cancel: Arc<AtomicBool>,
     /// Worker threads per pipeline run (0 = available parallelism).
     pipeline_jobs: usize,
+    /// One lock per in-flight campaign. Concurrent jobs asking
+    /// different questions over the same campaign do not coalesce in
+    /// the queue (different job ids), so without this two scheduler
+    /// workers would open two `Journal` writers on the same
+    /// `journal-<campaign_id>.jsonl` and race each other's atomic
+    /// rewrites through the shared temp path — corrupting the journal
+    /// and splitting checkpoints across two in-memory maps. The second
+    /// worker instead waits here, then finds the first run's document
+    /// in the store.
+    campaigns: Mutex<HashMap<String, Arc<Mutex<()>>>>,
 }
 
 impl Engine {
@@ -315,6 +326,7 @@ impl Engine {
             hub,
             cancel,
             pipeline_jobs,
+            campaigns: Mutex::new(HashMap::new()),
         }
     }
 
@@ -340,21 +352,61 @@ impl Engine {
         let request = JobRequest::parse(canonical)?;
         let campaign_key = request.campaign_canonical();
         let campaign_id = content_id(&campaign_key);
-        let (campaign_body, stats) = match self.store.get(&campaign_id)? {
-            Some(body) => {
-                self.hub.publish(
-                    job_id,
-                    format!(
-                        "{{\"event\":\"campaign\",\"id\":\"{campaign_id}\",\"source\":\"store\"}}"
-                    ),
-                );
-                (body, EngineStats::default())
+        let lock = self.campaign_lock(&campaign_id);
+        let outcome = {
+            // Serialize the check-then-run on this campaign: only one
+            // journal writer per campaign file can exist, and a waiter
+            // is answered from the store once the holder has run. A
+            // poisoned lock just means an earlier holder panicked
+            // (panic-isolated in the scheduler); the journal and store
+            // are crash-safe by construction, so proceeding is sound.
+            let _serialized = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            match self.store.get(&campaign_id) {
+                Err(e) => Err(e),
+                Ok(Some(body)) => {
+                    self.hub.publish(
+                        job_id,
+                        format!(
+                            "{{\"event\":\"campaign\",\"id\":\"{campaign_id}\",\"source\":\"store\"}}"
+                        ),
+                    );
+                    Ok((body, EngineStats::default()))
+                }
+                Ok(None) => self.run_campaign(job_id, &request, &campaign_id),
             }
-            None => self.run_campaign(job_id, &request, &campaign_id)?,
         };
+        self.release_campaign_lock(&campaign_id, lock);
+        let (campaign_body, stats) = outcome?;
         let body = derive_answer(&request, &campaign_body)?;
         self.store.put(job_id, &body)?;
         Ok((body, stats))
+    }
+
+    /// The serialization lock for one campaign, created on first use.
+    fn campaign_lock(&self, campaign_id: &str) -> Arc<Mutex<()>> {
+        self.campaigns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(campaign_id.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Drop this holder's handle and, when no other job waits on the
+    /// campaign, remove its lock entry so the map tracks only
+    /// in-flight campaigns.
+    fn release_campaign_lock(&self, campaign_id: &str, lock: Arc<Mutex<()>>) {
+        let mut map = self
+            .campaigns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        drop(lock);
+        if map
+            .get(campaign_id)
+            .is_some_and(|l| Arc::strong_count(l) == 1)
+        {
+            map.remove(campaign_id);
+        }
     }
 
     /// Run the campaign pipeline, journal-checkpointed and

@@ -160,4 +160,18 @@ mod tests {
         let r = hub.read_from("nope", 0, Duration::from_millis(1));
         assert!(r.lines.is_empty() && !r.closed && r.next == 0);
     }
+
+    #[test]
+    fn forget_frees_the_feed() {
+        let hub = ProgressHub::new();
+        hub.publish("j", "a".into());
+        hub.close("j", "end".into());
+        hub.forget("j");
+        // A forgotten feed reads like one that never existed — empty
+        // and open — which is why streamers must detect retirement
+        // via the job table rather than the feed (see the server's
+        // `stream_events`).
+        let r = hub.read_from("j", 0, Duration::from_millis(1));
+        assert!(r.lines.is_empty() && !r.closed && r.next == 0);
+    }
 }

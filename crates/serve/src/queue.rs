@@ -151,17 +151,17 @@ impl JobQueue {
         };
         // Queued and Running jobs are both unfinished work a restarted
         // daemon must pick back up; completed results live in the
-        // store, failed jobs are not retried automatically.
+        // store, failed jobs are not retried automatically. Running
+        // jobs persist *ahead of* the pending FIFO so that even after
+        // a hard kill (no graceful requeue) the restarted daemon
+        // resumes the interrupted job first, matching `requeue`'s
+        // contract.
         let entries: Vec<serde::Value> = state
-            .pending
-            .iter()
-            .chain(
-                state
-                    .jobs
-                    .values()
-                    .filter(|j| j.status == JobStatus::Running)
-                    .map(|j| &j.id),
-            )
+            .jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(|j| &j.id)
+            .chain(state.pending.iter())
             .filter_map(|id| state.jobs.get(id))
             .map(|j| {
                 serde::Value::Obj(vec![
@@ -178,8 +178,10 @@ impl JobQueue {
         Ok(())
     }
 
-    /// Submit a job: coalesce onto an identical one, or enqueue a new
-    /// entry.
+    /// Submit a job: coalesce onto an identical queued/running/done
+    /// one, or enqueue a new entry. A previously *failed* identical
+    /// job does not coalesce — its entry is evicted and the submission
+    /// retries it fresh.
     ///
     /// # Errors
     ///
@@ -192,7 +194,13 @@ impl JobQueue {
             return Err(ServeError::ShuttingDown);
         }
         if let Some(job) = state.jobs.get(id) {
-            return Ok(SubmitOutcome::Coalesced(job.status));
+            if job.status != JobStatus::Failed {
+                return Ok(SubmitOutcome::Coalesced(job.status));
+            }
+            // A failed job is retriable: evict the terminal entry and
+            // fall through to enqueue a fresh attempt, rather than
+            // parroting the stale failure back as a 202 forever.
+            state.jobs.remove(id);
         }
         if state.pending.len() >= self.capacity {
             return Err(ServeError::QueueFull {
@@ -272,6 +280,22 @@ impl JobQueue {
         let _ = self.persist_locked(&state);
         drop(state);
         self.wake.notify_one();
+    }
+
+    /// Drop a terminal (done or failed) job from the table, bounding
+    /// the daemon's memory. A no-op for unfinished jobs — a job
+    /// requeued after graceful drain is never evicted. Done results
+    /// remain answerable from the store; an evicted failure reads as
+    /// 404 and may simply be resubmitted.
+    pub fn evict_terminal(&self, id: &str) {
+        let mut state = self.state.lock().expect("queue lock");
+        if state
+            .jobs
+            .get(id)
+            .is_some_and(|j| matches!(j.status, JobStatus::Done | JobStatus::Failed))
+        {
+            state.jobs.remove(id);
+        }
     }
 
     /// Look up a job by id.
@@ -376,11 +400,10 @@ mod tests {
             assert_eq!(b.id, "b");
         }
         let q = JobQueue::open(8, &path).expect("reopen");
-        // The running job and the queued job are back; the completed
-        // one is not.
-        let mut unfinished = q.unfinished();
-        unfinished.sort();
-        assert_eq!(unfinished, vec!["b".to_string(), "c".to_string()]);
+        // The running job and the queued job are back — the
+        // interrupted job *first*, so a restart resumes it before
+        // anything queued behind it — and the completed one is not.
+        assert_eq!(q.unfinished(), vec!["b".to_string(), "c".to_string()]);
         assert!(q.get("a").is_none());
         assert_eq!(
             q.get("b").expect("b back").canonical,
@@ -388,6 +411,44 @@ mod tests {
             "canonical request round-trips"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_jobs_are_retried_on_resubmit() {
+        let q = JobQueue::in_memory(8);
+        q.submit("a", "{}").expect("a");
+        let cancel = AtomicBool::new(false);
+        q.next_job(&cancel).expect("a runs");
+        q.fail("a", "boom".to_string());
+        assert_eq!(q.get("a").expect("tracked").status, JobStatus::Failed);
+        // Resubmitting enqueues a fresh attempt instead of coalescing
+        // onto the dead entry.
+        assert_eq!(q.submit("a", "{}").expect("retry"), SubmitOutcome::Created);
+        let retried = q.get("a").expect("tracked");
+        assert_eq!(retried.status, JobStatus::Queued);
+        assert_eq!(retried.error, None);
+        assert_eq!(q.next_job(&cancel).expect("runs again").id, "a");
+    }
+
+    #[test]
+    fn evict_terminal_drops_finished_jobs_only() {
+        let q = JobQueue::in_memory(8);
+        q.submit("a", "{}").expect("a");
+        q.submit("b", "{}").expect("b");
+        let cancel = AtomicBool::new(false);
+        q.next_job(&cancel).expect("a runs");
+        q.complete("a");
+        q.evict_terminal("a");
+        assert!(q.get("a").is_none());
+        // Queued and running jobs are never evicted.
+        q.evict_terminal("b");
+        assert!(q.get("b").is_some());
+        let b = q.next_job(&cancel).expect("b runs");
+        q.evict_terminal(&b.id);
+        assert_eq!(
+            q.get("b").expect("still running").status,
+            JobStatus::Running
+        );
     }
 
     #[test]

@@ -19,13 +19,22 @@ use crate::progress::ProgressHub;
 use crate::queue::{JobQueue, JobStatus, SubmitOutcome};
 use crate::store::{content_id, ResultStore};
 use serde::Value;
+use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Most terminal (done/failed) jobs whose queue entry and progress
+/// feed are retained after finishing. Past this window the oldest is
+/// retired: its feed is forgotten and its job-table entry evicted, so
+/// a long-running daemon's memory stays bounded. Done results remain
+/// answerable from the store; streams attached to a retired feed see
+/// a terminal line (see [`stream_events`]).
+const RETAINED_TERMINAL_JOBS: usize = 64;
 
 /// How the daemon is configured.
 #[derive(Debug, Clone)]
@@ -87,6 +96,36 @@ struct Shared {
     hub: Arc<ProgressHub>,
     metrics: Metrics,
     cancel: Arc<AtomicBool>,
+    /// Terminal jobs in finish order, newest last; the retention
+    /// window behind [`RETAINED_TERMINAL_JOBS`].
+    retired: Mutex<VecDeque<String>>,
+}
+
+impl Shared {
+    /// Record that `id` finished and retire the oldest terminal jobs
+    /// past the retention window: forget their feeds, evict their
+    /// queue entries.
+    fn retire(&self, id: &str) {
+        let mut retired = self.retired.lock().expect("retired lock");
+        // A retried-after-failure job can finish twice under one id.
+        retired.retain(|j| j != id);
+        retired.push_back(id.to_string());
+        while retired.len() > RETAINED_TERMINAL_JOBS {
+            let old = retired.pop_front().expect("len checked");
+            // A failed job resubmitted since it entered the window is
+            // live again — skip it (it re-enters when it re-finishes)
+            // rather than forgetting its in-use feed.
+            let live = self
+                .queue
+                .get(&old)
+                .is_some_and(|j| matches!(j.status, JobStatus::Queued | JobStatus::Running));
+            if live {
+                continue;
+            }
+            self.hub.forget(&old);
+            self.queue.evict_terminal(&old);
+        }
+    }
 }
 
 /// The bound daemon, ready to [`run`](Server::run).
@@ -134,6 +173,7 @@ impl Server {
                 hub,
                 metrics: Metrics::new(),
                 cancel,
+                retired: Mutex::new(VecDeque::new()),
             }),
             workers: config.workers.max(1),
         })
@@ -234,6 +274,7 @@ fn scheduler_loop(shared: &Shared) {
                         ("status".to_string(), Value::Str("done".to_string())),
                     ])),
                 );
+                shared.retire(&job.id);
             }
             Err(e) if is_cancelled(&e) => {
                 // Graceful drain: completed tasks are journaled; the
@@ -260,6 +301,7 @@ fn scheduler_loop(shared: &Shared) {
                         ("error".to_string(), Value::Str(e.to_string())),
                     ])),
                 );
+                shared.retire(&job.id);
             }
         }
     }
@@ -428,6 +470,22 @@ fn stream_events(shared: &Shared, id: &str, w: &mut impl Write) -> Result<(), Se
         }
         offset = read.next;
         if read.closed {
+            break;
+        }
+        if read.lines.is_empty() && shared.queue.get(id).is_none() {
+            // The job was retired from the retention window while we
+            // streamed: its feed is gone, so the quiet open feed we
+            // see is a fresh empty one that will never close. Emit
+            // the terminal line ourselves instead of polling forever.
+            let status = if shared.store.get(id)?.is_some() {
+                "done"
+            } else {
+                "retired"
+            };
+            cw.chunk(
+                format!("{{\"event\":\"done\",\"status\":\"{status}\",\"source\":\"store\"}}\n")
+                    .as_bytes(),
+            )?;
             break;
         }
         if shared.cancel.load(Ordering::Relaxed) && read.lines.is_empty() {

@@ -70,6 +70,21 @@ fn metric(addr: &str, path: &[&str]) -> u64 {
 
 const SMOKE_EXPLORE: &str = r#"{"kind":"explore","profile":"smoke","workloads":["gzip","mcf"]}"#;
 
+/// A smoke-profile explore over every paper benchmark: long enough —
+/// hundreds of checkpointable tasks — that the scheduler worker is
+/// reliably still busy with it while a test submits follow-up
+/// requests or drains the daemon, on any machine speed.
+fn big_smoke_explore() -> String {
+    let names: Vec<String> = xps_core::workload::spec::BENCHMARKS
+        .iter()
+        .map(|b| format!("\"{b}\""))
+        .collect();
+    format!(
+        "{{\"kind\":\"explore\",\"profile\":\"smoke\",\"workloads\":[{}]}}",
+        names.join(",")
+    )
+}
+
 #[test]
 fn concurrent_identical_jobs_coalesce_and_match_bytes() {
     let dir = data_dir("coalesce");
@@ -143,6 +158,82 @@ fn concurrent_identical_jobs_coalesce_and_match_bytes() {
     assert_eq!(lines.len(), 1, "{lines:?}");
     assert!(lines[0].contains("\"source\":\"store\""));
     restarted.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two *different* questions over the *same* campaign make two job
+/// ids, so the queue does not coalesce them — and with two scheduler
+/// workers they execute concurrently. The engine must serialize them
+/// onto the campaign (one checkpoint journal writer, one exploration)
+/// and answer the loser from the store; two concurrent journal writers
+/// on one file would race each other's atomic rewrites and corrupt it.
+#[test]
+fn concurrent_questions_over_one_campaign_run_it_once() {
+    let dir = data_dir("campaign");
+    let mut config = ServerConfig::new(&dir);
+    config.queue_capacity = 8;
+    config.workers = 2;
+    config.pipeline_jobs = 1;
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().expect("serve"));
+
+    const WORKLOADS: &str = r#"["crafty","gcc","gzip","mcf"]"#;
+    let questions = [
+        format!(
+            r#"{{"kind":"slowdown","profile":"smoke","workload":"gzip","workloads":{WORKLOADS}}}"#
+        ),
+        format!(
+            r#"{{"kind":"slowdown","profile":"smoke","workload":"mcf","workloads":{WORKLOADS}}}"#
+        ),
+    ];
+    let threads: Vec<_> = questions
+        .iter()
+        .cloned()
+        .map(|q| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (job, _) = client::submit(&addr, &q).expect("submit");
+                let body =
+                    client::wait_for_result(&addr, &job, Duration::from_secs(300)).expect("done");
+                (job, body)
+            })
+        })
+        .collect();
+    let results: Vec<(String, String)> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+    assert_ne!(results[0].0, results[1].0, "different questions");
+    assert!(results[0].1.contains("\"row\""), "{}", results[0].1);
+    assert!(results[1].1.contains("\"row\""), "{}", results[1].1);
+    assert_eq!(metric(&addr, &["jobs", "completed"]), 2);
+
+    // Exactly one of the two executed the campaign; the other read the
+    // stored document (after waiting out the first, when they
+    // overlapped). Each job's feed says which happened.
+    let mut sources = Vec::new();
+    for (job, _) in &results {
+        let mut lines = Vec::new();
+        client::stream_events(&addr, job, usize::MAX, |l| lines.push(l.to_string()))
+            .expect("replay feed");
+        let campaign = lines
+            .iter()
+            .find(|l| l.contains("\"event\":\"campaign\""))
+            .expect("campaign line")
+            .clone();
+        sources.push(if campaign.contains("\"source\":\"run\"") {
+            "run"
+        } else {
+            "store"
+        });
+    }
+    sources.sort_unstable();
+    assert_eq!(sources, vec!["run", "store"], "the campaign ran once");
+
+    handle.shutdown();
+    thread.join().expect("drained");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -244,7 +335,11 @@ fn queue_overflow_returns_429() {
         )
         .expect("responds")
     };
-    let first = submit("\"gzip\"");
+    // The first job is big enough to hold the worker for the whole
+    // test, so the queue slot freed when it is picked up is the only
+    // one: the second submission queues, the third overflows.
+    let first =
+        client::request(&addr, "POST", "/jobs", Some(&big_smoke_explore())).expect("responds");
     assert_eq!(first.status, 202, "{}", first.body);
     // Wait for the worker to pick the first job up, freeing the queue
     // slot for exactly one more.
@@ -280,40 +375,47 @@ fn queue_overflow_returns_429() {
 /// fresh daemon.
 #[test]
 fn drained_job_resumes_after_restart_byte_identically() {
-    const JOB: &str = r#"{"kind":"explore","profile":"smoke","workloads":["gzip","mcf","vpr"]}"#;
+    let job_json = big_smoke_explore();
 
     // Reference: an uninterrupted run on its own data directory.
     let ref_dir = data_dir("drain-ref");
     let reference = start(&ref_dir);
-    let (ref_job, _) = client::submit(&reference.addr, JOB).expect("submit reference");
+    let (ref_job, _) = client::submit(&reference.addr, &job_json).expect("submit reference");
     let ref_body = client::wait_for_result(&reference.addr, &ref_job, Duration::from_secs(300))
         .expect("reference completes");
     reference.stop();
     let _ = std::fs::remove_dir_all(&ref_dir);
 
-    // Interrupted run: drain as soon as the job is mid-campaign.
+    // Interrupted run: drain once the job is mid-campaign. The signal
+    // is the campaign's checkpoint journal turning non-empty on disk —
+    // at least one task is then guaranteed to replay after restart —
+    // and the job (hundreds of tasks) is still far from done when it
+    // appears, on any machine speed.
     let dir = data_dir("drain");
     let daemon = start(&dir);
     let addr = daemon.addr.clone();
-    let (job, resp) = client::submit(&addr, JOB).expect("submit");
+    let (job, resp) = client::submit(&addr, &job_json).expect("submit");
     assert_eq!(resp.status, 202, "{}", resp.body);
     assert_eq!(job, ref_job, "same canonical request, same content id");
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
-        let resp = client::request(&addr, "GET", &format!("/jobs/{job}"), None).expect("poll");
-        if resp.body.contains("\"running\"") {
+        let checkpointed = std::fs::read_dir(&dir)
+            .ok()
+            .into_iter()
+            .flatten()
+            .flatten()
+            .any(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.starts_with("journal-")
+                    && name.ends_with(".jsonl")
+                    && e.metadata().is_ok_and(|m| m.len() > 0)
+            });
+        if checkpointed {
             break;
         }
-        assert!(
-            resp.status == 202,
-            "job must not finish early: {}",
-            resp.body
-        );
-        assert!(Instant::now() < deadline, "job never started running");
-        std::thread::sleep(Duration::from_millis(10));
+        assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+        std::thread::sleep(Duration::from_millis(5));
     }
-    // Let it into the annealing loop, then drain.
-    std::thread::sleep(Duration::from_millis(150));
     daemon.stop();
 
     // The unfinished job is persisted for the next process.

@@ -15,7 +15,19 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 use xps_serve::client;
 
-const JOB: &str = r#"{"kind":"explore","profile":"smoke","workloads":["gzip","mcf","vpr"]}"#;
+/// A smoke-profile explore over every paper benchmark: long enough —
+/// hundreds of checkpointable tasks — that SIGTERM reliably lands
+/// while the job is mid-campaign, on any machine speed.
+fn big_smoke_explore() -> String {
+    let names: Vec<String> = xps_core::workload::spec::BENCHMARKS
+        .iter()
+        .map(|b| format!("\"{b}\""))
+        .collect();
+    format!(
+        "{{\"kind\":\"explore\",\"profile\":\"smoke\",\"workloads\":[{}]}}",
+        names.join(",")
+    )
+}
 
 fn data_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("xps-sigterm-{tag}-{}", std::process::id()));
@@ -87,10 +99,12 @@ impl Drop for DaemonProc {
 
 #[test]
 fn sigterm_drains_and_restart_completes_byte_identically() {
+    let job_json = big_smoke_explore();
+
     // Reference: the same job run to completion without interruption.
     let ref_dir = data_dir("ref");
     let reference = DaemonProc::spawn(&ref_dir);
-    let (ref_job, _) = client::submit(&reference.addr, JOB).expect("submit reference");
+    let (ref_job, _) = client::submit(&reference.addr, &job_json).expect("submit reference");
     let ref_body = client::wait_for_result(&reference.addr, &ref_job, Duration::from_secs(300))
         .expect("reference completes");
     reference.sigterm();
@@ -100,22 +114,33 @@ fn sigterm_drains_and_restart_completes_byte_identically() {
     let _ = std::fs::remove_dir_all(&ref_dir);
 
     // Interrupted run: SIGTERM lands while the job is mid-campaign.
+    // The signal that it is mid-campaign (and that the restart will
+    // have checkpoints to replay) is the campaign's checkpoint journal
+    // turning non-empty on disk.
     let dir = data_dir("drain");
     let daemon = DaemonProc::spawn(&dir);
     let addr = daemon.addr.clone();
-    let (job, resp) = client::submit(&addr, JOB).expect("submit");
+    let (job, resp) = client::submit(&addr, &job_json).expect("submit");
     assert_eq!(resp.status, 202, "{}", resp.body);
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
-        let resp = client::request(&addr, "GET", &format!("/jobs/{job}"), None).expect("poll");
-        if resp.body.contains("\"running\"") {
+        let checkpointed = std::fs::read_dir(&dir)
+            .ok()
+            .into_iter()
+            .flatten()
+            .flatten()
+            .any(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.starts_with("journal-")
+                    && name.ends_with(".jsonl")
+                    && e.metadata().is_ok_and(|m| m.len() > 0)
+            });
+        if checkpointed {
             break;
         }
-        assert_eq!(resp.status, 202, "job must not finish early: {}", resp.body);
-        assert!(Instant::now() < deadline, "job never started running");
-        std::thread::sleep(Duration::from_millis(10));
+        assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+        std::thread::sleep(Duration::from_millis(5));
     }
-    std::thread::sleep(Duration::from_millis(150));
     daemon.sigterm();
     let (clean, out) = daemon.wait();
     assert!(clean, "busy daemon drains cleanly on SIGTERM: {out}");
