@@ -1,0 +1,869 @@
+//! The artifact checker: static validation of on-disk data files.
+//!
+//! `xps-analyze data <dir>` walks a results/data directory and
+//! validates every artifact the toolchain produces, without running a
+//! single simulation:
+//!
+//! * **journals** (`*.jsonl`) — every record's FNV checksum matches
+//!   its payload, task keys are strictly ascending (the journal is a
+//!   sorted snapshot), and no key appears twice;
+//! * **queue journals** (`queue.json`) — every pending entry's id is
+//!   the content fingerprint of its canonical request;
+//! * **store records** (`<16 hex>.json`) — the header id matches the
+//!   filename, the body matches the header checksum, and any embedded
+//!   cross-performance matrix is well-formed;
+//! * **measured results** (`measured*.json`) — the envelope checksum
+//!   recomputes from the payload, every design point and realized
+//!   configuration lies inside the model domains (clock range,
+//!   candidate associativities/blocks, CACTI size lists, `iq ≤ rob`,
+//!   `L2 ≥ L1`), and the matrix holds no NaN, non-positive, or
+//!   undocumented-subnormal IPT (only [`FAILED_CELL_IPT`] marks a
+//!   failed cell).
+//!
+//! Artifacts cannot carry `xps-allow` comments, so every artifact
+//! finding is deny severity: a bad artifact is corrupt, not stylistic.
+
+use crate::diag::{Finding, Report, Severity};
+use serde::Value;
+use std::path::Path;
+use xps_core::cacti::fit;
+use xps_core::explore::fnv64;
+use xps_core::FAILED_CELL_IPT;
+use xps_serve::{body_checksum, content_id};
+
+/// Clock-period domain (ns) from `DesignPoint::realize`.
+const CLOCK_NS: std::ops::RangeInclusive<f64> = 0.05..=2.0;
+/// Pipeline width domain from `CoreConfig::validate`.
+const WIDTH: std::ops::RangeInclusive<u64> = 1..=16;
+/// Anything positive but below this that is not the sentinel is a
+/// numerically-broken cell, not a measured IPT.
+const SUBNORMAL_FLOOR: f64 = 1e-300;
+
+fn deny(file: &str, line: u32, rule: &'static str, message: String, suggestion: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        col: 1,
+        rule,
+        severity: Severity::Deny,
+        message,
+        suggestion: suggestion.to_string(),
+    }
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(x) => Some(*x as f64),
+        Value::I64(x) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn uint(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(x) => Some(*x),
+        Value::I64(x) if *x >= 0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+/// Validate every recognized artifact under `dir`, recursively.
+/// Findings name files relative to `dir`. I/O failure walking the
+/// tree is an error (the caller cannot distinguish "clean" from
+/// "unreadable"); per-file read failures become findings.
+pub fn check_dir(dir: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut files = Vec::new();
+    collect_files(dir, &mut files).map_err(|e| format!("walk {}: {e}", dir.display()))?;
+    files.sort();
+    for path in files {
+        let rel = path
+            .strip_prefix(dir)
+            .unwrap_or(&path)
+            .display()
+            .to_string();
+        let Some(kind) = classify(&path) else {
+            continue;
+        };
+        report.files_checked += 1;
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                report.findings.push(deny(
+                    &rel,
+                    1,
+                    "artifact-unreadable",
+                    format!("cannot read artifact: {e}"),
+                    "fix permissions or remove the unreadable file",
+                ));
+                continue;
+            }
+        };
+        match kind {
+            ArtifactKind::Journal => check_journal(&rel, &raw, &mut report.findings),
+            ArtifactKind::Queue => check_queue(&rel, &raw, &mut report.findings),
+            ArtifactKind::StoreRecord(id) => {
+                check_store_record(&rel, &id, &raw, &mut report.findings)
+            }
+            ArtifactKind::Measured => check_measured(&rel, &raw, &mut report.findings),
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn collect_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(&path, out)?;
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+enum ArtifactKind {
+    Journal,
+    Queue,
+    StoreRecord(String),
+    Measured,
+}
+
+fn classify(path: &Path) -> Option<ArtifactKind> {
+    let name = path.file_name()?.to_str()?;
+    if name.ends_with(".jsonl") {
+        return Some(ArtifactKind::Journal);
+    }
+    if name == "queue.json" {
+        return Some(ArtifactKind::Queue);
+    }
+    if let Some(stem) = name.strip_suffix(".json") {
+        if stem.len() == 16
+            && stem
+                .bytes()
+                .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        {
+            return Some(ArtifactKind::StoreRecord(stem.to_string()));
+        }
+        if stem.starts_with("measured") {
+            return Some(ArtifactKind::Measured);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// journals
+
+fn journal_crc(task: &str, value: &str) -> String {
+    format!(
+        "{:016x}",
+        fnv64(fnv64(0, task.as_bytes()), value.as_bytes())
+    )
+}
+
+fn check_journal(rel: &str, raw: &str, out: &mut Vec<Finding>) {
+    let mut prev: Option<String> = None;
+    for (i, line) in raw.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            out.push(deny(
+                rel,
+                lineno,
+                "journal-record",
+                "record is not valid JSON".to_string(),
+                "a journal this run cannot replay is corrupt; delete it and re-run",
+            ));
+            continue;
+        };
+        let fields = (
+            v.member("task").and_then(|t| t.as_str().map(String::from)),
+            v.member("crc").and_then(|c| c.as_str().map(String::from)),
+            v.member("value").and_then(|x| x.as_str().map(String::from)),
+        );
+        let (Ok(task), Ok(crc), Ok(value)) = fields else {
+            out.push(deny(
+                rel,
+                lineno,
+                "journal-record",
+                "record is missing task/crc/value string fields".to_string(),
+                "a journal this run cannot replay is corrupt; delete it and re-run",
+            ));
+            continue;
+        };
+        if crc != journal_crc(&task, &value) {
+            out.push(deny(
+                rel,
+                lineno,
+                "journal-record",
+                format!("checksum mismatch on task `{task}`"),
+                "the record was tampered with or bit-flipped; resuming from it would \
+                 silently diverge",
+            ));
+        }
+        if let Some(p) = &prev {
+            if *p >= task {
+                out.push(deny(
+                    rel,
+                    lineno,
+                    "journal-record",
+                    if *p == task {
+                        format!("duplicate task key `{task}`")
+                    } else {
+                        format!("task keys out of order: `{task}` after `{p}`")
+                    },
+                    "journals are sorted snapshots with unique keys; this file was not \
+                     written by the journal",
+                ));
+            }
+        }
+        prev = Some(task);
+    }
+}
+
+// ---------------------------------------------------------------------
+// queue journals
+
+fn check_queue(rel: &str, raw: &str, out: &mut Vec<Finding>) {
+    let Ok(v) = serde_json::from_str::<Value>(raw) else {
+        out.push(deny(
+            rel,
+            1,
+            "queue-journal",
+            "queue journal is not valid JSON".to_string(),
+            "remove the corrupt queue journal; unfinished jobs must be resubmitted",
+        ));
+        return;
+    };
+    let Ok(Value::Arr(pending)) = v.member("pending") else {
+        out.push(deny(
+            rel,
+            1,
+            "queue-journal",
+            "queue journal has no `pending` array".to_string(),
+            "remove the corrupt queue journal; unfinished jobs must be resubmitted",
+        ));
+        return;
+    };
+    for (i, item) in pending.iter().enumerate() {
+        let fields = (
+            item.member("id").and_then(|x| x.as_str().map(String::from)),
+            item.member("canonical")
+                .and_then(|x| x.as_str().map(String::from)),
+        );
+        let (Ok(id), Ok(canonical)) = fields else {
+            out.push(deny(
+                rel,
+                1,
+                "queue-journal",
+                format!("pending[{i}] is missing id/canonical"),
+                "remove the corrupt queue journal; unfinished jobs must be resubmitted",
+            ));
+            continue;
+        };
+        let expect = content_id(&canonical);
+        if id != expect {
+            out.push(deny(
+                rel,
+                1,
+                "queue-journal",
+                format!(
+                    "pending[{i}] id `{id}` is not the fingerprint of its canonical \
+                     request (expected `{expect}`)"
+                ),
+                "a mislabeled entry would coalesce unrelated requests; remove the entry",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// store records
+
+fn check_store_record(rel: &str, id: &str, raw: &str, out: &mut Vec<Finding>) {
+    let Some((header, body)) = raw.split_once('\n') else {
+        out.push(deny(
+            rel,
+            1,
+            "store-record",
+            "record has no header line".to_string(),
+            "store records are `<id> <checksum>\\n<body>`; remove the torn record",
+        ));
+        return;
+    };
+    let Some((stored_id, stored_sum)) = header.split_once(' ') else {
+        out.push(deny(
+            rel,
+            1,
+            "store-record",
+            format!("malformed header `{header}`"),
+            "store records are `<id> <checksum>\\n<body>`; remove the torn record",
+        ));
+        return;
+    };
+    if stored_id != id {
+        out.push(deny(
+            rel,
+            1,
+            "store-record",
+            format!("record is addressed `{stored_id}` but filed as `{id}`"),
+            "a mislabeled record answers the wrong request; remove it",
+        ));
+    }
+    if body_checksum(body) != stored_sum {
+        out.push(deny(
+            rel,
+            1,
+            "store-record",
+            format!(
+                "checksum mismatch: header says {stored_sum}, body hashes to {}",
+                body_checksum(body)
+            ),
+            "the body was tampered with or truncated; remove the record",
+        ));
+        return;
+    }
+    // Body is intact — if it embeds a matrix and cores (a campaign
+    // document), hold them to the model domains too.
+    let Ok(v) = serde_json::from_str::<Value>(body) else {
+        out.push(deny(
+            rel,
+            2,
+            "store-record",
+            "record body is not valid JSON".to_string(),
+            "store bodies are JSON documents; remove the record",
+        ));
+        return;
+    };
+    if let Ok(matrix) = v.member("matrix") {
+        check_matrix(rel, "matrix", matrix, out);
+    }
+    if let Ok(Value::Arr(cores)) = v.member("cores") {
+        for (i, core) in cores.iter().enumerate() {
+            check_core(rel, &format!("cores[{i}]"), core, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// measured results
+
+fn check_measured(rel: &str, raw: &str, out: &mut Vec<Finding>) {
+    let Ok(v) = serde_json::from_str::<Value>(raw) else {
+        out.push(deny(
+            rel,
+            1,
+            "measured-envelope",
+            "measured-results file is not valid JSON".to_string(),
+            "re-run the measurement; the file is torn",
+        ));
+        return;
+    };
+    // Legacy bare format (no envelope) still validates domains.
+    let measured = match (v.member("crc"), v.member("measured")) {
+        (Ok(crc), Ok(measured)) => {
+            let crc = crc.as_str().unwrap_or_default().to_string();
+            // The envelope checksum is FNV-64 over the *compact*
+            // serialization of the payload; the vendored serde_json
+            // formats floats shortest-round-trip, so the bytes
+            // recompute exactly from the parsed tree.
+            let canonical =
+                serde_json::to_string(measured).unwrap_or_else(|e| format!("unserializable: {e}"));
+            let expect = format!("{:016x}", fnv64(0, canonical.as_bytes()));
+            if crc != expect {
+                out.push(deny(
+                    rel,
+                    1,
+                    "measured-envelope",
+                    format!("envelope checksum `{crc}` does not match payload (`{expect}`)"),
+                    "the results were edited after measurement; re-run or restore them",
+                ));
+            }
+            measured
+        }
+        _ => &v,
+    };
+    if let Ok(matrix) = measured.member("matrix") {
+        check_matrix(rel, "measured.matrix", matrix, out);
+    }
+    if let Ok(Value::Arr(cores)) = measured.member("cores") {
+        for (i, core) in cores.iter().enumerate() {
+            check_core(rel, &format!("measured.cores[{i}]"), core, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// model domains
+
+fn check_matrix(rel: &str, at: &str, matrix: &Value, out: &mut Vec<Finding>) {
+    let names = match matrix.member("names") {
+        Ok(Value::Arr(names)) => names.len(),
+        _ => {
+            out.push(deny(
+                rel,
+                1,
+                "matrix-domain",
+                format!("{at} has no `names` array"),
+                "cross-performance matrices carry names, ipt rows, and weights",
+            ));
+            return;
+        }
+    };
+    match matrix.member("weights") {
+        Ok(Value::Arr(w)) if w.len() == names => {}
+        Ok(Value::Arr(w)) => out.push(deny(
+            rel,
+            1,
+            "matrix-domain",
+            format!("{at} has {} weights for {names} workloads", w.len()),
+            "weights must be one per workload row",
+        )),
+        _ => out.push(deny(
+            rel,
+            1,
+            "matrix-domain",
+            format!("{at} has no `weights` array"),
+            "cross-performance matrices carry names, ipt rows, and weights",
+        )),
+    }
+    let Ok(Value::Arr(rows)) = matrix.member("ipt") else {
+        out.push(deny(
+            rel,
+            1,
+            "matrix-domain",
+            format!("{at} has no `ipt` rows"),
+            "cross-performance matrices carry names, ipt rows, and weights",
+        ));
+        return;
+    };
+    if rows.len() != names {
+        out.push(deny(
+            rel,
+            1,
+            "matrix-domain",
+            format!("{at} is {} rows over {names} workloads", rows.len()),
+            "the matrix must be square over the workload names",
+        ));
+    }
+    for (w, row) in rows.iter().enumerate() {
+        let Value::Arr(cells) = row else {
+            out.push(deny(
+                rel,
+                1,
+                "matrix-domain",
+                format!("{at}.ipt[{w}] is not an array"),
+                "every row is one IPT per configuration",
+            ));
+            continue;
+        };
+        if cells.len() != names {
+            out.push(deny(
+                rel,
+                1,
+                "matrix-domain",
+                format!(
+                    "{at}.ipt[{w}] has {} cells over {names} configs",
+                    cells.len()
+                ),
+                "the matrix must be square over the workload names",
+            ));
+        }
+        for (c, cell) in cells.iter().enumerate() {
+            let Some(x) = num(cell) else {
+                out.push(deny(
+                    rel,
+                    1,
+                    "matrix-domain",
+                    format!("{at}.ipt[{w}][{c}] is not a number"),
+                    "IPT cells are positive floats",
+                ));
+                continue;
+            };
+            let bad = if x.is_nan() {
+                Some("NaN")
+            } else if x.is_infinite() {
+                Some("infinite")
+            } else if x < 0.0 {
+                Some("negative")
+            } else if x == 0.0 {
+                Some("zero")
+            } else if x < SUBNORMAL_FLOOR && x != FAILED_CELL_IPT {
+                Some("an undocumented subnormal")
+            } else {
+                None
+            };
+            if let Some(why) = bad {
+                out.push(deny(
+                    rel,
+                    1,
+                    "matrix-domain",
+                    format!("{at}.ipt[{w}][{c}] = {x:?} is {why}"),
+                    "cells are positive IPT; a failed cell is exactly the \
+                     FAILED_CELL_IPT sentinel",
+                ));
+            }
+        }
+    }
+}
+
+/// Validate one customized-core document: the design point against the
+/// annealer's move domains, the realized config against the CACTI
+/// candidate lists and the simulator's structural rules.
+fn check_core(rel: &str, at: &str, core: &Value, out: &mut Vec<Finding>) {
+    if let Ok(point) = core.member("point") {
+        check_point(rel, &format!("{at}.point"), point, out);
+    }
+    if let Ok(config) = core.member("config") {
+        check_config(rel, &format!("{at}.config"), config, out);
+    }
+    if let Ok(ipt) = core.member("ipt") {
+        match num(ipt) {
+            Some(x) if x.is_finite() && x > 0.0 => {}
+            _ => out.push(deny(
+                rel,
+                1,
+                "matrix-domain",
+                format!("{at}.ipt is not a positive finite IPT"),
+                "a customized core's own-workload IPT must be measured and positive",
+            )),
+        }
+    }
+}
+
+fn check_point(rel: &str, at: &str, point: &Value, out: &mut Vec<Finding>) {
+    let bad = |field: &str, detail: String| {
+        deny(
+            rel,
+            1,
+            "point-domain",
+            format!("{at}.{field} {detail}"),
+            "design points must lie inside the annealer's move domains \
+             (crates/explore/src/point.rs)",
+        )
+    };
+    match point.member("clock_ns").ok().and_then(num) {
+        Some(x) if CLOCK_NS.contains(&x) => {}
+        Some(x) => out.push(bad("clock_ns", format!("= {x} is outside {CLOCK_NS:?} ns"))),
+        None => out.push(bad("clock_ns", "is missing or non-numeric".to_string())),
+    }
+    match point.member("width").ok().and_then(uint) {
+        Some(x) if WIDTH.contains(&x) => {}
+        Some(x) => out.push(bad("width", format!("= {x} is outside {WIDTH:?}"))),
+        None => out.push(bad("width", "is missing or non-numeric".to_string())),
+    }
+    for field in ["sched_depth", "lsq_depth", "l1_cycles", "l2_cycles"] {
+        match point.member(field).ok().and_then(uint) {
+            Some(x) if x >= 1 => {}
+            _ => out.push(bad(field, "must be a depth of at least 1".to_string())),
+        }
+    }
+    if let Some(x) = point.member("wakeup_slack").ok().and_then(uint) {
+        if x > 1 {
+            out.push(bad("wakeup_slack", format!("= {x}; the domain is 0 or 1")));
+        }
+    }
+    for field in ["l1_assoc", "l2_assoc"] {
+        match point.member(field).ok().and_then(uint) {
+            Some(x) if fit::CACHE_ASSOC.contains(&(x as u32)) => {}
+            Some(x) => out.push(bad(
+                field,
+                format!(
+                    "= {x} is not a candidate associativity {:?}",
+                    fit::CACHE_ASSOC
+                ),
+            )),
+            None => out.push(bad(field, "is missing or non-numeric".to_string())),
+        }
+    }
+    for field in ["l1_block", "l2_block"] {
+        match point.member(field).ok().and_then(uint) {
+            Some(x) if fit::CACHE_BLOCKS.contains(&(x as u32)) => {}
+            Some(x) => out.push(bad(
+                field,
+                format!(
+                    "= {x} is not a candidate block size {:?}",
+                    fit::CACHE_BLOCKS
+                ),
+            )),
+            None => out.push(bad(field, "is missing or non-numeric".to_string())),
+        }
+    }
+}
+
+fn check_config(rel: &str, at: &str, config: &Value, out: &mut Vec<Finding>) {
+    let bad = |field: &str, detail: String| {
+        deny(
+            rel,
+            1,
+            "config-domain",
+            format!("{at}.{field} {detail}"),
+            "realized configurations must come from the CACTI candidate lists \
+             (crates/cacti/src/fit.rs) and satisfy CoreConfig::validate",
+        )
+    };
+    let mut sized_check = |field: &str, domain: &[u32]| -> Option<u64> {
+        match config.member(field).ok().and_then(uint) {
+            Some(x) if domain.contains(&(x as u32)) => Some(x),
+            Some(x) => {
+                out.push(bad(
+                    field,
+                    format!("= {x} is not in the candidate list {domain:?}"),
+                ));
+                None
+            }
+            None => {
+                out.push(bad(field, "is missing or non-numeric".to_string()));
+                None
+            }
+        }
+    };
+    let iq = sized_check("iq_size", &fit::IQ_SIZES);
+    let rob = sized_check("rob_size", &fit::ROB_SIZES);
+    sized_check("lsq_size", &fit::LSQ_SIZES);
+    if let (Some(iq), Some(rob)) = (iq, rob) {
+        if iq > rob {
+            out.push(bad("iq_size", format!("= {iq} exceeds rob_size = {rob}")));
+        }
+    }
+    match config.member("width").ok().and_then(uint) {
+        Some(x) if WIDTH.contains(&x) => {}
+        Some(x) => out.push(bad("width", format!("= {x} is outside {WIDTH:?}"))),
+        None => out.push(bad("width", "is missing or non-numeric".to_string())),
+    }
+    let mut capacity = |level: &str| -> Option<u64> {
+        let geom = config.member(level).ok()?.member("geometry").ok()?;
+        let sets = geom.member("sets").ok().and_then(uint)?;
+        let assoc = geom.member("assoc").ok().and_then(uint)?;
+        let block = geom.member("block_bytes").ok().and_then(uint)?;
+        if !fit::CACHE_SETS.contains(&(sets as u32)) {
+            out.push(bad(
+                level,
+                format!(".geometry.sets = {sets} is not a candidate set count"),
+            ));
+        }
+        if !fit::CACHE_ASSOC.contains(&(assoc as u32)) {
+            out.push(bad(
+                level,
+                format!(".geometry.assoc = {assoc} is not a candidate associativity"),
+            ));
+        }
+        if !fit::CACHE_BLOCKS.contains(&(block as u32)) {
+            out.push(bad(
+                level,
+                format!(".geometry.block_bytes = {block} is not a candidate block size"),
+            ));
+        }
+        Some(sets * assoc * block)
+    };
+    let l1 = capacity("l1");
+    let l2 = capacity("l2");
+    if let (Some(l1), Some(l2)) = (l1, l2) {
+        if l2 < l1 {
+            out.push(bad(
+                "l2",
+                format!("capacity {l2} B is below l1 capacity {l1} B"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xps-analyze-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn rules_of(report: &Report) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn valid_journal_is_clean_and_tampered_is_not() {
+        let dir = tmp("journal");
+        let rec = |task: &str, value: &str| {
+            format!(
+                "{{\"task\":\"{task}\",\"crc\":\"{}\",\"value\":\"{value}\"}}",
+                journal_crc(task, value)
+            )
+        };
+        std::fs::write(
+            dir.join("run.jsonl"),
+            format!("{}\n{}\n", rec("a#0", "1"), rec("b#0", "2")),
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.files_checked, 1);
+
+        std::fs::write(
+            dir.join("bad.jsonl"),
+            format!(
+                "{}\n{}\n{}\n",
+                rec("b#0", "2"),
+                rec("a#0", "1"), // out of order
+                rec("a#0", "1")  // duplicate
+            )
+            .replace("\"value\":\"2\"", "\"value\":\"3\""), // breaks b#0's crc
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        let rules = rules_of(&r);
+        assert_eq!(
+            rules,
+            vec!["journal-record", "journal-record", "journal-record"],
+            "{:?}",
+            r.findings
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_journal_fingerprints_are_checked() {
+        let dir = tmp("queue");
+        let good = content_id("{\"kind\":\"explore\"}");
+        std::fs::write(
+            dir.join("queue.json"),
+            format!(
+                "{{\"pending\":[{{\"id\":\"{good}\",\"canonical\":\"{}\"}},\
+                 {{\"id\":\"0000000000000000\",\"canonical\":\"{}\"}}]}}",
+                "{\\\"kind\\\":\\\"explore\\\"}", "{\\\"kind\\\":\\\"explore\\\"}"
+            ),
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        assert_eq!(rules_of(&r), vec!["queue-journal"], "{:?}", r.findings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_record_checksum_and_address_are_checked() {
+        let dir = tmp("store");
+        let id = content_id("req");
+        let body = "{\"ok\":true}";
+        std::fs::write(
+            dir.join(format!("{id}.json")),
+            format!("{id} {}\n{body}", body_checksum(body)),
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        assert!(r.is_clean(), "{:?}", r.findings);
+
+        // Tampered body.
+        std::fs::write(
+            dir.join(format!("{id}.json")),
+            format!("{id} {}\n{{\"ok\":false}}", body_checksum(body)),
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        assert_eq!(rules_of(&r), vec!["store-record"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn matrix_domains_catch_nan_shape_and_sentinel() {
+        let dir = tmp("matrix");
+        let body = format!(
+            "{{\"matrix\":{{\"names\":[\"a\",\"b\"],\
+             \"ipt\":[[1.5,{FAILED_CELL_IPT:?}],[0.5]],\
+             \"weights\":[1.0,1.0]}}}}"
+        );
+        let id = content_id("m");
+        std::fs::write(
+            dir.join(format!("{id}.json")),
+            format!("{id} {}\n{body}", body_checksum(&body)),
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        // One finding: the ragged second row. The sentinel passes.
+        assert_eq!(rules_of(&r), vec!["matrix-domain"], "{:?}", r.findings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn measured_envelope_crc_recomputes() {
+        let dir = tmp("measured");
+        let payload =
+            "{\"cores\":[],\"matrix\":{\"names\":[],\"ipt\":[],\"weights\":[]},\"quick\":true}";
+        let crc = format!("{:016x}", fnv64(0, payload.as_bytes()));
+        std::fs::write(
+            dir.join("measured.json"),
+            format!("{{\"crc\":\"{crc}\",\"measured\":{payload}}}"),
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        assert!(r.is_clean(), "{:?}", r.findings);
+
+        std::fs::write(
+            dir.join("measured.json"),
+            format!(
+                "{{\"crc\":\"{crc}\",\"measured\":{}}}",
+                payload.replace("true", "false")
+            ),
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        assert_eq!(rules_of(&r), vec!["measured-envelope"], "{:?}", r.findings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn point_and_config_domains_are_enforced() {
+        let dir = tmp("domains");
+        let core = "{\"point\":{\"clock_ns\":3.5,\"width\":3,\"sched_depth\":1,\
+                    \"wakeup_slack\":0,\"lsq_depth\":2,\"l1_cycles\":3,\"l2_cycles\":12,\
+                    \"l1_assoc\":3,\"l1_block\":64,\"l2_assoc\":4,\"l2_block\":128},\
+                    \"config\":{\"width\":3,\"rob_size\":128,\"iq_size\":256,\
+                    \"lsq_size\":64,\
+                    \"l1\":{\"geometry\":{\"sets\":64,\"assoc\":2,\"block_bytes\":64}},\
+                    \"l2\":{\"geometry\":{\"sets\":32,\"assoc\":1,\"block_bytes\":8}}},\
+                    \"ipt\":1.0}";
+        let body = format!("{{\"cores\":[{core}]}}");
+        let id = content_id("c");
+        std::fs::write(
+            dir.join(format!("{id}.json")),
+            format!("{id} {}\n{body}", body_checksum(&body)),
+        )
+        .expect("write");
+        let r = check_dir(&dir).expect("walk");
+        let rules = rules_of(&r);
+        // clock_ns out of range, l1_assoc not a candidate, iq_size not a
+        // candidate, and L2 capacity (256 B) below L1 (8 KiB).
+        assert_eq!(
+            rules,
+            vec![
+                "config-domain",
+                "config-domain",
+                "point-domain",
+                "point-domain"
+            ],
+            "{:?}",
+            r.findings
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn real_repo_results_validate_clean() {
+        let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        if !results.exists() {
+            return;
+        }
+        let r = check_dir(&results).expect("walk");
+        assert!(r.is_clean(), "{}", r.render_human("data"));
+        assert!(r.files_checked >= 1, "measured.json must be checked");
+    }
+}

@@ -1,0 +1,239 @@
+//! Diagnostics: what a rule reports and how it renders.
+//!
+//! Every finding carries a position (`file:line:col`), the rule id, a
+//! message, and a suggestion — enough for a human to act on it and for
+//! a machine (the CI gate, an editor integration) to consume it via
+//! the JSON form without parsing prose.
+
+use serde::Value;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the analysis (non-zero exit, red CI).
+    Deny,
+    /// Reported but does not fail the analysis.
+    Warn,
+}
+
+impl Severity {
+    /// The lowercase label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One finding of one rule at one position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Path of the offending file, workspace-relative where possible.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Rule id, e.g. `no-wallclock-in-deterministic-paths`.
+    pub rule: &'static str,
+    /// Severity of the owning rule.
+    pub severity: Severity,
+    /// What is wrong, concretely.
+    pub message: String,
+    /// How to fix it (or how to suppress it with a reason).
+    pub suggestion: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}]: {}\n  help: {}",
+            self.file,
+            self.line,
+            self.col,
+            self.severity.label(),
+            self.rule,
+            self.message,
+            self.suggestion
+        )
+    }
+}
+
+impl Finding {
+    /// The machine-readable form of this finding.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("file".to_string(), Value::Str(self.file.clone())),
+            ("line".to_string(), Value::U64(u64::from(self.line))),
+            ("col".to_string(), Value::U64(u64::from(self.col))),
+            ("rule".to_string(), Value::Str(self.rule.to_string())),
+            (
+                "severity".to_string(),
+                Value::Str(self.severity.label().to_string()),
+            ),
+            ("message".to_string(), Value::Str(self.message.clone())),
+            (
+                "suggestion".to_string(),
+                Value::Str(self.suggestion.clone()),
+            ),
+        ])
+    }
+}
+
+/// The result of one analysis run (source or artifact mode).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Everything found, in file-then-position order.
+    pub findings: Vec<Finding>,
+    /// Files examined (sources lexed or artifacts validated).
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Number of deny-severity findings — the exit-code driver.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// True when nothing deny-severity was found.
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Render every finding for humans, one block per finding, plus a
+    /// one-line summary.
+    pub fn render_human(&self, label: &str) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{label}: {} file(s) checked, {} finding(s) ({} deny)\n",
+            self.files_checked,
+            self.findings.len(),
+            self.deny_count()
+        ));
+        out
+    }
+
+    /// Render the machine-readable JSON document.
+    pub fn render_json(&self, label: &str) -> String {
+        let doc = Value::Obj(vec![
+            ("mode".to_string(), Value::Str(label.to_string())),
+            (
+                "files_checked".to_string(),
+                Value::U64(self.files_checked as u64),
+            ),
+            (
+                "deny_count".to_string(),
+                Value::U64(self.deny_count() as u64),
+            ),
+            (
+                "findings".to_string(),
+                Value::Arr(self.findings.iter().map(Finding::to_value).collect()),
+            ),
+        ]);
+        serde_json::to_string_pretty(&doc).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.files_checked += other.files_checked;
+    }
+
+    /// Sort findings by file, then line, then column, then rule id —
+    /// deterministic output for any traversal order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, severity: Severity) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col: 3,
+            rule: "no-unwrap-in-lib",
+            severity,
+            message: "msg".to_string(),
+            suggestion: "fix".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_has_position_and_rule() {
+        let f = finding("src/a.rs", 7, Severity::Deny);
+        let s = f.to_string();
+        assert!(s.contains("src/a.rs:7:3"), "{s}");
+        assert!(s.contains("deny[no-unwrap-in-lib]"), "{s}");
+        assert!(s.contains("help: fix"), "{s}");
+    }
+
+    #[test]
+    fn deny_count_ignores_warnings() {
+        let mut r = Report::default();
+        r.findings.push(finding("a.rs", 1, Severity::Warn));
+        r.findings.push(finding("a.rs", 2, Severity::Deny));
+        assert_eq!(r.deny_count(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let mut r = Report {
+            files_checked: 2,
+            ..Report::default()
+        };
+        r.findings.push(finding("a.rs", 1, Severity::Deny));
+        let v: Value = serde_json::from_str(&r.render_json("source")).expect("valid JSON");
+        assert_eq!(
+            v.member("deny_count").expect("field"),
+            &Value::U64(1),
+            "deny_count"
+        );
+        let Value::Arr(items) = v.member("findings").expect("findings") else {
+            panic!("findings must be an array");
+        };
+        assert_eq!(items.len(), 1);
+        assert_eq!(
+            items[0].member("rule").expect("rule"),
+            &Value::Str("no-unwrap-in-lib".to_string())
+        );
+    }
+
+    #[test]
+    fn sort_is_total_and_stable_across_orders() {
+        let mut a = Report::default();
+        a.findings.push(finding("b.rs", 1, Severity::Deny));
+        a.findings.push(finding("a.rs", 9, Severity::Deny));
+        a.findings.push(finding("a.rs", 2, Severity::Deny));
+        a.sort();
+        let order: Vec<(String, u32)> = a
+            .findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 2),
+                ("a.rs".to_string(), 9),
+                ("b.rs".to_string(), 1)
+            ]
+        );
+    }
+}

@@ -1,0 +1,432 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The workspace is offline (no `syn`), so the lint pass tokenizes
+//! source itself. The lexer is deliberately *lossless*: concatenating
+//! the `text` of every token reproduces the input byte for byte (a
+//! property-tested invariant), which guarantees that string literals
+//! and comments can never hide code from a rule — or fabricate
+//! matches — by confusing the scanner's notion of where they end.
+//!
+//! It recognizes exactly what the rules need: comments (line and
+//! nested block), string-ish literals (plain, raw, byte, char),
+//! lifetimes, numbers, identifiers, and single-character punctuation.
+//! Multi-character operators are left as punctuation sequences; rules
+//! match on token *sequences* (`Instant`, `:`, `:`, `now`), so `::`
+//! needs no dedicated token.
+
+/// What a token is; rules dispatch on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */`, nesting honored; an unterminated comment swallows
+    /// the rest of the file (as rustc treats it — everything after is
+    /// not code).
+    BlockComment,
+    /// `"…"` or `b"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` — any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'static`, `'a`, `'_`.
+    Lifetime,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// An identifier or keyword.
+    Ident,
+    /// Any single other character.
+    Punct,
+}
+
+/// One token: its kind, its exact source text, and the 1-based
+/// line/column (in bytes) where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact slice of the input this token covers.
+    pub text: &'a str,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    /// First char at `pos + ahead` bytes (byte offset must be a char
+    /// boundary, which it is everywhere we call this).
+    fn peek_char(&self, ahead: usize) -> Option<char> {
+        self.src[self.pos + ahead..].chars().next()
+    }
+
+    fn take(&mut self, kind: TokenKind, len: usize) -> Token<'a> {
+        let text = &self.src[self.pos..self.pos + len];
+        let tok = Token {
+            kind,
+            text,
+            line: self.line,
+            col: self.col,
+        };
+        for b in text.bytes() {
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.pos += len;
+        tok
+    }
+
+    /// Bytes until `\n` (exclusive) or end of input.
+    fn line_comment_len(&self) -> usize {
+        self.rest().find('\n').unwrap_or(self.rest().len())
+    }
+
+    /// Length of a `/* … */` run with nesting; unterminated comments
+    /// extend to end of input.
+    fn block_comment_len(&self) -> usize {
+        let b = &self.bytes[self.pos..];
+        let mut depth = 0usize;
+        let mut i = 0usize;
+        while i < b.len() {
+            if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                depth += 1;
+                i += 2;
+            } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                depth -= 1;
+                i += 2;
+                if depth == 0 {
+                    return i;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        b.len()
+    }
+
+    /// Length of a `"…"` literal starting at `pos + skip` (skip covers
+    /// a `b` prefix); escapes honored, unterminated extends to EOF.
+    fn quoted_len(&self, skip: usize, quote: u8) -> usize {
+        let b = &self.bytes[self.pos..];
+        let mut i = skip + 1; // past the opening quote
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                c if c == quote => return i + 1,
+                _ => i += 1,
+            }
+        }
+        b.len()
+    }
+
+    /// Length of a raw string starting at `pos + skip` where `skip`
+    /// covers the `r` / `br` prefix: `#`* then `"` … `"` then the same
+    /// number of `#`. Returns `None` if this is not a raw string after
+    /// all (e.g. `r` the identifier).
+    fn raw_str_len(&self, skip: usize) -> Option<usize> {
+        let b = &self.bytes[self.pos..];
+        let mut hashes = 0usize;
+        let mut i = skip;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        i += 1;
+        while i < b.len() {
+            if b[i] == b'"' {
+                let mut j = 0usize;
+                while j < hashes && b.get(i + 1 + j) == Some(&b'#') {
+                    j += 1;
+                }
+                if j == hashes {
+                    return Some(i + 1 + hashes);
+                }
+            }
+            i += 1;
+        }
+        Some(b.len())
+    }
+
+    /// Length of a `'…'` char literal or `'ident` lifetime, decided by
+    /// lookahead: a backslash or a closing quote right after one
+    /// character means char literal; an identifier run with no closing
+    /// quote means lifetime.
+    fn char_or_lifetime(&self) -> (TokenKind, usize) {
+        // self.bytes[self.pos] == b'\''
+        match self.peek_char(1) {
+            Some('\\') => (TokenKind::Char, self.quoted_len(0, b'\'')),
+            Some(c) if is_ident_start(c) => {
+                let mut i = 1 + c.len_utf8();
+                while let Some(n) = self.src[self.pos + i..].chars().next() {
+                    if is_ident_continue(n) {
+                        i += n.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(i) == Some(b'\'') {
+                    (TokenKind::Char, i + 1)
+                } else {
+                    (TokenKind::Lifetime, i)
+                }
+            }
+            Some(c) => {
+                // `'+'`-style char of a non-identifier character, or a
+                // stray quote; require the closing quote to call it a
+                // char.
+                let i = 1 + c.len_utf8();
+                if self.peek(i) == Some(b'\'') {
+                    (TokenKind::Char, i + 1)
+                } else {
+                    (TokenKind::Punct, 1)
+                }
+            }
+            None => (TokenKind::Punct, 1),
+        }
+    }
+
+    /// Length of a numeric literal: digits, then `.` + digits (unless
+    /// the dot starts a `..` range or a method call), then an optional
+    /// exponent and alphanumeric suffix.
+    fn number_len(&self) -> usize {
+        let b = &self.bytes[self.pos..];
+        let mut i = 1usize; // first digit consumed by caller's match
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+        // Exponent sign: `1e-5` leaves us after `e`; pull the sign and
+        // the exponent digits in.
+        if i > 0
+            && (b[i - 1] == b'e' || b[i - 1] == b'E')
+            && (b.get(i) == Some(&b'-') || b.get(i) == Some(&b'+'))
+            && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+        {
+            i += 1;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        i
+    }
+
+    fn ident_len(&self) -> usize {
+        let mut i = 0usize;
+        for c in self.rest().chars() {
+            if (i == 0 && is_ident_start(c)) || (i > 0 && is_ident_continue(c)) {
+                i += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        i
+    }
+
+    fn next_token(&mut self) -> Token<'a> {
+        let b = self.bytes[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                let len = self
+                    .rest()
+                    .bytes()
+                    .take_while(|c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
+                    .count();
+                self.take(TokenKind::Whitespace, len)
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                self.take(TokenKind::LineComment, self.line_comment_len())
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.take(TokenKind::BlockComment, self.block_comment_len())
+            }
+            b'"' => self.take(TokenKind::Str, self.quoted_len(0, b'"')),
+            b'\'' => {
+                let (kind, len) = self.char_or_lifetime();
+                self.take(kind, len)
+            }
+            b'r' | b'b' => {
+                // Raw / byte literal prefixes; fall through to a plain
+                // identifier when the prefix is not followed by a
+                // literal.
+                if b == b'b' {
+                    match self.peek(1) {
+                        Some(b'"') => return self.take(TokenKind::Str, self.quoted_len(1, b'"')),
+                        Some(b'\'') => {
+                            return self.take(TokenKind::Char, self.quoted_len(1, b'\''))
+                        }
+                        Some(b'r') => {
+                            if let Some(len) = self.raw_str_len(2) {
+                                return self.take(TokenKind::RawStr, len);
+                            }
+                        }
+                        _ => {}
+                    }
+                } else if let Some(len) = self.raw_str_len(1) {
+                    return self.take(TokenKind::RawStr, len);
+                }
+                self.take(TokenKind::Ident, self.ident_len())
+            }
+            b'0'..=b'9' => self.take(TokenKind::Number, self.number_len()),
+            _ => {
+                let len = self.ident_len();
+                if len > 0 {
+                    self.take(TokenKind::Ident, len)
+                } else {
+                    let len = self.peek_char(0).map_or(1, char::len_utf8);
+                    self.take(TokenKind::Punct, len)
+                }
+            }
+        }
+    }
+}
+
+/// Tokenize `src` losslessly: the concatenation of every returned
+/// token's `text` equals `src`.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut s = Scanner {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while s.pos < s.bytes.len() {
+        out.push(s.next_token());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let src = "fn main() { let s = \"x // not a comment\"; } // real";
+        let rebuilt: String = lex(src).iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak() {
+        let toks = kinds("let a = \"Instant::now()\"; // Instant::now()\n/* Instant::now() */");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || !t.contains("Instant")));
+        assert!(matches!(toks[3], (TokenKind::Str, _)));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let x = r#"a "quoted" b"#;"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.starts_with("r#") && t.ends_with("\"#")));
+    }
+
+    #[test]
+    fn byte_raw_strings() {
+        let toks = kinds(r####"br##"payload"##"####);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert_eq!(toks[0].1, r####"br##"payload"##"####);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ fn");
+        assert_eq!(toks[0], (TokenKind::BlockComment, "/* a /* b */ c */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "fn"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str; 'x'; '\\n'; '_; b'z'");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a"));
+        assert_eq!(toks[4], (TokenKind::Char, "'x'"));
+        assert_eq!(toks[6], (TokenKind::Char, "'\\n'"));
+        assert_eq!(toks[8], (TokenKind::Lifetime, "'_"));
+        assert_eq!(toks[10], (TokenKind::Char, "b'z'"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("0.5..1.5e-3 0x1f 1_000u64 x.0");
+        assert_eq!(toks[0], (TokenKind::Number, "0.5"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        assert_eq!(toks[2], (TokenKind::Punct, "."));
+        assert_eq!(toks[3], (TokenKind::Number, "1.5e-3"));
+        assert_eq!(toks[4], (TokenKind::Number, "0x1f"));
+        assert_eq!(toks[5], (TokenKind::Number, "1_000u64"));
+        assert_eq!(toks[8], (TokenKind::Number, "0"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        let b = toks.last().expect("tokens");
+        assert_eq!((b.line, b.col), (2, 3));
+    }
+
+    #[test]
+    fn r_and_b_as_plain_idents() {
+        let toks = kinds("r + b(r, b)");
+        assert_eq!(toks[0], (TokenKind::Ident, "r"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn unterminated_forms_extend_to_eof() {
+        assert_eq!(lex("/* open").len(), 1);
+        assert_eq!(lex("\"open").len(), 1);
+        assert_eq!(lex("r#\"open").len(), 1);
+        let rebuilt: String = lex("let s = \"open").iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, "let s = \"open");
+    }
+}

@@ -1,0 +1,171 @@
+//! # xps-analyze — project-specific static analysis
+//!
+//! The workspace's invariants — bit-identical parallel output,
+//! byte-identical journal resume, checksummed atomic persistence —
+//! were enforced by convention until this crate. It makes them
+//! *structural*: a source lint pass forbids the known nondeterminism
+//! and crash-unsafety leak vectors, and an artifact checker validates
+//! every on-disk data file against the model domains, so a regression
+//! in either shows up as a red CI job instead of an irreproducible
+//! matrix three PRs later.
+//!
+//! Two engines:
+//!
+//! * [`analyze_source`] — lex every workspace `.rs` file with the
+//!   hand-rolled lossless [`lexer`] (the workspace is offline; no
+//!   `syn`) and run the [`rules`] registry over the token stream.
+//!   Findings carry `file:line:col`, a rule id, a message, and a
+//!   suggestion; `// xps-allow(rule-id): reason` suppresses a finding
+//!   on the same or next line, and the reason is mandatory.
+//! * [`artifact::check_dir`] — validate journals, queue journals,
+//!   store records, and measured-results files against their checksum
+//!   formats and the model domains, without running a simulation.
+//!
+//! Both are exposed through the `xps-analyze` binary and the
+//! `repro analyze` subcommand; `.github/workflows/ci.yml` runs them as
+//! a required job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Finding, Report, Severity};
+pub use rules::{all_rules, FileClass, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names the source walker never descends into: build
+/// output, vendored third-party code, VCS metadata, and lint-fixture
+/// trees (which contain *seeded* violations by design).
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+
+/// Classify a workspace-relative `.rs` path into the file class that
+/// decides rule applicability, or `None` for paths the lint pass
+/// ignores entirely.
+pub fn classify_path(rel: &Path) -> Option<FileClass> {
+    let comps: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    if comps.iter().any(|c| SKIP_DIRS.contains(c)) {
+        return None;
+    }
+    if comps.contains(&"examples") {
+        return Some(FileClass::Example);
+    }
+    if comps.contains(&"tests") || comps.contains(&"benches") {
+        return Some(FileClass::Test);
+    }
+    if let Some(src) = comps.iter().position(|&c| c == "src") {
+        if comps.get(src + 1) == Some(&"bin") {
+            return Some(FileClass::Bin);
+        }
+        return Some(FileClass::Lib);
+    }
+    None
+}
+
+/// Every lintable `.rs` file under `root`, workspace-relative and
+/// sorted (deterministic report order for any filesystem).
+///
+/// # Errors
+///
+/// Returns a message naming the unreadable directory.
+pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out).map_err(|e| format!("walk {}: {e}", root.display()))?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                walk(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            if classify_path(rel).is_some() {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint one source text as if it lived at `rel` (workspace-relative).
+pub fn analyze_file(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
+    let tokens = lexer::lex(src);
+    let ctx = rules::file_ctx(&rel.display().to_string(), class, &tokens);
+    rules::lint_file(&ctx)
+}
+
+/// Run the source lint pass over every workspace `.rs` file under
+/// `root`.
+///
+/// # Errors
+///
+/// Returns a message when the tree cannot be walked or a source file
+/// cannot be read — an unreadable workspace must not report "clean".
+pub fn analyze_source(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    for rel in workspace_sources(root)? {
+        let class = classify_path(&rel).unwrap_or(FileClass::Lib);
+        let src = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("read {}: {e}", rel.display()))?;
+        report.findings.extend(analyze_file(&rel, class, &src));
+        report.files_checked += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_classes_cover_the_layout() {
+        let class = |p: &str| classify_path(Path::new(p));
+        assert_eq!(class("crates/sim/src/config.rs"), Some(FileClass::Lib));
+        assert_eq!(class("crates/bench/src/bin/repro.rs"), Some(FileClass::Bin));
+        assert_eq!(class("crates/sim/tests/golden.rs"), Some(FileClass::Test));
+        assert_eq!(
+            class("crates/bench/benches/explore.rs"),
+            Some(FileClass::Test)
+        );
+        assert_eq!(
+            class("crates/cacti/examples/sweep.rs"),
+            Some(FileClass::Example)
+        );
+        assert_eq!(class("vendor/serde/src/lib.rs"), None);
+        assert_eq!(class("target/debug/build/out.rs"), None);
+        assert_eq!(class("crates/analyze/tests/fixtures/bad.rs"), None);
+    }
+
+    #[test]
+    fn walker_finds_this_crate_and_skips_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let sources = workspace_sources(&root).expect("walk");
+        assert!(
+            sources
+                .iter()
+                .any(|p| p.ends_with("crates/analyze/src/lib.rs")),
+            "must see itself"
+        );
+        assert!(
+            !sources.iter().any(|p| p.starts_with("vendor")),
+            "vendored code is not ours to lint"
+        );
+        let mut sorted = sources.clone();
+        sorted.sort();
+        assert_eq!(sources, sorted, "walk order is deterministic");
+    }
+}

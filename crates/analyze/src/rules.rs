@@ -1,0 +1,858 @@
+//! The lint-rule registry and the rules themselves.
+//!
+//! Each rule encodes an invariant this repository's guarantees already
+//! depend on (bit-identical parallel output, byte-identical resume,
+//! checksummed atomic persistence) but which was previously enforced
+//! only by convention:
+//!
+//! | rule id | invariant |
+//! |---------|-----------|
+//! | `no-wallclock-in-deterministic-paths` | wall-clock reads never feed measured output |
+//! | `no-raw-fs-write` | data-path writes go through the shared atomic helper |
+//! | `no-unwrap-in-lib` | library code fails through the typed error hierarchy |
+//! | `no-unordered-iteration-to-output` | hash-ordered iteration never reaches serialized output |
+//! | `no-panic-in-worker` | worker closures stay inside the `catch_unwind` boundary |
+//! | `malformed-suppression` | every `xps-allow` carries a rule id and a reason |
+//!
+//! Suppression: a finding on line *L* is suppressed by a comment
+//! `// xps-allow(rule-id): reason` on line *L* or *L − 1*. The reason
+//! is mandatory — an allow without one is itself a (deny) finding, so
+//! the tree can never accumulate unexplained exemptions. Unused
+//! suppressions are reported at warn severity.
+
+use crate::diag::{Finding, Severity};
+use crate::lexer::{Token, TokenKind};
+
+/// How a file participates in the build — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/**` of a crate (excluding `src/bin`): library code.
+    Lib,
+    /// `src/bin/**`: a binary entry point (CLI code).
+    Bin,
+    /// `tests/**`, `benches/**`: test harness code.
+    Test,
+    /// `examples/**`: demonstration code.
+    Example,
+}
+
+/// One rule of the registry.
+pub struct Rule {
+    /// Stable id, used in diagnostics and `xps-allow`.
+    pub id: &'static str,
+    /// Deny fails the run; warn is advisory.
+    pub severity: Severity,
+    /// One-line description for the rule catalog.
+    pub summary: &'static str,
+    /// Which file classes the rule examines.
+    pub applies_to: &'static [FileClass],
+    check: fn(&FileCtx<'_>, &Rule, &mut Vec<Finding>),
+}
+
+/// Every registered rule, in catalog order.
+pub fn all_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "no-wallclock-in-deterministic-paths",
+            severity: Severity::Deny,
+            summary: "Instant::now()/SystemTime::now() outside the allowlisted \
+                      latency-metrics and CLI-timing sites",
+            applies_to: &[FileClass::Lib, FileClass::Bin],
+            check: check_wallclock,
+        },
+        Rule {
+            id: "no-raw-fs-write",
+            severity: Severity::Deny,
+            summary: "direct std::fs::write/File::create instead of the shared \
+                      atomic temp+rename+checksum helper",
+            applies_to: &[FileClass::Lib, FileClass::Bin],
+            check: check_raw_fs_write,
+        },
+        Rule {
+            id: "no-unwrap-in-lib",
+            severity: Severity::Deny,
+            summary: ".unwrap()/.expect() in non-test library code instead of \
+                      the typed error hierarchy",
+            applies_to: &[FileClass::Lib],
+            check: check_unwrap,
+        },
+        Rule {
+            id: "no-unordered-iteration-to-output",
+            severity: Severity::Deny,
+            summary: "HashMap/HashSet iteration flowing into serialized or \
+                      printed output without an intermediate sort",
+            applies_to: &[FileClass::Lib, FileClass::Bin],
+            check: check_unordered_iteration,
+        },
+        Rule {
+            id: "no-panic-in-worker",
+            severity: Severity::Deny,
+            summary: "panicking macros inside thread-spawn closures outside \
+                      the catch_unwind boundary",
+            applies_to: &[FileClass::Lib, FileClass::Bin],
+            check: check_panic_in_worker,
+        },
+    ]
+}
+
+/// Rule ids that may appear in an `xps-allow`, including the artifact
+/// checker's ids (an artifact fixture cannot carry Rust comments, but
+/// the id must still be recognized as real when mentioned).
+fn known_rule_ids() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.id).collect()
+}
+
+/// A parsed `// xps-allow(rule-id): reason` comment.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rule: String,
+    line: u32,
+    used: std::cell::Cell<bool>,
+}
+
+/// A significant (non-whitespace, non-comment) token.
+#[derive(Debug, Clone)]
+pub struct Sig<'a> {
+    kind: TokenKind,
+    text: &'a str,
+    line: u32,
+    col: u32,
+}
+
+/// Everything a rule sees about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path used in diagnostics.
+    pub relpath: String,
+    /// Build role of the file.
+    pub class: FileClass,
+    sig: Vec<Sig<'a>>,
+    /// Half-open significant-token ranges under `#[test]` /
+    /// `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    suppressions: Vec<Suppression>,
+    /// Findings produced while building the context (malformed
+    /// suppressions).
+    preflight: Vec<Finding>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn tok(&self, i: usize) -> Option<&Sig<'a>> {
+        self.sig.get(i)
+    }
+
+    fn is(&self, i: usize, text: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.text == text)
+    }
+
+    /// Does the token sequence starting at `i` spell out `seq`
+    /// (ignoring whitespace/comments, which are already stripped)?
+    fn matches_seq(&self, i: usize, seq: &[&str]) -> bool {
+        seq.iter().enumerate().all(|(k, s)| self.is(i + k, s))
+    }
+
+    fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(a, b)| (a..b).contains(&i))
+    }
+
+    /// Index of the matching closer for the opener at `i` (which must
+    /// be `(`, `[`, or `{`), or the end of the token stream.
+    fn matching_close(&self, i: usize) -> usize {
+        let (open, close) = match self.tok(i).map(|t| t.text) {
+            Some("(") => ("(", ")"),
+            Some("[") => ("[", "]"),
+            Some("{") => ("{", "}"),
+            _ => return i,
+        };
+        let mut depth = 0usize;
+        for j in i..self.sig.len() {
+            if self.is(j, open) {
+                depth += 1;
+            } else if self.is(j, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        self.sig.len()
+    }
+}
+
+/// Parse one file into a rule context: lex, strip insignificant
+/// tokens, locate test regions, and collect suppressions.
+pub fn file_ctx<'a>(relpath: &str, class: FileClass, tokens: &[Token<'a>]) -> FileCtx<'a> {
+    let mut ctx = FileCtx {
+        relpath: relpath.to_string(),
+        class,
+        sig: tokens
+            .iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|t| Sig {
+                kind: t.kind,
+                text: t.text,
+                line: t.line,
+                col: t.col,
+            })
+            .collect(),
+        test_regions: Vec::new(),
+        suppressions: Vec::new(),
+        preflight: Vec::new(),
+    };
+    find_test_regions(&mut ctx);
+    collect_suppressions(relpath, tokens, &mut ctx);
+    ctx
+}
+
+/// Mark the body of every item carrying a `test`-mentioning attribute
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`) as a test
+/// region: from the attribute to the item's closing brace (or
+/// terminating semicolon).
+fn find_test_regions(ctx: &mut FileCtx<'_>) {
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        // Outer attribute `#[ … ]` (inner `#![ … ]` never guards an
+        // item body).
+        if !(ctx.is(i, "#") && ctx.is(i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        let close = ctx.matching_close(i + 1);
+        let mentions_test = (i + 2..close).any(|k| ctx.is(k, "test"));
+        if !mentions_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = close + 1;
+        while ctx.is(j, "#") && ctx.is(j + 1, "[") {
+            j = ctx.matching_close(j + 1) + 1;
+        }
+        // The guarded item runs to its closing brace, or to a `;` for
+        // brace-less items (a guarded `use`, a unit struct).
+        let mut end = ctx.sig.len();
+        for k in j..ctx.sig.len() {
+            if ctx.is(k, "{") {
+                end = ctx.matching_close(k) + 1;
+                break;
+            }
+            if ctx.is(k, ";") {
+                end = k + 1;
+                break;
+            }
+        }
+        ctx.test_regions.push((i, end));
+        i = end;
+    }
+}
+
+/// Pull `xps-allow` suppressions out of the comment tokens, reporting
+/// malformed ones (no reason, unknown rule) as deny findings.
+fn collect_suppressions(relpath: &str, tokens: &[Token<'_>], ctx: &mut FileCtx<'_>) {
+    let known = known_rule_ids();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        // Doc comments are documentation *about* the syntax, not
+        // directives — only plain `//` comments carry suppressions.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = t.text.find("xps-allow") else {
+            continue;
+        };
+        let spec = &t.text[at + "xps-allow".len()..];
+        let malformed = |message: String| Finding {
+            file: relpath.to_string(),
+            line: t.line,
+            col: t.col,
+            rule: "malformed-suppression",
+            severity: Severity::Deny,
+            message,
+            suggestion: "write `// xps-allow(rule-id): reason`, with a real rule id and a \
+                         non-empty reason"
+                .to_string(),
+        };
+        let Some(rest) = spec.strip_prefix('(') else {
+            ctx.preflight
+                .push(malformed("xps-allow without a (rule-id)".to_string()));
+            continue;
+        };
+        let Some((rule, rest)) = rest.split_once(')') else {
+            ctx.preflight
+                .push(malformed("unclosed xps-allow(rule-id)".to_string()));
+            continue;
+        };
+        let rule = rule.trim();
+        if !known.contains(&rule) {
+            ctx.preflight.push(malformed(format!(
+                "xps-allow names unknown rule `{rule}` (known: {})",
+                known.join(", ")
+            )));
+            continue;
+        }
+        let reason = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            ctx.preflight.push(malformed(format!(
+                "xps-allow({rule}) has no reason — suppressions must say why"
+            )));
+            continue;
+        }
+        ctx.suppressions.push(Suppression {
+            rule: rule.to_string(),
+            line: t.line,
+            used: std::cell::Cell::new(false),
+        });
+    }
+}
+
+/// Run every applicable rule over one file's context. Suppressed
+/// findings are dropped (and their suppressions marked used); unused
+/// suppressions become warn findings.
+pub fn lint_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = ctx.preflight.clone();
+    for rule in all_rules() {
+        if !rule.applies_to.contains(&ctx.class) {
+            continue;
+        }
+        let mut raw = Vec::new();
+        (rule.check)(ctx, &rule, &mut raw);
+        for f in raw {
+            let suppressed = ctx
+                .suppressions
+                .iter()
+                .find(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+            match suppressed {
+                Some(s) => s.used.set(true),
+                None => findings.push(f),
+            }
+        }
+    }
+    for s in &ctx.suppressions {
+        if !s.used.get() {
+            findings.push(Finding {
+                file: ctx.relpath.clone(),
+                line: s.line,
+                col: 1,
+                rule: "unused-suppression",
+                severity: Severity::Warn,
+                message: format!(
+                    "xps-allow({}) suppresses nothing on this or the next line",
+                    s.rule
+                ),
+                suggestion: "remove the stale suppression".to_string(),
+            });
+        }
+    }
+    findings
+}
+
+fn finding(ctx: &FileCtx<'_>, rule: &Rule, i: usize, message: String, suggestion: &str) -> Finding {
+    let (line, col) = ctx.tok(i).map_or((0, 0), |t| (t.line, t.col));
+    Finding {
+        file: ctx.relpath.clone(),
+        line,
+        col,
+        rule: rule.id,
+        severity: rule.severity,
+        message,
+        suggestion: suggestion.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-wallclock-in-deterministic-paths
+
+fn check_wallclock(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        for clock in ["Instant", "SystemTime"] {
+            if ctx.matches_seq(i, &[clock, ":", ":", "now"]) {
+                out.push(finding(
+                    ctx,
+                    rule,
+                    i,
+                    format!(
+                        "{clock}::now() in a deterministic path — wall-clock values must \
+                         never influence measured output"
+                    ),
+                    "derive timing from simulated cycles, or annotate this allowlisted \
+                     metrics/CLI-timing site with an xps-allow reason",
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-raw-fs-write
+
+fn check_raw_fs_write(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let hit = if ctx.matches_seq(i, &["fs", ":", ":", "write"]) {
+            Some("std::fs::write")
+        } else if ctx.matches_seq(i, &["File", ":", ":", "create"]) {
+            Some("File::create")
+        } else {
+            None
+        };
+        if let Some(api) = hit {
+            out.push(finding(
+                ctx,
+                rule,
+                i,
+                format!(
+                    "{api} writes a data path non-atomically — a crash mid-write leaves a \
+                     torn file"
+                ),
+                "route the write through xps_core::explore::write_atomic (temp file + \
+                 rename in the same directory)",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-unwrap-in-lib
+
+fn check_unwrap(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) || !ctx.is(i, ".") {
+            continue;
+        }
+        let hit = if ctx.matches_seq(i, &[".", "unwrap", "(", ")"]) {
+            Some("unwrap()")
+        } else if ctx.matches_seq(i + 1, &["expect"]) && ctx.is(i + 2, "(") {
+            Some("expect()")
+        } else {
+            None
+        };
+        if let Some(api) = hit {
+            out.push(finding(
+                ctx,
+                rule,
+                i + 1,
+                format!(".{api} in library code panics instead of returning a typed error"),
+                "propagate through the crate's typed error hierarchy (ExploreError / \
+                 PipelineError / ServeError), or justify the invariant with an \
+                 xps-allow reason",
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-unordered-iteration-to-output
+
+/// Identifiers of the iteration methods whose order is the hash
+/// order.
+const HASH_ITER_METHODS: [&str; 5] = ["iter", "iter_mut", "into_iter", "keys", "values"];
+
+/// Tokens that mark the statement as producing serialized or printed
+/// output.
+const SINK_TOKENS: [&str; 16] = [
+    "println",
+    "print",
+    "eprintln",
+    "eprint",
+    "write",
+    "writeln",
+    "format",
+    "push_str",
+    "to_string",
+    "to_value",
+    "serialize",
+    "json",
+    "Value",
+    "write_atomic",
+    "persist",
+    "render",
+];
+
+/// Tokens whose presence makes the order immaterial (a sort, an
+/// order-insensitive reduction, or a re-collection into an ordered
+/// container).
+const ORDER_EXEMPT_TOKENS: [&str; 16] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "sum",
+    "product",
+    "count",
+    "len",
+    "fold",
+    "max",
+    "min",
+    "max_by",
+];
+
+fn check_unordered_iteration(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
+    // Pass 1: names declared (or typed) as HashMap/HashSet anywhere in
+    // the file — `jobs: HashMap<…>`, `feeds: Mutex<HashMap<…>>`,
+    // `let seen = HashSet::new()`. Single-file scope: the heuristic
+    // never sees types across files, which the rule catalog documents.
+    let mut hash_names: Vec<&str> = Vec::new();
+    for i in 0..ctx.sig.len() {
+        let Some(name) = ctx.tok(i).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        let decl = (ctx.is(i + 1, ":") && !ctx.is(i + 2, ":")) || ctx.is(i + 1, "=");
+        if !decl {
+            continue;
+        }
+        let window = (i + 2)..(i + 9).min(ctx.sig.len());
+        if window
+            .clone()
+            .any(|k| ctx.is(k, "HashMap") || ctx.is(k, "HashSet"))
+        {
+            hash_names.push(name.text);
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+
+    // Pass 2: iteration sites over those names.
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `name.iter()` / `path.to.name.values()` — receiver is the
+        // ident right before the dot.
+        let method_site = ctx.is(i + 1, ".")
+            && ctx
+                .tok(i + 2)
+                .is_some_and(|t| HASH_ITER_METHODS.contains(&t.text))
+            && ctx.is(i + 3, "(")
+            && ctx
+                .tok(i)
+                .is_some_and(|t| t.kind == TokenKind::Ident && hash_names.contains(&t.text));
+        // `for x in &name {` / `for (k, v) in &self.name {`.
+        let for_site = ctx.is(i, "for") && {
+            let mut found = false;
+            for k in (i + 1)..(i + 14).min(ctx.sig.len()) {
+                if ctx.is(k, "{") {
+                    break;
+                }
+                if ctx.is(k, "in") {
+                    // Ident from the hash set between `in` and `{`.
+                    for m in (k + 1)..(k + 6).min(ctx.sig.len()) {
+                        if ctx.is(m, "{") {
+                            break;
+                        }
+                        if ctx.tok(m).is_some_and(|t| hash_names.contains(&t.text)) {
+                            found = true;
+                        }
+                    }
+                    break;
+                }
+            }
+            found
+        };
+        if !(method_site || for_site) {
+            continue;
+        }
+        let span = statement_span(ctx, i);
+        // The ordering exemption also scans the following statement:
+        // the idiomatic fix is `let v: Vec<_> = map.values().collect();
+        // v.sort();`, and that sort must count as the intermediate
+        // ordering step.
+        let mut exempt_end = span.end;
+        while exempt_end < ctx.sig.len() {
+            let text = ctx.sig[exempt_end].text;
+            exempt_end += 1;
+            if matches!(text, ";" | "{" | "}") {
+                break;
+            }
+        }
+        let has = |range: std::ops::Range<usize>, set: &[&str]| {
+            range
+                .clone()
+                .any(|k| ctx.tok(k).is_some_and(|t| set.contains(&t.text)))
+        };
+        if has(span.start..exempt_end, &ORDER_EXEMPT_TOKENS) || !has(span.clone(), &SINK_TOKENS) {
+            continue;
+        }
+        let site = i + if method_site { 2 } else { 0 };
+        out.push(finding(
+            ctx,
+            rule,
+            site,
+            "iteration over a HashMap/HashSet flows into serialized or printed output — \
+             hash order is nondeterministic across runs"
+                .to_string(),
+            "collect and sort first (or use a BTreeMap/BTreeSet), so output bytes are \
+             identical on every run",
+        ));
+    }
+}
+
+/// The statement enclosing token `i`: back to the previous `;`/`{`/`}`
+/// and forward to the statement's own `;` (at balanced depth) or the
+/// end of the block opened inside it (a `for` body).
+fn statement_span(ctx: &FileCtx<'_>, i: usize) -> std::ops::Range<usize> {
+    let mut start = i;
+    while start > 0 {
+        let t = &ctx.sig[start - 1];
+        if matches!(t.text, ";" | "{" | "}") {
+            break;
+        }
+        start -= 1;
+    }
+    let mut depth = 0i32;
+    let mut end = ctx.sig.len();
+    for k in i..ctx.sig.len() {
+        match ctx.sig[k].text {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" => {
+                // A block opened inside the statement (closure or loop
+                // body): include it whole and stop at its close.
+                end = ctx.matching_close(k) + 1;
+                break;
+            }
+            ";" if depth <= 0 => {
+                end = k + 1;
+                break;
+            }
+            _ => {}
+        }
+    }
+    start..end
+}
+
+// ---------------------------------------------------------------------
+// no-panic-in-worker
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn check_panic_in_worker(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `spawn(`, `spawn_scoped(`, `execute(` — the thread-pool
+        // entry points; the argument span is the closure.
+        let spawns = ["spawn", "spawn_scoped", "execute"];
+        if !(ctx.tok(i).is_some_and(|t| spawns.contains(&t.text)) && ctx.is(i + 1, "(")) {
+            continue;
+        }
+        let close = ctx.matching_close(i + 1);
+        let body = (i + 2)..close;
+        if body.clone().any(|k| ctx.is(k, "catch_unwind")) {
+            continue;
+        }
+        for k in body {
+            if ctx.tok(k).is_some_and(|t| PANIC_MACROS.contains(&t.text)) && ctx.is(k + 1, "!") {
+                out.push(finding(
+                    ctx,
+                    rule,
+                    k,
+                    format!(
+                        "{}! inside a thread-spawn closure unwinds the worker outside the \
+                         catch_unwind boundary, killing the whole fan-out",
+                        ctx.sig[k].text
+                    ),
+                    "return a typed error from the task, or wrap the body in \
+                     catch_unwind like crates/explore/src/recovery.rs does",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lint(relpath: &str, class: FileClass, src: &str) -> Vec<Finding> {
+        let tokens = lex(src);
+        lint_file(&file_ctx(relpath, class, &tokens))
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn wallclock_found_with_position() {
+        let f = lint(
+            "src/a.rs",
+            FileClass::Lib,
+            "fn f() {\n    let t = Instant::now();\n}\n",
+        );
+        assert_eq!(rules_of(&f), vec!["no-wallclock-in-deterministic-paths"]);
+        assert_eq!((f[0].line, f[0].col), (2, 13));
+    }
+
+    #[test]
+    fn wallclock_in_test_mod_is_fine() {
+        let f = lint(
+            "src/a.rs",
+            FileClass::Lib,
+            "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wallclock_in_string_or_comment_is_fine() {
+        let f = lint(
+            "src/a.rs",
+            FileClass::Lib,
+            "fn f() { let s = \"Instant::now()\"; } // Instant::now()\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn suppression_with_reason_works_same_and_next_line() {
+        let same = "fn f() { let t = Instant::now(); } // xps-allow(no-wallclock-in-deterministic-paths): CLI timing only\n";
+        assert!(lint("src/a.rs", FileClass::Lib, same).is_empty());
+        let above = "// xps-allow(no-wallclock-in-deterministic-paths): CLI timing only\nfn f() { let t = Instant::now(); }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, above).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_finding() {
+        let src = "// xps-allow(no-wallclock-in-deterministic-paths)\nfn f() { let t = Instant::now(); }\n";
+        let f = lint("src/a.rs", FileClass::Lib, src);
+        assert!(rules_of(&f).contains(&"malformed-suppression"), "{f:?}");
+        // And the malformed allow does NOT suppress.
+        assert!(rules_of(&f).contains(&"no-wallclock-in-deterministic-paths"));
+    }
+
+    #[test]
+    fn suppression_of_unknown_rule_is_a_finding() {
+        let f = lint(
+            "src/a.rs",
+            FileClass::Lib,
+            "// xps-allow(no-such-rule): because\nfn f() {}\n",
+        );
+        assert_eq!(rules_of(&f), vec!["malformed-suppression"]);
+    }
+
+    #[test]
+    fn unused_suppression_is_a_warning() {
+        let f = lint(
+            "src/a.rs",
+            FileClass::Lib,
+            "// xps-allow(no-unwrap-in-lib): never fires here\nfn f() {}\n",
+        );
+        assert_eq!(rules_of(&f), vec!["unused-suppression"]);
+        assert_eq!(f[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn raw_write_found_and_helper_excluded_by_allow() {
+        let f = lint(
+            "src/a.rs",
+            FileClass::Lib,
+            "fn save() { std::fs::write(path, data); }\n",
+        );
+        assert_eq!(rules_of(&f), vec!["no-raw-fs-write"]);
+        let f = lint(
+            "src/a.rs",
+            FileClass::Lib,
+            "fn save() { let f = File::create(path); }\n",
+        );
+        assert_eq!(rules_of(&f), vec!["no-raw-fs-write"]);
+    }
+
+    #[test]
+    fn unwrap_in_lib_but_not_bin_or_test() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); z.unwrap_or(0); }\n";
+        let f = lint("src/a.rs", FileClass::Lib, src);
+        assert_eq!(
+            rules_of(&f),
+            vec!["no-unwrap-in-lib", "no-unwrap-in-lib"],
+            "{f:?}"
+        );
+        assert!(lint("src/bin/a.rs", FileClass::Bin, src).is_empty());
+        assert!(lint("tests/a.rs", FileClass::Test, src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_to_output_found() {
+        let src = "struct S { jobs: HashMap<String, u32> }\n\
+                   fn f(s: &S) {\n\
+                       let out: Vec<Value> = s.jobs.values().map(v).collect();\n\
+                   }\n";
+        let f = lint("src/a.rs", FileClass::Lib, src);
+        assert_eq!(rules_of(&f), vec!["no-unordered-iteration-to-output"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn sorted_or_reduced_iteration_is_fine() {
+        let sorted = "struct S { jobs: HashMap<String, u32> }\n\
+                      fn f(s: &S) {\n\
+                          let mut out: Vec<Value> = s.jobs.values().collect();\n\
+                          out.sort();\n\
+                      }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, sorted).is_empty());
+        let reduced = "struct S { jobs: HashMap<String, u32> }\n\
+                       fn f(s: &S) { println!(\"{}\", s.jobs.values().sum::<u32>()); }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, reduced).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hashmap_into_print_found() {
+        let src = "struct S { jobs: HashMap<String, u32> }\n\
+                   fn f(s: &S) {\n\
+                       for (k, v) in &s.jobs {\n\
+                           println!(\"{k}={v}\");\n\
+                       }\n\
+                   }\n";
+        let f = lint("src/a.rs", FileClass::Lib, src);
+        assert_eq!(rules_of(&f), vec!["no-unordered-iteration-to-output"]);
+    }
+
+    #[test]
+    fn hashmap_without_sink_is_fine() {
+        let src = "struct S { slots: HashMap<u64, u32> }\n\
+                   fn f(s: &S) { let n: u32 = s.slots.values().copied().max().unwrap_or(0); }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn panic_in_worker_found_unless_caught() {
+        let src = "fn f(scope: &S) { scope.spawn(|| { panic!(\"boom\"); }); }\n";
+        let f = lint("src/a.rs", FileClass::Lib, src);
+        assert_eq!(rules_of(&f), vec!["no-panic-in-worker"]);
+        let caught = "fn f(scope: &S) { scope.spawn(|| { let r = catch_unwind(|| g()); \
+                      if r.is_err() { panic!(\"boom\"); } }); }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, caught).is_empty());
+    }
+
+    #[test]
+    fn rule_catalog_is_stable() {
+        let ids: Vec<&str> = all_rules().iter().map(|r| r.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "no-wallclock-in-deterministic-paths",
+                "no-raw-fs-write",
+                "no-unwrap-in-lib",
+                "no-unordered-iteration-to-output",
+                "no-panic-in-worker",
+            ]
+        );
+    }
+}

@@ -1,0 +1,12 @@
+// Malformed suppressions: each must itself be reported as a deny
+// finding, and must NOT silence anything.
+
+use std::time::Instant;
+
+// xps-allow(no-wallclock-in-deterministic-paths)
+pub fn missing_reason() -> Instant {
+    Instant::now()
+}
+
+// xps-allow(no-such-rule): the rule id does not exist
+pub fn unknown_rule() {}

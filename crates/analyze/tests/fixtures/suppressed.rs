@@ -1,0 +1,14 @@
+// The same violations as violations.rs, every one carrying a valid
+// suppression with a reason — the analyzer must report nothing.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // xps-allow(no-wallclock-in-deterministic-paths): fixture: documented timing-only site
+    Instant::now()
+}
+
+pub fn save(path: &std::path::Path, data: &str) {
+    // xps-allow(no-raw-fs-write): fixture: scratch file outside the data tree
+    std::fs::write(path, data).unwrap(); // xps-allow(no-unwrap-in-lib): fixture: documented infallible write
+}

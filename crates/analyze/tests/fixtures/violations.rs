@@ -1,0 +1,30 @@
+// Seeded violations for the analyzer's own tests. This file lives
+// under a `fixtures` directory, which the workspace walker skips, so
+// the self-check stays clean while these stay red.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Table {
+    pub rows: HashMap<String, u64>,
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn save(path: &std::path::Path, data: &str) {
+    std::fs::write(path, data).unwrap();
+}
+
+pub fn render(t: &Table) -> String {
+    let mut out = String::new();
+    for (k, v) in &t.rows {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn fan(pool: &Pool) {
+    pool.execute(|| panic!("boom"));
+}

@@ -1,0 +1,56 @@
+//! The analyzer's own acceptance gate: the workspace it ships in must
+//! lint clean (every remaining wall-clock/unwrap/write site is either
+//! fixed or carries a reasoned `xps-allow`), and the checked-in
+//! measured results must validate against the model domains. CI runs
+//! the same checks through the binary; this test keeps `cargo test`
+//! equivalent to the CI gate.
+
+use std::path::{Path, PathBuf};
+
+use xps_analyze::{analyze_source, artifact, Severity};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_sources_lint_clean() {
+    let report = analyze_source(&workspace_root()).expect("walk workspace");
+    assert!(
+        report.files_checked > 50,
+        "the walker must actually see the workspace ({} files)",
+        report.files_checked
+    );
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; fix or suppress (with a reason):\n{}",
+        report.render_human("source")
+    );
+}
+
+#[test]
+fn workspace_has_no_warn_findings_either() {
+    // Unused suppressions are warn-severity; a clean tree has none, so
+    // stale allows cannot accumulate.
+    let report = analyze_source(&workspace_root()).expect("walk workspace");
+    let warns: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warn)
+        .collect();
+    assert!(warns.is_empty(), "stale suppressions: {warns:#?}");
+}
+
+#[test]
+fn checked_in_results_validate_against_model_domains() {
+    let results = workspace_root().join("results");
+    if !results.is_dir() {
+        return; // a fresh checkout before any experiment has no results
+    }
+    let report = artifact::check_dir(&results).expect("walk results");
+    assert!(
+        report.is_clean(),
+        "checked-in artifacts violate the model domains:\n{}",
+        report.render_human("data")
+    );
+}

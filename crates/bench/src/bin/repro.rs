@@ -32,6 +32,7 @@
 //!   visualize    cross-configuration slowdown heat map
 //!   serve        run the exploration-as-a-service daemon (xps-serve)
 //!   client       submit a smoke exploration to a running daemon
+//!   analyze      static analysis: lint workspace sources, validate artifacts
 //!   all          everything above (except serve/client), in order
 //!
 //! `--paper-data` analyses the paper's published Table 5 instead of
@@ -255,7 +256,7 @@ fn main() -> ExitCode {
         }
     };
     if cli.help || cli.cmd == "help" {
-        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize serve client all");
+        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize serve client analyze all");
         println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH");
         return ExitCode::SUCCESS;
     }
@@ -361,7 +362,37 @@ fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), Box<dyn Erro
         "visualize" => visualize(source, quick),
         "serve" => serve_cmd(),
         "client" => client_cmd(quick),
+        "analyze" => analyze_cmd(),
         _ => Err(format!("unknown experiment `{c}` (run `repro --help` for the list)").into()),
+    }
+}
+
+/// `repro analyze`: the project's static analyzer — lint every
+/// workspace source against the determinism/crash-safety rule
+/// registry, then validate the on-disk artifacts under `results/`
+/// (and the serve data dir, when present) against the model domains.
+/// Exits non-zero on any deny-severity finding, like CI does.
+fn analyze_cmd() -> Result<(), Box<dyn Error>> {
+    let root = std::path::Path::new(".");
+    let source = xps_analyze::analyze_source(root)?;
+    print!("{}", source.render_human("source"));
+    let mut data = xps_analyze::Report::default();
+    for dir in ["results", "serve-data"] {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            data.merge(xps_analyze::artifact::check_dir(&dir)?);
+        }
+    }
+    data.sort();
+    print!("{}", data.render_human("data"));
+    if source.is_clean() && data.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} deny finding(s); see diagnostics above",
+            source.deny_count() + data.deny_count()
+        )
+        .into())
     }
 }
 
@@ -420,6 +451,7 @@ fn explore(quick: bool) -> Result<Measured, Box<dyn Error>> {
     if let Some(plan) = opts.faults.clone() {
         ctx = ctx.with_faults(plan);
     }
+    // xps-allow(no-wallclock-in-deterministic-paths): CLI progress timing printed to stderr; measured results never see it
     let t0 = std::time::Instant::now();
     let result = pipeline.run_recoverable(&spec::all_profiles(), &ctx)?;
     let wall = t0.elapsed().as_secs_f64();
@@ -1206,9 +1238,11 @@ fn ablation_search() {
         opts.iterations = 120;
         opts.eval_ops_early = 20_000;
         opts.eval_ops_late = 40_000;
+        // xps-allow(no-wallclock-in-deterministic-paths): ablation wall-time report on stderr; not part of measured output
         let t0 = Instant::now();
         let g = grid_search(&p, &spec_grid, &opts, &tech);
         let t_grid = t0.elapsed().as_secs_f64();
+        // xps-allow(no-wallclock-in-deterministic-paths): ablation wall-time report on stderr; not part of measured output
         let t0 = Instant::now();
         let a = anneal(&p, &DesignPoint::initial(), &opts, &tech);
         let t_anneal = t0.elapsed().as_secs_f64();

@@ -72,6 +72,7 @@ pub fn balanced_partition(
     order.sort_by(|&a, &b| {
         weights[b]
             .partial_cmp(&weights[a])
+            // xps-allow(no-unwrap-in-lib): matrix weights are validated finite and positive at construction
             .expect("weights are finite")
     });
     let mut slot_of = vec![0usize; n];
@@ -92,7 +93,9 @@ pub fn balanced_partition(
             None => {
                 // No core has headroom: take the least loaded.
                 (0..cores.len())
+                    // xps-allow(no-unwrap-in-lib): loads are sums of validated finite weights
                     .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("loads are finite"))
+                    // xps-allow(no-unwrap-in-lib): callers pass at least one core; the min over a non-empty range exists
                     .expect("cores is non-empty")
             }
         };

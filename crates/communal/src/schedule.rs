@@ -134,6 +134,7 @@ pub fn simulate_jobs(m: &CrossPerfMatrix, opts: &ScheduleOptions) -> ScheduleSta
             opts.cores
                 .iter()
                 .position(|&c| c == core)
+                // xps-allow(no-unwrap-in-lib): the preferred index comes from the same combination that built the core list
                 .expect("preferred core is among the built cores")
         };
         let (slot, start) = match opts.policy {

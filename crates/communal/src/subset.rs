@@ -131,11 +131,13 @@ impl Dendrogram {
             let li = clusters
                 .iter()
                 .position(|c| c == &merge.left)
+                // xps-allow(no-unwrap-in-lib): merge records name clusters produced by the same deterministic agglomeration being replayed
                 .expect("replay is consistent");
             let l = clusters.remove(li);
             let ri = clusters
                 .iter()
                 .position(|c| c == &merge.right)
+                // xps-allow(no-unwrap-in-lib): merge records name clusters produced by the same deterministic agglomeration being replayed
                 .expect("replay is consistent");
             let mut r = clusters.remove(ri);
             let mut merged = l;
@@ -262,8 +264,10 @@ pub fn pitfall_experiment(
             .map(|&w| keep.iter().map(|&c| m.ipt(w, c)).collect())
             .collect(),
     )
+    // xps-allow(no-unwrap-in-lib): a square submatrix of a validated square matrix is square
     .expect("reduced matrix stays valid")
     .with_weights(keep.iter().map(|&i| m.weights()[i]).collect())
+    // xps-allow(no-unwrap-in-lib): the kept-weights vector has exactly one entry per kept row
     .expect("reduced weights stay valid");
 
     let reduced_best = best_combination(&reduced, k, merit);

@@ -134,6 +134,7 @@ fn resolve(w: usize, parent: &[Option<usize>], edge_order: &[Option<u32>]) -> us
             let mut c = cur;
             loop {
                 cycle.push(c);
+                // xps-allow(no-unwrap-in-lib): a cycle in the preference graph means every member has a parent edge
                 c = parent[c].expect("cycle members all have parents");
                 if c == cur {
                     break;
@@ -143,9 +144,12 @@ fn resolve(w: usize, parent: &[Option<usize>], edge_order: &[Option<u32>]) -> us
             // highest-order edge among cycle members.
             let latest = cycle
                 .iter()
+                // xps-allow(no-unwrap-in-lib): cycle membership implies the node's edge was recorded with an order
                 .max_by_key(|&&x| edge_order[x].expect("cycle members have edges"))
                 .copied()
+                // xps-allow(no-unwrap-in-lib): a detected cycle contains at least its entry node
                 .expect("cycle is non-empty");
+            // xps-allow(no-unwrap-in-lib): a cycle in the preference graph means every member has a parent edge
             return parent[latest].expect("cycle member has a parent");
         }
         seen[cur] = true;

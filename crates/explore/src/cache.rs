@@ -16,7 +16,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 use xps_sim::{ConfigKey, CoreConfig, SimStats, Simulator};
@@ -99,7 +99,11 @@ impl EvalCache {
             ops,
         };
         let shard = self.shard(&key);
-        if let Some(stats) = shard.lock().expect("cache shard poisoned").get(&key) {
+        if let Some(stats) = shard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return stats.clone();
         }
@@ -109,7 +113,7 @@ impl EvalCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         shard
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
             .or_insert_with(|| stats.clone());
         stats
@@ -132,7 +136,7 @@ impl EvalCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 

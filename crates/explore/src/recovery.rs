@@ -29,7 +29,7 @@ use crate::progress::{ProgressEvent, ProgressSink};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Default retry budget: a task may fail twice and still succeed on
 /// its third attempt before being declared failed.
@@ -190,7 +190,11 @@ impl RunContext {
             salvaged: self.salvaged.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
             faults_injected: self.injected.load(Ordering::Relaxed),
-            failed_tasks: self.failed.lock().expect("failed-list lock").clone(),
+            failed_tasks: self
+                .failed
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
         }
     }
 
@@ -262,11 +266,15 @@ impl RunContext {
                 let result = self.attempt(&key, || f(i));
                 if let (Ok(value), Some(journal)) = (&result, &self.journal) {
                     let json =
+                        // xps-allow(no-unwrap-in-lib): task results are plain data structs; serialization cannot fail
                         serde_json::to_string(value).expect("task results serialize to JSON");
                     if let Err(e) = journal.record(&key, json) {
                         // Keep the computed value; surface the persist
                         // failure once the fan completes.
-                        let mut slot = self.journal_error.lock().expect("journal-error lock");
+                        let mut slot = self
+                            .journal_error
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
                         slot.get_or_insert(e);
                     }
                 }
@@ -288,7 +296,7 @@ impl RunContext {
         if let Some(e) = self
             .journal_error
             .lock()
-            .expect("journal-error lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
         {
             return Err(e.into());
@@ -301,6 +309,7 @@ impl RunContext {
         }
         let items = slots
             .into_iter()
+            // xps-allow(no-unwrap-in-lib): the fan joins only after every task stored its slot or the run aborted with an error
             .map(|s| s.expect("every slot filled"))
             .collect();
         Ok(FanOutcome { items, per_worker })
@@ -318,6 +327,7 @@ impl RunContext {
         F: Fn() -> T + Sync,
     {
         let mut fan = self.run_fan(1, label, 1, |_| f())?;
+        // xps-allow(no-unwrap-in-lib): run_fan(1, ..) returns exactly one item on success
         Ok(fan.items.pop().expect("one item"))
     }
 
@@ -367,7 +377,7 @@ impl RunContext {
         }
         self.failed
             .lock()
-            .expect("failed-list lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(key.to_string());
         Err(TaskError {
             task: key.to_string(),

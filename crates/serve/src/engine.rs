@@ -420,6 +420,7 @@ impl Engine {
         let profiles: Vec<_> = request
             .workloads
             .iter()
+            // xps-allow(no-unwrap-in-lib): JobRequest::parse rejects unknown workload names before an engine ever sees them
             .map(|n| spec::profile(n).expect("workloads validated at parse"))
             .collect();
         let journal_path = self.data_dir.join(format!("journal-{campaign_id}.jsonl"));

@@ -55,10 +55,11 @@ pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_US};
 pub use progress::{FeedRead, ProgressHub, MAX_FEED_LINES};
 pub use queue::{Job, JobQueue, JobStatus, SubmitOutcome};
 pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};
-pub use store::{content_id, ResultStore};
+pub use store::{body_checksum, content_id, ResultStore};
 
 /// Render a JSON value the daemon built itself. Infallible by
 /// construction: every number the daemon emits is finite.
 pub(crate) fn json(v: &serde::Value) -> String {
+    // xps-allow(no-unwrap-in-lib): daemon documents are built from validated finite values; serialization cannot fail
     serde_json::to_string(v).expect("daemon documents contain only finite numbers")
 }

@@ -8,7 +8,7 @@
 //! streaming handler terminate its chunked response.
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Most lines retained per feed; past this, publishes are counted but
@@ -50,7 +50,7 @@ impl ProgressHub {
     /// publish). Lines past [`MAX_FEED_LINES`] are dropped and
     /// counted.
     pub fn publish(&self, job: &str, line: String) {
-        let mut feeds = self.feeds.lock().expect("hub lock");
+        let mut feeds = self.feeds.lock().unwrap_or_else(PoisonError::into_inner);
         let feed = feeds.entry(job.to_string()).or_default();
         if feed.closed {
             return;
@@ -67,7 +67,7 @@ impl ProgressHub {
     /// Close a job's feed: append a terminal line and wake every
     /// reader.
     pub fn close(&self, job: &str, final_line: String) {
-        let mut feeds = self.feeds.lock().expect("hub lock");
+        let mut feeds = self.feeds.lock().unwrap_or_else(PoisonError::into_inner);
         let feed = feeds.entry(job.to_string()).or_default();
         if !feed.closed {
             if feed.dropped > 0 {
@@ -87,7 +87,7 @@ impl ProgressHub {
     /// nothing is pending. A job with no feed yet reads as empty and
     /// open.
     pub fn read_from(&self, job: &str, offset: usize, wait: Duration) -> FeedRead {
-        let mut feeds = self.feeds.lock().expect("hub lock");
+        let mut feeds = self.feeds.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(feed) = feeds.get(job) {
                 if feed.lines.len() > offset || feed.closed {
@@ -99,7 +99,10 @@ impl ProgressHub {
                     };
                 }
             }
-            let (next, timeout) = self.wake.wait_timeout(feeds, wait).expect("hub lock");
+            let (next, timeout) = self
+                .wake
+                .wait_timeout(feeds, wait)
+                .unwrap_or_else(PoisonError::into_inner);
             feeds = next;
             if timeout.timed_out() {
                 let closed = feeds.get(job).is_some_and(|f| f.closed);
@@ -115,7 +118,10 @@ impl ProgressHub {
     /// Drop a feed entirely (frees memory once its job's result is in
     /// the store and no streamer needs history).
     pub fn forget(&self, job: &str) {
-        self.feeds.lock().expect("hub lock").remove(job);
+        self.feeds
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(job);
     }
 }
 

@@ -13,7 +13,7 @@ use crate::error::ServeError;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 use xps_core::explore::write_atomic;
 
@@ -118,7 +118,7 @@ impl JobQueue {
                     serde::Value::Arr(items) => items.clone(),
                     other => return Err(corrupt(format!("`pending` is not an array: {other:?}"))),
                 };
-                let mut state = queue.state.lock().expect("queue lock");
+                let mut state = queue.state.lock().unwrap_or_else(PoisonError::into_inner);
                 for item in &pending {
                     let id = item.member("id").and_then(|v| v.as_str().map(String::from));
                     let canonical = item
@@ -155,12 +155,19 @@ impl JobQueue {
         // jobs persist *ahead of* the pending FIFO so that even after
         // a hard kill (no graceful requeue) the restarted daemon
         // resumes the interrupted job first, matching `requeue`'s
-        // contract.
-        let entries: Vec<serde::Value> = state
+        // contract. The job table is a HashMap, so the running set is
+        // sorted by id before it reaches the journal bytes — the
+        // persisted file must be identical for identical queue state,
+        // whatever the hash order.
+        let mut running: Vec<&String> = state
             .jobs
             .values()
             .filter(|j| j.status == JobStatus::Running)
             .map(|j| &j.id)
+            .collect();
+        running.sort();
+        let entries: Vec<serde::Value> = running
+            .into_iter()
             .chain(state.pending.iter())
             .filter_map(|id| state.jobs.get(id))
             .map(|j| {
@@ -189,7 +196,7 @@ impl JobQueue {
     /// [`ServeError::ShuttingDown`] once the queue is closed, and
     /// [`ServeError::Io`] when persisting fails.
     pub fn submit(&self, id: &str, canonical: &str) -> Result<SubmitOutcome, ServeError> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.closed {
             return Err(ServeError::ShuttingDown);
         }
@@ -226,13 +233,17 @@ impl JobQueue {
     /// Block until a job is available (marking it running) or the
     /// queue is closed / `cancel` is set (returning `None`).
     pub fn next_job(&self, cancel: &AtomicBool) -> Option<Job> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if state.closed || cancel.load(Ordering::Relaxed) {
                 return None;
             }
             if let Some(id) = state.pending.pop_front() {
-                let job = state.jobs.get_mut(&id).expect("pending ids are tracked");
+                // A pending id without a job entry would be a journal
+                // inconsistency; skip it rather than panic a worker.
+                let Some(job) = state.jobs.get_mut(&id) else {
+                    continue;
+                };
                 job.status = JobStatus::Running;
                 let job = job.clone();
                 // Running jobs stay persisted so a kill re-queues them.
@@ -242,7 +253,7 @@ impl JobQueue {
             let (next, _) = self
                 .wake
                 .wait_timeout(state, Duration::from_millis(50))
-                .expect("queue lock");
+                .unwrap_or_else(PoisonError::into_inner);
             state = next;
         }
     }
@@ -258,7 +269,7 @@ impl JobQueue {
     }
 
     fn finish(&self, id: &str, status: JobStatus, error: Option<String>) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(job) = state.jobs.get_mut(id) {
             job.status = status;
             job.error = error;
@@ -269,7 +280,7 @@ impl JobQueue {
     /// Put a cancelled in-flight job back at the *front* of the queue
     /// (it resumes first, from its journal, after a restart).
     pub fn requeue(&self, id: &str) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(job) = state.jobs.get_mut(id) {
             job.status = JobStatus::Queued;
             job.error = None;
@@ -288,7 +299,7 @@ impl JobQueue {
     /// remain answerable from the store; an evicted failure reads as
     /// 404 and may simply be resubmitted.
     pub fn evict_terminal(&self, id: &str) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state
             .jobs
             .get(id)
@@ -300,34 +311,44 @@ impl JobQueue {
 
     /// Look up a job by id.
     pub fn get(&self, id: &str) -> Option<Job> {
-        self.state.lock().expect("queue lock").jobs.get(id).cloned()
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .get(id)
+            .cloned()
     }
 
     /// Jobs currently waiting (excludes the running ones).
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue lock").pending.len()
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pending
+            .len()
     }
 
     /// Ids of all unfinished (queued or running) jobs, queue order.
+    /// Running ids (not FIFO-ordered — they live in the hash-keyed
+    /// job table) are sorted so the answer is deterministic.
     pub fn unfinished(&self) -> Vec<String> {
-        let state = self.state.lock().expect("queue lock");
-        state
-            .pending
-            .iter()
-            .cloned()
-            .chain(
-                state
-                    .jobs
-                    .values()
-                    .filter(|j| j.status == JobStatus::Running)
-                    .map(|j| j.id.clone()),
-            )
-            .collect()
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut running: Vec<String> = state
+            .jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(|j| j.id.clone())
+            .collect();
+        running.sort();
+        state.pending.iter().cloned().chain(running).collect()
     }
 
     /// Refuse new submissions and wake every blocked worker.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.wake.notify_all();
     }
 }

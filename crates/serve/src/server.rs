@@ -25,7 +25,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Most terminal (done/failed) jobs whose queue entry and progress
@@ -106,12 +106,14 @@ impl Shared {
     /// past the retention window: forget their feeds, evict their
     /// queue entries.
     fn retire(&self, id: &str) {
-        let mut retired = self.retired.lock().expect("retired lock");
+        let mut retired = self.retired.lock().unwrap_or_else(PoisonError::into_inner);
         // A retried-after-failure job can finish twice under one id.
         retired.retain(|j| j != id);
         retired.push_back(id.to_string());
         while retired.len() > RETAINED_TERMINAL_JOBS {
-            let old = retired.pop_front().expect("len checked");
+            let Some(old) = retired.pop_front() else {
+                break;
+            };
             // A failed job resubmitted since it entered the window is
             // live again — skip it (it re-enters when it re-finishes)
             // rather than forgetting its in-use feed.
@@ -211,7 +213,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("xps-sched-{i}"))
                     .spawn(move || scheduler_loop(&shared))
-                    .expect("spawn scheduler"),
+                    .map_err(ServeError::from)?,
             );
         }
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -219,12 +221,17 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let shared = self.shared.clone();
-                    handlers.push(
-                        std::thread::Builder::new()
-                            .name("xps-conn".to_string())
-                            .spawn(move || handle_connection(&shared, stream))
-                            .expect("spawn handler"),
-                    );
+                    match std::thread::Builder::new()
+                        .name("xps-conn".to_string())
+                        .spawn(move || handle_connection(&shared, stream))
+                    {
+                        Ok(h) => handlers.push(h),
+                        // Transient spawn failure (thread exhaustion)
+                        // must not kill the daemon: the dropped stream
+                        // closes the one connection, the accept loop
+                        // lives on.
+                        Err(e) => eprintln!("xps-serve: connection handler spawn failed: {e}"),
+                    }
                     handlers.retain(|h| !h.is_finished());
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -310,6 +317,7 @@ fn scheduler_loop(shared: &Shared) {
 /// Serve one connection: parse one request, route it, record its
 /// latency. All errors render as `{"error": ...}` with their status.
 fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // xps-allow(no-wallclock-in-deterministic-paths): request-latency metrics only; never reaches a result body
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let Ok(read_half) = stream.try_clone() else {
@@ -359,8 +367,8 @@ fn route(shared: &Shared, req: &Request, w: &mut impl Write) -> Result<(), Serve
             "application/json",
             b"{\"ok\":true}",
         )?),
-        ("GET", path) if path.strip_prefix("/jobs/").is_some_and(|r| !r.is_empty()) => {
-            let rest = path.strip_prefix("/jobs/").expect("guarded");
+        ("GET", path) if matches!(path.strip_prefix("/jobs/"), Some(r) if !r.is_empty()) => {
+            let rest = path.strip_prefix("/jobs/").unwrap_or_default();
             match rest.strip_suffix("/events") {
                 Some(id) if !id.is_empty() => stream_events(shared, id, w),
                 _ => job_status(shared, rest, w),

@@ -30,6 +30,13 @@ pub fn content_id(canonical: &str) -> String {
     format!("{:016x}", fnv64(ID_SEED, canonical.as_bytes()))
 }
 
+/// Checksum a record body the way [`ResultStore::put`] does, as
+/// 16-hex digits. Exported so offline validators (`xps-analyze data`)
+/// can verify store records without knowing the private seed.
+pub fn body_checksum(body: &str) -> String {
+    format!("{:016x}", fnv64(SUM_SEED, body.as_bytes()))
+}
+
 /// A directory of checksummed, content-addressed result records.
 #[derive(Debug)]
 pub struct ResultStore {

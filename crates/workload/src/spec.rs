@@ -30,6 +30,7 @@ pub const BENCHMARKS: [&str; 11] = [
 pub fn all_profiles() -> Vec<WorkloadProfile> {
     BENCHMARKS
         .iter()
+        // xps-allow(no-unwrap-in-lib): BENCHMARKS and profile() are defined from the same static table; covered by tests
         .map(|n| profile(n).expect("BENCHMARKS entries are all known"))
         .collect()
 }
