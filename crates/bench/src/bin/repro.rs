@@ -30,10 +30,12 @@
 //!   ablation-prefetch  what a prefetcher would absorb of the story
 //!   dendrogram   subsetting dendrogram of raw characteristics
 //!   visualize    cross-configuration slowdown heat map
+//!   profile      self-profile a quick 2-benchmark exploration: per-phase
+//!                table, deterministic trace journal, collapsed stacks
 //!   serve        run the exploration-as-a-service daemon (xps-serve)
 //!   client       submit a smoke exploration to a running daemon
 //!   analyze      static analysis: lint workspace sources, validate artifacts
-//!   all          everything above (except serve/client), in order
+//!   all          everything above (except profile/serve/client/analyze), in order
 //!
 //! `--paper-data` analyses the paper's published Table 5 instead of
 //! this repository's measured matrix; `--quick` shrinks the measured
@@ -256,7 +258,7 @@ fn main() -> ExitCode {
         }
     };
     if cli.help || cli.cmd == "help" {
-        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize serve client analyze all");
+        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize profile serve client analyze all");
         println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH");
         return ExitCode::SUCCESS;
     }
@@ -360,6 +362,7 @@ fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), Box<dyn Erro
         "ablation-prefetch" => Ok(ablation_prefetch()),
         "dendrogram" => Ok(dendrogram_cmd(quick)),
         "visualize" => visualize(source, quick),
+        "profile" => profile_cmd(quick),
         "serve" => serve_cmd(),
         "client" => client_cmd(quick),
         "analyze" => analyze_cmd(),
@@ -1365,6 +1368,64 @@ fn visualize(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
         }
         println!();
     }
+    Ok(())
+}
+
+/// `repro profile`: self-profile a two-benchmark exploration through
+/// the trace layer — print the per-phase table (counts, simulated ops,
+/// logical ticks, wall time), write the deterministic span journal to
+/// `results/trace.jsonl`, and write collapsed stacks to
+/// `results/trace.folded` for flamegraph tools. The journal carries
+/// only logical clocks, so it is byte-identical for every `--jobs N`;
+/// `--quick` shrinks the run to smoke scale (the trace structure is
+/// identical, only the op counts differ).
+fn profile_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
+    use xps_core::explore::{write_atomic, EvalCache};
+    use xps_core::trace::{with_recorder, TraceSink};
+    let opts = run_opts();
+    let mut pipeline = Pipeline::quick();
+    if quick {
+        pipeline.explore.anneal.iterations = 8;
+        pipeline.explore.anneal.eval_ops_early = 3_000;
+        pipeline.explore.anneal.eval_ops_late = 6_000;
+        pipeline.explore.reanneal_iterations = 3;
+        pipeline.matrix_ops = 8_000;
+    }
+    pipeline.explore.jobs = opts.jobs;
+    let profiles: Vec<_> = ["gzip", "mcf"]
+        .iter()
+        .map(|n| spec::profile(n).expect("known benchmark"))
+        .collect();
+    eprintln!(
+        "[profiling a {} exploration of gzip+mcf]",
+        if quick { "smoke-scale" } else { "quick" }
+    );
+    // The CLI edge is the one place wall time may enter the trace: the
+    // stamps feed only the table below, never the span journal.
+    let trace = TraceSink::with_wall_clock();
+    let ctx = RunContext::from_env()?.with_trace(trace.clone());
+    let cache = EvalCache::new();
+    let (root, outcome) = with_recorder(trace.recorder(), || {
+        pipeline.run_recoverable_with(&profiles, &ctx, &cache, None)
+    });
+    trace.attach("main", root);
+    outcome?;
+    let profile = trace.profile();
+    println!("Self-profile: per-phase logical work and wall time\n");
+    print!("{}", profile.render());
+    std::fs::create_dir_all("results")?;
+    let journal = PathBuf::from("results/trace.jsonl");
+    write_atomic(&journal, &trace.to_ndjson())?;
+    let folded = PathBuf::from("results/trace.folded");
+    write_atomic(&folded, &profile.collapsed())?;
+    println!(
+        "\n[span journal {} — byte-identical for every --jobs N]",
+        journal.display()
+    );
+    println!(
+        "[collapsed stacks {} — render with any flamegraph tool]",
+        folded.display()
+    );
     Ok(())
 }
 

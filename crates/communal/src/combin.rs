@@ -58,8 +58,11 @@ pub fn combinations(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
 /// Panics if `k` is zero or exceeds the number of architectures.
 pub fn best_combination(m: &CrossPerfMatrix, k: usize, merit: Merit) -> ComboResult {
     let n = m.len();
+    let pass = xps_trace::span("communal.combination");
+    let mut evaluated = 0u64;
     let mut best: Option<(Vec<usize>, f64)> = None;
     combinations(n, k, |combo| {
+        evaluated += 1;
         let v = merit.evaluate(m, combo);
         let better = match &best {
             None => true,
@@ -68,6 +71,13 @@ pub fn best_combination(m: &CrossPerfMatrix, k: usize, merit: Merit) -> ComboRes
         if better {
             best = Some((combo.to_vec(), v));
         }
+    });
+    pass.end_with(|| {
+        vec![
+            ("n", n.into()),
+            ("k", k.into()),
+            ("evaluated", evaluated.into()),
+        ]
     });
     // xps-allow(no-unwrap-in-lib): choose(n, k) enumerations with validated k >= 1 always yield at least one subset
     let (cores, merit_value) = best.expect("at least one combination exists");

@@ -62,6 +62,7 @@ pub fn balanced_partition(
         "core index out of range"
     );
     assert!(tolerance >= 1.0, "tolerance must be at least 1.0");
+    let _pass = xps_trace::span("communal.partition");
     let n = m.len();
     let weights = m.weights();
     let total: f64 = weights.iter().sum();

@@ -99,6 +99,7 @@ pub fn simulate_jobs(m: &CrossPerfMatrix, opts: &ScheduleOptions) -> ScheduleSta
         "burstiness must be in [0, 1]"
     );
 
+    let _pass = xps_trace::span("communal.schedule");
     let mut rng = SmallRng::seed_from_u64(opts.seed);
     let weights = m.weights();
     let wsum: f64 = weights.iter().sum();

@@ -1,0 +1,118 @@
+//! Edge cases of the communal-customization algorithms: degenerate
+//! workload sets (empty, single benchmark) and tied IPTs, where the
+//! selection rules' tie-breaking becomes observable behavior that
+//! downstream determinism depends on.
+
+use xps_communal::{
+    balanced_partition, best_combination, combinations, simulate_jobs, CrossPerfMatrix, JobPolicy,
+    Merit, ScheduleOptions,
+};
+
+fn uniform(n: usize, diag: f64, off: f64) -> CrossPerfMatrix {
+    let names = (0..n).map(|i| format!("w{i}")).collect();
+    CrossPerfMatrix::from_fn(names, |w, c| if w == c { diag } else { off }).expect("valid")
+}
+
+#[test]
+fn empty_workload_set_is_rejected_with_a_named_error() {
+    let e = CrossPerfMatrix::new(vec![], vec![]).expect_err("empty set");
+    assert!(e.contains("at least one workload"), "unhelpful error: {e}");
+}
+
+#[test]
+fn ragged_and_nonpositive_matrices_are_rejected() {
+    let names = vec!["a".to_string(), "b".to_string()];
+    let e = CrossPerfMatrix::new(names.clone(), vec![vec![1.0, 2.0]]).expect_err("missing row");
+    assert!(e.contains("expected 2 rows"), "{e}");
+    let e = CrossPerfMatrix::new(names.clone(), vec![vec![1.0], vec![1.0, 2.0]])
+        .expect_err("short row");
+    assert!(e.contains("has 1 entries"), "{e}");
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        let e = CrossPerfMatrix::new(names.clone(), vec![vec![1.0, bad], vec![1.0, 2.0]])
+            .expect_err("bad cell");
+        assert!(e.contains("positive and finite"), "{bad}: {e}");
+    }
+}
+
+#[test]
+fn single_benchmark_campaign_degenerates_cleanly() {
+    let m = CrossPerfMatrix::new(vec!["solo".into()], vec![vec![1.7]]).expect("valid");
+    // The only combination is the benchmark's own core, under every
+    // merit.
+    for merit in Merit::ALL {
+        let r = best_combination(&m, 1, merit);
+        assert_eq!(r.cores, vec![0]);
+        assert_eq!(r.names, vec!["solo".to_string()]);
+        assert!((r.avg_ipt - 1.7).abs() < 1e-12);
+        assert!((r.har_ipt - 1.7).abs() < 1e-12);
+    }
+    // One core, one workload: trivially balanced partition.
+    let p = balanced_partition(&m, &[0], 1.0);
+    assert_eq!(p.assignment, vec![0]);
+    assert!((p.imbalance - 1.0).abs() < 1e-12);
+    assert!(p.average_slowdown.abs() < 1e-12);
+    // Scheduling on the single core never redirects and decomposes.
+    let mut o = ScheduleOptions::new(vec![0], JobPolicy::BestAvailable);
+    o.jobs = 500;
+    let s = simulate_jobs(&m, &o);
+    assert!((s.redirect_rate).abs() < 1e-12, "nowhere to redirect");
+    assert!((s.avg_turnaround - (s.avg_execution + s.avg_wait)).abs() < 1e-9);
+}
+
+#[test]
+fn k_equals_n_enumerates_exactly_one_combination() {
+    let mut seen = Vec::new();
+    combinations(4, 4, |c| seen.push(c.to_vec()));
+    assert_eq!(seen, vec![vec![0, 1, 2, 3]]);
+}
+
+#[test]
+fn tied_ipts_break_toward_the_first_combination() {
+    // Every architecture is interchangeable: all merits tie across all
+    // combinations, so the lexicographically first subset must win —
+    // this tie-break is what keeps repeated runs byte-identical.
+    let m = uniform(4, 2.0, 2.0);
+    for k in 1..=4usize {
+        for merit in Merit::ALL {
+            let r = best_combination(&m, k, merit);
+            assert_eq!(
+                r.cores,
+                (0..k).collect::<Vec<_>>(),
+                "{merit:?} k={k} must keep the first tied combination"
+            );
+        }
+    }
+}
+
+#[test]
+fn tied_ipts_break_toward_the_lower_architecture_index() {
+    let m = uniform(3, 2.0, 2.0);
+    for w in 0..3 {
+        assert_eq!(m.best_config_for(w, &[2, 1, 0]), 2, "first listed wins");
+        assert_eq!(m.best_config_for(w, &[0, 1, 2]), 0, "first listed wins");
+    }
+}
+
+#[test]
+fn tied_ipts_keep_the_partition_deterministic() {
+    // With all slowdowns equal the partition is decided purely by the
+    // greedy order and the balance cap; run it twice and require the
+    // identical assignment.
+    let m = uniform(5, 2.0, 2.0);
+    let a = balanced_partition(&m, &[0, 2], 1.5);
+    let b = balanced_partition(&m, &[0, 2], 1.5);
+    assert_eq!(a, b, "ties must not introduce nondeterminism");
+    assert!(a.average_slowdown.abs() < 1e-12, "no slowdown when tied");
+}
+
+#[test]
+fn burstiness_bounds_are_inclusive() {
+    let m = uniform(2, 2.0, 1.0);
+    for burstiness in [0.0, 1.0] {
+        let mut o = ScheduleOptions::new(vec![0, 1], JobPolicy::StallForAssigned);
+        o.jobs = 200;
+        o.burstiness = burstiness;
+        let s = simulate_jobs(&m, &o);
+        assert!(s.avg_turnaround.is_finite(), "burstiness={burstiness}");
+    }
+}

@@ -48,6 +48,8 @@ pub use xps_communal as communal;
 pub use xps_explore as explore;
 /// Re-export of the superscalar timing simulator.
 pub use xps_sim as sim;
+/// Re-export of the span-tracing / self-profiling instrument layer.
+pub use xps_trace as trace;
 /// Re-export of the workload models and characterization.
 pub use xps_workload as workload;
 

@@ -187,11 +187,15 @@ pub fn cross_matrix_recoverable(
     };
     let mut per_worker_tasks = Vec::new();
     let mut ipt = vec![vec![0.0f64; n]; n];
+    let fill_phase = xps_trace::span("matrix.fill");
     let fan = ctx.run_fan(jobs, "matrix", n * n, |t| cell(t / n, &configs[t % n]))?;
+    fill_phase.end_with(|| xps_trace::attr("cells", n * n));
     merge_counts(&mut per_worker_tasks, &fan.per_worker);
     for (t, item) in fan.items.into_iter().enumerate() {
         ipt[t / n][t % n] = unwrap_cell(item);
     }
+    let replace_phase = xps_trace::span("matrix.replace");
+    let mut replacements = 0u64;
     for _ in 0..passes {
         let mut changed = false;
         for w in 0..n {
@@ -209,6 +213,13 @@ pub fn cross_matrix_recoverable(
                     ..configs[best].clone()
                 };
                 changed = true;
+                replacements += 1;
+                xps_trace::instant("matrix.adopt", || {
+                    vec![
+                        ("workload", profiles[w].name.as_str().into()),
+                        ("from", profiles[best].name.as_str().into()),
+                    ]
+                });
                 let fan = ctx.run_fan(jobs, "rematrix", 2 * n, |t| {
                     if t < n {
                         cell(w, &configs[t])
@@ -231,6 +242,7 @@ pub fn cross_matrix_recoverable(
             break;
         }
     }
+    replace_phase.end_with(|| xps_trace::attr("replacements", replacements));
     let matrix =
         CrossPerfMatrix::from_fn(profiles.iter().map(|p| p.name.clone()).collect(), |w, c| {
             ipt[w][c]

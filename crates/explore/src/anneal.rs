@@ -2,12 +2,12 @@
 
 use crate::cache::EvalCache;
 use crate::point::DesignPoint;
-use crate::progress::{ProgressEvent, ProgressSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
 use xps_sim::{energy_delay_product, CoreConfig, SimStats, Simulator};
+use xps_trace::{ProgressEvent, ProgressSink};
 use xps_workload::{with_generator, WorkloadProfile};
 
 /// What the annealer maximizes.
@@ -283,6 +283,9 @@ pub fn anneal_observed(
 ) -> AnnealResult {
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ profile.seed);
     let name = profile.name.clone();
+    let walk = xps_trace::span("anneal.walk");
+    let (mut accepted, mut accepted_worse, mut rejected) = (0u32, 0u32, 0u32);
+    let mut rollbacks = 0u32;
 
     let mut cur = start.clone();
     // A start that does not realize under this technology (e.g. a
@@ -333,9 +336,21 @@ pub fn anneal_observed(
                 rng.gen::<f64>() < (delta / temp.max(1e-6)).exp()
             };
             if accept {
+                accepted += 1;
+                // Lateral (equal-IPT) moves are not "worse": only a
+                // strict degradation counts, so at T ≈ 0 this counter
+                // is exactly zero.
+                if ipt < cur_ipt {
+                    accepted_worse += 1;
+                }
                 cur = cand;
                 cur_ipt = ipt;
+            } else {
+                rejected += 1;
             }
+            xps_trace::instant("anneal.move", || {
+                vec![("it", (it + 1).into()), ("accepted", accept.into())]
+            });
             if ipt > best_ipt {
                 best = cur.clone();
                 best_cfg = cfg;
@@ -344,11 +359,15 @@ pub fn anneal_observed(
             // The paper's rule: if the walk degrades to less than half
             // the best seen, roll back to the best solution.
             if cur_ipt < opts.rollback_fraction * best_ipt {
+                rollbacks += 1;
                 cur = best.clone();
                 cur_ipt = best_ipt;
             }
         } else {
             rejected_unrealizable += 1;
+            xps_trace::instant("anneal.move", || {
+                vec![("it", (it + 1).into()), ("unrealizable", true.into())]
+            });
         }
         temp *= opts.cooling;
         history.push(best_ipt);
@@ -373,6 +392,16 @@ pub fn anneal_observed(
         tech,
         cache,
     );
+    walk.end_with(|| {
+        vec![
+            ("workload", name.as_str().into()),
+            ("accepted", accepted.into()),
+            ("accepted_worse", accepted_worse.into()),
+            ("rejected", rejected.into()),
+            ("rollbacks", rollbacks.into()),
+            ("unrealizable", rejected_unrealizable.into()),
+        ]
+    });
     AnnealResult {
         point: best,
         config: best_cfg,

@@ -98,6 +98,12 @@ impl EvalCache {
             cfg: cfg.canonical_key(),
             ops,
         };
+        // The *lookup* is deterministic per task (how many evaluations
+        // a walk asks for never depends on scheduling), so it may live
+        // in the trace journal; whether it *hits* depends on which
+        // racing worker populated the shared cache first, so the
+        // outcome below is recorded volatile-only.
+        xps_trace::instant("cache.lookup", || xps_trace::attr("ops", ops));
         let shard = self.shard(&key);
         if let Some(stats) = shard
             .lock()
@@ -105,10 +111,12 @@ impl EvalCache {
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            xps_trace::instant_volatile("cache.hit", Vec::new);
             return stats.clone();
         }
         // Simulate outside the lock; if two workers race on the same
         // key they both compute the same value and one insert wins.
+        xps_trace::instant_volatile("cache.miss", Vec::new);
         let stats = with_generator(profile, |g| Simulator::new(cfg).run(&mut *g, ops));
         self.misses.fetch_add(1, Ordering::Relaxed);
         shard

@@ -6,11 +6,11 @@ use crate::cache::{CacheCounters, EvalCache};
 use crate::error::{ExploreError, TaskError};
 use crate::parallel::{merge_counts, resolve_jobs};
 use crate::point::DesignPoint;
-use crate::progress::{ProgressEvent, ProgressSink};
 use crate::recovery::{RecoveryStats, RunContext};
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
 use xps_sim::CoreConfig;
+use xps_trace::{ProgressEvent, ProgressSink};
 use xps_workload::WorkloadProfile;
 
 /// Options for a full exploration campaign.
@@ -258,6 +258,7 @@ impl Explorer {
         // Fan out every (workload, start) pair: each anneal seeds its
         // own RNG from (opts.seed ^ start index, profile seed), so the
         // walks are identical no matter which worker runs them.
+        let anneal_phase = xps_trace::span("explore.anneal");
         let fan = ctx.run_fan(
             self.opts.jobs,
             "anneal",
@@ -294,6 +295,7 @@ impl Explorer {
                 anneal_observed(p, &starts[i], &opts, &self.tech, Some(cache), sink.as_ref())
             },
         )?;
+        anneal_phase.end_with(|| xps_trace::attr("tasks", profiles.len() * starts.len()));
         merge_counts(&mut per_worker_tasks, &fan.per_worker);
         // Keep each workload's best start; `>=` keeps the *last* of
         // tied maxima, matching the serial `max_by` fold. A start that
@@ -329,6 +331,7 @@ impl Explorer {
         }
 
         let mut adoptions = 0;
+        let cross_phase = xps_trace::span("explore.cross");
         for _ in 0..self.opts.cross_rounds {
             let mut improved = false;
             for i in 0..profiles.len() {
@@ -379,6 +382,12 @@ impl Explorer {
                             results[i] = r;
                             adoptions += 1;
                             improved = true;
+                            xps_trace::instant("explore.adopt", || {
+                                vec![
+                                    ("workload", profiles[i].name.as_str().into()),
+                                    ("from", profiles[j].name.as_str().into()),
+                                ]
+                            });
                         }
                     }
                 }
@@ -387,6 +396,7 @@ impl Explorer {
                 break;
             }
         }
+        cross_phase.end_with(|| xps_trace::attr("adoptions", adoptions));
 
         let cores = profiles
             .iter()

@@ -52,7 +52,6 @@ mod grid;
 pub mod journal;
 mod parallel;
 mod point;
-mod progress;
 mod recovery;
 mod stats;
 
@@ -67,9 +66,9 @@ pub use grid::{grid_search, grid_search_with, GridResult, GridSpec};
 pub use journal::{fnv64, write_atomic, Journal, JournalError};
 pub use parallel::{merge_counts, resolve_jobs, run_parallel, ParallelRun};
 pub use point::DesignPoint;
-pub use progress::{ProgressEvent, ProgressSink};
 pub use recovery::{FanOutcome, RecoveryStats, RunContext, DEFAULT_RETRIES};
 pub use stats::EngineStats;
+pub use xps_trace::{ProgressEvent, ProgressSink};
 
 /// Re-exported fixed design constants (the paper's Table 2).
 pub mod constants {

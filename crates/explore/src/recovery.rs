@@ -25,11 +25,11 @@ use crate::error::{ExploreError, TaskError, TaskFailure};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::journal::{Journal, JournalError};
 use crate::parallel::run_parallel;
-use crate::progress::{ProgressEvent, ProgressSink};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use xps_trace::{with_recorder, ProgressEvent, ProgressSink, TraceSink};
 
 /// Default retry budget: a task may fail twice and still succeed on
 /// its third attempt before being declared failed.
@@ -74,6 +74,7 @@ pub struct RunContext {
     faults: Option<FaultPlan>,
     cancel: Option<Arc<AtomicBool>>,
     observer: Option<ProgressSink>,
+    trace: Option<TraceSink>,
     retries: u32,
     fan_seq: AtomicU64,
     executed: AtomicU64,
@@ -99,6 +100,7 @@ impl RunContext {
             faults: None,
             cancel: None,
             observer: None,
+            trace: None,
             retries: DEFAULT_RETRIES,
             fan_seq: AtomicU64::new(0),
             executed: AtomicU64::new(0),
@@ -157,6 +159,22 @@ impl RunContext {
     pub fn with_observer(mut self, observer: ProgressSink) -> RunContext {
         self.observer = Some(observer);
         self
+    }
+
+    /// Attach a trace sink: every executed task records its spans into
+    /// a private per-task recorder, filed under the task's journal key
+    /// when the task succeeds. Tracks are keyed deterministically, so
+    /// the serialized trace is byte-identical across worker counts.
+    /// Caller-thread events (phase spans, salvage instants) land in
+    /// whatever recorder the process edge installed.
+    pub fn with_trace(mut self, trace: TraceSink) -> RunContext {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 
     /// Whether the cancellation flag is set.
@@ -243,6 +261,12 @@ impl RunContext {
                                 detail: format!("task `{key}` does not deserialize: {e}"),
                             })?;
                         self.salvaged.fetch_add(1, Ordering::Relaxed);
+                        // Salvages happen serially on the caller
+                        // thread, so this instant lands on the edge
+                        // recorder in deterministic order.
+                        xps_trace::instant("journal.salvage", || {
+                            xps_trace::attr("task", key.as_str())
+                        });
                         if let Some(obs) = &self.observer {
                             obs.emit(&ProgressEvent::TaskDone {
                                 key,
@@ -263,7 +287,21 @@ impl RunContext {
             let run = run_parallel(jobs, missing.len(), |k| {
                 let i = missing[k];
                 let key = key_of(i);
-                let result = self.attempt(&key, || f(i));
+                let result = match &self.trace {
+                    Some(trace) => {
+                        // Record the task into a private recorder whose
+                        // logical clock starts at zero; attach it under
+                        // the deterministic task key only on success,
+                        // so failed attempts leave no trace events.
+                        let (rec, result) =
+                            with_recorder(trace.recorder(), || self.attempt(&key, || f(i)));
+                        if result.is_ok() {
+                            trace.attach(&key, rec);
+                        }
+                        result
+                    }
+                    None => self.attempt(&key, || f(i)),
+                };
                 if let (Ok(value), Some(journal)) = (&result, &self.journal) {
                     let json =
                         // xps-allow(no-unwrap-in-lib): task results are plain data structs; serialization cannot fail

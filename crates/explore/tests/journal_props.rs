@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use proptest::sample::select;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use xps_explore::Journal;
+use xps_explore::{fnv64, Journal, JournalError};
 
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -111,4 +111,114 @@ proptest! {
         }
         let _ = std::fs::remove_file(&path);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Direct corruption cases. The properties above sweep random cut
+// points; these pin the two failure shapes a crashed run actually
+// leaves behind — a half-written final record and a task recorded
+// twice — to their exact recovery semantics.
+
+/// A valid on-disk record line for `task`/`value`, checksummed the
+/// same way the journal does (FNV over task then value).
+fn record_line(task: &str, value: &str) -> String {
+    let crc = format!(
+        "{:016x}",
+        fnv64(fnv64(0, task.as_bytes()), value.as_bytes())
+    );
+    format!(r#"{{"task":"{task}","crc":"{crc}","value":"{value}"}}"#)
+}
+
+#[test]
+fn truncated_final_record_is_detected_with_its_line_number() {
+    let path = tmp("cut-final");
+    let journal = Journal::create(&path).expect("create");
+    for i in 0..3 {
+        journal
+            .record(&format!("cell#0/{i}"), format!("{}.5", i))
+            .expect("record");
+    }
+    drop(journal);
+    let bytes = std::fs::read(&path).expect("read");
+    // Chop into the middle of the last record (newline plus a few
+    // payload bytes), as an interrupted non-atomic write would.
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
+    match Journal::open(&path) {
+        Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 3, "blames the cut record"),
+        other => panic!("expected Corrupt at line 3, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncation_on_a_record_boundary_loads_the_clean_prefix() {
+    let path = tmp("cut-boundary");
+    let journal = Journal::create(&path).expect("create");
+    for i in 0..3 {
+        journal
+            .record(&format!("cell#0/{i}"), format!("{}.5", i))
+            .expect("record");
+    }
+    drop(journal);
+    let text = std::fs::read_to_string(&path).expect("read");
+    let lines: Vec<&str> = text.lines().collect();
+    std::fs::write(&path, format!("{}\n{}\n", lines[0], lines[1])).expect("truncate");
+    let back = Journal::open(&path).expect("a clean prefix reopens");
+    assert_eq!(back.loaded(), 2);
+    assert_eq!(back.get("cell#0/0").as_deref(), Some("0.5"));
+    assert_eq!(back.get("cell#0/1").as_deref(), Some("1.5"));
+    assert_eq!(back.get("cell#0/2"), None, "the lost tail re-executes");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn duplicate_task_on_disk_keeps_the_last_record() {
+    // Two records for the same task (e.g. the file of a run that was
+    // resumed with an older journal appended): the later line wins,
+    // and the journal counts one record, not two.
+    let path = tmp("dup-disk");
+    let text = format!(
+        "{}\n{}\n{}\n",
+        record_line("anneal#0/0", "1.25"),
+        record_line("anneal#0/1", "2.5"),
+        record_line("anneal#0/0", "9.75"),
+    );
+    std::fs::write(&path, &text).expect("write");
+    let journal = Journal::open(&path).expect("open");
+    assert_eq!(journal.loaded(), 2, "duplicates collapse");
+    assert_eq!(journal.get("anneal#0/0").as_deref(), Some("9.75"));
+    assert_eq!(journal.get("anneal#0/1").as_deref(), Some("2.5"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn re_recording_a_task_overwrites_in_memory_and_on_disk() {
+    let path = tmp("dup-record");
+    let journal = Journal::create(&path).expect("create");
+    journal.record("anneal#0/0", "1.0".into()).expect("record");
+    journal
+        .record("anneal#0/0", "2.0".into())
+        .expect("re-record");
+    assert_eq!(journal.get("anneal#0/0").as_deref(), Some("2.0"));
+    drop(journal);
+    let back = Journal::open(&path).expect("reopen");
+    assert_eq!(back.loaded(), 1, "one task, one record");
+    assert_eq!(back.get("anneal#0/0").as_deref(), Some("2.0"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_checksum_is_rejected_by_task_and_line() {
+    let path = tmp("bad-crc");
+    let good = record_line("anneal#0/0", "1.25");
+    let tampered = good.replace("1.25", "1.26"); // payload changed, crc not
+    std::fs::write(&path, format!("{good}\n{tampered}\n")).expect("write");
+    match Journal::open(&path) {
+        Err(JournalError::Checksum { task, line }) => {
+            assert_eq!(task, "anneal#0/0");
+            assert_eq!(line, 2);
+        }
+        other => panic!("expected Checksum at line 2, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
 }

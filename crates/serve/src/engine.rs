@@ -28,6 +28,7 @@ use xps_core::communal::{combination_query, slowdown_row, CrossPerfMatrix};
 use xps_core::explore::{
     EngineStats, EvalCache, ExploreError, Journal, ProgressEvent, ProgressSink, RunContext,
 };
+use xps_core::trace::{with_recorder, Profile as TraceProfile, TraceSink};
 use xps_core::workload::spec;
 use xps_core::{Pipeline, PipelineError};
 
@@ -348,7 +349,7 @@ impl Engine {
         &self,
         job_id: &str,
         canonical: &str,
-    ) -> Result<(String, EngineStats), ServeError> {
+    ) -> Result<(String, EngineStats, Option<TraceProfile>), ServeError> {
         let request = JobRequest::parse(canonical)?;
         let campaign_key = request.campaign_canonical();
         let campaign_id = content_id(&campaign_key);
@@ -370,16 +371,18 @@ impl Engine {
                             "{{\"event\":\"campaign\",\"id\":\"{campaign_id}\",\"source\":\"store\"}}"
                         ),
                     );
-                    Ok((body, EngineStats::default()))
+                    Ok((body, EngineStats::default(), None))
                 }
-                Ok(None) => self.run_campaign(job_id, &request, &campaign_id),
+                Ok(None) => self
+                    .run_campaign(job_id, &request, &campaign_id)
+                    .map(|(body, stats, profile)| (body, stats, Some(profile))),
             }
         };
         self.release_campaign_lock(&campaign_id, lock);
-        let (campaign_body, stats) = outcome?;
+        let (campaign_body, stats, profile) = outcome?;
         let body = derive_answer(&request, &campaign_body)?;
         self.store.put(job_id, &body)?;
-        Ok((body, stats))
+        Ok((body, stats, profile))
     }
 
     /// The serialization lock for one campaign, created on first use.
@@ -416,7 +419,7 @@ impl Engine {
         job_id: &str,
         request: &JobRequest,
         campaign_id: &str,
-    ) -> Result<(String, EngineStats), ServeError> {
+    ) -> Result<(String, EngineStats, TraceProfile), ServeError> {
         let profiles: Vec<_> = request
             .workloads
             .iter()
@@ -436,6 +439,10 @@ impl Engine {
             ),
         );
         let sink = self.progress_sink(job_id);
+        // The daemon is the wall-clock edge: per-task span journals
+        // stay deterministic, the job profile additionally carries
+        // wall time for `/metrics` and the event feed.
+        let trace = TraceSink::with_wall_clock();
         // `from_env` honors `XPS_FAULTS`, so fault-injected CI runs
         // exercise the daemon's retry/requeue paths like the batch
         // pipeline's.
@@ -443,9 +450,14 @@ impl Engine {
             .map_err(|e| ServeError::Pipeline(PipelineError::from(e)))?
             .with_journal(journal)
             .with_cancel(self.cancel.clone())
-            .with_observer(sink.clone());
+            .with_observer(sink.clone())
+            .with_trace(trace.clone());
         let pipeline = request.profile.pipeline(self.pipeline_jobs);
-        let result = pipeline.run_recoverable_with(&profiles, &ctx, &self.cache, Some(&sink))?;
+        let (root, result) = with_recorder(trace.recorder(), || {
+            pipeline.run_recoverable_with(&profiles, &ctx, &self.cache, Some(&sink))
+        });
+        trace.attach("main", root);
+        let result = result?;
         let stats = EngineStats::snapshot(&self.cache, &ctx);
         // The campaign document holds only deterministic simulation
         // results — never run counters, which differ across resumes.
@@ -467,7 +479,11 @@ impl Engine {
         if let Some(journal) = ctx.take_journal() {
             let _ = journal.discard();
         }
-        Ok((body, stats))
+        let profile = trace.profile();
+        for line in span_summary_lines(&profile) {
+            self.hub.publish(job_id, line);
+        }
+        Ok((body, stats, profile))
     }
 
     /// The NDJSON progress sink for one job's feed: anneal steps and
@@ -506,6 +522,24 @@ impl Engine {
             hub.publish(&job, line);
         })
     }
+}
+
+/// One NDJSON feed line per profiled phase, name-ordered: the job's
+/// span summary, streamed to watchers right before the terminal line.
+fn span_summary_lines(profile: &TraceProfile) -> Vec<String> {
+    profile
+        .rows()
+        .map(|(name, r)| {
+            crate::json(&Value::Obj(vec![
+                ("event".to_string(), Value::Str("span".to_string())),
+                ("name".to_string(), Value::Str(name.to_string())),
+                ("count".to_string(), Value::U64(r.count)),
+                ("ops".to_string(), Value::U64(r.ops)),
+                ("ticks".to_string(), Value::U64(r.ticks)),
+                ("wall_us".to_string(), Value::U64(r.wall_ns / 1_000)),
+            ]))
+        })
+        .collect()
 }
 
 /// Whether an error is the graceful-shutdown cancellation (the job

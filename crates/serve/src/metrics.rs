@@ -8,8 +8,10 @@
 
 use serde::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 use xps_core::explore::EngineStats;
+use xps_core::trace::Profile;
 
 /// Histogram bucket upper bounds, microseconds (the last bucket is
 /// unbounded).
@@ -114,6 +116,10 @@ pub struct Metrics {
     tasks_salvaged: AtomicU64,
     journal_replayed: AtomicU64,
     latency: [Histogram; 5],
+    /// Accumulated span profiles of every campaign this process ran
+    /// (merged per phase name). The lock is touched once per finished
+    /// campaign and per `/metrics` render — never on a hot path.
+    spans: Mutex<Profile>,
 }
 
 impl Metrics {
@@ -177,6 +183,15 @@ impl Metrics {
             .fetch_add(stats.journal_loaded, Ordering::Relaxed);
     }
 
+    /// Fold one finished campaign's span profile into the process
+    /// totals.
+    pub fn absorb_profile(&self, profile: &Profile) {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(profile);
+    }
+
     /// Record one request's latency under its endpoint.
     pub fn record_latency(&self, endpoint: Endpoint, elapsed: Duration) {
         self.latency[endpoint.index()].record(elapsed);
@@ -221,11 +236,30 @@ impl Metrics {
                 .map(|e| (e.label().to_string(), self.latency[e.index()].to_value()))
                 .collect(),
         );
+        let spans = Value::Obj(
+            self.spans
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .rows()
+                .map(|(name, r)| {
+                    (
+                        name.to_string(),
+                        Value::Obj(vec![
+                            ("count".to_string(), Value::U64(r.count)),
+                            ("ops".to_string(), Value::U64(r.ops)),
+                            ("ticks".to_string(), Value::U64(r.ticks)),
+                            ("wall_us".to_string(), Value::U64(r.wall_ns / 1_000)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         crate::json(&Value::Obj(vec![
             ("jobs".to_string(), jobs),
             ("cache".to_string(), cache),
             ("store".to_string(), store),
             ("recovery".to_string(), recovery),
+            ("spans".to_string(), spans),
             ("latency_us".to_string(), latency),
         ]))
     }

@@ -270,8 +270,11 @@ fn scheduler_loop(shared: &Shared) {
             Err(ServeError::BadRequest(format!("job panicked: {msg}")))
         });
         match outcome {
-            Ok((_, stats)) => {
+            Ok((_, stats, profile)) => {
                 shared.metrics.absorb_engine(&stats);
+                if let Some(profile) = &profile {
+                    shared.metrics.absorb_profile(profile);
+                }
                 shared.queue.complete(&job.id);
                 shared.metrics.completed();
                 shared.hub.close(

@@ -266,6 +266,16 @@ fn progress_stream_carries_anneal_steps() {
             .contains("\"event\":\"done\""),
         "stream terminates with the done line"
     );
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"span\"") && l.contains("\"name\":\"anneal.walk\"")),
+        "span summary lines precede the done line"
+    );
+    assert!(
+        metric(&addr, &["spans", "anneal.walk", "count"]) >= 1,
+        "job profile lands in /metrics"
+    );
 
     // A second streamer replays the identical feed history: the feed
     // is append-only, so late readers see the same closed stream.

@@ -132,6 +132,15 @@ impl Simulator {
         for op in trace.into_iter().take(max_ops as usize) {
             self.step(&op);
         }
+        // Volatile: whether a simulation *happened* depends on which
+        // racing worker lost the shared-cache race, so this event is
+        // profile-only and never journaled.
+        xps_trace::instant_volatile("sim.run", || {
+            vec![
+                ("ops", self.ops.into()),
+                ("cycles", self.last_commit.into()),
+            ]
+        });
         SimStats {
             instructions: self.ops,
             cycles: self.last_commit,

@@ -5,13 +5,17 @@
 //! engine is doing *right now* — which anneal step it is on, how hot
 //! the walk still is, the best score so far — to clients polling or
 //! streaming a job. [`ProgressSink`] is that hook: a cheap, clonable,
-//! thread-safe callback that the [`Explorer`](crate::Explorer) and
-//! [`RunContext`](crate::RunContext) invoke as work happens.
+//! thread-safe callback that the explorer and its worker pool invoke
+//! as work happens.
 //!
 //! Progress is strictly observational: emitting events never changes a
 //! walk, a journal record, or a result byte. Sinks are called from
 //! worker threads, so they must be fast and must not block on the
 //! threads that produce results.
+//!
+//! This lives in `xps-trace` — alongside spans and the self-profile —
+//! so the whole instrument surface of the stack is one crate; the
+//! explore crate re-exports these types unchanged.
 
 use std::fmt;
 use std::sync::Arc;

@@ -1,0 +1,155 @@
+//! Property tests of the recorder's structural invariant: *any*
+//! interleaving of recorder operations — however unbalanced the
+//! instrumented code was — serializes to an event list that
+//! reconstructs into a well-nested span tree with a monotonic logical
+//! clock, and concatenating the finished buffers of several recorders
+//! on one track preserves that property.
+
+use proptest::prelude::*;
+use xps_trace::{build_tree, Event, EventKind, SpanNode, SpanRecorder, TraceSink};
+
+/// One scripted recorder operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Begin(usize),
+    End,
+    Instant(usize),
+    Volatile(usize),
+}
+
+/// Span / event names must be `&'static str`; draw them from a fixed
+/// pool.
+const NAMES: [&str; 5] = ["walk", "inner", "move", "cache.lookup", "sim.run"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..4, 0..NAMES.len()).prop_map(|(kind, name)| match kind {
+        0 => Op::Begin(name),
+        1 => Op::End,
+        2 => Op::Instant(name),
+        _ => Op::Volatile(name),
+    })
+}
+
+/// A script of up to `max` operations (the vendored proptest's `vec`
+/// is fixed-length, so the length is drawn first).
+fn script_strategy(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    (0usize..max).prop_flat_map(|n| proptest::collection::vec(op_strategy(), n))
+}
+
+/// Run a script against a fresh recorder. Stray `End`s (no span open)
+/// are exactly what a buggy instrumentation site would produce; the
+/// recorder must shrug them off.
+fn record(ops: &[Op]) -> Vec<Event> {
+    let mut rec = SpanRecorder::new();
+    for op in ops {
+        match op {
+            Op::Begin(n) => rec.begin(NAMES[*n]),
+            Op::End => rec.end(Vec::new()),
+            Op::Instant(n) => rec.instant(NAMES[*n], Vec::new()),
+            Op::Volatile(n) => rec.instant_volatile(NAMES[*n], Vec::new()),
+        }
+    }
+    rec.finish()
+}
+
+/// Walk a reconstructed forest checking begin/end tick containment.
+fn check_extents(nodes: &[SpanNode]) {
+    for node in nodes {
+        assert!(node.begin_tick <= node.end_tick, "{node:?}");
+        for child in &node.children {
+            assert!(
+                node.begin_tick <= child.begin_tick && child.end_tick <= node.end_tick,
+                "child {child:?} escapes parent {node:?}"
+            );
+        }
+        check_extents(&node.children);
+    }
+}
+
+proptest! {
+    /// Whatever the interleaving, a finished recorder's events are a
+    /// well-nested forest.
+    #[test]
+    fn any_interleaving_reconstructs_a_well_nested_tree(
+        ops in script_strategy(64)
+    ) {
+        let events = record(&ops);
+        let tree = build_tree(&events).expect("recorder output must be well nested");
+        check_extents(&tree);
+    }
+
+    /// Deterministic ticks are strictly increasing (each deterministic
+    /// event consumes one tick); volatile events never consume ticks.
+    #[test]
+    fn deterministic_ticks_count_deterministic_events(
+        ops in script_strategy(64)
+    ) {
+        let events = record(&ops);
+        let det: Vec<&Event> = events.iter().filter(|e| !e.volatile).collect();
+        for (i, ev) in det.iter().enumerate() {
+            prop_assert_eq!(ev.tick, i as u64);
+        }
+        for ev in events.iter().filter(|e| e.volatile) {
+            prop_assert!(matches!(ev.kind, EventKind::Instant));
+        }
+    }
+
+    /// Concatenating several finished recorders under one sink track —
+    /// what retried/phased attachment does — still reconstructs, and
+    /// the serialized journal parses back line-for-line with only
+    /// deterministic events.
+    #[test]
+    fn concatenated_recorders_stay_well_formed(
+        scripts in (1usize..4)
+            .prop_flat_map(|k| proptest::collection::vec(script_strategy(24), k))
+    ) {
+        let sink = TraceSink::new();
+        let mut concatenated: Vec<Event> = Vec::new();
+        for ops in &scripts {
+            let mut rec = sink.recorder();
+            for op in ops {
+                match op {
+                    Op::Begin(n) => rec.begin(NAMES[*n]),
+                    Op::End => rec.end(Vec::new()),
+                    Op::Instant(n) => rec.instant(NAMES[*n], Vec::new()),
+                    Op::Volatile(n) => rec.instant_volatile(NAMES[*n], Vec::new()),
+                }
+            }
+            // Mirror TraceSink::attach's finish-then-append.
+            let mut probe = SpanRecorder::new();
+            for op in ops {
+                match op {
+                    Op::Begin(n) => probe.begin(NAMES[*n]),
+                    Op::End => probe.end(Vec::new()),
+                    Op::Instant(n) => probe.instant(NAMES[*n], Vec::new()),
+                    Op::Volatile(n) => probe.instant_volatile(NAMES[*n], Vec::new()),
+                }
+            }
+            concatenated.extend(probe.finish());
+            sink.attach("track", rec);
+        }
+        // Each finished segment is a complete forest, so the
+        // concatenation must still be one (ticks restart per segment,
+        // which build_tree only enforces per contiguous run — the
+        // forest property is what concatenation must preserve).
+        let mut stack = 0i64;
+        for ev in &concatenated {
+            match ev.kind {
+                EventKind::Begin => stack += 1,
+                EventKind::End => {
+                    stack -= 1;
+                    prop_assert!(stack >= 0, "end without begin in concatenation");
+                }
+                EventKind::Instant => {}
+            }
+        }
+        prop_assert_eq!(stack, 0, "concatenation left spans open");
+        // The journal has exactly the deterministic events, in order.
+        let journal = sink.to_ndjson();
+        let det = concatenated.iter().filter(|e| !e.volatile).count();
+        prop_assert_eq!(journal.lines().count(), det);
+        for line in journal.lines() {
+            prop_assert!(line.starts_with("{\"track\":\"track\",\"tick\":"), "{}", line);
+        }
+    }
+}
