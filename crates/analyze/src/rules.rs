@@ -12,6 +12,7 @@
 //! | `no-unwrap-in-lib` | library code fails through the typed error hierarchy |
 //! | `no-unordered-iteration-to-output` | hash-ordered iteration never reaches serialized output |
 //! | `no-panic-in-worker` | worker closures stay inside the `catch_unwind` boundary |
+//! | `no-alloc-in-sim-hot-path` | the cycle engine's per-op step stays free of hash lookups and heap allocation |
 //! | `malformed-suppression` | every `xps-allow` carries a rule id and a reason |
 //!
 //! Suppression: a finding on line *L* is suppressed by a comment
@@ -91,6 +92,14 @@ pub fn all_rules() -> Vec<Rule> {
                       the catch_unwind boundary",
             applies_to: &[FileClass::Lib, FileClass::Bin],
             check: check_panic_in_worker,
+        },
+        Rule {
+            id: "no-alloc-in-sim-hot-path",
+            severity: Severity::Deny,
+            summary: "HashMap/HashSet access or heap allocation inside the cycle \
+                      engine's per-op `fn step` (crates/sim/src/engine.rs)",
+            applies_to: &[FileClass::Lib],
+            check: check_sim_hot_path,
         },
     ]
 }
@@ -637,6 +646,83 @@ fn statement_span(ctx: &FileCtx<'_>, i: usize) -> std::ops::Range<usize> {
 }
 
 // ---------------------------------------------------------------------
+// no-alloc-in-sim-hot-path
+
+/// Hash-ordered (and hash-costed) container names that have no place
+/// in the per-op step: the hot-loop overhaul replaced them with dense
+/// rings precisely because a hash probe per op dominated the profile.
+const HOT_PATH_HASH_TOKENS: [&str; 4] = ["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+/// Tokens that allocate (or strongly suggest allocating) on the heap.
+/// One allocation per simulated micro-op is millions per evaluation.
+const HOT_PATH_ALLOC_TOKENS: [&str; 8] = [
+    "Vec",
+    "vec",
+    "Box",
+    "String",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "format",
+];
+
+/// The optimized engine's throughput contract, enforced structurally:
+/// inside `fn step` of `crates/sim/src/engine.rs` (the function every
+/// simulated micro-op funnels through), no hash-structure access and
+/// no heap allocation. The reference engine (`reference.rs`) is
+/// deliberately out of scope — its job is to stay unoptimized — and a
+/// reasoned `xps-allow` remains the escape hatch for a future step
+/// that can argue its allocation is amortized.
+fn check_sim_hot_path(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
+    if !ctx.relpath.ends_with("sim/src/engine.rs") {
+        return;
+    }
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        if !(ctx.is(i, "fn") && ctx.is(i + 1, "step")) || ctx.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let mut open = i + 2;
+        while open < ctx.sig.len() && !ctx.is(open, "{") {
+            open += 1;
+        }
+        let close = ctx.matching_close(open);
+        for k in (open + 1)..close {
+            let Some(t) = ctx.tok(k) else { continue };
+            if HOT_PATH_HASH_TOKENS.contains(&t.text) {
+                out.push(finding(
+                    ctx,
+                    rule,
+                    k,
+                    format!(
+                        "{} access inside the per-op `fn step` — a hash probe per \
+                         micro-op was exactly what the hot-loop overhaul removed",
+                        t.text
+                    ),
+                    "use the dense ring / SoA structures the engine already carries, \
+                     or justify with an xps-allow reason",
+                ));
+            } else if HOT_PATH_ALLOC_TOKENS.contains(&t.text) {
+                out.push(finding(
+                    ctx,
+                    rule,
+                    k,
+                    format!(
+                        "`{}` inside the per-op `fn step` allocates per micro-op — \
+                         millions of allocations per evaluation",
+                        t.text
+                    ),
+                    "hoist the allocation to construction time (Simulator::new) or \
+                     per-run state, or justify with an xps-allow reason",
+                ));
+            }
+        }
+        i = close + 1;
+    }
+}
+
+// ---------------------------------------------------------------------
 // no-panic-in-worker
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -842,6 +928,53 @@ mod tests {
     }
 
     #[test]
+    fn hot_path_rule_scoped_to_engine_step() {
+        let src = "impl Simulator {\n\
+                       fn step(&mut self, op: &MicroOp) {\n\
+                           let used = self.issue_slots.entry(c).or_insert(0);\n\
+                           let v: Vec<u64> = Vec::new();\n\
+                       }\n\
+                   }\n\
+                   struct S { issue_slots: HashMap<u64, u32> }\n";
+        let f = lint("crates/sim/src/engine.rs", FileClass::Lib, src);
+        assert_eq!(
+            rules_of(&f),
+            vec!["no-alloc-in-sim-hot-path", "no-alloc-in-sim-hot-path"],
+            "{f:?}"
+        );
+        // The reference oracle keeps its HashMap on purpose.
+        assert!(lint("crates/sim/src/reference.rs", FileClass::Lib, src).is_empty());
+        // Outside `fn step`, construction-time allocation is fine.
+        let ctor = "impl Simulator {\n\
+                        fn new() -> Simulator { Simulator { ring: vec![0; 64] } }\n\
+                        fn step(&mut self, op: &MicroOp) { self.ring[0] = 1; }\n\
+                    }\n";
+        assert!(lint("crates/sim/src/engine.rs", FileClass::Lib, ctor).is_empty());
+    }
+
+    #[test]
+    fn hot_path_rule_honors_suppression() {
+        let src = "impl Simulator {\n\
+                       fn step(&mut self, op: &MicroOp) {\n\
+                           // xps-allow(no-alloc-in-sim-hot-path): amortized growth, once per 4096 ops\n\
+                           self.spill.push(c);\n\
+                       }\n\
+                   }\n";
+        // `push` alone is not flagged (growth is amortized and the
+        // target may be a fixed ring) — but a flagged token under an
+        // allow stays quiet and the allow counts as used.
+        let with_vec = "impl Simulator {\n\
+                            fn step(&mut self, op: &MicroOp) {\n\
+                                // xps-allow(no-alloc-in-sim-hot-path): scratch buffer reused via capacity\n\
+                                let mut scratch: Vec<u64> = Vec::with_capacity(0);\n\
+                            }\n\
+                        }\n";
+        assert!(lint("crates/sim/src/engine.rs", FileClass::Lib, with_vec).is_empty());
+        let f = lint("crates/sim/src/engine.rs", FileClass::Lib, src);
+        assert_eq!(rules_of(&f), vec!["unused-suppression"], "{f:?}");
+    }
+
+    #[test]
     fn rule_catalog_is_stable() {
         let ids: Vec<&str> = all_rules().iter().map(|r| r.id).collect();
         assert_eq!(
@@ -852,6 +985,7 @@ mod tests {
                 "no-unwrap-in-lib",
                 "no-unordered-iteration-to-output",
                 "no-panic-in-worker",
+                "no-alloc-in-sim-hot-path",
             ]
         );
     }

@@ -1,0 +1,81 @@
+//! Cache-hierarchy access cost in isolation: the `Hierarchy::access`
+//! path runs once per memory op inside the cycle engine's hot loop, so
+//! its cost (hit probe, MSHR fill scan, L2 descent, prefetch hook)
+//! gates simulator throughput directly. The address streams mirror the
+//! engine's real mix: mostly-hitting strided loops, miss-heavy random
+//! sweeps that keep the MSHR fill arrays busy, and a pointer-chase
+//! pattern whose overlapping misses exercise the latency-overlap rule.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xps_core::cacti::CacheGeometry;
+use xps_core::sim::{CacheConfig, Hierarchy, PrefetchKind};
+
+const ACCESSES: u64 = 100_000;
+
+fn small_l1() -> CacheConfig {
+    CacheConfig {
+        geometry: CacheGeometry::new(64, 2, 64),
+        latency: 2,
+    }
+}
+
+fn big_l2() -> CacheConfig {
+    CacheConfig {
+        geometry: CacheGeometry::new(2048, 8, 128),
+        latency: 12,
+    }
+}
+
+/// xorshift64 — a deterministic stand-in for a random address stream
+/// without pulling the workload generator into a cache-only bench.
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Address-stream step: maps (access index, seed) to (next seed, addr).
+type Pattern = fn(u64, u64) -> (u64, u64);
+
+fn access_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache-hierarchy");
+    g.throughput(Throughput::Elements(ACCESSES));
+    let patterns: [(&str, Pattern); 3] = [
+        // 4 KiB strided loop: virtually all L1 hits, the common case.
+        ("strided-hit", |i, seed| (seed, (i * 64) % 4096)),
+        // Random over 16 MiB: misses in both levels, MSHRs churn.
+        ("random-miss", |i, seed| {
+            let s = xorshift(seed.wrapping_add(i | 1));
+            (s, s % (16 << 20))
+        }),
+        // Dependent-looking chase over 1 MiB with short bursts: misses
+        // arrive close together so fills overlap in the MSHR window.
+        ("burst-chase", |i, seed| {
+            let s = if i % 4 == 0 { xorshift(seed + i) } else { seed };
+            (s, (s % (1 << 20)) + (i % 4) * 8)
+        }),
+    ];
+    for (name, next) in patterns {
+        for prefetch in [PrefetchKind::None, PrefetchKind::NextLine] {
+            g.bench_function(format!("{name}/{prefetch:?}"), |b| {
+                b.iter(|| {
+                    let mut h = Hierarchy::with_prefetcher(&small_l1(), &big_l2(), 200, prefetch);
+                    let mut seed = 0x9e3779b97f4a7c15u64;
+                    let mut done = 0u64;
+                    for i in 0..ACCESSES {
+                        let (s, addr) = next(i, seed);
+                        seed = s;
+                        done = h.access(black_box(addr), i);
+                    }
+                    black_box(done)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, access_patterns);
+criterion_main!(benches);

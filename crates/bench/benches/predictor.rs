@@ -1,0 +1,56 @@
+//! Branch-predictor update cost: `predict_and_update` runs once per
+//! branch micro-op (roughly one op in six on the SPEC profiles), so a
+//! slow predictor shows up directly in engine throughput. Each
+//! predictor kind sees the same two deterministic outcome streams: a
+//! biased loop-like pattern (predictable, the common case) and a
+//! pattern keyed to PC bits (stresses table indexing and aliasing).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xps_core::sim::{Predictor, PredictorKind};
+
+const BRANCHES: u64 = 100_000;
+
+/// Outcome-stream step: maps branch index to (pc, taken).
+type Stream = fn(u64) -> (u64, bool);
+
+fn outcome_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(BRANCHES));
+    let kinds = [
+        PredictorKind::Gshare,
+        PredictorKind::Bimodal,
+        PredictorKind::TwoLevelLocal,
+        PredictorKind::Tournament,
+    ];
+    let streams: [(&str, Stream); 2] = [
+        // 15-iteration loops over 32 static branches: taken except on
+        // exit, the pattern every predictor should learn quickly.
+        ("loopy", |i| ((i % 32) * 4, i % 16 != 15)),
+        // Outcome depends on PC bits mixed with a coarse phase, so
+        // histories alias across the table and keep updating.
+        ("pc-keyed", |i| {
+            let pc = (i.wrapping_mul(0x9e37) >> 3) % 4096;
+            (pc, (pc ^ (i >> 8)).count_ones() % 2 == 0)
+        }),
+    ];
+    for kind in kinds {
+        for (name, next) in streams {
+            g.bench_function(format!("{kind:?}/{name}"), |b| {
+                b.iter(|| {
+                    let mut p = Predictor::of_kind(kind);
+                    let mut correct = 0u64;
+                    for i in 0..BRANCHES {
+                        let (pc, taken) = next(i);
+                        correct += u64::from(p.predict_and_update(black_box(pc), taken));
+                    }
+                    black_box(correct)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, outcome_streams);
+criterion_main!(benches);

@@ -1,9 +1,15 @@
 //! Simulator throughput: micro-ops per second through the OoO timing
 //! model on representative workloads and configurations.
+//!
+//! The `simulator` group measures the evaluation path exploration code
+//! actually runs ([`xps_core::sim::evaluate`]): the profile's trace is
+//! memoized per thread and replayed for every configuration, so the
+//! numbers track the cycle engine itself. `trace-generation` measures
+//! the generator's raw (uncached) sampling throughput separately.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use xps_core::paper;
-use xps_core::sim::{CoreConfig, Simulator};
+use xps_core::sim::{evaluate, CoreConfig};
 use xps_core::workload::{spec, TraceGenerator};
 
 fn sim_throughput(c: &mut Criterion) {
@@ -14,11 +20,11 @@ fn sim_throughput(c: &mut Criterion) {
         let p = spec::profile(name).expect("known benchmark");
         g.bench_with_input(BenchmarkId::new("initial-config", name), &p, |b, p| {
             let cfg = CoreConfig::initial();
-            b.iter(|| Simulator::new(&cfg).run(TraceGenerator::new(p.clone()), n));
+            b.iter(|| evaluate(p, &cfg, n));
         });
         let cfg = paper::table4_config(name).expect("in Table 4");
         g.bench_with_input(BenchmarkId::new("table4-config", name), &p, |b, p| {
-            b.iter(|| Simulator::new(&cfg).run(TraceGenerator::new(p.clone()), n));
+            b.iter(|| evaluate(p, &cfg, n));
         });
     }
     g.finish();

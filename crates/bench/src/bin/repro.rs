@@ -35,7 +35,11 @@
 //!   serve        run the exploration-as-a-service daemon (xps-serve)
 //!   client       submit a smoke exploration to a running daemon
 //!   analyze      static analysis: lint workspace sources, validate artifacts
-//!   all          everything above (except profile/serve/client/analyze), in order
+//!   bench        measure engine throughput before/after the hot-loop
+//!                overhaul (reference vs optimized, same process) and
+//!                write `BENCH_6.json`; `--check` compares against the
+//!                committed file and fails on a >10% speedup regression
+//!   all          everything above (except profile/serve/client/analyze/bench), in order
 //!
 //! `--paper-data` analyses the paper's published Table 5 instead of
 //! this repository's measured matrix; `--quick` shrinks the measured
@@ -122,6 +126,9 @@ struct Cli {
     addr: Option<String>,
     /// `--data-dir PATH`: daemon state root.
     data_dir: Option<PathBuf>,
+    /// `--check` (`bench` only): compare against the committed
+    /// `BENCH_*.json` instead of rewriting it.
+    check: bool,
     /// `--help` / `-h`.
     help: bool,
 }
@@ -150,7 +157,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         let name = arg.split('=').next().unwrap_or(&arg);
         let is_bool = matches!(
             name,
-            "--quick" | "--paper-data" | "--resume" | "--help" | "-h"
+            "--quick" | "--paper-data" | "--resume" | "--check" | "--help" | "-h"
         );
         if is_bool && arg != name {
             return Err(format!("{name} takes no value (got `{arg}`)"));
@@ -159,6 +166,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--quick" => cli.quick = true,
             "--paper-data" => cli.paper_data = true,
             "--resume" => cli.resume = true,
+            "--check" => cli.check = true,
             "--help" | "-h" => cli.help = true,
             "--jobs" => {
                 let v = flag_value(args, &mut i, "--jobs")?;
@@ -205,7 +213,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 return Err(format!(
                     "unknown flag `{name}` (flags: --paper-data --quick --jobs N \
                      --resume --retries N --faults SPEC --journal PATH \
-                     --addr HOST:PORT --data-dir PATH --help)"
+                     --addr HOST:PORT --data-dir PATH --check --help)"
                 ));
             }
             _ => {
@@ -240,6 +248,7 @@ struct RunOpts {
     journal: Option<PathBuf>,
     addr: Option<String>,
     data_dir: Option<PathBuf>,
+    check: bool,
 }
 
 static RUN: OnceLock<RunOpts> = OnceLock::new();
@@ -258,8 +267,8 @@ fn main() -> ExitCode {
         }
     };
     if cli.help || cli.cmd == "help" {
-        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize profile serve client analyze all");
-        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH");
+        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize profile serve client analyze bench all");
+        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH --check");
         return ExitCode::SUCCESS;
     }
     let faults = match cli.faults.as_deref().map(FaultPlan::parse).transpose() {
@@ -277,6 +286,7 @@ fn main() -> ExitCode {
         journal: cli.journal.clone(),
         addr: cli.addr.clone(),
         data_dir: cli.data_dir.clone(),
+        check: cli.check,
     })
     .expect("options set once");
     let source = if cli.paper_data {
@@ -366,6 +376,7 @@ fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), Box<dyn Erro
         "serve" => serve_cmd(),
         "client" => client_cmd(quick),
         "analyze" => analyze_cmd(),
+        "bench" => bench_cmd(quick, run_opts().check),
         _ => Err(format!("unknown experiment `{c}` (run `repro --help` for the list)").into()),
     }
 }
@@ -397,6 +408,192 @@ fn analyze_cmd() -> Result<(), Box<dyn Error>> {
         )
         .into())
     }
+}
+
+/// The perf-trajectory file for this round of engine work. Each
+/// hot-loop PR commits a `BENCH_<n>.json` so the series records how
+/// throughput moved over time.
+const BENCH_PATH: &str = "BENCH_6.json";
+
+/// Workloads measured by `repro bench` — the same three the Criterion
+/// `simulator` group tracks.
+const BENCH_WORKLOADS: [&str; 3] = ["gzip", "mcf", "crafty"];
+
+/// `--check` fails when the geometric-mean speedup over the matched
+/// rows falls more than this far below the committed baseline's. The
+/// gate is on the geomean, not per-row: a genuine hot-path regression
+/// slows every row, while single rows drift several percent with host
+/// cache and frequency state even though both engines run back to
+/// back.
+const BENCH_TOLERANCE: f64 = 0.10;
+
+/// One (workload, config, op budget) measurement: both engines timed
+/// in the same process on the same pre-materialized trace.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct BenchRow {
+    workload: String,
+    config: String,
+    ops: u64,
+    /// Pre-overhaul [`sim::ReferenceSimulator`] throughput, micro-ops/sec.
+    before_ops_per_sec: f64,
+    /// Optimized [`Simulator`] throughput, micro-ops/sec.
+    after_ops_per_sec: f64,
+    /// `after / before`. Machine-neutral: both engines ran in the same
+    /// process and build, so drift cancels out of the ratio.
+    speedup: f64,
+}
+
+/// The machine-readable contents of [`BENCH_PATH`].
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct BenchReport {
+    issue: u32,
+    note: String,
+    rows: Vec<BenchRow>,
+}
+
+/// Best-of-N wall times for a (reference, optimized) pair. The reps
+/// interleave the two engines so host-state drift during the
+/// measurement lands on both sides of the ratio.
+fn bench_pair(
+    reps: u32,
+    mut before: impl FnMut() -> f64,
+    mut after: impl FnMut() -> f64,
+) -> (f64, f64) {
+    let (mut best_b, mut best_a) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        best_b = best_b.min(before());
+        best_a = best_a.min(after());
+    }
+    (best_b, best_a)
+}
+
+/// `repro bench`: measure the reference (pre-overhaul) and optimized
+/// cycle engines back to back on identical traces and emit the
+/// before/after table as `BENCH_6.json` (or, with `--check`, compare
+/// the fresh speedups against the committed file and fail on a >10%
+/// regression). Absolute ops/sec depends on the host; the speedup
+/// column is the portable number, which is why the regression gate is
+/// on speedup and not on raw throughput.
+fn bench_cmd(quick: bool, check: bool) -> Result<(), Box<dyn Error>> {
+    use xps_core::sim::ReferenceSimulator;
+
+    let budgets: &[u64] = if quick { &[50_000] } else { &[50_000, 400_000] };
+    let reps: u32 = if quick { 3 } else { 5 };
+    let mut rows = Vec::new();
+    for name in BENCH_WORKLOADS {
+        let p = spec::profile(name).expect("bench workloads are known benchmarks");
+        let max_ops = *budgets.last().expect("at least one budget") as usize;
+        let trace: Vec<_> = TraceGenerator::new(p).take(max_ops).collect();
+        let configs = [
+            ("initial".to_string(), CoreConfig::initial()),
+            (
+                "table4".to_string(),
+                paper::table4_config(name).expect("bench workloads are in Table 4"),
+            ),
+        ];
+        for (cfg_name, cfg) in &configs {
+            for &ops in budgets {
+                let slice = &trace[..ops as usize];
+                let timed = |stats_of: &mut dyn FnMut() -> u64| -> f64 {
+                    // xps-allow(no-wallclock-in-deterministic-paths): a benchmark's output *is* wall time; simulated results stay deterministic
+                    let t0 = std::time::Instant::now();
+                    let cycles = stats_of();
+                    let dt = t0.elapsed().as_secs_f64();
+                    std::hint::black_box(cycles);
+                    dt
+                };
+                let (before, after) = bench_pair(
+                    reps,
+                    || {
+                        timed(&mut || {
+                            ReferenceSimulator::new(cfg)
+                                .run(slice.iter().copied(), ops)
+                                .cycles
+                        })
+                    },
+                    || timed(&mut || Simulator::new(cfg).run(slice.iter().copied(), ops).cycles),
+                );
+                rows.push(BenchRow {
+                    workload: name.to_string(),
+                    config: cfg_name.clone(),
+                    ops,
+                    before_ops_per_sec: ops as f64 / before,
+                    after_ops_per_sec: ops as f64 / after,
+                    speedup: before / after,
+                });
+            }
+        }
+    }
+
+    println!(
+        "{:<10} {:<8} {:>8} {:>14} {:>14} {:>9}",
+        "workload", "config", "ops", "before op/s", "after op/s", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<8} {:>8} {:>14.0} {:>14.0} {:>8.2}x",
+            r.workload, r.config, r.ops, r.before_ops_per_sec, r.after_ops_per_sec, r.speedup
+        );
+    }
+
+    if check {
+        let text = std::fs::read_to_string(BENCH_PATH)
+            .map_err(|e| format!("--check needs a committed {BENCH_PATH}: {e}"))?;
+        let baseline: BenchReport = serde_json::from_str(&text)
+            .map_err(|e| format!("{BENCH_PATH} is not a valid bench report: {e}"))?;
+        let mut compared = 0usize;
+        let (mut log_now, mut log_base) = (0.0f64, 0.0f64);
+        for r in &rows {
+            let Some(b) = baseline
+                .rows
+                .iter()
+                .find(|b| b.workload == r.workload && b.config == r.config && b.ops == r.ops)
+            else {
+                continue;
+            };
+            compared += 1;
+            log_now += r.speedup.ln();
+            log_base += b.speedup.ln();
+        }
+        if compared == 0 {
+            return Err(format!(
+                "--check matched no rows of {BENCH_PATH} (budget mismatch? \
+                 the committed file must include the budgets being checked)"
+            )
+            .into());
+        }
+        let geo_now = (log_now / compared as f64).exp();
+        let geo_base = (log_base / compared as f64).exp();
+        let floor = geo_base * (1.0 - BENCH_TOLERANCE);
+        if geo_now < floor {
+            return Err(format!(
+                "throughput regression vs {BENCH_PATH}: geomean speedup {geo_now:.2}x \
+                 over {compared} row(s) fell below {floor:.2}x (baseline {geo_base:.2}x \
+                 minus {:.0}% tolerance)",
+                BENCH_TOLERANCE * 100.0
+            )
+            .into());
+        }
+        println!(
+            "[bench --check: geomean speedup {geo_now:.2}x over {compared} row(s), \
+             within {:.0}% of committed {geo_base:.2}x]",
+            BENCH_TOLERANCE * 100.0
+        );
+        return Ok(());
+    }
+
+    let report = BenchReport {
+        issue: 6,
+        note: "Hot-loop overhaul of the cycle engine: issue-slot ring + filtered \
+               store forwarding + SoA MSHRs vs the pre-overhaul reference engine, \
+               measured back to back in one process on identical traces."
+            .to_string(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report)?;
+    xps_core::explore::write_atomic(std::path::Path::new(BENCH_PATH), &json)?;
+    println!("[wrote {BENCH_PATH}]");
+    Ok(())
 }
 
 /// Run (or reuse) the measured campaign. A missing results file means

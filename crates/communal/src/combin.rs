@@ -73,11 +73,11 @@ pub fn best_combination(m: &CrossPerfMatrix, k: usize, merit: Merit) -> ComboRes
         }
     });
     pass.end_with(|| {
-        vec![
+        xps_trace::attrs([
             ("n", n.into()),
             ("k", k.into()),
             ("evaluated", evaluated.into()),
-        ]
+        ])
     });
     // xps-allow(no-unwrap-in-lib): choose(n, k) enumerations with validated k >= 1 always yield at least one subset
     let (cores, merit_value) = best.expect("at least one combination exists");

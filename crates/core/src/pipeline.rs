@@ -11,8 +11,8 @@ use xps_explore::{
     merge_counts, resolve_jobs, CacheCounters, CustomizedCore, EvalCache, ExploreOptions, Explorer,
     ProgressSink, RecoveryStats, RunContext,
 };
-use xps_sim::{CoreConfig, Simulator};
-use xps_workload::{with_generator, WorkloadProfile};
+use xps_sim::CoreConfig;
+use xps_workload::WorkloadProfile;
 
 /// The IPT substituted for a matrix cell whose measurement failed
 /// every retry. Positive (so the matrix stays valid) but smaller than
@@ -104,7 +104,7 @@ pub struct PipelineResult {
 
 /// Measure the IPT of `profile` on `config` over `ops` micro-ops.
 pub fn measure(profile: &WorkloadProfile, config: &CoreConfig, ops: u64) -> f64 {
-    with_generator(profile, |g| Simulator::new(config).run(&mut *g, ops)).ipt()
+    xps_sim::evaluate(profile, config, ops).ipt()
 }
 
 /// Build a cross-configuration matrix by simulating every workload on
@@ -215,10 +215,10 @@ pub fn cross_matrix_recoverable(
                 changed = true;
                 replacements += 1;
                 xps_trace::instant("matrix.adopt", || {
-                    vec![
+                    xps_trace::attrs([
                         ("workload", profiles[w].name.as_str().into()),
                         ("from", profiles[best].name.as_str().into()),
-                    ]
+                    ])
                 });
                 let fan = ctx.run_fan(jobs, "rematrix", 2 * n, |t| {
                     if t < n {

@@ -6,9 +6,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
-use xps_sim::{energy_delay_product, CoreConfig, SimStats, Simulator};
+use xps_sim::{energy_delay_product, CoreConfig, SimStats};
 use xps_trace::{ProgressEvent, ProgressSink};
-use xps_workload::{with_generator, WorkloadProfile};
+use xps_workload::WorkloadProfile;
 
 /// What the annealer maximizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -144,7 +144,7 @@ fn stats_for(
 ) -> SimStats {
     match cache {
         Some(cache) => cache.stats(profile, cfg, ops),
-        None => with_generator(profile, |g| Simulator::new(cfg).run(&mut *g, ops)),
+        None => xps_sim::evaluate(profile, cfg, ops),
     }
 }
 
@@ -349,7 +349,7 @@ pub fn anneal_observed(
                 rejected += 1;
             }
             xps_trace::instant("anneal.move", || {
-                vec![("it", (it + 1).into()), ("accepted", accept.into())]
+                xps_trace::attrs([("it", (it + 1).into()), ("accepted", accept.into())])
             });
             if ipt > best_ipt {
                 best = cur.clone();
@@ -366,7 +366,7 @@ pub fn anneal_observed(
         } else {
             rejected_unrealizable += 1;
             xps_trace::instant("anneal.move", || {
-                vec![("it", (it + 1).into()), ("unrealizable", true.into())]
+                xps_trace::attrs([("it", (it + 1).into()), ("unrealizable", true.into())])
             });
         }
         temp *= opts.cooling;
@@ -393,14 +393,14 @@ pub fn anneal_observed(
         cache,
     );
     walk.end_with(|| {
-        vec![
+        xps_trace::attrs([
             ("workload", name.as_str().into()),
             ("accepted", accepted.into()),
             ("accepted_worse", accepted_worse.into()),
             ("rejected", rejected.into()),
             ("rollbacks", rollbacks.into()),
             ("unrealizable", rejected_unrealizable.into()),
-        ]
+        ])
     });
     AnnealResult {
         point: best,

@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
-use xps_sim::{ConfigKey, CoreConfig, SimStats, Simulator};
-use xps_workload::{with_generator, WorkloadProfile};
+use xps_sim::{ConfigKey, CoreConfig, SimStats};
+use xps_workload::WorkloadProfile;
 
 const SHARDS: usize = 64;
 
@@ -111,13 +111,13 @@ impl EvalCache {
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            xps_trace::instant_volatile("cache.hit", Vec::new);
+            xps_trace::instant_volatile("cache.hit", xps_trace::Attrs::new);
             return stats.clone();
         }
         // Simulate outside the lock; if two workers race on the same
         // key they both compute the same value and one insert wins.
-        xps_trace::instant_volatile("cache.miss", Vec::new);
-        let stats = with_generator(profile, |g| Simulator::new(cfg).run(&mut *g, ops));
+        xps_trace::instant_volatile("cache.miss", xps_trace::Attrs::new);
+        let stats = xps_sim::evaluate(profile, cfg, ops);
         self.misses.fetch_add(1, Ordering::Relaxed);
         shard
             .lock()

@@ -383,10 +383,10 @@ impl Explorer {
                             adoptions += 1;
                             improved = true;
                             xps_trace::instant("explore.adopt", || {
-                                vec![
+                                xps_trace::attrs([
                                     ("workload", profiles[i].name.as_str().into()),
                                     ("from", profiles[j].name.as_str().into()),
-                                ]
+                                ])
                             });
                         }
                     }

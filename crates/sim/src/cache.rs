@@ -36,6 +36,10 @@ pub struct DataCache {
     sets: u32,
     assoc: u32,
     offset_bits: u32,
+    /// Set-index bits when `sets` is a power of two (the common case
+    /// for every explored geometry); the set/tag split is then a
+    /// mask/shift instead of two integer divisions per access.
+    set_bits: Option<u32>,
     stats: CacheStats,
 }
 
@@ -50,6 +54,7 @@ impl DataCache {
             sets,
             assoc,
             offset_bits: cfg.geometry.offset_bits(),
+            set_bits: sets.is_power_of_two().then(|| sets.trailing_zeros()),
             stats: CacheStats::default(),
         }
     }
@@ -61,10 +66,15 @@ impl DataCache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.offset_bits;
-        (
-            (block % u64::from(self.sets)) as usize,
-            block / u64::from(self.sets),
-        )
+        match self.set_bits {
+            // Identical split to the modulo/divide below, minus the
+            // divisions.
+            Some(bits) => ((block & u64::from(self.sets - 1)) as usize, block >> bits),
+            None => (
+                (block % u64::from(self.sets)) as usize,
+                block / u64::from(self.sets),
+            ),
+        }
     }
 
     /// Access `addr`; returns `true` on hit. On miss the block is
@@ -121,6 +131,10 @@ impl DataCache {
     fn touch(&mut self, set: usize, way: usize) {
         let base = set * self.assoc as usize;
         let old = self.lru[base + way];
+        if old == 0 {
+            // Already most-recently-used; nothing would shift.
+            return;
+        }
         for v in &mut self.lru[base..base + self.assoc as usize] {
             if *v < old {
                 *v += 1;
@@ -156,9 +170,20 @@ pub struct Hierarchy {
     l1_lat: u64,
     l2_lat: u64,
     mem_lat: u64,
-    /// Small ring of outstanding L2/memory fills: (block, ready cycle).
-    outstanding: Vec<(u64, u64)>,
+    /// Small ring of outstanding L2/memory fills, split into parallel
+    /// fixed arrays (block, ready cycle) so the merge scan runs over
+    /// dense in-struct data — the scan is on the path of every memory
+    /// access while any fill is in flight.
+    fill_block: [u64; MSHRS],
+    fill_ready: [u64; MSHRS],
+    /// Slots of the fill ring in use (grows to [`MSHRS`], then the ring
+    /// recycles via `next_slot`).
+    fill_len: usize,
     next_slot: usize,
+    /// Latest ready cycle ever recorded in `outstanding`: once `now`
+    /// passes it, no fill can still be in flight and the merge scan is
+    /// skipped entirely.
+    latest_fill: u64,
     offset_bits: u32,
     prefetch: PrefetchKind,
     last_miss_block: u64,
@@ -188,8 +213,11 @@ impl Hierarchy {
             l1_lat: u64::from(l1.latency),
             l2_lat: u64::from(l2.latency),
             mem_lat: u64::from(mem_cycles),
-            outstanding: Vec::with_capacity(MSHRS),
+            fill_block: [0; MSHRS],
+            fill_ready: [0; MSHRS],
+            fill_len: 0,
             next_slot: 0,
+            latest_fill: 0,
             offset_bits: l1.geometry.offset_bits(),
             prefetch,
             last_miss_block: u64::MAX,
@@ -248,11 +276,18 @@ impl Hierarchy {
     pub fn access(&mut self, addr: u64, now: u64) -> u64 {
         let after_l1 = now + self.l1_lat;
         let block = addr >> self.offset_bits;
-        let pending = self
-            .outstanding
-            .iter()
-            .find(|&&(b, ready)| b == block && ready > now)
-            .map(|&(_, ready)| ready);
+        // Every recorded fill is ready by `latest_fill`; once `now` is
+        // past it the scan cannot find a live entry.
+        let pending = if now < self.latest_fill {
+            // At most one entry per block can still be in flight (a
+            // block re-misses only after its previous fill completed),
+            // so first-match is the unique match.
+            (0..self.fill_len)
+                .find(|&s| self.fill_block[s] == block && self.fill_ready[s] > now)
+                .map(|s| self.fill_ready[s])
+        } else {
+            None
+        };
         if self.l1.access(addr) {
             return match pending {
                 Some(ready) => ready.max(after_l1),
@@ -268,12 +303,16 @@ impl Hierarchy {
             after_l1 + self.l2_lat + self.mem_lat
         };
         self.issue_prefetches(block);
-        if self.outstanding.len() < MSHRS {
-            self.outstanding.push((block, ready));
+        if self.fill_len < MSHRS {
+            self.fill_block[self.fill_len] = block;
+            self.fill_ready[self.fill_len] = ready;
+            self.fill_len += 1;
         } else {
-            self.outstanding[self.next_slot] = (block, ready);
+            self.fill_block[self.next_slot] = block;
+            self.fill_ready[self.next_slot] = ready;
             self.next_slot = (self.next_slot + 1) % MSHRS;
         }
+        self.latest_fill = self.latest_fill.max(ready);
         ready
     }
 }

@@ -9,12 +9,42 @@
 //! depends on (window-size vs. memory-latency tolerance, clock vs.
 //! structure sizing, misprediction vs. pipeline depth) at a cost of
 //! O(1) amortized work per op.
+//!
+//! # Hot-path layout
+//!
+//! Every campaign in the workspace bottoms out in [`Simulator::step`],
+//! so its bookkeeping is organized around three invariants (proved in
+//! DESIGN.md "Simulator hot path", enforced by
+//! `tests/engine_equivalence.rs` against
+//! [`crate::ReferenceSimulator`]):
+//!
+//! * **Issue-slot frontier.** Every slot request is at least
+//!   `cur_fetch + frontend_depth + sched_depth`, and `cur_fetch` never
+//!   decreases — so per-cycle slot counters live in a sliding
+//!   [`SlotWindow`]: a dense ring indexed `cycle & (SLOT_WINDOW-1)`
+//!   for the cycles near the frontier, and a small sorted spill list
+//!   for far-future claims. O(1) amortized, no hashing, no allocation
+//!   in the common case, and auxiliary state is O(window) instead of
+//!   the old `HashMap`'s O(ops-between-prunes).
+//! * **Store-ring recency.** The 64-entry forwarding ring holds the
+//!   last [`STORE_RING`] stores, so a load can only forward if some
+//!   store to its (8-byte-aligned) address happened in the last 64
+//!   stores. A per-address-hash table of last-store sequence numbers
+//!   proves most loads *cannot* match, skipping the linear scan; the
+//!   scan itself is unchanged when a match is possible, so forwarding
+//!   semantics (max data-ready among matching ring entries) are
+//!   untouched.
+//! * **Per-op state stays in registers.** The structural parameters
+//!   are hoisted out of [`CoreConfig`] into scalar fields at
+//!   construction, ring indices are carried incrementally instead of
+//!   recomputed with `%` (a division) per op, and operand readiness
+//!   reads through a sentinel register slot so the `Option<u8>` source
+//!   selects compile to branchless max chains.
 
 use crate::cache::{Hierarchy, PrefetchKind};
 use crate::config::CoreConfig;
 use crate::predictor::{Predictor, PredictorKind};
 use crate::stats::SimStats;
-use std::collections::HashMap;
 use xps_workload::{MicroOp, OpClass, REG_COUNT};
 
 /// Execution latencies (cycles) by op class.
@@ -28,6 +58,144 @@ const LAT_AGEN: u64 = 1;
 const LAT_FORWARD: u64 = 1;
 /// Entries in the store ring searched for forwarding.
 const STORE_RING: usize = 64;
+/// Buckets in the store-forwarding filter (power of two). Collisions
+/// only cost a wasted ring scan, never a wrong result.
+const STORE_FILTER: usize = 256;
+/// Dense slot-counter window in cycles (power of two). Claims beyond
+/// the window spill to a sorted list; see [`SlotWindow`].
+const SLOT_WINDOW: usize = 4096;
+/// Sentinel index one past the architectural registers: reads for an
+/// absent source land here (always 0, never written).
+const NO_SRC: usize = REG_COUNT;
+
+/// Per-cycle issue-slot usage over a sliding window of cycles.
+///
+/// The window floor (`base`) only moves forward, and only to cycles no
+/// future request can precede; counters for cycles below the floor are
+/// dead and their ring entries are reused. Claims landing at or beyond
+/// `base + SLOT_WINDOW` go to `spill`, kept sorted by cycle and
+/// migrated into the ring as the floor advances. ROB back-pressure
+/// bounds the live span, so the spill list stays O(rob), not O(ops).
+#[derive(Debug, Clone)]
+struct SlotWindow {
+    /// Issue width: max claims per cycle.
+    width: u32,
+    /// Counter for in-window cycle `c` lives at `ring[c & MASK]`.
+    ring: Vec<u32>,
+    /// First cycle of the dense window.
+    base: u64,
+    /// Far-future claims, ascending by cycle; live from `head` on.
+    spill: Vec<(u64, u32)>,
+    head: usize,
+}
+
+impl SlotWindow {
+    const MASK: usize = SLOT_WINDOW - 1;
+
+    fn new(width: u32) -> SlotWindow {
+        SlotWindow {
+            width,
+            ring: vec![0; SLOT_WINDOW],
+            base: 0,
+            spill: Vec::new(),
+            head: 0,
+        }
+    }
+
+    /// Raise the window floor to `frontier`: no request at a cycle
+    /// below it will ever be made again (callers derive it from the
+    /// monotone fetch frontier). Vacated ring entries are zeroed for
+    /// the cycles that slide into view; spill entries now inside the
+    /// window move into the ring.
+    fn advance(&mut self, frontier: u64) {
+        if frontier <= self.base {
+            return;
+        }
+        if frontier - self.base >= SLOT_WINDOW as u64 {
+            self.ring.fill(0);
+        } else {
+            for c in self.base..frontier {
+                self.ring[c as usize & Self::MASK] = 0;
+            }
+        }
+        self.base = frontier;
+        if self.head < self.spill.len() {
+            self.migrate();
+        }
+    }
+
+    /// Move spill entries that fell inside (or behind) the window.
+    #[cold]
+    fn migrate(&mut self) {
+        let limit = self.base + SLOT_WINDOW as u64;
+        while let Some(&(c, n)) = self.spill.get(self.head) {
+            if c >= limit {
+                break;
+            }
+            self.head += 1;
+            // Entries behind the floor are dead; in-window entries
+            // take over their (just-vacated) ring slot.
+            if c >= self.base {
+                self.ring[c as usize & Self::MASK] = n;
+            }
+        }
+        // Compact once the dead prefix dominates, so the list's memory
+        // tracks the live span instead of growing with the trace.
+        if self.head > 64 && self.head * 2 >= self.spill.len() {
+            self.spill.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    /// Claim the earliest cycle at or after `desired` with a free
+    /// slot. `desired` must be at or above the window floor.
+    fn alloc(&mut self, desired: u64) -> u64 {
+        debug_assert!(
+            desired >= self.base,
+            "slot request {desired} below window floor {}",
+            self.base
+        );
+        let limit = self.base + SLOT_WINDOW as u64;
+        let mut c = desired;
+        while c < limit {
+            let used = &mut self.ring[c as usize & Self::MASK];
+            if *used < self.width {
+                *used += 1;
+                return c;
+            }
+            c += 1;
+        }
+        self.alloc_spill(c)
+    }
+
+    /// Slow path: claim at or after `c`, which is beyond the dense
+    /// window.
+    #[cold]
+    fn alloc_spill(&mut self, mut c: u64) -> u64 {
+        loop {
+            match self.spill[self.head..].binary_search_by_key(&c, |&(cycle, _)| cycle) {
+                Ok(i) => {
+                    let used = &mut self.spill[self.head + i];
+                    if used.1 < self.width {
+                        used.1 += 1;
+                        return c;
+                    }
+                    c += 1;
+                }
+                Err(i) => {
+                    self.spill.insert(self.head + i, (c, 1));
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// Live auxiliary entries (dense window plus live spill), for the
+    /// O(window) regression test.
+    fn footprint_entries(&self) -> usize {
+        SLOT_WINDOW + (self.spill.len() - self.head)
+    }
+}
 
 /// The simulator: construct per [`CoreConfig`], then [`Simulator::run`]
 /// a trace through it.
@@ -39,22 +207,42 @@ pub struct Simulator {
     cfg: CoreConfig,
     dcache: Hierarchy,
     predictor: Predictor,
-    /// Cycle at which a dependent of each register may issue.
-    regs_avail: [u64; REG_COUNT],
+    // Structural parameters, hoisted to scalars so `step` never chases
+    // the config behind a pointer or re-widens per op.
+    width: u32,
+    fe: u64,
+    sched: u64,
+    lsqd: u64,
+    wakeup: u64,
+    penalty: u64,
+    /// Cycle at which a dependent of each register may issue; the last
+    /// slot is the always-ready sentinel for absent sources.
+    regs_avail: [u64; REG_COUNT + 1],
     /// Commit cycle of op `i`, indexed `i % rob_size`.
     commit_ring: Vec<u64>,
     /// Issue cycle of op `i`, indexed `i % iq_size`.
     issue_ring: Vec<u64>,
     /// Commit cycle of the `j`-th memory op, indexed `j % lsq_size`.
     mem_ring: Vec<u64>,
+    // Ring cursors carried incrementally (i % rob, i % iq,
+    // mem_ops % lsq) so the hot loop performs no integer division.
+    rob_idx: usize,
+    iq_idx: usize,
+    lsq_idx: usize,
     /// Recent stores for forwarding: (8-byte-aligned addr, data ready).
     stores: [(u64, u64); STORE_RING],
     store_head: usize,
+    /// Stores processed so far (sequence numbers are 1-based).
+    store_seq: u64,
+    /// Last store sequence number per address-hash bucket; 0 = never.
+    /// A load scans the ring only if its bucket is recent enough that
+    /// a matching store could still be resident.
+    store_filter: [u64; STORE_FILTER],
     /// Address-ready cycle of the most recent older store (conservative
     /// memory disambiguation: loads wait for older store addresses).
     store_addr_barrier: u64,
     /// Per-cycle issue-slot usage.
-    issue_slots: HashMap<u64, u32>,
+    issue_slots: SlotWindow,
     cur_fetch: u64,
     fetched_this_cycle: u32,
     redirect_barrier: u64,
@@ -104,14 +292,25 @@ impl Simulator {
         Simulator {
             dcache: Hierarchy::with_prefetcher(&cfg.l1, &cfg.l2, cfg.mem_cycles(), prefetch),
             predictor: Predictor::of_kind(predictor),
-            regs_avail: [0; REG_COUNT],
+            width: cfg.width,
+            fe: u64::from(cfg.frontend_depth),
+            sched: u64::from(cfg.sched_depth),
+            lsqd: u64::from(cfg.lsq_depth),
+            wakeup: u64::from(cfg.wakeup_extra),
+            penalty: u64::from(cfg.mispredict_penalty()),
+            regs_avail: [0; REG_COUNT + 1],
             commit_ring: vec![0; cfg.rob_size as usize],
             issue_ring: vec![0; cfg.iq_size as usize],
             mem_ring: vec![0; cfg.lsq_size as usize],
+            rob_idx: 0,
+            iq_idx: 0,
+            lsq_idx: 0,
             stores: [(u64::MAX, 0); STORE_RING],
             store_head: 0,
+            store_seq: 0,
+            store_filter: [0; STORE_FILTER],
             store_addr_barrier: 0,
-            issue_slots: HashMap::with_capacity(1024),
+            issue_slots: SlotWindow::new(cfg.width),
             cur_fetch: 0,
             fetched_this_cycle: 0,
             redirect_barrier: 0,
@@ -129,17 +328,46 @@ impl Simulator {
     /// Run up to `max_ops` micro-ops of `trace` through the machine and
     /// return the measurements.
     pub fn run(mut self, trace: impl IntoIterator<Item = MicroOp>, max_ops: u64) -> SimStats {
-        for op in trace.into_iter().take(max_ops as usize) {
-            self.step(&op);
+        // Consume the trace in chunks: generating a buffer of ops and
+        // then stepping them keeps each side's code and branch-history
+        // footprint resident instead of alternating generator and
+        // engine every op (~5% on the simulator bench). One buffer per
+        // run, no per-op allocation; op order is unchanged. The count
+        // is carried in u64 — `take(max_ops as usize)` would silently
+        // truncate a >4G-op budget on 32-bit targets.
+        const CHUNK: usize = 256;
+        let mut it = trace.into_iter();
+        let mut buf: Vec<MicroOp> = Vec::with_capacity(CHUNK);
+        let mut taken = 0u64;
+        'outer: loop {
+            buf.clear();
+            while (buf.len() as u64) < (max_ops - taken).min(CHUNK as u64) {
+                match it.next() {
+                    Some(op) => buf.push(op),
+                    None => break,
+                }
+            }
+            if buf.is_empty() {
+                break 'outer;
+            }
+            taken += buf.len() as u64;
+            for op in &buf {
+                self.step(op);
+            }
+            if taken >= max_ops {
+                break;
+            }
         }
         // Volatile: whether a simulation *happened* depends on which
         // racing worker lost the shared-cache race, so this event is
-        // profile-only and never journaled.
+        // profile-only and never journaled. The attribute list is
+        // inline (no heap allocation) — this closure runs once per
+        // simulation during traced campaigns.
         xps_trace::instant_volatile("sim.run", || {
-            vec![
+            xps_trace::attrs([
                 ("ops", self.ops.into()),
                 ("cycles", self.last_commit.into()),
-            ]
+            ])
         });
         SimStats {
             instructions: self.ops,
@@ -152,25 +380,25 @@ impl Simulator {
         }
     }
 
-    /// Find the earliest cycle at or after `desired` with a free issue
-    /// slot and claim it.
-    fn alloc_issue_slot(&mut self, desired: u64) -> u64 {
-        let width = self.cfg.width;
-        let mut c = desired;
-        loop {
-            let used = self.issue_slots.entry(c).or_insert(0);
-            if *used < width {
-                *used += 1;
-                return c;
-            }
-            c += 1;
-        }
+    /// Live auxiliary bookkeeping entries of the issue-slot structure.
+    /// Exposed for the O(window) regression test; not a stable API.
+    #[doc(hidden)]
+    pub fn issue_slot_footprint(&self) -> usize {
+        self.issue_slots.footprint_entries()
+    }
+
+    /// Step a single micro-op. Exposed so tests can sample auxiliary
+    /// state mid-run (e.g. [`Simulator::issue_slot_footprint`]); not a
+    /// stable API — use [`Simulator::run`] for simulation.
+    #[doc(hidden)]
+    pub fn step_op(&mut self, op: &MicroOp) {
+        self.step(op);
     }
 
     fn step(&mut self, op: &MicroOp) {
         let i = self.ops;
         self.ops += 1;
-        let fe = u64::from(self.cfg.frontend_depth);
+        let fe = self.fe;
         let rob = self.commit_ring.len() as u64;
         let iq = self.issue_ring.len() as u64;
         let lsq = self.mem_ring.len() as u64;
@@ -178,19 +406,20 @@ impl Simulator {
         // --- Fetch: bandwidth, redirects, and window back-pressure.
         let mut fetch = self.cur_fetch.max(self.redirect_barrier);
         if i >= rob {
-            fetch = fetch.max(self.commit_ring[(i % rob) as usize].saturating_sub(fe));
+            fetch = fetch.max(self.commit_ring[self.rob_idx].saturating_sub(fe));
         }
         if i >= iq {
-            fetch = fetch.max(self.issue_ring[(i % iq) as usize].saturating_sub(fe));
+            fetch = fetch.max(self.issue_ring[self.iq_idx].saturating_sub(fe));
         }
-        if op.class.is_mem() && self.mem_ops >= lsq {
-            fetch = fetch.max(self.mem_ring[(self.mem_ops % lsq) as usize].saturating_sub(fe));
+        let is_mem = op.class.is_mem();
+        if is_mem && self.mem_ops >= lsq {
+            fetch = fetch.max(self.mem_ring[self.lsq_idx].saturating_sub(fe));
         }
         if fetch > self.cur_fetch {
             self.cur_fetch = fetch;
             self.fetched_this_cycle = 0;
         }
-        if self.fetched_this_cycle >= self.cfg.width {
+        if self.fetched_this_cycle >= self.width {
             self.cur_fetch += 1;
             self.fetched_this_cycle = 0;
             fetch = self.cur_fetch;
@@ -199,10 +428,16 @@ impl Simulator {
 
         // --- Dispatch and operand readiness.
         let dispatch = fetch + fe;
-        let mut ready = dispatch + u64::from(self.cfg.sched_depth);
-        for src in op.srcs.iter().flatten() {
-            ready = ready.max(self.regs_avail[*src as usize]);
-        }
+        // Every slot request — this op's and every later op's — is at
+        // least `cur_fetch + fe + sched` from here on (`cur_fetch`
+        // never decreases), so cycles below that are dead: slide the
+        // slot window floor up to them.
+        self.issue_slots.advance(self.cur_fetch + fe + self.sched);
+        let s0 = op.srcs[0].map_or(NO_SRC, usize::from);
+        let s1 = op.srcs[1].map_or(NO_SRC, usize::from);
+        let mut ready = (dispatch + self.sched)
+            .max(self.regs_avail[s0])
+            .max(self.regs_avail[s1]);
         if op.class == OpClass::Load {
             // Conservative disambiguation: wait for older store
             // addresses to be known.
@@ -210,11 +445,11 @@ impl Simulator {
         }
 
         // --- Issue (out of order, width per cycle).
-        let issue = self.alloc_issue_slot(ready);
-        self.issue_ring[(i % iq) as usize] = issue;
+        let issue = self.issue_slots.alloc(ready);
+        self.issue_ring[self.iq_idx] = issue;
 
         // --- Execute.
-        let lsqd = u64::from(self.cfg.lsq_depth);
+        let lsqd = self.lsqd;
         let complete = match op.class {
             OpClass::IntAlu => issue + LAT_ALU,
             OpClass::IntMul => issue + LAT_MUL,
@@ -226,12 +461,19 @@ impl Simulator {
                 // Store-to-load forwarding from the youngest matching
                 // older store; the LSQ search costs its pipeline depth.
                 let search_done = agen_done + lsqd;
-                let forwarded = self
-                    .stores
-                    .iter()
-                    .filter(|&&(a, _)| a == addr8)
-                    .map(|&(_, data_ready)| data_ready)
-                    .max();
+                // The ring holds the last STORE_RING stores. If the
+                // last store to this address hash is older than that
+                // (or absent), no entry can match: skip the scan.
+                let last = self.store_filter[Self::store_bucket(addr8)];
+                let forwarded = if last + STORE_RING as u64 > self.store_seq && last > 0 {
+                    self.stores
+                        .iter()
+                        .filter(|&&(a, _)| a == addr8)
+                        .map(|&(_, data_ready)| data_ready)
+                        .max()
+                } else {
+                    None
+                };
                 match forwarded {
                     Some(data_ready) => search_done.max(data_ready) + LAT_FORWARD,
                     None => self.dcache.access(op.addr, search_done),
@@ -242,10 +484,7 @@ impl Simulator {
                 // operand (src 1), not on the data it writes (src 0), so
                 // disambiguation does not serialize loads behind the
                 // store's data chain.
-                let mut addr_ready = dispatch + u64::from(self.cfg.sched_depth);
-                if let Some(s) = op.srcs[1] {
-                    addr_ready = addr_ready.max(self.regs_avail[s as usize]);
-                }
+                let addr_ready = (dispatch + self.sched).max(self.regs_avail[s1]);
                 let agen_done = addr_ready + LAT_AGEN;
                 let addr8 = op.addr & !7;
                 // Data readiness is bounded by operand availability
@@ -253,6 +492,8 @@ impl Simulator {
                 let data_ready = issue + LAT_AGEN + lsqd;
                 self.stores[self.store_head] = (addr8, data_ready);
                 self.store_head = (self.store_head + 1) % STORE_RING;
+                self.store_seq += 1;
+                self.store_filter[Self::store_bucket(addr8)] = self.store_seq;
                 self.store_addr_barrier = self.store_addr_barrier.max(agen_done);
                 // The cache write happens at commit in a real machine;
                 // for content tracking we touch it now.
@@ -262,7 +503,7 @@ impl Simulator {
         };
 
         if let Some(d) = op.dest {
-            self.regs_avail[d as usize] = complete + u64::from(self.cfg.wakeup_extra);
+            self.regs_avail[d as usize] = complete + self.wakeup;
         }
 
         // --- Branch resolution.
@@ -271,9 +512,7 @@ impl Simulator {
             let correct = self.predictor.predict_and_update(op.pc, b.taken);
             if !correct {
                 self.mispredicts += 1;
-                self.redirect_barrier = self
-                    .redirect_barrier
-                    .max(complete + u64::from(self.cfg.mispredict_penalty()));
+                self.redirect_barrier = self.redirect_barrier.max(complete + self.penalty);
             }
             if b.taken {
                 // A taken branch ends the fetch group: the front end
@@ -288,7 +527,7 @@ impl Simulator {
         // --- Commit: in order, width per cycle.
         let mut c = (complete + 1).max(self.cur_commit);
         if c == self.cur_commit {
-            if self.commits_this_cycle >= self.cfg.width {
+            if self.commits_this_cycle >= self.width {
                 c += 1;
                 self.cur_commit = c;
                 self.commits_this_cycle = 1;
@@ -299,19 +538,49 @@ impl Simulator {
             self.cur_commit = c;
             self.commits_this_cycle = 1;
         }
-        self.commit_ring[(i % rob) as usize] = c;
-        if op.class.is_mem() {
-            self.mem_ring[(self.mem_ops % lsq) as usize] = c;
+        self.commit_ring[self.rob_idx] = c;
+        self.rob_idx += 1;
+        if self.rob_idx == self.commit_ring.len() {
+            self.rob_idx = 0;
+        }
+        self.iq_idx += 1;
+        if self.iq_idx == self.issue_ring.len() {
+            self.iq_idx = 0;
+        }
+        if is_mem {
+            self.mem_ring[self.lsq_idx] = c;
             self.mem_ops += 1;
+            self.lsq_idx += 1;
+            if self.lsq_idx == self.mem_ring.len() {
+                self.lsq_idx = 0;
+            }
         }
         self.last_commit = c;
-
-        // --- Housekeeping: prune stale issue-slot entries.
-        if i.is_multiple_of(65_536) && self.issue_slots.len() > 65_536 {
-            let frontier = dispatch;
-            self.issue_slots.retain(|&cyc, _| cyc >= frontier);
-        }
     }
+
+    /// Filter bucket for an 8-byte-aligned store/load address.
+    #[inline]
+    fn store_bucket(addr8: u64) -> usize {
+        (addr8 >> 3) as usize & (STORE_FILTER - 1)
+    }
+}
+
+/// Simulate `ops` micro-ops of `profile` on `cfg`.
+///
+/// This is the standard evaluation entry point for exploration code:
+/// small op budgets replay a memoized per-thread trace
+/// ([`xps_workload::with_cached_trace`]) — the trace of a profile is
+/// identical for every configuration evaluated against it, so the
+/// generator's sampling work is paid once, not per design point —
+/// while budgets past the cache bound stream from a pooled generator.
+/// Both paths produce bit-identical [`SimStats`].
+pub fn evaluate(profile: &xps_workload::WorkloadProfile, cfg: &CoreConfig, ops: u64) -> SimStats {
+    xps_workload::with_cached_trace(profile, ops, |trace| {
+        Simulator::new(cfg).run(trace.iter().copied(), ops)
+    })
+    .unwrap_or_else(|| {
+        xps_workload::with_generator(profile, |g| Simulator::new(cfg).run(&mut *g, ops))
+    })
 }
 
 #[cfg(test)]
@@ -535,5 +804,37 @@ mod tests {
         let mut c = cfg();
         c.width = 0;
         let _ = Simulator::new(&c);
+    }
+
+    /// The slot window hands out exactly `width` claims per cycle and
+    /// spills far-future claims without losing them.
+    #[test]
+    fn slot_window_width_and_spill() {
+        let mut w = SlotWindow::new(2);
+        assert_eq!(w.alloc(10), 10);
+        assert_eq!(w.alloc(10), 10);
+        assert_eq!(w.alloc(10), 11, "cycle 10 is full at width 2");
+        // A far-future claim lands in the spill list...
+        let far = SLOT_WINDOW as u64 + 100;
+        assert_eq!(w.alloc(far), far);
+        assert_eq!(w.alloc(far), far);
+        assert_eq!(w.alloc(far), far + 1, "spill respects width too");
+        // ...and survives the floor advancing past the window edge.
+        w.advance(200);
+        assert_eq!(w.base, 200);
+        w.advance(far - 10);
+        assert_eq!(w.alloc(far), far + 1, "migrated count is preserved");
+    }
+
+    /// Advancing the floor reclaims dead cycles so their slots can be
+    /// reused by the cycles that slide into view.
+    #[test]
+    fn slot_window_reuses_vacated_slots() {
+        let mut w = SlotWindow::new(1);
+        assert_eq!(w.alloc(0), 0);
+        assert_eq!(w.alloc(0), 1);
+        w.advance(SLOT_WINDOW as u64);
+        // The ring slot that held cycle 0 now represents SLOT_WINDOW.
+        assert_eq!(w.alloc(SLOT_WINDOW as u64), SLOT_WINDOW as u64);
     }
 }

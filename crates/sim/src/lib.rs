@@ -42,11 +42,13 @@ pub mod config;
 mod engine;
 pub mod power;
 mod predictor;
+pub mod reference;
 mod stats;
 
 pub use cache::{CacheStats, DataCache, Hierarchy, PrefetchKind};
 pub use config::{CacheConfig, ConfigKey, CoreConfig};
-pub use engine::Simulator;
+pub use engine::{evaluate, Simulator};
 pub use power::{energy_delay_product, estimate_energy, EnergyBreakdown};
 pub use predictor::{Bimodal, Gshare, Predictor, PredictorKind, Tournament, TwoLevelLocal};
+pub use reference::ReferenceSimulator;
 pub use stats::SimStats;

@@ -1,0 +1,191 @@
+//! The optimized cycle engine must be a drop-in replacement for the
+//! pre-overhaul [`ReferenceSimulator`]: bit-identical [`SimStats`] on
+//! every trace and configuration. These tests drive both engines over
+//! the full SPEC profile set, proptest-randomized configurations, and
+//! adversarial store/load aliasing streams built to stress exactly the
+//! bookkeeping the overhaul replaced (issue-slot ring vs `HashMap`,
+//! filtered store-forwarding lookup vs unconditional 64-entry scan).
+//!
+//! A final regression test pins the memory story: the optimized
+//! engine's auxiliary issue-slot state must stay O(window), not grow
+//! with the number of ops simulated.
+
+use proptest::prelude::*;
+use xps_cacti::CacheGeometry;
+use xps_sim::{CacheConfig, CoreConfig, ReferenceSimulator, SimStats, Simulator};
+use xps_workload::{spec, MicroOp, TraceGenerator, REG_COUNT};
+
+fn reference_stats(cfg: &CoreConfig, trace: &[MicroOp]) -> SimStats {
+    ReferenceSimulator::new(cfg).run(trace.iter().copied(), trace.len() as u64)
+}
+
+fn optimized_stats(cfg: &CoreConfig, trace: &[MicroOp]) -> SimStats {
+    Simulator::new(cfg).run(trace.iter().copied(), trace.len() as u64)
+}
+
+/// Every SPEC profile, both the initial design point and a stressed
+/// narrow/shallow one, through both engines.
+#[test]
+fn spec_profiles_match_reference() {
+    let mut narrow = CoreConfig::initial();
+    narrow.name = "narrow".to_string();
+    narrow.width = 1;
+    narrow.rob_size = 32;
+    narrow.iq_size = 8;
+    narrow.lsq_size = 16;
+    for p in spec::all_profiles() {
+        let trace: Vec<MicroOp> = TraceGenerator::new(p.clone()).take(30_000).collect();
+        for cfg in [&CoreConfig::initial(), &narrow] {
+            assert_eq!(
+                optimized_stats(cfg, &trace),
+                reference_stats(cfg, &trace),
+                "engines diverge on {} with config {}",
+                p.name,
+                cfg.name
+            );
+        }
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CoreConfig> {
+    (
+        0.15f64..0.6,
+        1u32..9,
+        prop::sample::select(vec![32u32, 64, 128, 256, 512]),
+        prop::sample::select(vec![8u32, 16, 32, 64]),
+        prop::sample::select(vec![16u32, 32, 64, 128]),
+        0u32..4,
+        1u32..5,
+        (
+            1u32..6,
+            prop::sample::select(vec![64u32, 128, 256]),
+            prop::sample::select(vec![1u32, 2, 4]),
+        ),
+        (
+            4u32..25,
+            prop::sample::select(vec![1024u32, 2048]),
+            prop::sample::select(vec![4u32, 8]),
+        ),
+    )
+        .prop_map(|(clock, width, rob, iq, lsq, wakeup, sched, l1, l2)| {
+            let (l1_lat, l1_sets, l1_assoc) = l1;
+            let (l2_lat, l2_sets, l2_assoc) = l2;
+            CoreConfig {
+                name: "prop".to_string(),
+                clock_ns: clock,
+                width,
+                frontend_depth: CoreConfig::derived_frontend_depth(clock, 0.03),
+                rob_size: rob,
+                iq_size: iq.min(rob),
+                lsq_size: lsq,
+                wakeup_extra: wakeup,
+                sched_depth: sched,
+                lsq_depth: 2,
+                l1: CacheConfig {
+                    geometry: CacheGeometry::new(l1_sets, l1_assoc, 64),
+                    latency: l1_lat,
+                },
+                l2: CacheConfig {
+                    geometry: CacheGeometry::new(l2_sets, l2_assoc, 128),
+                    latency: l2_lat,
+                },
+            }
+        })
+}
+
+/// One micro-op of an adversarial aliasing stream. The generator keeps
+/// every address inside a handful of 8-byte blocks so loads constantly
+/// hit (and miss) the store-forwarding window, and register indices
+/// stay dense so dependency chains cross op classes. Stores land at
+/// sub-block offsets too, so forwarding has to match on the aligned
+/// block, not the raw address.
+fn arb_aliasing_op() -> impl Strategy<Value = MicroOp> {
+    const BLOCKS: [u64; 7] = [0, 8, 16, 24, 4096, 4104, 1 << 20];
+    let reg = REG_COUNT as u8;
+    (
+        0u8..4,               // op class selector
+        0u64..64,             // pc (dense: predictor aliasing)
+        0u8..reg,             // dest / data register
+        0u8..(2 * reg),       // optional source (>= reg means None)
+        0usize..BLOCKS.len(), // which aliasing block
+        0u64..8,              // sub-block offset for stores
+        0u8..2,               // branch outcome
+    )
+        .prop_map(move |(kind, pc, r1, r2, bi, off, flag)| {
+            let block = BLOCKS[bi];
+            let src = (r2 < reg).then_some(r2);
+            match kind {
+                0 => MicroOp::store(pc, r1, block + off),
+                1 => MicroOp::load(pc, r1, src, block),
+                2 => MicroOp::alu(pc, r1, [src, None]),
+                _ => MicroOp::branch(pc, src, flag == 1, pc ^ 0x40),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized configurations on generated SPEC traces produce
+    /// bit-identical stats from both engines.
+    #[test]
+    fn random_configs_match_reference(
+        cfg in arb_config(),
+        which in 0usize..spec::BENCHMARKS.len(),
+    ) {
+        let p = spec::profile(spec::BENCHMARKS[which]).expect("known benchmark");
+        let trace: Vec<MicroOp> = TraceGenerator::new(p).take(8_000).collect();
+        prop_assert_eq!(optimized_stats(&cfg, &trace), reference_stats(&cfg, &trace));
+    }
+
+    /// Adversarial store/load aliasing streams — the worst case for
+    /// the filtered forwarding lookup — still match the reference's
+    /// unconditional linear scan exactly.
+    #[test]
+    fn aliasing_streams_match_reference(
+        trace in (1usize..2_000)
+            .prop_flat_map(|n| prop::collection::vec(arb_aliasing_op(), n)),
+        cfg in arb_config(),
+    ) {
+        prop_assert_eq!(optimized_stats(&cfg, &trace), reference_stats(&cfg, &trace));
+    }
+}
+
+/// The issue-slot structure must stay bounded by the scheduling window,
+/// not the op count: simulating 16x more ops of a stall-heavy stream
+/// may not grow the auxiliary footprint. (The pre-overhaul `HashMap`
+/// grew one entry per distinct issue cycle between periodic sweeps —
+/// O(ops) between sweeps and O(total cycles / sweeps) after.)
+#[test]
+fn issue_slot_state_is_o_window_not_o_ops() {
+    // Long-latency divides spread issue cycles far apart (every op
+    // lands in a fresh cycle), which is the access pattern that made
+    // the HashMap grow without bound.
+    let stall_op = |i: u64| {
+        let mut op = MicroOp::alu(
+            i % 64,
+            (8 + i % 8) as u8,
+            [Some((8 + (i + 1) % 8) as u8), None],
+        );
+        op.class = xps_workload::OpClass::IntDiv;
+        op
+    };
+    let cfg = CoreConfig::initial();
+    let mut sim = Simulator::new(&cfg);
+    let mut peak_short = 0usize;
+    for i in 0..10_000u64 {
+        sim.step_op(&stall_op(i));
+        peak_short = peak_short.max(sim.issue_slot_footprint());
+    }
+    let mut sim = Simulator::new(&cfg);
+    let mut peak_long = 0usize;
+    for i in 0..160_000u64 {
+        sim.step_op(&stall_op(i));
+        peak_long = peak_long.max(sim.issue_slot_footprint());
+    }
+    assert!(
+        peak_long <= peak_short.max(1) * 2,
+        "auxiliary state grew with op count: {peak_short} entries at 10k ops, \
+         {peak_long} at 160k"
+    );
+}

@@ -72,10 +72,108 @@ impl From<bool> for AttrValue {
     }
 }
 
-/// A list of named attributes; event constructors take closures
-/// producing one so the allocation only happens when a recorder is
-/// actually installed.
-pub type Attrs = Vec<(&'static str, AttrValue)>;
+impl Default for AttrValue {
+    fn default() -> AttrValue {
+        AttrValue::Bool(false)
+    }
+}
+
+/// Attribute lists up to this length are stored inline; longer ones
+/// spill to the heap.
+const ATTRS_INLINE: usize = 4;
+
+/// A list of named attributes.
+///
+/// Event constructors take closures producing one so the work only
+/// happens when a recorder is actually installed — and since every
+/// attribute list in the workspace is at most [`ATTRS_INLINE`] entries,
+/// building one is allocation-free: the entries live inline in the
+/// event. This matters on hot exits like the simulator's `sim.run`
+/// instant, recorded once per evaluation during traced campaigns.
+///
+/// The iteration order (and therefore the serialized journal) is the
+/// recording order, exactly as with the former `Vec` representation.
+#[derive(Debug, Clone, Default)]
+pub struct Attrs {
+    len: u8,
+    inline: [(&'static str, AttrValue); ATTRS_INLINE],
+    spill: Vec<(&'static str, AttrValue)>,
+}
+
+impl Attrs {
+    /// An empty attribute list. Does not allocate.
+    #[must_use]
+    pub fn new() -> Attrs {
+        Attrs::default()
+    }
+
+    /// Append one attribute, spilling to the heap past the inline
+    /// capacity.
+    pub fn push(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        let slot = usize::from(self.len);
+        if slot < ATTRS_INLINE {
+            self.inline[slot] = (key, value.into());
+            self.len += 1;
+        } else {
+            self.spill.push((key, value.into()));
+        }
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len) + self.spill.len()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the attributes in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &(&'static str, AttrValue)> {
+        self.inline[..usize::from(self.len)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
+
+impl PartialEq for Attrs {
+    fn eq(&self, other: &Attrs) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<const N: usize> From<[(&'static str, AttrValue); N]> for Attrs {
+    fn from(items: [(&'static str, AttrValue); N]) -> Attrs {
+        items.into_iter().collect()
+    }
+}
+
+impl FromIterator<(&'static str, AttrValue)> for Attrs {
+    fn from_iter<I: IntoIterator<Item = (&'static str, AttrValue)>>(iter: I) -> Attrs {
+        let mut attrs = Attrs::new();
+        for (k, v) in iter {
+            attrs.push(k, v);
+        }
+        attrs
+    }
+}
+
+impl<'a> IntoIterator for &'a Attrs {
+    type Item = &'a (&'static str, AttrValue);
+    type IntoIter = std::iter::Chain<
+        std::slice::Iter<'a, (&'static str, AttrValue)>,
+        std::slice::Iter<'a, (&'static str, AttrValue)>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline[..usize::from(self.len)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
 
 /// What kind of step an event marks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,7 +311,7 @@ mod tests {
             tick: 3,
             kind: EventKind::Instant,
             name: "cache.lookup",
-            attrs: vec![("workload", "gzip".into()), ("ops", 40_000u64.into())],
+            attrs: Attrs::from([("workload", "gzip".into()), ("ops", 40_000u64.into())]),
             volatile: false,
             wall_ns: Some(99), // never serialized
         };
@@ -248,15 +346,39 @@ mod tests {
             tick: 0,
             kind: EventKind::End,
             name: "x",
-            attrs: vec![
+            attrs: Attrs::from([
                 ("ops", 3u64.into()),
                 ("ops", 4u64.into()),
                 ("ops", AttrValue::F64(9.0)),
                 ("other", 5u64.into()),
-            ],
+            ]),
             volatile: false,
             wall_ns: None,
         };
         assert_eq!(ev.ops(), 7);
+    }
+
+    #[test]
+    fn attrs_spill_past_inline_capacity() {
+        let mut a = Attrs::new();
+        for i in 0..(ATTRS_INLINE as u64 + 3) {
+            a.push("k", i);
+        }
+        assert_eq!(a.len(), ATTRS_INLINE + 3);
+        assert!(!a.is_empty());
+        let values: Vec<u64> = a
+            .iter()
+            .map(|(_, v)| match v {
+                AttrValue::U64(n) => *n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(values, (0..ATTRS_INLINE as u64 + 3).collect::<Vec<_>>());
+        // Equality is by content, independent of inline/spill split.
+        let b: Attrs = (0..ATTRS_INLINE as u64 + 3)
+            .map(|i| ("k", i.into()))
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, Attrs::new());
     }
 }

@@ -33,6 +33,7 @@ pub use event::{AttrValue, Attrs, Event, EventKind};
 pub use profile::{build_tree, PhaseRow, Profile, SpanNode, TreeError};
 pub use progress::{ProgressEvent, ProgressSink};
 pub use recorder::{
-    attr, instant, instant_volatile, recording, span, with_recorder, Span, SpanRecorder, WallClock,
+    attr, attrs, instant, instant_volatile, recording, span, with_recorder, Span, SpanRecorder,
+    WallClock,
 };
 pub use sink::TraceSink;

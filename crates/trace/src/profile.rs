@@ -271,6 +271,7 @@ impl Profile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::Attrs;
     use crate::recorder::{attr, SpanRecorder};
 
     fn sample_events() -> Vec<Event> {
@@ -280,7 +281,7 @@ mod tests {
         rec.begin("inner");
         rec.instant_volatile("sim.run", attr("ops", 5u64));
         rec.end(attr("ops", 5u64));
-        rec.end(Vec::new());
+        rec.end(Attrs::new());
         rec.finish()
     }
 

@@ -84,7 +84,7 @@ impl SpanRecorder {
             tick: self.clock,
             kind: EventKind::Begin,
             name,
-            attrs: Vec::new(),
+            attrs: Attrs::new(),
             volatile: false,
             wall_ns: self.stamp(),
         };
@@ -149,7 +149,7 @@ impl SpanRecorder {
     /// Close any spans still open and return the event buffer.
     pub fn finish(mut self) -> Vec<Event> {
         while !self.open.is_empty() {
-            self.end(Vec::new());
+            self.end(Attrs::new());
         }
         self.events
     }
@@ -225,7 +225,7 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if !self.done {
-            with_current(|rec| rec.end(Vec::new()));
+            with_current(|rec| rec.end(Attrs::new()));
         }
     }
 }
@@ -249,9 +249,19 @@ pub fn instant_volatile(name: &'static str, attrs: impl FnOnce() -> Attrs) {
     with_current(|rec| rec.instant_volatile(name, attrs()));
 }
 
-/// Convenience: an attribute list with a single entry.
+/// Convenience: an attribute list with a single entry. Does not
+/// allocate.
 pub fn attr(key: &'static str, value: impl Into<AttrValue>) -> Attrs {
-    vec![(key, value.into())]
+    let mut attrs = Attrs::new();
+    attrs.push(key, value);
+    attrs
+}
+
+/// Convenience: an attribute list from a fixed-size array. Does not
+/// allocate for up to four entries — the right constructor on hot
+/// paths.
+pub fn attrs<const N: usize>(items: [(&'static str, AttrValue); N]) -> Attrs {
+    Attrs::from(items)
 }
 
 #[cfg(test)]
@@ -271,11 +281,11 @@ mod tests {
     fn spans_nest_and_volatile_events_do_not_advance_the_clock() {
         let (rec, ()) = with_recorder(SpanRecorder::new(), || {
             let outer = span("outer");
-            instant_volatile("cache.hit", Vec::new);
+            instant_volatile("cache.hit", Attrs::new);
             let inner = span("inner");
             instant("move", || attr("ops", 7u64));
             inner.end_with(|| attr("accepted", true));
-            outer.end_with(Vec::new);
+            outer.end_with(Attrs::new);
         });
         let events = rec.finish();
         let ticks: Vec<(u64, bool)> = events.iter().map(|e| (e.tick, e.volatile)).collect();
@@ -296,7 +306,7 @@ mod tests {
     #[test]
     fn with_recorder_nests_and_restores_on_panic() {
         let (outer_rec, ()) = with_recorder(SpanRecorder::new(), || {
-            instant("before", Vec::new);
+            instant("before", Attrs::new);
             let task = SpanRecorder::new();
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 with_recorder(task, || {
@@ -306,7 +316,7 @@ mod tests {
             }));
             assert!(result.is_err());
             // The outer recorder is current again after the unwind.
-            instant("after", Vec::new);
+            instant("after", Attrs::new);
         });
         let names: Vec<&str> = outer_rec.finish().iter().map(|e| e.name).collect();
         assert_eq!(names, vec!["before", "after"]);

@@ -121,17 +121,18 @@ impl TraceSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::Attrs;
     use crate::recorder::attr;
 
     #[test]
     fn journal_is_track_ordered_and_drops_volatile() {
         let sink = TraceSink::new();
         let mut b = sink.recorder();
-        b.instant("second", Vec::new());
+        b.instant("second", Attrs::new());
         sink.attach("b#0/1", b);
         let mut a = sink.recorder();
         a.begin("first");
-        a.instant_volatile("cache.hit", Vec::new());
+        a.instant_volatile("cache.hit", Attrs::new());
         a.end(attr("ops", 3u64));
         sink.attach("a#0/0", a);
         let journal = sink.to_ndjson();
@@ -151,7 +152,7 @@ mod tests {
         let mut rec = sink.recorder();
         rec.begin("phase");
         std::thread::sleep(std::time::Duration::from_millis(2));
-        rec.end(Vec::new());
+        rec.end(Attrs::new());
         sink.attach("main", rec);
         assert!(sink.profile().row("phase").expect("row").wall_ns > 0);
         assert!(!sink.to_ndjson().contains("wall"));

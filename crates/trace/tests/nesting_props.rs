@@ -44,9 +44,9 @@ fn record(ops: &[Op]) -> Vec<Event> {
     for op in ops {
         match op {
             Op::Begin(n) => rec.begin(NAMES[*n]),
-            Op::End => rec.end(Vec::new()),
-            Op::Instant(n) => rec.instant(NAMES[*n], Vec::new()),
-            Op::Volatile(n) => rec.instant_volatile(NAMES[*n], Vec::new()),
+            Op::End => rec.end(xps_trace::Attrs::new()),
+            Op::Instant(n) => rec.instant(NAMES[*n], xps_trace::Attrs::new()),
+            Op::Volatile(n) => rec.instant_volatile(NAMES[*n], xps_trace::Attrs::new()),
         }
     }
     rec.finish()
@@ -110,9 +110,9 @@ proptest! {
             for op in ops {
                 match op {
                     Op::Begin(n) => rec.begin(NAMES[*n]),
-                    Op::End => rec.end(Vec::new()),
-                    Op::Instant(n) => rec.instant(NAMES[*n], Vec::new()),
-                    Op::Volatile(n) => rec.instant_volatile(NAMES[*n], Vec::new()),
+                    Op::End => rec.end(xps_trace::Attrs::new()),
+                    Op::Instant(n) => rec.instant(NAMES[*n], xps_trace::Attrs::new()),
+                    Op::Volatile(n) => rec.instant_volatile(NAMES[*n], xps_trace::Attrs::new()),
                 }
             }
             // Mirror TraceSink::attach's finish-then-append.
@@ -120,9 +120,9 @@ proptest! {
             for op in ops {
                 match op {
                     Op::Begin(n) => probe.begin(NAMES[*n]),
-                    Op::End => probe.end(Vec::new()),
-                    Op::Instant(n) => probe.instant(NAMES[*n], Vec::new()),
-                    Op::Volatile(n) => probe.instant_volatile(NAMES[*n], Vec::new()),
+                    Op::End => probe.end(xps_trace::Attrs::new()),
+                    Op::Instant(n) => probe.instant(NAMES[*n], xps_trace::Attrs::new()),
+                    Op::Volatile(n) => probe.instant_volatile(NAMES[*n], xps_trace::Attrs::new()),
                 }
             }
             concatenated.extend(probe.finish());

@@ -3,7 +3,7 @@
 use crate::op::{MicroOp, OpClass};
 use crate::profile::WorkloadProfile;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, SeedableRng, Uniform};
 
 /// Base virtual address of the code region (branch PCs and sequential
 /// fetch PCs live here).
@@ -97,6 +97,100 @@ pub struct TraceGenerator {
     /// pointer).
     chase_live: [bool; CHASE_CHAINS],
     pc: u64,
+    /// The branch table exactly as `build_branches` produced it, before
+    /// any loop counter advanced, plus the RNG state right after the
+    /// build. [`TraceGenerator::reset`] restores from these instead of
+    /// re-drawing the whole construction sequence.
+    pristine_branches: Vec<StaticBranch>,
+    pristine_rng: SmallRng,
+    /// Integer thresholds for every per-op probability compare; see
+    /// [`Thresholds`].
+    thr: Thresholds,
+    /// Offset distributions per region (hot, warm, cold); spans are
+    /// `bytes.max(8)`, matching `sample_addr`'s guard.
+    d_region: [Uniform; 3],
+    /// Index distributions per branch pool (loop, hard, biased); empty
+    /// pools get a placeholder that is never drawn from (`gen_branch`
+    /// only selects non-empty pools).
+    d_pool: [Uniform; 3],
+}
+
+/// 2^53, the scale of the `f64` sampler's mantissa.
+const TWO53: f64 = 9_007_199_254_740_992.0;
+
+/// Exact integer forms of the generator's probability compares.
+///
+/// `Rng::gen::<f64>()` is `(next_u64() >> 11) as f64 * 2^-53`. For the
+/// 53-bit draw `k` and a constant `p`, `k < ceil(p * 2^53)` decides
+/// `gen::<f64>() < p` and `k > floor(p * 2^53)` decides
+/// `gen::<f64>() > p`, with bit-for-bit the same outcome: scaling by a
+/// power of two is exact in `f64`, and `k` is an integer. Comparing the
+/// raw bits skips an int-to-float conversion and a float compare on
+/// every draw of the generator's hot loop, where several probability
+/// checks run per op. Cumulative mix thresholds also fold the
+/// fraction sums, so op-kind dispatch is one compare per arm.
+#[derive(Debug, Clone, Copy)]
+struct Thresholds {
+    /// Cumulative op-mix bounds: load, +store, +branch, +mul, +div.
+    mix_load: u64,
+    mix_ls: u64,
+    mix_lsb: u64,
+    mix_lsbm: u64,
+    mix_total: u64,
+    /// Region bounds (hot, hot+warm) and the spatial-locality check.
+    hot: u64,
+    hot_warm: u64,
+    spatial: u64,
+    /// Load shaping: pointer-chase, has-source (0.5), renew fractions.
+    chase: u64,
+    half: u64,
+    load_renew: u64,
+    alu_renew: u64,
+    second_src: u64,
+    /// Dependence sampling: short-distance fraction and the geometric
+    /// stop bound (`> 1/mean_dist`).
+    short: u64,
+    geo_stop: u64,
+    /// Branch-kind bounds (loop, loop+hard) and the biased-taken check.
+    kf_loop: u64,
+    kf_loop_hard: u64,
+    bias: u64,
+}
+
+/// `k < lt_bits(p)` ⟺ `(k as f64) * 2^-53 < p`, for any 53-bit `k`.
+fn lt_bits(p: f64) -> u64 {
+    (p * TWO53).ceil().clamp(0.0, u64::MAX as f64) as u64
+}
+
+/// `k > gt_bits(p)` ⟺ `(k as f64) * 2^-53 > p`, for any 53-bit `k`.
+fn gt_bits(p: f64) -> u64 {
+    (p * TWO53).floor().clamp(0.0, u64::MAX as f64) as u64
+}
+
+impl Thresholds {
+    fn for_profile(p: &WorkloadProfile) -> Thresholds {
+        let mix = p.mix;
+        Thresholds {
+            mix_load: lt_bits(mix.load),
+            mix_ls: lt_bits(mix.load + mix.store),
+            mix_lsb: lt_bits(mix.load + mix.store + mix.branch),
+            mix_lsbm: lt_bits(mix.load + mix.store + mix.branch + mix.mul),
+            mix_total: lt_bits(mix.total()),
+            hot: lt_bits(p.mem.hot_frac),
+            hot_warm: lt_bits(p.mem.hot_frac + p.mem.warm_frac),
+            spatial: lt_bits(p.mem.spatial),
+            chase: lt_bits(p.mem.pointer_chase_frac),
+            half: lt_bits(0.5),
+            load_renew: lt_bits(LOAD_RENEW_FRAC),
+            alu_renew: lt_bits(ALU_RENEW_FRAC),
+            second_src: lt_bits(p.deps.second_src_frac),
+            short: lt_bits(p.deps.short_frac),
+            geo_stop: gt_bits(1.0 / p.deps.mean_dist),
+            kf_loop: lt_bits(p.ctrl.loop_frac),
+            kf_loop_hard: lt_bits(p.ctrl.loop_frac + p.ctrl.hard_frac),
+            bias: lt_bits(p.ctrl.bias),
+        }
+    }
 }
 
 impl TraceGenerator {
@@ -110,8 +204,16 @@ impl TraceGenerator {
         profile
             .validate()
             .unwrap_or_else(|e| panic!("invalid profile `{}`: {e}", profile.name));
+        let mem = profile.mem;
         let mut g = TraceGenerator {
             rng: SmallRng::seed_from_u64(profile.seed),
+            thr: Thresholds::for_profile(&profile),
+            d_region: [
+                Uniform::new(0, mem.hot_bytes.max(8)),
+                Uniform::new(0, mem.warm_bytes.max(8)),
+                Uniform::new(0, mem.cold_bytes.max(8)),
+            ],
+            d_pool: [Uniform::new(0, 1); 3],
             profile,
             branches: Vec::new(),
             loop_pool: Vec::new(),
@@ -125,8 +227,14 @@ impl TraceGenerator {
             chase_chain: 0,
             chase_live: [false; CHASE_CHAINS],
             pc: CODE_BASE,
+            pristine_branches: Vec::new(),
+            pristine_rng: SmallRng::seed_from_u64(0),
         };
         g.build_branches();
+        g.d_pool = [&g.loop_pool, &g.hard_pool, &g.biased_pool]
+            .map(|p| Uniform::new(0, p.len().max(1) as u64));
+        g.pristine_branches = g.branches.clone();
+        g.pristine_rng = g.rng.clone();
         g
     }
 
@@ -136,12 +244,13 @@ impl TraceGenerator {
     /// which is what lets a per-thread generator pool recycle buffers
     /// without perturbing any result.
     pub fn reset(&mut self) {
-        self.rng = SmallRng::seed_from_u64(self.profile.seed);
-        self.branches.clear();
-        self.loop_pool.clear();
-        self.biased_pool.clear();
-        self.hard_pool.clear();
-        self.build_branches();
+        // Construction is memoized: iterating only ever mutates loop
+        // counters in `branches` and the RNG, so restoring both from
+        // the post-build snapshot replays construction exactly without
+        // re-drawing it. The kind pools are build-time constants and
+        // need no touch-up.
+        self.rng.clone_from(&self.pristine_rng);
+        self.branches.clone_from(&self.pristine_branches);
         self.cursors = [0; 3];
         self.recent = [FIRST_DEST; RECENT];
         self.recent_len = 0;
@@ -153,8 +262,9 @@ impl TraceGenerator {
     }
 
     /// Build the static branch tables. Must consume RNG draws in a
-    /// fixed order: this runs both at construction and on [`reset`],
-    /// and the post-init `self.rng` state feeds the op stream.
+    /// fixed order: the post-init `self.rng` state feeds the op
+    /// stream. Runs once at construction; [`reset`] restores the
+    /// snapshot taken right after this returns.
     ///
     /// [`reset`]: TraceGenerator::reset
     fn build_branches(&mut self) {
@@ -198,6 +308,15 @@ impl TraceGenerator {
         &self.profile
     }
 
+    /// The 53 bits behind one `gen::<f64>()` draw, for integer-
+    /// threshold compares (see [`Thresholds`]). Consumes exactly one
+    /// `next_u64`, like the float form.
+    #[inline]
+    fn draw53(&mut self) -> u64 {
+        use rand::RngCore;
+        self.rng.next_u64() >> 11
+    }
+
     fn alloc_dest(&mut self) -> u8 {
         let d = self.next_dest;
         self.next_dest += 1;
@@ -214,10 +333,9 @@ impl TraceGenerator {
     /// producer at a geometric backward distance, otherwise a long-lived
     /// always-ready register.
     fn sample_src(&mut self) -> u8 {
-        if self.recent_len > 0 && self.rng.gen::<f64>() < self.profile.deps.short_frac {
-            let p = 1.0 / self.profile.deps.mean_dist;
+        if self.recent_len > 0 && self.draw53() < self.thr.short {
             let mut dist = 1usize;
-            while self.rng.gen::<f64>() > p && dist < self.recent_len {
+            while self.draw53() > self.thr.geo_stop && dist < self.recent_len {
                 dist += 1;
             }
             let idx = (self.recent_head + RECENT - dist.min(self.recent_len)) % RECENT;
@@ -229,21 +347,26 @@ impl TraceGenerator {
 
     /// Generate a data address according to the region model.
     fn sample_addr(&mut self) -> u64 {
-        let m = &self.profile.mem;
-        let r: f64 = self.rng.gen();
-        let (region, base, size) = if r < m.hot_frac {
+        let m = self.profile.mem;
+        let r = self.draw53();
+        let (region, base, size) = if r < self.thr.hot {
             (0usize, HOT_BASE, m.hot_bytes)
-        } else if r < m.hot_frac + m.warm_frac {
+        } else if r < self.thr.hot_warm {
             (1, WARM_BASE, m.warm_bytes)
         } else {
             (2, COLD_BASE, m.cold_bytes)
         };
-        let off = if self.rng.gen::<f64>() < m.spatial {
-            let c = (self.cursors[region] + m.stride) % size;
+        let off = if self.draw53() < self.thr.spatial {
+            // `cursor < size` always holds, so the wrap `% size` is a
+            // (rarely taken) subtract, not a division.
+            let mut c = self.cursors[region] + m.stride;
+            while c >= size {
+                c -= size;
+            }
             self.cursors[region] = c;
             c
         } else {
-            let c = self.rng.gen_range(0..size.max(8)) & !7;
+            let c = self.d_region[region].sample(&mut self.rng) & !7;
             self.cursors[region] = c;
             c
         };
@@ -259,17 +382,15 @@ impl TraceGenerator {
     }
 
     fn gen_branch(&mut self) -> MicroOp {
-        let kf: f64 = self.rng.gen();
-        let pool = if kf < self.profile.ctrl.loop_frac && !self.loop_pool.is_empty() {
-            &self.loop_pool
-        } else if kf < self.profile.ctrl.loop_frac + self.profile.ctrl.hard_frac
-            && !self.hard_pool.is_empty()
-        {
-            &self.hard_pool
+        let kf = self.draw53();
+        let (pool, d_pool) = if kf < self.thr.kf_loop && !self.loop_pool.is_empty() {
+            (&self.loop_pool, &self.d_pool[0])
+        } else if kf < self.thr.kf_loop_hard && !self.hard_pool.is_empty() {
+            (&self.hard_pool, &self.d_pool[1])
         } else {
-            &self.biased_pool
+            (&self.biased_pool, &self.d_pool[2])
         };
-        let bi = pool[self.rng.gen_range(0..pool.len())];
+        let bi = pool[d_pool.sample(&mut self.rng) as usize];
         let b = self.branches[bi];
         let taken = match b.kind {
             BranchKind::Loop { period } => {
@@ -277,8 +398,8 @@ impl TraceGenerator {
                 self.branches[bi].count = (c + 1) % period.max(2);
                 c + 1 != period.max(2)
             }
-            BranchKind::Biased => self.rng.gen::<f64>() < self.profile.ctrl.bias,
-            BranchKind::Hard => self.rng.gen::<f64>() < 0.5,
+            BranchKind::Biased => self.draw53() < self.thr.bias,
+            BranchKind::Hard => self.draw53() < self.thr.half,
         };
         let cond = self.sample_src();
         MicroOp::branch(b.pc, Some(cond), taken, b.target)
@@ -286,7 +407,7 @@ impl TraceGenerator {
 
     fn gen_load(&mut self) -> MicroOp {
         let pc = self.next_pc();
-        let chase = self.rng.gen::<f64>() < self.profile.mem.pointer_chase_frac;
+        let chase = self.draw53() < self.thr.chase;
         if chase {
             // Extend the next chain round-robin: the load's address
             // depends on the chain register, and its result becomes the
@@ -306,16 +427,15 @@ impl TraceGenerator {
             // bounded footprint, so a sufficiently large L2 can capture
             // a chase (the paper's mcf gets exactly this from its 4 MB
             // L2), while small caches send every hop to memory.
-            let m = &self.profile.mem;
-            let off = self.rng.gen_range(0..m.warm_bytes.max(8)) & !7;
+            let off = self.d_region[1].sample(&mut self.rng) & !7;
             MicroOp::load(pc, reg, src, WARM_BASE + off)
         } else {
-            let src = if self.rng.gen::<f64>() < 0.5 {
+            let src = if self.draw53() < self.thr.half {
                 Some(self.sample_src())
             } else {
                 None
             };
-            let dest = if self.rng.gen::<f64>() < LOAD_RENEW_FRAC {
+            let dest = if self.draw53() < self.thr.load_renew {
                 // A pointer/base-register update: the long-lived pool
                 // now depends on this load's latency.
                 self.rng.gen_range(0..FIRST_DEST)
@@ -333,7 +453,7 @@ impl TraceGenerator {
         let addr = self.sample_addr();
         let mut op = MicroOp::store(pc, data, addr);
         // Half of stores also carry an address-base dependence.
-        if self.rng.gen::<f64>() < 0.5 {
+        if self.draw53() < self.thr.half {
             op.srcs[1] = Some(self.sample_src());
         }
         op
@@ -342,12 +462,12 @@ impl TraceGenerator {
     fn gen_compute(&mut self, class: OpClass) -> MicroOp {
         let pc = self.next_pc();
         let s0 = self.sample_src();
-        let s1 = if self.rng.gen::<f64>() < self.profile.deps.second_src_frac {
+        let s1 = if self.draw53() < self.thr.second_src {
             Some(self.sample_src())
         } else {
             None
         };
-        let dest = if self.rng.gen::<f64>() < ALU_RENEW_FRAC {
+        let dest = if self.draw53() < self.thr.alu_renew {
             self.rng.gen_range(0..FIRST_DEST)
         } else {
             self.alloc_dest()
@@ -403,21 +523,83 @@ pub fn with_generator<R>(profile: &WorkloadProfile, f: impl FnOnce(&mut TraceGen
     out
 }
 
+/// Largest single trace (in ops) the replay cache will materialize.
+/// Bigger requests stream through [`with_generator`] instead — a
+/// million-op campaign trace would hold tens of megabytes per thread.
+pub const REPLAY_CACHE_MAX_OPS: u64 = 65_536;
+
+/// Total ops the per-thread replay cache holds across traces before
+/// evicting the least recently inserted ones.
+const REPLAY_CACHE_TOTAL_OPS: u64 = 262_144;
+
+thread_local! {
+    static TRACE_CACHE: std::cell::RefCell<Vec<(WorkloadProfile, u64, Vec<MicroOp>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` over the first `ops` micro-ops of `profile`'s trace as a
+/// slice, memoizing the materialized trace in a per-thread cache.
+///
+/// A profile's op stream is a pure function of the profile, so every
+/// evaluation of a different core configuration on the same workload
+/// replays the identical trace; materializing it once turns the
+/// generator's per-op sampling work into a linear read for each
+/// subsequent evaluation. This is classic trace-driven simulation, and
+/// it is what the exploration loop does: dozens to thousands of
+/// configurations, a handful of workload profiles.
+///
+/// Returns `None` (without running `f`) when `ops` exceeds
+/// [`REPLAY_CACHE_MAX_OPS`]; callers fall back to streaming via
+/// [`with_generator`]. The cached trace is exactly the stream
+/// `TraceGenerator::new(profile)` yields, so results are bit-identical
+/// to streaming.
+pub fn with_cached_trace<R>(
+    profile: &WorkloadProfile,
+    ops: u64,
+    f: impl FnOnce(&[MicroOp]) -> R,
+) -> Option<R> {
+    if ops > REPLAY_CACHE_MAX_OPS {
+        return None;
+    }
+    let want = ops as usize;
+    TRACE_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(i) = cache
+            .iter()
+            .position(|(p, len, _)| p == profile && *len >= ops)
+        {
+            return Some(f(&cache[i].2[..want]));
+        }
+        // Miss: materialize via the pooled generator, then cache.
+        let trace: Vec<MicroOp> = with_generator(profile, |g| g.take(want).collect());
+        // Drop any shorter trace for this profile — the longer one
+        // subsumes it — then evict least recently inserted traces
+        // until this one fits.
+        cache.retain(|(p, _, _)| p != profile);
+        let mut held: u64 = cache.iter().map(|(_, len, _)| *len).sum();
+        while held + ops > REPLAY_CACHE_TOTAL_OPS && !cache.is_empty() {
+            held -= cache.remove(0).1;
+        }
+        let out = f(&trace);
+        cache.push((profile.clone(), ops, trace));
+        Some(out)
+    })
+}
+
 impl Iterator for TraceGenerator {
     type Item = MicroOp;
 
     fn next(&mut self) -> Option<MicroOp> {
-        let mix = self.profile.mix;
-        let r: f64 = self.rng.gen();
-        let op = if r < mix.load {
+        let r = self.draw53();
+        let op = if r < self.thr.mix_load {
             self.gen_load()
-        } else if r < mix.load + mix.store {
+        } else if r < self.thr.mix_ls {
             self.gen_store()
-        } else if r < mix.load + mix.store + mix.branch {
+        } else if r < self.thr.mix_lsb {
             self.gen_branch()
-        } else if r < mix.load + mix.store + mix.branch + mix.mul {
+        } else if r < self.thr.mix_lsbm {
             self.gen_compute(OpClass::IntMul)
-        } else if r < mix.total() {
+        } else if r < self.thr.mix_total {
             self.gen_compute(OpClass::IntDiv)
         } else {
             self.gen_compute(OpClass::IntAlu)
@@ -431,6 +613,55 @@ mod tests {
     use super::*;
     use crate::op::REG_COUNT;
     use crate::spec;
+
+    #[test]
+    fn cached_trace_replays_fresh_stream() {
+        let p = spec::profile("gcc").expect("known benchmark");
+        let fresh: Vec<MicroOp> = TraceGenerator::new(p.clone()).take(1000).collect();
+        // First call materializes, second replays from cache; both see
+        // the exact fresh stream.
+        for _ in 0..2 {
+            let got = with_cached_trace(&p, 1000, |t| t.to_vec()).expect("within cache bound");
+            assert_eq!(got, fresh);
+        }
+        // A shorter request is served from the longer cached trace.
+        let short = with_cached_trace(&p, 10, |t| t.to_vec()).expect("within cache bound");
+        assert_eq!(short, fresh[..10]);
+        // Budgets beyond the bound refuse (callers stream instead).
+        assert_eq!(
+            with_cached_trace(&p, REPLAY_CACHE_MAX_OPS + 1, |t| t.len()),
+            None
+        );
+    }
+
+    #[test]
+    fn integer_thresholds_match_float_compares() {
+        // The exactness claim behind `Thresholds`: for every 53-bit
+        // draw k, the integer compare decides identically to the float
+        // compare it replaces — including at the representability
+        // boundaries (p exactly k/2^53).
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..20_000 {
+            let k: u64 = rng.gen::<u64>() >> 11;
+            let p = if rng.gen::<bool>() {
+                rng.gen::<f64>()
+            } else {
+                // Exactly representable boundary values.
+                (rng.gen::<u64>() >> 11) as f64 / TWO53
+            };
+            let v = k as f64 * (1.0 / TWO53);
+            assert_eq!(k < lt_bits(p), v < p, "lt k={k} p={p}");
+            assert_eq!(k > gt_bits(p), v > p, "gt k={k} p={p}");
+        }
+        // Degenerate probabilities.
+        for p in [0.0, 1.0] {
+            for k in [0u64, 1, (1 << 53) - 1] {
+                let v = k as f64 * (1.0 / TWO53);
+                assert_eq!(k < lt_bits(p), v < p);
+                assert_eq!(k > gt_bits(p), v > p);
+            }
+        }
+    }
 
     fn count_class(ops: &[MicroOp], class: OpClass) -> usize {
         ops.iter().filter(|o| o.class == class).count()

@@ -38,6 +38,6 @@ mod profile;
 pub mod spec;
 
 pub use characterize::{CharacterVector, Characterizer, HIST_BUCKETS, KIVIAT_AXES};
-pub use gen::{with_generator, TraceGenerator};
+pub use gen::{with_cached_trace, with_generator, TraceGenerator, REPLAY_CACHE_MAX_OPS};
 pub use op::{BranchInfo, MicroOp, OpClass, REG_COUNT};
 pub use profile::{ControlBehavior, DependenceBehavior, MemoryBehavior, OpMix, WorkloadProfile};

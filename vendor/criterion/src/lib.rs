@@ -267,7 +267,9 @@ mod tests {
     use super::*;
 
     fn fib(n: u64) -> u64 {
-        (1..=n).fold((0u64, 1u64), |(a, b), _| (b, a.wrapping_add(b))).0
+        (1..=n)
+            .fold((0u64, 1u64), |(a, b), _| (b, a.wrapping_add(b)))
+            .0
     }
 
     #[test]

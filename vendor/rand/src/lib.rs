@@ -37,6 +37,7 @@ pub trait Standard: Sized {
 }
 
 impl Standard for bool {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
         // Use the top bit: the low bits of some generators are weaker.
         rng.next_u64() >> 63 == 1
@@ -44,6 +45,7 @@ impl Standard for bool {
 }
 
 impl Standard for f64 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
         // 53 uniform mantissa bits in [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -51,6 +53,7 @@ impl Standard for f64 {
 }
 
 impl Standard for f32 {
+    #[inline]
     fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
         (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
@@ -59,6 +62,7 @@ impl Standard for f32 {
 macro_rules! impl_standard_int {
     ($($t:ty),*) => {$(
         impl Standard for $t {
+            #[inline]
             fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
                 rng.next_u64() as $t
             }
@@ -75,13 +79,13 @@ impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draw uniformly from `[lo, hi)` (`inclusive = false`) or
     /// `[lo, hi]` (`inclusive = true`); the range must be non-empty.
-    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
+            #[inline]
             fn sample_in<R: RngCore + ?Sized>(
                 lo: $t,
                 hi: $t,
@@ -91,7 +95,13 @@ macro_rules! impl_sample_uniform_int {
                 let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
                 assert!(span > 0, "cannot sample empty range {lo}..{hi}");
                 // Modulo bias is negligible for the spans used here.
-                let v = u128::from(rng.next_u64()) % span;
+                // When the span fits in 64 bits (always, for the
+                // workspace's ranges) reduce in u64: same remainder,
+                // no u128 division in the trace generator's hot loop.
+                let v = match u64::try_from(span) {
+                    Ok(span64) => u128::from(rng.next_u64() % span64),
+                    Err(_) => u128::from(rng.next_u64()) % span,
+                };
                 (lo as i128 + v as i128) as $t
             }
         }
@@ -102,6 +112,7 @@ impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 macro_rules! impl_sample_uniform_float {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
+            #[inline]
             fn sample_in<R: RngCore + ?Sized>(
                 lo: $t,
                 hi: $t,
@@ -130,20 +141,76 @@ pub trait SampleRange<T> {
 }
 
 impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
         T::sample_in(self.start, self.end, false, rng)
     }
 }
 
 impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
         T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// A precomputed uniform `u64` range distribution, mirroring
+/// `rand::distributions::Uniform` for the one case the workspace
+/// samples in a hot loop.
+///
+/// Produces *exactly* the values `lo + rng.next_u64() % span` — the
+/// same stream as [`Rng::gen_range`] on the equivalent range — but
+/// replaces the per-draw hardware division with a precomputed-
+/// reciprocal remainder (Lemire's fastmod, widened to 64-bit inputs
+/// with a 128-bit magic). The trace generator draws from profile-
+/// derived ranges millions of times per simulation; hoisting the
+/// divide out of the loop is worth several ns per op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uniform {
+    lo: u64,
+    span: u64,
+    /// `ceil(2^128 / span)` mod 2^128, as `u128::MAX / span + 1`
+    /// (wraps to 0 for span 1, where the remainder is always 0).
+    magic: u128,
+}
+
+impl Uniform {
+    /// Distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64) -> Uniform {
+        assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+        let span = hi - lo;
+        Uniform {
+            lo,
+            span,
+            magic: (u128::MAX / u128::from(span)).wrapping_add(1),
+        }
+    }
+
+    /// Draw one value.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let x = rng.next_u64();
+        // r = x % span without a division: the low 128 bits of
+        // x * ceil(2^128/span) carry the fractional part of x/span;
+        // multiplying them back by span and keeping the high 64 bits
+        // recovers the exact remainder (exhaustively property-tested
+        // against `%` below).
+        let lowbits = self.magic.wrapping_mul(u128::from(x));
+        let bottom = (u128::from(lowbits as u64) * u128::from(self.span)) >> 64;
+        let top = (lowbits >> 64) * u128::from(self.span);
+        self.lo + ((top + bottom) >> 64) as u64
     }
 }
 
 /// Extension methods every [`RngCore`] gets, mirroring `rand::Rng`.
 pub trait Rng: RngCore {
     /// Sample a value of an inferable type.
+    #[inline]
     fn gen<T: Standard>(&mut self) -> T {
         T::sample(self)
     }
@@ -153,11 +220,13 @@ pub trait Rng: RngCore {
     /// # Panics
     ///
     /// Panics if the range is empty.
+    #[inline]
     fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
         range.sample_from(self)
     }
 
     /// Sample `true` with probability `p`.
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool {
         self.gen::<f64>() < p
     }
@@ -202,6 +271,7 @@ pub mod rngs {
     }
 
     impl RngCore for SmallRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])
@@ -263,6 +333,45 @@ mod tests {
             assert!((0.85..1.18).contains(&f));
             let n = rng.gen_range(-5i32..5);
             assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn uniform_matches_gen_range_exactly() {
+        // The whole point of `Uniform` is producing the *identical*
+        // stream to `gen_range` (which reduces with `%`): divisor
+        // shapes cover powers of two, odd, small, huge, and the actual
+        // profile-derived spans (48 KB, 1536 KB, pool sizes).
+        for span in [
+            1u64,
+            2,
+            3,
+            7,
+            8,
+            10,
+            62,
+            255,
+            256,
+            48 * 1024,
+            96 * 1024 - 8,
+            1536 * 1024,
+            (1u64 << 32) - 1,
+            (1u64 << 32) + 1,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let d = super::Uniform::new(0, span);
+            let mut a = SmallRng::seed_from_u64(span);
+            let mut b = SmallRng::seed_from_u64(span);
+            for _ in 0..4_000 {
+                assert_eq!(d.sample(&mut a), b.gen_range(0..span), "span {span}");
+            }
+        }
+        let offset = super::Uniform::new(100, 162);
+        let mut a = SmallRng::seed_from_u64(13);
+        let mut b = SmallRng::seed_from_u64(13);
+        for _ in 0..1_000 {
+            assert_eq!(offset.sample(&mut a), b.gen_range(100u64..162));
         }
     }
 

@@ -199,9 +199,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(v.member(\"{f}\")?)?")
-                })
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.member(\"{f}\")?)?"))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\

@@ -208,8 +208,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| Error("truncated \\u escape".into()))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|e| Error(e.to_string()))?,
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
                                 16,
                             )
                             .map_err(|e| Error(e.to_string()))?;
@@ -219,9 +218,7 @@ impl<'a> Parser<'a> {
                                     .ok_or_else(|| Error("invalid \\u escape".into()))?,
                             );
                         }
-                        other => {
-                            return Err(Error(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 // Multi-byte UTF-8: copy the raw bytes through.
@@ -256,8 +253,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| Error(e.to_string()))?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::F64)
