@@ -13,6 +13,7 @@
 //! | `no-unordered-iteration-to-output` | hash-ordered iteration never reaches serialized output |
 //! | `no-panic-in-worker` | worker closures stay inside the `catch_unwind` boundary |
 //! | `no-alloc-in-sim-hot-path` | the cycle engine's per-op step stays free of hash lookups and heap allocation |
+//! | `net-timeouts-and-bounded-retries` | outbound connections carry deadlines; retry loops are bounded |
 //! | `malformed-suppression` | every `xps-allow` carries a rule id and a reason |
 //!
 //! Suppression: a finding on line *L* is suppressed by a comment
@@ -100,6 +101,15 @@ pub fn all_rules() -> Vec<Rule> {
                       engine's per-op `fn step` (crates/sim/src/engine.rs)",
             applies_to: &[FileClass::Lib],
             check: check_sim_hot_path,
+        },
+        Rule {
+            id: "net-timeouts-and-bounded-retries",
+            severity: Severity::Deny,
+            summary: "TcpStream::connect without a deadline, connections used \
+                      without a read timeout, or infinite retry loops around \
+                      network I/O",
+            applies_to: &[FileClass::Lib, FileClass::Bin],
+            check: check_net_timeouts,
         },
     ]
 }
@@ -723,6 +733,101 @@ fn check_sim_hot_path(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// net-timeouts-and-bounded-retries
+
+/// Idents inside a `loop` body that mark it as performing network I/O.
+const NET_CALL_TOKENS: [&str; 5] = [
+    "connect",
+    "connect_timeout",
+    "roundtrip",
+    "request",
+    "request_retrying",
+];
+
+/// The fleet's failure model, enforced structurally: every outbound
+/// connection carries a connect deadline (`TcpStream::connect_timeout`,
+/// never bare `TcpStream::connect`), every connecting function sets a
+/// read timeout before I/O (a peer that accepts and then hangs must
+/// surface as an error, not wedge the caller), and `loop`s around
+/// network calls must be bounded (`break`/`return`/`?` inside) — an
+/// unreachable peer costs a typed error after N attempts, never an
+/// infinite retry. A reasoned `xps-allow` remains the escape hatch.
+fn check_net_timeouts(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < ctx.sig.len() {
+        if !ctx.is(i, "fn") || ctx.in_test(i) {
+            i += 1;
+            continue;
+        }
+        // The function body: from the first `{` after the signature
+        // (trait-declaration signatures ending in `;` have none).
+        let mut open = i + 1;
+        while open < ctx.sig.len() && !ctx.is(open, "{") && !ctx.is(open, ";") {
+            open += 1;
+        }
+        if open >= ctx.sig.len() || !ctx.is(open, "{") {
+            i = open + 1;
+            continue;
+        }
+        let close = ctx.matching_close(open);
+        let body = (open + 1)..close;
+        let has_read_timeout = body.clone().any(|k| ctx.is(k, "set_read_timeout"));
+        for k in body.clone() {
+            if ctx.matches_seq(k, &["TcpStream", ":", ":", "connect"]) && ctx.is(k + 4, "(") {
+                out.push(finding(
+                    ctx,
+                    rule,
+                    k,
+                    "TcpStream::connect has no connect deadline — a dead or unroutable \
+                     peer hangs the caller indefinitely"
+                        .to_string(),
+                    "resolve the address and use TcpStream::connect_timeout, then set \
+                     read/write timeouts on the stream",
+                ));
+            }
+            if ctx.matches_seq(k, &["TcpStream", ":", ":", "connect_timeout"]) && !has_read_timeout
+            {
+                out.push(finding(
+                    ctx,
+                    rule,
+                    k,
+                    "connection opened without a read timeout in this function — a peer \
+                     that accepts and then hangs wedges the caller"
+                        .to_string(),
+                    "call set_read_timeout (and set_write_timeout) on the stream before \
+                     any I/O, or justify with an xps-allow reason",
+                ));
+            }
+            if ctx.is(k, "loop") && ctx.is(k + 1, "{") {
+                let lclose = ctx.matching_close(k + 1);
+                let lbody = (k + 2)..lclose;
+                let network = lbody.clone().any(|m| {
+                    ctx.tok(m)
+                        .is_some_and(|t| NET_CALL_TOKENS.contains(&t.text))
+                });
+                let bounded = lbody.clone().any(|m| {
+                    ctx.tok(m)
+                        .is_some_and(|t| matches!(t.text, "break" | "return" | "?"))
+                });
+                if network && !bounded {
+                    out.push(finding(
+                        ctx,
+                        rule,
+                        k,
+                        "infinite `loop` around network I/O with no break or return — an \
+                         unreachable peer retries forever"
+                            .to_string(),
+                        "bound the attempts (`for attempt in 0..n`) with deterministic \
+                         backoff, or justify with an xps-allow reason",
+                    ));
+                }
+            }
+        }
+        i = close + 1;
+    }
+}
+
+// ---------------------------------------------------------------------
 // no-panic-in-worker
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -975,6 +1080,71 @@ mod tests {
     }
 
     #[test]
+    fn bare_tcp_connect_found_in_lib_and_bin_but_not_test() {
+        let src = "fn dial(addr: &str) { let s = TcpStream::connect(addr); }\n";
+        let f = lint("src/a.rs", FileClass::Lib, src);
+        assert_eq!(rules_of(&f), vec!["net-timeouts-and-bounded-retries"]);
+        let f = lint("src/bin/a.rs", FileClass::Bin, src);
+        assert_eq!(rules_of(&f), vec!["net-timeouts-and-bounded-retries"]);
+        assert!(lint("tests/a.rs", FileClass::Test, src).is_empty());
+        let in_test_mod = format!("#[cfg(test)]\nmod tests {{\n    {src}}}\n");
+        assert!(lint("src/a.rs", FileClass::Lib, &in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn connect_timeout_needs_a_read_timeout_in_the_same_fn() {
+        let bare = "fn dial(t: &SocketAddr) -> R {\n\
+                        let s = TcpStream::connect_timeout(t, CONNECT)?;\n\
+                        Ok(s)\n\
+                    }\n";
+        let f = lint("src/a.rs", FileClass::Lib, bare);
+        assert_eq!(rules_of(&f), vec!["net-timeouts-and-bounded-retries"]);
+        assert_eq!(f[0].line, 2);
+        let guarded = "fn dial(t: &SocketAddr) -> R {\n\
+                           let s = TcpStream::connect_timeout(t, CONNECT)?;\n\
+                           s.set_read_timeout(Some(IO))?;\n\
+                           s.set_write_timeout(Some(IO))?;\n\
+                           Ok(s)\n\
+                       }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, guarded).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_loop_around_network_io_found() {
+        let unbounded = "fn poll(addr: &str) {\n\
+                             loop {\n\
+                                 let _ = request(addr, \"GET\", \"/healthz\", None);\n\
+                             }\n\
+                         }\n";
+        let f = lint("src/a.rs", FileClass::Lib, unbounded);
+        assert_eq!(rules_of(&f), vec!["net-timeouts-and-bounded-retries"]);
+        assert_eq!(f[0].line, 2);
+        let bounded = "fn poll(addr: &str) -> R {\n\
+                           loop {\n\
+                               if let Ok(r) = request(addr, \"GET\", \"/healthz\", None) {\n\
+                                   return Ok(r);\n\
+                               }\n\
+                           }\n\
+                       }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, bounded).is_empty());
+        let no_network = "fn spin(rx: &Receiver<u64>) {\n\
+                              loop {\n\
+                                  let _ = rx.recv();\n\
+                              }\n\
+                          }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, no_network).is_empty());
+    }
+
+    #[test]
+    fn net_rule_honors_suppression() {
+        let src = "fn dial(addr: &str) {\n\
+                       // xps-allow(net-timeouts-and-bounded-retries): probe socket closed immediately, cannot hang\n\
+                       let s = TcpStream::connect(addr);\n\
+                   }\n";
+        assert!(lint("src/a.rs", FileClass::Lib, src).is_empty());
+    }
+
+    #[test]
     fn rule_catalog_is_stable() {
         let ids: Vec<&str> = all_rules().iter().map(|r| r.id).collect();
         assert_eq!(
@@ -986,6 +1156,7 @@ mod tests {
                 "no-unordered-iteration-to-output",
                 "no-panic-in-worker",
                 "no-alloc-in-sim-hot-path",
+                "net-timeouts-and-bounded-retries",
             ]
         );
     }

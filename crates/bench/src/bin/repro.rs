@@ -37,7 +37,7 @@
 //!   analyze      static analysis: lint workspace sources, validate artifacts
 //!   bench        measure engine throughput before/after the hot-loop
 //!                overhaul (reference vs optimized, same process) and
-//!                write `BENCH_6.json`; `--check` compares against the
+//!                write `BENCH_7.json`; `--check` compares against the
 //!                committed file and fails on a >10% speedup regression
 //!   all          everything above (except profile/serve/client/analyze/bench), in order
 //!
@@ -99,7 +99,7 @@ const JOURNAL_PATH: &str = "results/journal.jsonl";
 
 const USAGE: &str = "usage: repro <experiment> [--paper-data] [--quick] [--jobs N] \
 [--resume] [--retries N] [--faults SPEC] [--journal PATH] [--addr HOST:PORT] \
-[--data-dir PATH]  (see --help)";
+[--data-dir PATH] [--workers HOST:PORT,..] [--net-faults SPEC]  (see --help)";
 
 /// Parsed command line of the `repro` binary.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -126,6 +126,12 @@ struct Cli {
     addr: Option<String>,
     /// `--data-dir PATH`: daemon state root.
     data_dir: Option<PathBuf>,
+    /// `--workers HOST:PORT,..` (`fleet` only): worker addresses.
+    workers: Vec<String>,
+    /// `--net-faults SPEC` (`fleet` only): deterministic network
+    /// fault injection (validated at parse time, kept as the raw
+    /// spec).
+    net_faults: Option<String>,
     /// `--check` (`bench` only): compare against the committed
     /// `BENCH_*.json` instead of rewriting it.
     check: bool,
@@ -209,11 +215,30 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 let v = flag_value(args, &mut i, "--data-dir")?;
                 cli.data_dir = Some(PathBuf::from(v));
             }
+            "--workers" => {
+                let v = flag_value(args, &mut i, "--workers")?;
+                let workers: Vec<String> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if let Some(bad) = workers.iter().find(|w| !w.contains(':')) {
+                    return Err(format!("--workers expects HOST:PORT entries, got `{bad}`"));
+                }
+                cli.workers = workers;
+            }
+            "--net-faults" => {
+                let v = flag_value(args, &mut i, "--net-faults")?;
+                xps_serve::NetFaultPlan::parse(&v)?;
+                cli.net_faults = Some(v);
+            }
             _ if name.starts_with('-') => {
                 return Err(format!(
                     "unknown flag `{name}` (flags: --paper-data --quick --jobs N \
                      --resume --retries N --faults SPEC --journal PATH \
-                     --addr HOST:PORT --data-dir PATH --check --help)"
+                     --addr HOST:PORT --data-dir PATH --workers HOST:PORT,.. \
+                     --net-faults SPEC --check --help)"
                 ));
             }
             _ => {
@@ -248,6 +273,8 @@ struct RunOpts {
     journal: Option<PathBuf>,
     addr: Option<String>,
     data_dir: Option<PathBuf>,
+    workers: Vec<String>,
+    net_faults: Option<String>,
     check: bool,
 }
 
@@ -267,8 +294,8 @@ fn main() -> ExitCode {
         }
     };
     if cli.help || cli.cmd == "help" {
-        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize profile serve client analyze bench all");
-        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH --check");
+        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize profile serve client fleet analyze bench all");
+        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH --workers HOST:PORT,.. --net-faults SPEC --check");
         return ExitCode::SUCCESS;
     }
     let faults = match cli.faults.as_deref().map(FaultPlan::parse).transpose() {
@@ -286,6 +313,8 @@ fn main() -> ExitCode {
         journal: cli.journal.clone(),
         addr: cli.addr.clone(),
         data_dir: cli.data_dir.clone(),
+        workers: cli.workers.clone(),
+        net_faults: cli.net_faults.clone(),
         check: cli.check,
     })
     .expect("options set once");
@@ -375,6 +404,7 @@ fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), Box<dyn Erro
         "profile" => profile_cmd(quick),
         "serve" => serve_cmd(),
         "client" => client_cmd(quick),
+        "fleet" => fleet_cmd(quick),
         "analyze" => analyze_cmd(),
         "bench" => bench_cmd(quick, run_opts().check),
         _ => Err(format!("unknown experiment `{c}` (run `repro --help` for the list)").into()),
@@ -413,7 +443,7 @@ fn analyze_cmd() -> Result<(), Box<dyn Error>> {
 /// The perf-trajectory file for this round of engine work. Each
 /// hot-loop PR commits a `BENCH_<n>.json` so the series records how
 /// throughput moved over time.
-const BENCH_PATH: &str = "BENCH_6.json";
+const BENCH_PATH: &str = "BENCH_7.json";
 
 /// Workloads measured by `repro bench` — the same three the Criterion
 /// `simulator` group tracks.
@@ -469,7 +499,7 @@ fn bench_pair(
 
 /// `repro bench`: measure the reference (pre-overhaul) and optimized
 /// cycle engines back to back on identical traces and emit the
-/// before/after table as `BENCH_6.json` (or, with `--check`, compare
+/// before/after table as `BENCH_7.json` (or, with `--check`, compare
 /// the fresh speedups against the committed file and fail on a >10%
 /// regression). Absolute ops/sec depends on the host; the speedup
 /// column is the portable number, which is why the regression gate is
@@ -583,7 +613,7 @@ fn bench_cmd(quick: bool, check: bool) -> Result<(), Box<dyn Error>> {
     }
 
     let report = BenchReport {
-        issue: 6,
+        issue: 7,
         note: "Hot-loop overhaul of the cycle engine: issue-slot ring + filtered \
                store forwarding + SoA MSHRs vs the pre-overhaul reference engine, \
                measured back to back in one process on identical traces."
@@ -1666,6 +1696,16 @@ fn client_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
         .addr
         .clone()
         .unwrap_or_else(|| "127.0.0.1:7780".to_string());
+    // Probe reachability first, with bounded retries: a daemon that is
+    // down yields one actionable message (address, attempts, backoff,
+    // how to start one) instead of a raw I/O error from mid-protocol.
+    client::request_retrying(
+        &addr,
+        "GET",
+        "/healthz",
+        None,
+        &client::RetryPolicy::default(),
+    )?;
     let profile = if quick { "smoke" } else { "quick" };
     let job_json =
         format!(r#"{{"kind":"explore","profile":"{profile}","workloads":["gzip","mcf"]}}"#);
@@ -1698,6 +1738,67 @@ fn client_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
             render_table(&["benchmark".into(), "customized IPT".into()], &rows)
         );
     }
+    Ok(())
+}
+
+/// Scatter one exploration campaign over `--workers` via the fleet
+/// coordinator and gather the canonical campaign document — byte-
+/// identical to a single-node run for any worker count or failure
+/// schedule. With no `--workers`, every task runs coordinator-local
+/// (the degenerate single-node fleet). `--net-faults` injects the
+/// seeded flaky-transport schedule; `--quick` uses the seconds-scale
+/// smoke profile. The document lands in `results/fleet.json`.
+fn fleet_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
+    use xps_serve::{
+        run_campaign_with_fleet, FlakyTransport, Fleet, FleetConfig, NetFaultPlan, TcpTransport,
+    };
+    let opts = run_opts();
+    let mut cfg = FleetConfig::new(opts.workers.clone());
+    if let Some(retries) = opts.retries {
+        cfg.retries = retries;
+    }
+    let plan = match opts.net_faults.as_deref() {
+        Some(spec) => Some(NetFaultPlan::parse(spec)?),
+        None => NetFaultPlan::from_env()?,
+    };
+    let tcp = TcpTransport {
+        connect_timeout: cfg.connect_timeout,
+    };
+    let fleet = std::sync::Arc::new(match plan {
+        Some(plan) if plan.is_active() => {
+            eprintln!("[injecting network faults: {plan:?}]");
+            Fleet::new(cfg, std::sync::Arc::new(FlakyTransport::new(plan, tcp)))
+        }
+        _ => Fleet::new(cfg, std::sync::Arc::new(tcp)),
+    });
+    let profile = if quick { "smoke" } else { "quick" };
+    let workloads = vec!["gzip".to_string(), "mcf".to_string()];
+    eprintln!(
+        "[fleet: {} worker(s), profile {profile}, workloads {}]",
+        opts.workers.len(),
+        workloads.join("+")
+    );
+    let report = run_campaign_with_fleet(&workloads, profile, opts.jobs, &fleet)?;
+    let stats = &report.stats;
+    println!(
+        "campaign {}: {} tasks remote, {} local-degraded, {} retries, {} quarantines",
+        report.campaign_id, report.remote_tasks, stats.degraded, stats.retried, stats.quarantines
+    );
+    for w in &stats.workers {
+        println!(
+            "  worker {} completed {}{}",
+            w.addr,
+            w.completed,
+            if w.quarantined { " (quarantined)" } else { "" }
+        );
+    }
+    std::fs::create_dir_all("results")?;
+    let out = PathBuf::from("results/fleet.json");
+    xps_core::explore::write_atomic(&out, &report.document)?;
+    println!(
+        "[campaign document {} — byte-identical to a single-node run]",
+        out.display()
+    );
     Ok(())
 }
 
@@ -1795,5 +1896,23 @@ mod tests {
     fn boolean_flags_take_no_value() {
         let e = parse(&["table4", "--quick=yes"]).expect_err("boolean with value");
         assert!(e.contains("takes no value"), "message: {e}");
+    }
+
+    #[test]
+    fn fleet_flags_parse_and_validate() {
+        let c = parse(&[
+            "fleet",
+            "--workers",
+            "127.0.0.1:7801, 127.0.0.1:7802",
+            "--net-faults=drop=10,seed=3",
+        ])
+        .expect("valid fleet command line");
+        assert_eq!(c.cmd, "fleet");
+        assert_eq!(c.workers, vec!["127.0.0.1:7801", "127.0.0.1:7802"]);
+        assert_eq!(c.net_faults.as_deref(), Some("drop=10,seed=3"));
+        let e = parse(&["fleet", "--workers", "no-port"]).expect_err("missing port");
+        assert!(e.contains("HOST:PORT"), "message: {e}");
+        let e = parse(&["fleet", "--net-faults", "drop=200"]).expect_err("bad rate");
+        assert!(e.contains("100"), "message: {e}");
     }
 }

@@ -187,8 +187,17 @@ pub fn cross_matrix_recoverable(
     };
     let mut per_worker_tasks = Vec::new();
     let mut ipt = vec![vec![0.0f64; n]; n];
+    // Each cell's wire description: pure (profile, config, ops), so a
+    // dispatched cell is bit-identical to the local measurement.
+    let describe = |w: usize, cfg: &CoreConfig| xps_explore::TaskSpec::eval(&profiles[w], cfg, ops);
     let fill_phase = xps_trace::span("matrix.fill");
-    let fan = ctx.run_fan(jobs, "matrix", n * n, |t| cell(t / n, &configs[t % n]))?;
+    let fan = ctx.run_fan_tasks(
+        jobs,
+        "matrix",
+        n * n,
+        |t| Some(describe(t / n, &configs[t % n])),
+        |t| cell(t / n, &configs[t % n]),
+    )?;
     fill_phase.end_with(|| xps_trace::attr("cells", n * n));
     merge_counts(&mut per_worker_tasks, &fan.per_worker);
     for (t, item) in fan.items.into_iter().enumerate() {
@@ -220,13 +229,25 @@ pub fn cross_matrix_recoverable(
                         ("from", profiles[best].name.as_str().into()),
                     ])
                 });
-                let fan = ctx.run_fan(jobs, "rematrix", 2 * n, |t| {
-                    if t < n {
-                        cell(w, &configs[t])
-                    } else {
-                        cell(t - n, &configs[w])
-                    }
-                })?;
+                let fan = ctx.run_fan_tasks(
+                    jobs,
+                    "rematrix",
+                    2 * n,
+                    |t| {
+                        Some(if t < n {
+                            describe(w, &configs[t])
+                        } else {
+                            describe(t - n, &configs[w])
+                        })
+                    },
+                    |t| {
+                        if t < n {
+                            cell(w, &configs[t])
+                        } else {
+                            cell(t - n, &configs[w])
+                        }
+                    },
+                )?;
                 merge_counts(&mut per_worker_tasks, &fan.per_worker);
                 for (t, item) in fan.items.into_iter().enumerate() {
                     let v = unwrap_cell(item);

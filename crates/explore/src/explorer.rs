@@ -259,10 +259,23 @@ impl Explorer {
         // own RNG from (opts.seed ^ start index, profile seed), so the
         // walks are identical no matter which worker runs them.
         let anneal_phase = xps_trace::span("explore.anneal");
-        let fan = ctx.run_fan(
+        let fan = ctx.run_fan_tasks(
             self.opts.jobs,
             "anneal",
             profiles.len() * starts.len(),
+            |t| {
+                // The wire description of this walk: same profile,
+                // start, options (with the multi-start seed mixed in),
+                // and technology the local closure below uses, so a
+                // dispatched anneal is bit-identical. Remote walks skip
+                // the local progress sink — observation only.
+                let (p, i) = (&profiles[t / starts.len()], t % starts.len());
+                let mut opts = self.opts.anneal.clone();
+                opts.seed ^= (i as u64) << 32;
+                Some(crate::task::TaskSpec::anneal(
+                    p, &starts[i], &opts, &self.tech,
+                ))
+            },
             |t| {
                 let (p, i) = (&profiles[t / starts.len()], t % starts.len());
                 let mut opts = self.opts.anneal.clone();
@@ -338,17 +351,36 @@ impl Explorer {
                 // Evaluate workload i on every other best config, in
                 // parallel. Configurations adopted earlier in this
                 // round are visible here, exactly as in a serial sweep.
-                let cross = ctx.run_fan(self.opts.jobs, "seed", results.len(), |j| {
-                    if i == j {
-                        None
-                    } else {
-                        Some(cache.ipt(
-                            &profiles[i],
-                            &results[j].config,
-                            self.opts.anneal.eval_ops_late,
-                        ))
-                    }
-                })?;
+                let cross = ctx.run_fan_tasks(
+                    self.opts.jobs,
+                    "seed",
+                    results.len(),
+                    |j| {
+                        // The diagonal (i == j) is a constant `None`
+                        // cell — nothing to run remotely. A worker's
+                        // bare-f64 response deserializes into
+                        // `Option<f64>` as `Some`, matching the local
+                        // closure's value.
+                        (i != j).then(|| {
+                            crate::task::TaskSpec::eval(
+                                &profiles[i],
+                                &results[j].config,
+                                self.opts.anneal.eval_ops_late,
+                            )
+                        })
+                    },
+                    |j| {
+                        if i == j {
+                            None
+                        } else {
+                            Some(cache.ipt(
+                                &profiles[i],
+                                &results[j].config,
+                                self.opts.anneal.eval_ops_late,
+                            ))
+                        }
+                    },
+                )?;
                 merge_counts(&mut per_worker_tasks, &cross.per_worker);
                 let mut best_foreign: Option<(usize, f64)> = None;
                 for (j, item) in cross.items.into_iter().enumerate() {
@@ -367,7 +399,13 @@ impl Explorer {
                     let mut re_opts = self.opts.anneal.clone();
                     re_opts.iterations = self.opts.reanneal_iterations;
                     re_opts.early_fraction = 0.0;
-                    let reanneal = ctx.run_task("reanneal", || {
+                    let respec = crate::task::TaskSpec::anneal(
+                        &profiles[i],
+                        &seed_point,
+                        &re_opts,
+                        &self.tech,
+                    );
+                    let reanneal = ctx.run_task_described("reanneal", respec, || {
                         anneal_observed(
                             &profiles[i],
                             &seed_point,

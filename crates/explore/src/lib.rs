@@ -54,6 +54,7 @@ mod parallel;
 mod point;
 mod recovery;
 mod stats;
+mod task;
 
 pub use anneal::{
     anneal, anneal_observed, anneal_with, score, score_with, AnnealOptions, AnnealResult, Objective,
@@ -68,6 +69,7 @@ pub use parallel::{merge_counts, resolve_jobs, run_parallel, ParallelRun};
 pub use point::DesignPoint;
 pub use recovery::{FanOutcome, RecoveryStats, RunContext, DEFAULT_RETRIES};
 pub use stats::EngineStats;
+pub use task::{TaskDispatcher, TaskKind, TaskSpec};
 pub use xps_trace::{ProgressEvent, ProgressSink};
 
 /// Re-exported fixed design constants (the paper's Table 2).

@@ -25,6 +25,7 @@ use crate::error::{ExploreError, TaskError, TaskFailure};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::journal::{Journal, JournalError};
 use crate::parallel::run_parallel;
+use crate::task::{TaskDispatcher, TaskSpec};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -75,12 +76,14 @@ pub struct RunContext {
     cancel: Option<Arc<AtomicBool>>,
     observer: Option<ProgressSink>,
     trace: Option<TraceSink>,
+    dispatcher: Option<Arc<dyn TaskDispatcher>>,
     retries: u32,
     fan_seq: AtomicU64,
     executed: AtomicU64,
     salvaged: AtomicU64,
     retried: AtomicU64,
     injected: AtomicU64,
+    remote: AtomicU64,
     failed: Mutex<Vec<String>>,
     journal_error: Mutex<Option<JournalError>>,
 }
@@ -101,12 +104,14 @@ impl RunContext {
             cancel: None,
             observer: None,
             trace: None,
+            dispatcher: None,
             retries: DEFAULT_RETRIES,
             fan_seq: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             salvaged: AtomicU64::new(0),
             retried: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            remote: AtomicU64::new(0),
             failed: Mutex::new(Vec::new()),
             journal_error: Mutex::new(None),
         }
@@ -172,9 +177,26 @@ impl RunContext {
         self
     }
 
+    /// Attach a task dispatcher: fan items that describe themselves as
+    /// a [`TaskSpec`] are offered to it before running locally. A
+    /// declined or undecodable dispatch falls back to the local
+    /// closure, so attaching a dispatcher never changes results — only
+    /// where tasks execute. Remote results skip local span recording
+    /// (their spans live on the worker) but journal identically.
+    pub fn with_dispatcher(mut self, dispatcher: Arc<dyn TaskDispatcher>) -> RunContext {
+        self.dispatcher = Some(dispatcher);
+        self
+    }
+
     /// The attached trace sink, if any.
     pub fn trace(&self) -> Option<&TraceSink> {
         self.trace.as_ref()
+    }
+
+    /// How many tasks a dispatcher ran remotely (informational; not
+    /// part of [`RecoveryStats`], whose serialized shape is stable).
+    pub fn remote_dispatched(&self) -> u64 {
+        self.remote.load(Ordering::Relaxed)
     }
 
     /// Whether the cancellation flag is set.
@@ -241,6 +263,36 @@ impl RunContext {
         T: Send + Serialize + Deserialize,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_fan_tasks(jobs, label, n, |_| None, f)
+    }
+
+    /// [`run_fan`](RunContext::run_fan) for fans whose items can
+    /// describe themselves as wire-format [`TaskSpec`]s: when a
+    /// dispatcher is attached, each missing item is first offered to
+    /// it (`describe(i)` → [`TaskDispatcher::dispatch`]); a successful
+    /// dispatch's body is decoded as the item value, and any decline
+    /// or decode failure falls back to the local closure `f`. Without
+    /// a dispatcher — or when `describe` returns `None` — this is
+    /// exactly `run_fan`. Journaling, retries, cancellation, and
+    /// result ordering are identical either way, which is what keeps a
+    /// fleet-gathered campaign byte-identical to a single-node run.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_fan`](RunContext::run_fan): only journal problems.
+    pub fn run_fan_tasks<T, F, D>(
+        &self,
+        jobs: usize,
+        label: &str,
+        n: usize,
+        describe: D,
+        f: F,
+    ) -> Result<FanOutcome<T>, ExploreError>
+    where
+        T: Send + Serialize + Deserialize,
+        F: Fn(usize) -> T + Sync,
+        D: Fn(usize) -> Option<TaskSpec> + Sync,
+    {
         let fan = self.fan_seq.fetch_add(1, Ordering::Relaxed);
         let key_of = |i: usize| format!("{label}#{fan}/{i}");
         if self.cancelled() {
@@ -287,20 +339,9 @@ impl RunContext {
             let run = run_parallel(jobs, missing.len(), |k| {
                 let i = missing[k];
                 let key = key_of(i);
-                let result = match &self.trace {
-                    Some(trace) => {
-                        // Record the task into a private recorder whose
-                        // logical clock starts at zero; attach it under
-                        // the deterministic task key only on success,
-                        // so failed attempts leave no trace events.
-                        let (rec, result) =
-                            with_recorder(trace.recorder(), || self.attempt(&key, || f(i)));
-                        if result.is_ok() {
-                            trace.attach(&key, rec);
-                        }
-                        result
-                    }
-                    None => self.attempt(&key, || f(i)),
+                let result = match self.dispatch_remote(&key, i, &describe) {
+                    Some(value) => Ok(value),
+                    None => self.run_local(&key, i, &f),
                 };
                 if let (Ok(value), Some(journal)) = (&result, &self.journal) {
                     let json =
@@ -367,6 +408,77 @@ impl RunContext {
         let mut fan = self.run_fan(1, label, 1, |_| f())?;
         // xps-allow(no-unwrap-in-lib): run_fan(1, ..) returns exactly one item on success
         Ok(fan.items.pop().expect("one item"))
+    }
+
+    /// [`run_task`](RunContext::run_task) with a wire description, so
+    /// an attached dispatcher can relocate the single task too.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_fan`](RunContext::run_fan): only journal problems.
+    pub fn run_task_described<T, F>(
+        &self,
+        label: &str,
+        spec: TaskSpec,
+        f: F,
+    ) -> Result<Result<T, TaskError>, ExploreError>
+    where
+        T: Send + Serialize + Deserialize,
+        F: Fn() -> T + Sync,
+    {
+        let mut fan = self.run_fan_tasks(1, label, 1, |_| Some(spec.clone()), |_| f())?;
+        // xps-allow(no-unwrap-in-lib): run_fan_tasks(1, ..) returns exactly one item on success
+        Ok(fan.items.pop().expect("one item"))
+    }
+
+    /// Offer one fan item to the attached dispatcher. Any reason not
+    /// to run remotely — no dispatcher, no task description, a
+    /// cancelled run, a declined dispatch, or a response body that
+    /// does not decode as the item type — yields `None`, and the item
+    /// runs locally instead.
+    fn dispatch_remote<T, D>(&self, key: &str, i: usize, describe: &D) -> Option<T>
+    where
+        T: Deserialize,
+        D: Fn(usize) -> Option<TaskSpec>,
+    {
+        let dispatcher = self.dispatcher.as_ref()?;
+        if self.cancelled() {
+            return None;
+        }
+        let spec = describe(i)?;
+        let body = dispatcher.dispatch(key, &spec)?;
+        match serde_json::from_str::<T>(&body) {
+            Ok(value) => {
+                self.remote.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            // A body that parsed as JSON upstream but not as the item
+            // type is treated like any other bad response: degrade to
+            // local execution.
+            Err(_) => None,
+        }
+    }
+
+    /// Run one fan item on this machine, recording its spans when a
+    /// trace sink is attached.
+    fn run_local<T, F>(&self, key: &str, i: usize, f: &F) -> Result<T, TaskError>
+    where
+        F: Fn(usize) -> T,
+    {
+        match &self.trace {
+            Some(trace) => {
+                // Record the task into a private recorder whose
+                // logical clock starts at zero; attach it under
+                // the deterministic task key only on success,
+                // so failed attempts leave no trace events.
+                let (rec, result) = with_recorder(trace.recorder(), || self.attempt(key, || f(i)));
+                if result.is_ok() {
+                    trace.attach(key, rec);
+                }
+                result
+            }
+            None => self.attempt(key, || f(i)),
+        }
     }
 
     /// Run one task with fault injection, panic isolation, and
@@ -633,6 +745,107 @@ mod tests {
         assert!(events[..2].iter().all(|(_, salvaged)| !*salvaged));
         assert!(events[2..].iter().all(|(_, salvaged)| *salvaged));
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A dispatcher that executes specs in-process — the degenerate
+    /// "remote" worker, sharing nothing with the local closure except
+    /// the deterministic engine.
+    #[derive(Debug, Default)]
+    struct InProcessDispatcher {
+        cache: crate::cache::EvalCache,
+        served: AtomicU64,
+        garble: bool,
+        decline: bool,
+    }
+
+    impl crate::task::TaskDispatcher for InProcessDispatcher {
+        fn dispatch(&self, _key: &str, spec: &crate::task::TaskSpec) -> Option<String> {
+            if self.decline {
+                return None;
+            }
+            self.served.fetch_add(1, Ordering::Relaxed);
+            if self.garble {
+                return Some("{\"not\":\"a result\"}".to_string());
+            }
+            spec.execute(&self.cache).ok()
+        }
+    }
+
+    fn eval_spec(ops: u64) -> crate::task::TaskSpec {
+        let profile = xps_workload::spec::profile("gzip").expect("gzip exists");
+        crate::task::TaskSpec::eval(&profile, &xps_sim::CoreConfig::initial(), ops)
+    }
+
+    #[test]
+    fn dispatched_fan_is_byte_identical_to_local_fan() {
+        let profile = xps_workload::spec::profile("gzip").expect("gzip exists");
+        let config = xps_sim::CoreConfig::initial();
+        let run = |dispatcher: Option<Arc<dyn crate::task::TaskDispatcher>>| {
+            let cache = crate::cache::EvalCache::new();
+            let mut ctx = RunContext::new();
+            if let Some(d) = dispatcher {
+                ctx = ctx.with_dispatcher(d);
+            }
+            let fan = ctx
+                .run_fan_tasks(
+                    2,
+                    "cell",
+                    4,
+                    |i| Some(eval_spec(1_000 + 500 * i as u64)),
+                    |i| cache.ipt(&profile, &config, 1_000 + 500 * i as u64),
+                )
+                .expect("fan");
+            let values: Vec<f64> = fan.items.into_iter().map(|r| r.expect("ok")).collect();
+            (values, ctx.remote_dispatched(), ctx.stats().executed)
+        };
+        let dispatcher = Arc::new(InProcessDispatcher::default());
+        let (local, r0, e0) = run(None);
+        let (remote, r1, e1) = run(Some(dispatcher.clone()));
+        assert_eq!((r0, e0), (0, 4));
+        assert_eq!((r1, e1), (4, 0), "every item went remote");
+        assert_eq!(dispatcher.served.load(Ordering::Relaxed), 4);
+        // Bit-identical, not approximately equal: the serialized round
+        // trip must not perturb a single ULP.
+        assert!(local.iter().zip(&remote).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn declined_and_garbled_dispatches_fall_back_to_local() {
+        for (garble, decline) in [(false, true), (true, false)] {
+            let cache = crate::cache::EvalCache::new();
+            let dispatcher = Arc::new(InProcessDispatcher {
+                garble,
+                decline,
+                ..InProcessDispatcher::default()
+            });
+            let ctx = RunContext::new().with_dispatcher(dispatcher);
+            let profile = xps_workload::spec::profile("gzip").expect("gzip exists");
+            let config = xps_sim::CoreConfig::initial();
+            let fan = ctx
+                .run_fan_tasks(
+                    1,
+                    "cell",
+                    3,
+                    |_| Some(eval_spec(2_000)),
+                    |_| cache.ipt(&profile, &config, 2_000),
+                )
+                .expect("fan");
+            assert!(fan.items.iter().all(|r| r.is_ok()));
+            assert_eq!(ctx.remote_dispatched(), 0, "nothing counted as remote");
+            assert_eq!(ctx.stats().executed, 3, "all items ran locally");
+        }
+    }
+
+    #[test]
+    fn undescribed_items_never_reach_the_dispatcher() {
+        let dispatcher = Arc::new(InProcessDispatcher::default());
+        let ctx = RunContext::new().with_dispatcher(dispatcher.clone());
+        let fan = ctx
+            .run_fan_tasks(2, "plain", 5, |_| None, |i| i as u64)
+            .expect("fan");
+        assert_eq!(fan.items.len(), 5);
+        assert_eq!(dispatcher.served.load(Ordering::Relaxed), 0);
+        assert_eq!(ctx.stats().executed, 5);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! The fleet coordinator binary: scatter one exploration campaign
+//! over a set of `xps-serve` workers and gather the canonical
+//! campaign document.
+//!
+//! ```text
+//! xps-fleet --workers HOST:PORT[,HOST:PORT...] [--workloads A,B,...]
+//!           [--profile smoke|quick|full] [--jobs N] [--retries N]
+//!           [--net-faults SPEC] [--out PATH]
+//! ```
+//!
+//! The gathered document is byte-identical to a single-node run for
+//! any worker count, topology, or failure schedule: dead, hung, or
+//! flaky workers cost retries and (at worst) local fallback, never
+//! different bytes. `--net-faults` (or the `XPS_NET_FAULTS`
+//! environment variable) wraps the transport in a seeded fault plan —
+//! CI runs the whole scatter-gather under injected drops, delays,
+//! truncations, duplications, and garbage on every push.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use xps_serve::{
+    run_campaign_with_fleet, FlakyTransport, Fleet, FleetConfig, NetFaultPlan, TcpTransport,
+};
+
+const USAGE: &str = "usage: xps-fleet --workers HOST:PORT[,..] [--workloads A,B,..] \
+[--profile smoke|quick|full] [--jobs N] [--retries N] [--net-faults SPEC] [--out PATH]";
+
+#[derive(Debug)]
+struct Cli {
+    workers: Vec<String>,
+    workloads: Vec<String>,
+    profile: String,
+    jobs: usize,
+    retries: u32,
+    net_faults: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        workers: Vec::new(),
+        workloads: vec!["gzip".to_string(), "mcf".to_string()],
+        profile: "smoke".to_string(),
+        jobs: 0,
+        retries: 3,
+        net_faults: None,
+        out: None,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        if let Some(v) = args[*i].strip_prefix(&format!("{flag}=")) {
+            return Ok(v.to_string());
+        }
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} expects a value\n{USAGE}"))
+    };
+    let list = |v: String| -> Vec<String> {
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect()
+    };
+    while i < args.len() {
+        let arg = args[i].clone();
+        let name = arg.split('=').next().unwrap_or(&arg);
+        match name {
+            "--workers" => cli.workers = list(value(args, &mut i, "--workers")?),
+            "--workloads" => cli.workloads = list(value(args, &mut i, "--workloads")?),
+            "--profile" => cli.profile = value(args, &mut i, "--profile")?,
+            "--jobs" => {
+                let v = value(args, &mut i, "--jobs")?;
+                cli.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs expects a number, got `{v}`"))?;
+            }
+            "--retries" => {
+                let v = value(args, &mut i, "--retries")?;
+                cli.retries = v
+                    .parse::<u32>()
+                    .map_err(|_| format!("--retries expects a number, got `{v}`"))?;
+            }
+            "--net-faults" => cli.net_faults = Some(value(args, &mut i, "--net-faults")?),
+            "--out" => cli.out = Some(value(args, &mut i, "--out")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let plan = match &cli.net_faults {
+        Some(spec) => Some(NetFaultPlan::parse(spec)?),
+        None => NetFaultPlan::from_env()?,
+    };
+    let mut cfg = FleetConfig::new(cli.workers.clone());
+    cfg.retries = cli.retries;
+    let tcp = TcpTransport {
+        connect_timeout: cfg.connect_timeout,
+    };
+    let fleet = Arc::new(match plan {
+        Some(plan) if plan.is_active() => {
+            eprintln!("xps-fleet: injecting network faults: {plan:?}");
+            Fleet::new(cfg, Arc::new(FlakyTransport::new(plan, tcp)))
+        }
+        _ => Fleet::new(cfg, Arc::new(tcp)),
+    });
+    let report = run_campaign_with_fleet(&cli.workloads, &cli.profile, cli.jobs, &fleet)
+        .map_err(|e| e.to_string())?;
+    let stats = &report.stats;
+    eprintln!(
+        "xps-fleet: campaign {} gathered: {} remote, {} local-degraded, {} retries, {} quarantines",
+        report.campaign_id, report.remote_tasks, stats.degraded, stats.retried, stats.quarantines
+    );
+    for w in &stats.workers {
+        eprintln!(
+            "xps-fleet:   {} completed {}{}",
+            w.addr,
+            w.completed,
+            if w.quarantined { " (quarantined)" } else { "" }
+        );
+    }
+    match &cli.out {
+        Some(path) => {
+            let path = std::path::Path::new(path);
+            xps_core::explore::write_atomic(path, &report.document)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!("xps-fleet: document written to {}", path.display());
+        }
+        None => {
+            println!("{}", report.document);
+            let _ = std::io::stdout().flush();
+        }
+    }
+    // Sleep-free determinism contract: the document depends only on
+    // the campaign, never on which workers answered.
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xps-fleet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_in_both_spellings() {
+        let c = parse_cli(&strs(&[
+            "--workers",
+            "a:1,b:2",
+            "--workloads=gzip,mcf,vpr",
+            "--profile=quick",
+            "--jobs",
+            "4",
+            "--retries=5",
+            "--net-faults=drop=10,seed=3",
+            "--out=/tmp/fleet.json",
+        ]))
+        .expect("parses");
+        assert_eq!(c.workers, vec!["a:1", "b:2"]);
+        assert_eq!(c.workloads, vec!["gzip", "mcf", "vpr"]);
+        assert_eq!((c.profile.as_str(), c.jobs, c.retries), ("quick", 4, 5));
+        assert_eq!(c.net_faults.as_deref(), Some("drop=10,seed=3"));
+        assert_eq!(c.out.as_deref(), Some("/tmp/fleet.json"));
+    }
+
+    #[test]
+    fn rejects_bad_flags_with_usage() {
+        assert!(parse_cli(&strs(&["--frobnicate"]))
+            .expect_err("unknown")
+            .contains("unknown flag"));
+        assert!(parse_cli(&strs(&["--retries", "many"]))
+            .expect_err("bad retries")
+            .contains("--retries"));
+        assert!(parse_cli(&strs(&["--workers"]))
+            .expect_err("missing value")
+            .contains("expects a value"));
+    }
+}

@@ -10,8 +10,29 @@ use crate::error::ServeError;
 use crate::http::read_chunked;
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+use xps_core::explore::fnv64;
+
+/// Bound on establishing a connection: a daemon that is down or
+/// unroutable should fail fast, not hang the client.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Bound on socket reads and writes once connected.
+const IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Open a connection to `addr` with explicit connect, read, and write
+/// deadlines.
+fn connect(addr: &str) -> Result<TcpStream, ServeError> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ServeError::BadRequest(format!("address `{addr}` resolves to nothing")))?;
+    let stream = TcpStream::connect_timeout(&target, CONNECT_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    Ok(stream)
+}
 
 /// One parsed response.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,8 +67,7 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> Result<Response, ServeError> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let mut stream = connect(addr)?;
     let body = body.unwrap_or("");
     write!(
         stream,
@@ -56,6 +76,79 @@ pub fn request(
     )?;
     stream.flush()?;
     read_response(&mut BufReader::new(stream))
+}
+
+/// Bounded retries for [`request_retrying`]: attempt `k`'s retry
+/// waits `backoff_base_ms * 2^k` plus seeded jitter in
+/// `[0, backoff_base_ms)` — a pure function of `(policy, path,
+/// attempt)`, never the clock.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connection attempts before giving up (at least 1).
+    pub attempts: u32,
+    /// Base backoff between attempts, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            backoff_base_ms: 200,
+            seed: 0xc11e,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff after attempt `attempt` (0-based) of
+    /// a request to `path`.
+    pub fn backoff_ms(&self, path: &str, attempt: u32) -> u64 {
+        let base = self.backoff_base_ms.max(1);
+        let key = format!("{path}@{attempt}");
+        (base << attempt.min(6)) + fnv64(self.seed, key.as_bytes()) % base
+    }
+}
+
+/// [`request`], retried under `policy` when the daemon cannot be
+/// reached at all (connection refused, reset, or timed out). Errors
+/// that prove the daemon is alive — an HTTP response, bad framing —
+/// are returned immediately; only transport-level failures retry.
+///
+/// # Errors
+///
+/// [`ServeError::Unreachable`] after the attempt budget is spent,
+/// carrying the address, attempt count, last transport error, and the
+/// backoff a further retry would have waited — everything
+/// `repro client` needs to print an actionable message instead of a
+/// raw I/O error.
+pub fn request_retrying(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+) -> Result<Response, ServeError> {
+    let attempts = policy.attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(path, attempt - 1)));
+        }
+        match request(addr, method, path, body) {
+            Ok(resp) => return Ok(resp),
+            Err(ServeError::Io(e)) => last = e.to_string(),
+            Err(other) => return Err(other),
+        }
+    }
+    Err(ServeError::Unreachable {
+        addr: addr.to_string(),
+        attempts,
+        next_backoff_ms: policy.backoff_ms(path, attempts.saturating_sub(1)),
+        last,
+    })
 }
 
 /// Parse a status line + headers + body from `r`.
@@ -178,8 +271,7 @@ pub fn stream_events(
     max_lines: usize,
     mut on_line: impl FnMut(&str),
 ) -> Result<usize, ServeError> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let mut stream = connect(addr)?;
     write!(
         stream,
         "GET /jobs/{job}/events HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
@@ -225,5 +317,44 @@ mod tests {
     fn rejects_garbage_status_line() {
         let e = read_response(&mut Cursor::new(&b"not http\r\n\r\n"[..])).expect_err("garbage");
         assert!(e.to_string().contains("status line"));
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_exponential() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..8 {
+            let ms = policy.backoff_ms("/jobs", attempt);
+            assert_eq!(ms, policy.backoff_ms("/jobs", attempt));
+            let exp = policy.backoff_base_ms << attempt.min(6);
+            assert!((exp..exp + policy.backoff_base_ms).contains(&ms));
+        }
+        assert_ne!(
+            policy.backoff_ms("/jobs", 0),
+            policy.backoff_ms("/metrics", 0),
+            "jitter varies by path"
+        );
+    }
+
+    #[test]
+    fn unreachable_daemon_yields_an_actionable_error() {
+        // Port 1 on loopback refuses connections; keep the retry
+        // budget minimal so the test stays fast.
+        let policy = RetryPolicy {
+            attempts: 2,
+            backoff_base_ms: 1,
+            seed: 7,
+        };
+        let e = request_retrying("127.0.0.1:1", "GET", "/healthz", None, &policy)
+            .expect_err("no daemon on port 1");
+        assert_eq!(e.status(), 500);
+        let msg = e.to_string();
+        for needle in [
+            "127.0.0.1:1",
+            "2 attempts",
+            "is the daemon running?",
+            "repro serve",
+        ] {
+            assert!(msg.contains(needle), "`{needle}` missing from `{msg}`");
+        }
     }
 }

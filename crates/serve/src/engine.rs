@@ -52,7 +52,7 @@ impl Profile {
         }
     }
 
-    fn parse(name: &str) -> Result<Profile, ServeError> {
+    pub(crate) fn parse(name: &str) -> Result<Profile, ServeError> {
         match name {
             "smoke" => Ok(Profile::Smoke),
             "quick" => Ok(Profile::Quick),
@@ -63,7 +63,7 @@ impl Profile {
         }
     }
 
-    fn pipeline(&self, jobs: usize) -> Pipeline {
+    pub(crate) fn pipeline(&self, jobs: usize) -> Pipeline {
         let mut p = match self {
             Profile::Smoke => {
                 let mut p = Pipeline::quick();
@@ -459,20 +459,7 @@ impl Engine {
         trace.attach("main", root);
         let result = result?;
         let stats = EngineStats::snapshot(&self.cache, &ctx);
-        // The campaign document holds only deterministic simulation
-        // results — never run counters, which differ across resumes.
-        let doc = Value::Obj(vec![
-            (
-                "workloads".to_string(),
-                Value::Arr(request.workloads.iter().cloned().map(Value::Str).collect()),
-            ),
-            (
-                "cores".to_string(),
-                Value::Arr(result.cores.iter().map(|c| c.to_value()).collect()),
-            ),
-            ("matrix".to_string(), result.matrix.to_value()),
-        ]);
-        let body = crate::json(&doc);
+        let body = campaign_document(&request.workloads, &result);
         self.store.put(campaign_id, &body)?;
         // The store now owns the result; the checkpoint journal has
         // served its purpose.
@@ -522,6 +509,27 @@ impl Engine {
             hub.publish(&job, line);
         })
     }
+}
+
+/// Assemble the canonical campaign document from a pipeline result.
+/// The single serialization point for campaign bodies — the daemon's
+/// `run_campaign` and the fleet coordinator both emit through here, so
+/// a fleet-gathered campaign is byte-identical to a single-node run by
+/// construction. The document holds only deterministic simulation
+/// results — never run counters, which differ across resumes and
+/// topologies.
+pub fn campaign_document(workloads: &[String], result: &xps_core::PipelineResult) -> String {
+    crate::json(&Value::Obj(vec![
+        (
+            "workloads".to_string(),
+            Value::Arr(workloads.iter().cloned().map(Value::Str).collect()),
+        ),
+        (
+            "cores".to_string(),
+            Value::Arr(result.cores.iter().map(|c| c.to_value()).collect()),
+        ),
+        ("matrix".to_string(), result.matrix.to_value()),
+    ]))
 }
 
 /// One NDJSON feed line per profiled phase, name-ordered: the job's

@@ -48,6 +48,22 @@ pub enum ServeError {
     Io(std::io::Error),
     /// The underlying exploration pipeline failed. 500.
     Pipeline(PipelineError),
+    /// A dispatched task panicked on this worker. 500.
+    TaskPanicked(String),
+    /// A peer could not be reached after bounded retries; carries
+    /// everything an operator needs to act (who, how hard we tried,
+    /// what the transport said, how long the next backoff would be).
+    /// Client-side only — never rendered as an HTTP response.
+    Unreachable {
+        /// The address that refused or timed out.
+        addr: String,
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The backoff a further retry would wait, milliseconds.
+        next_backoff_ms: u64,
+        /// The last transport error observed.
+        last: String,
+    },
     /// The daemon is draining for shutdown and accepts no new work.
     /// 503.
     ShuttingDown,
@@ -62,7 +78,11 @@ impl ServeError {
             ServeError::MethodNotAllowed { .. } => 405,
             ServeError::TooLarge { .. } => 413,
             ServeError::QueueFull { .. } => 429,
-            ServeError::StoreCorrupt { .. } | ServeError::Io(_) | ServeError::Pipeline(_) => 500,
+            ServeError::StoreCorrupt { .. }
+            | ServeError::Io(_)
+            | ServeError::Pipeline(_)
+            | ServeError::TaskPanicked(_)
+            | ServeError::Unreachable { .. } => 500,
             ServeError::ShuttingDown => 503,
         }
     }
@@ -89,6 +109,19 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Io(e) => write!(f, "i/o: {e}"),
             ServeError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            ServeError::TaskPanicked(msg) => write!(f, "task panicked on worker: {msg}"),
+            ServeError::Unreachable {
+                addr,
+                attempts,
+                next_backoff_ms,
+                last,
+            } => write!(
+                f,
+                "cannot reach xps-serve at {addr} after {attempts} attempt{}: {last}; \
+                 is the daemon running? start one with `repro serve --addr {addr}`; \
+                 a further retry would back off {next_backoff_ms} ms",
+                if *attempts == 1 { "" } else { "s" }
+            ),
             ServeError::ShuttingDown => write!(f, "daemon is draining for shutdown"),
         }
     }

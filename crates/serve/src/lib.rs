@@ -38,24 +38,38 @@
 //! * [`server`] — the TCP daemon tying all of it together.
 //! * [`client`] — a tiny blocking HTTP client (examples, tests, smoke
 //!   runs).
+//! * [`transport`] — the fleet wire layer: deadline-bounded TCP plus
+//!   a deterministic fault-injecting wrapper.
+//! * [`netfault`] — seeded network fault plans (`XPS_NET_FAULTS`).
+//! * [`fleet`] — the scatter-gather coordinator: heartbeats, bounded
+//!   retries with deterministic backoff, quarantine, and graceful
+//!   degradation to local execution.
 
 pub mod client;
 mod engine;
 mod error;
+mod fleet;
 pub mod http;
 mod metrics;
+mod netfault;
 mod progress;
 mod queue;
 mod server;
 mod store;
+mod transport;
 
 pub use engine::{is_cancelled, Engine, JobRequest, Profile, Question};
 pub use error::ServeError;
+pub use fleet::{
+    run_campaign_with_fleet, Fleet, FleetConfig, FleetReport, FleetStats, WorkerSnapshot,
+};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_US};
+pub use netfault::{NetFault, NetFaultPlan};
 pub use progress::{FeedRead, ProgressHub, MAX_FEED_LINES};
 pub use queue::{Job, JobQueue, JobStatus, SubmitOutcome};
 pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};
-pub use store::{body_checksum, content_id, ResultStore};
+pub use store::{body_checksum, content_id, GcReport, ResultStore};
+pub use transport::{FlakyTransport, TcpTransport, Transport};
 
 /// Render a JSON value the daemon built itself. Infallible by
 /// construction: every number the daemon emits is finite.

@@ -28,16 +28,19 @@ pub enum Endpoint {
     Events,
     /// `GET /metrics`
     Metrics,
+    /// `POST /tasks` and `GET /tasks/<id>` (fleet worker execution).
+    Task,
     /// Everything else (including errors).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 5] = [
+    const ALL: [Endpoint; 6] = [
         Endpoint::Submit,
         Endpoint::Job,
         Endpoint::Events,
         Endpoint::Metrics,
+        Endpoint::Task,
         Endpoint::Other,
     ];
 
@@ -47,6 +50,7 @@ impl Endpoint {
             Endpoint::Job => "job",
             Endpoint::Events => "events",
             Endpoint::Metrics => "metrics",
+            Endpoint::Task => "task",
             Endpoint::Other => "other",
         }
     }
@@ -115,7 +119,11 @@ pub struct Metrics {
     tasks_executed: AtomicU64,
     tasks_salvaged: AtomicU64,
     journal_replayed: AtomicU64,
-    latency: [Histogram; 5],
+    fleet_tasks_executed: AtomicU64,
+    fleet_task_store_hits: AtomicU64,
+    gc_evicted: AtomicU64,
+    gc_reclaimed_bytes: AtomicU64,
+    latency: [Histogram; 6],
     /// Accumulated span profiles of every campaign this process ran
     /// (merged per phase name). The lock is touched once per finished
     /// campaign and per `/metrics` render — never on a hot path.
@@ -156,6 +164,24 @@ impl Metrics {
     /// Record a submission answered straight from the result store.
     pub fn store_hit(&self) {
         self.store_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one fleet task executed by this worker (`POST /tasks`).
+    pub fn fleet_task_executed(&self) {
+        self.fleet_tasks_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one fleet task answered from the result store without
+    /// re-executing (duplicate or retried dispatch).
+    pub fn fleet_task_store_hit(&self) {
+        self.fleet_task_store_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one store-GC pass into the totals.
+    pub fn gc_pass(&self, evicted: u64, reclaimed_bytes: u64) {
+        self.gc_evicted.fetch_add(evicted, Ordering::Relaxed);
+        self.gc_reclaimed_bytes
+            .fetch_add(reclaimed_bytes, Ordering::Relaxed);
     }
 
     /// Number of store-answered submissions so far.
@@ -224,6 +250,21 @@ impl Metrics {
         let store = Value::Obj(vec![
             ("hits".to_string(), load(&self.store_hits)),
             ("records".to_string(), Value::U64(store_records as u64)),
+            ("gc_evicted".to_string(), load(&self.gc_evicted)),
+            (
+                "gc_reclaimed_bytes".to_string(),
+                load(&self.gc_reclaimed_bytes),
+            ),
+        ]);
+        let fleet = Value::Obj(vec![
+            (
+                "tasks_executed".to_string(),
+                load(&self.fleet_tasks_executed),
+            ),
+            (
+                "task_store_hits".to_string(),
+                load(&self.fleet_task_store_hits),
+            ),
         ]);
         let recovery = Value::Obj(vec![
             ("tasks_executed".to_string(), load(&self.tasks_executed)),
@@ -258,6 +299,7 @@ impl Metrics {
             ("jobs".to_string(), jobs),
             ("cache".to_string(), cache),
             ("store".to_string(), store),
+            ("fleet".to_string(), fleet),
             ("recovery".to_string(), recovery),
             ("spans".to_string(), spans),
             ("latency_us".to_string(), latency),

@@ -19,7 +19,7 @@ use crate::progress::ProgressHub;
 use crate::queue::{JobQueue, JobStatus, SubmitOutcome};
 use crate::store::{content_id, ResultStore};
 use serde::Value;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,6 +51,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Worker threads per pipeline run (0 = available parallelism).
     pub pipeline_jobs: usize,
+    /// Result-store quota in bytes (`None` = unbounded). When set, a
+    /// GC pass runs after every store-growing completion, evicting the
+    /// oldest unpinned records until the store fits; records referenced
+    /// by in-flight jobs are pinned and never evicted.
+    pub store_quota_bytes: Option<u64>,
 }
 
 impl ServerConfig {
@@ -64,6 +69,7 @@ impl ServerConfig {
             queue_capacity: 64,
             workers: 1,
             pipeline_jobs: 0,
+            store_quota_bytes: None,
         }
     }
 }
@@ -96,6 +102,8 @@ struct Shared {
     hub: Arc<ProgressHub>,
     metrics: Metrics,
     cancel: Arc<AtomicBool>,
+    /// Store quota (bytes); `None` disables GC.
+    store_quota_bytes: Option<u64>,
     /// Terminal jobs in finish order, newest last; the retention
     /// window behind [`RETAINED_TERMINAL_JOBS`].
     retired: Mutex<VecDeque<String>>,
@@ -126,6 +134,39 @@ impl Shared {
             }
             self.hub.forget(&old);
             self.queue.evict_terminal(&old);
+        }
+    }
+
+    /// Store ids an in-flight campaign still references: every
+    /// unfinished job's own result id plus its campaign document's id.
+    /// GC must never evict these — a coordinator or client is about to
+    /// read them.
+    fn pinned_ids(&self) -> BTreeSet<String> {
+        let mut pinned = BTreeSet::new();
+        for id in self.queue.unfinished() {
+            if let Some(job) = self.queue.get(&id) {
+                if let Ok(req) = crate::engine::JobRequest::parse(&job.canonical) {
+                    pinned.insert(content_id(&req.campaign_canonical()));
+                }
+            }
+            pinned.insert(id);
+        }
+        pinned
+    }
+
+    /// Run one GC pass when a quota is configured. Failure is logged,
+    /// never fatal: a store over quota serves correctly, just larger.
+    fn maybe_gc(&self) {
+        let Some(quota) = self.store_quota_bytes else {
+            return;
+        };
+        match self.store.gc(quota, &self.pinned_ids()) {
+            Ok(report) if !report.evicted.is_empty() => {
+                self.metrics
+                    .gc_pass(report.evicted.len() as u64, report.reclaimed);
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("xps-serve: store gc failed: {e}"),
         }
     }
 }
@@ -175,6 +216,7 @@ impl Server {
                 hub,
                 metrics: Metrics::new(),
                 cancel,
+                store_quota_bytes: config.store_quota_bytes,
                 retired: Mutex::new(VecDeque::new()),
             }),
             workers: config.workers.max(1),
@@ -277,6 +319,10 @@ fn scheduler_loop(shared: &Shared) {
                 }
                 shared.queue.complete(&job.id);
                 shared.metrics.completed();
+                // The job just grew the store (campaign + answer
+                // documents); shrink it back under quota now that the
+                // job no longer pins anything.
+                shared.maybe_gc();
                 shared.hub.close(
                     &job.id,
                     crate::json(&Value::Obj(vec![
@@ -322,7 +368,11 @@ fn scheduler_loop(shared: &Shared) {
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     // xps-allow(no-wallclock-in-deterministic-paths): request-latency metrics only; never reaches a result body
     let started = Instant::now();
+    // Both directions are bounded: a client that stalls mid-request
+    // (read) or stops draining its response (write) errors this
+    // handler out instead of pinning the thread forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -351,6 +401,8 @@ fn classify(req: &Request) -> Endpoint {
         ("GET", "/metrics") => Endpoint::Metrics,
         ("GET", p) if p.starts_with("/jobs/") && p.ends_with("/events") => Endpoint::Events,
         ("GET", p) if p.starts_with("/jobs/") => Endpoint::Job,
+        ("POST", "/tasks") => Endpoint::Task,
+        ("GET", p) if p.starts_with("/tasks/") => Endpoint::Task,
         _ => Endpoint::Other,
     }
 }
@@ -364,12 +416,39 @@ fn route(shared: &Shared, req: &Request, w: &mut impl Write) -> Result<(), Serve
                 .render(shared.queue.depth(), shared.store.len()?);
             Ok(write_response(w, 200, "application/json", body.as_bytes())?)
         }
-        ("GET", "/healthz") => Ok(write_response(
-            w,
-            200,
-            "application/json",
-            b"{\"ok\":true}",
-        )?),
+        ("GET", "/healthz") => {
+            // Rich enough for a fleet coordinator's heartbeat to see a
+            // worker's load, cheap enough to serve every probe.
+            let body = crate::json(&Value::Obj(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                (
+                    "queue_depth".to_string(),
+                    Value::U64(shared.queue.depth() as u64),
+                ),
+                (
+                    "store_records".to_string(),
+                    Value::U64(shared.store.len()? as u64),
+                ),
+                ("store_bytes".to_string(), Value::U64(shared.store.usage()?)),
+            ]));
+            Ok(write_response(w, 200, "application/json", body.as_bytes())?)
+        }
+        ("POST", "/tasks") => run_task(shared, req, w),
+        ("GET", path) if matches!(path.strip_prefix("/tasks/"), Some(r) if !r.is_empty()) => {
+            let id = path.strip_prefix("/tasks/").unwrap_or_default();
+            match shared.store.get(id)? {
+                Some(body) => {
+                    let envelope = crate::fleet::task_envelope(&body);
+                    Ok(write_response(
+                        w,
+                        200,
+                        "application/json",
+                        envelope.as_bytes(),
+                    )?)
+                }
+                None => Err(ServeError::NotFound(format!("no task result `{id}`"))),
+            }
+        }
         ("GET", path) if matches!(path.strip_prefix("/jobs/"), Some(r) if !r.is_empty()) => {
             let rest = path.strip_prefix("/jobs/").unwrap_or_default();
             match rest.strip_suffix("/events") {
@@ -383,6 +462,63 @@ fn route(shared: &Shared, req: &Request, w: &mut impl Write) -> Result<(), Serve
             path: path.to_string(),
         }),
     }
+}
+
+/// `POST /tasks`: execute one wire-format [`TaskSpec`] synchronously
+/// and reply with its serialized result wrapped in the checksummed
+/// fleet envelope — the fleet scatter path. Results are
+/// content-addressed in the store under the spec's canonical
+/// fingerprint, so a duplicated or retried dispatch (lost response,
+/// flaky transport) re-reads the stored bytes instead of
+/// re-simulating, and `GET /tasks/<id>` can recover a result whose
+/// response was lost entirely. Execution shares the daemon's
+/// evaluation cache with the job pipeline.
+///
+/// [`TaskSpec`]: xps_core::explore::TaskSpec
+fn run_task(shared: &Shared, req: &Request, w: &mut impl Write) -> Result<(), ServeError> {
+    let spec: xps_core::explore::TaskSpec = serde_json::from_str(req.body_str()?)
+        .map_err(|e| ServeError::BadRequest(format!("body is not a task spec: {e}")))?;
+    let id = format!("task-{}", content_id(&spec.canonical()));
+    if let Some(body) = shared.store.get(&id)? {
+        shared.metrics.fleet_task_store_hit();
+        let envelope = crate::fleet::task_envelope(&body);
+        return Ok(write_response(
+            w,
+            200,
+            "application/json",
+            envelope.as_bytes(),
+        )?);
+    }
+    // Task specs are plain data; a panicking execution (a bug or an
+    // injected fault on the worker) must fail this request, never the
+    // handler thread or the daemon.
+    let outcome = catch_unwind(AssertUnwindSafe(|| spec.execute(shared.engine.cache())));
+    let body = match outcome {
+        Ok(Ok(body)) => body,
+        Ok(Err(detail)) => {
+            return Err(ServeError::BadRequest(format!(
+                "task spec rejected: {detail}"
+            )))
+        }
+        Err(p) => {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "task panicked".to_string());
+            return Err(ServeError::TaskPanicked(msg));
+        }
+    };
+    shared.store.put(&id, &body)?;
+    shared.metrics.fleet_task_executed();
+    shared.maybe_gc();
+    let envelope = crate::fleet::task_envelope(&body);
+    Ok(write_response(
+        w,
+        200,
+        "application/json",
+        envelope.as_bytes(),
+    )?)
 }
 
 /// `POST /jobs`: canonicalize, answer from the store when the result

@@ -8,6 +8,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::sample::select;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use xps_serve::{content_id, ResultStore};
@@ -127,6 +128,58 @@ proptest! {
             );
             prop_assert!(msg.contains(&format!("{id}.json")), "names the file: {}", msg);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The GC's safety contract: whatever the quota, record
+    /// population, and pin set — including pins alone exceeding the
+    /// quota — a pinned record (one referenced by an in-flight
+    /// campaign) is never evicted and still reads back byte-identical,
+    /// and eviction stops as soon as the store fits the quota.
+    #[test]
+    fn gc_never_evicts_a_pinned_record(
+        bodies in vec(vec(arb_fragment(), 2), 10),
+        pin_mask in vec(any::<bool>(), 10),
+        quota in 0u64..2_000,
+    ) {
+        let dir = tmp("gc");
+        let store = ResultStore::open(&dir).expect("open");
+        let mut pinned = BTreeSet::new();
+        let mut kept: Vec<(String, String)> = Vec::new();
+        for (i, fragments) in bodies.iter().enumerate() {
+            let body = format!("{}#{i}", fragments.join("|"));
+            let id = content_id(&body);
+            store.put(&id, &body).expect("put");
+            if pin_mask[i % pin_mask.len()] {
+                pinned.insert(id.clone());
+                kept.push((id, body));
+            }
+        }
+        let before = store.usage().expect("usage");
+        let report = store.gc(quota, &pinned).expect("gc");
+        // The report's accounting matches the disk.
+        prop_assert_eq!(report.usage, store.usage().expect("usage"));
+        prop_assert_eq!(report.usage, before - report.reclaimed);
+        // Every pinned record survived, byte-identical.
+        for (id, body) in &kept {
+            prop_assert!(!report.evicted.contains(id), "evicted pinned {}", id);
+            prop_assert_eq!(
+                store.get(id).expect("pinned readable").as_deref(),
+                Some(body.as_str())
+            );
+        }
+        // GC either reached the quota or only pinned records remain.
+        if report.usage > quota {
+            let survivors = store.len().expect("len");
+            prop_assert_eq!(
+                survivors, pinned.len(),
+                "over quota yet unpinned records survive"
+            );
+        }
+        // A second pass on the settled store is a no-op.
+        let again = store.gc(quota, &pinned).expect("gc again");
+        prop_assert_eq!(again.reclaimed, 0);
+        prop_assert!(again.evicted.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
