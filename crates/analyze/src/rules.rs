@@ -14,6 +14,7 @@
 //! | `no-panic-in-worker` | worker closures stay inside the `catch_unwind` boundary |
 //! | `no-alloc-in-sim-hot-path` | the cycle engine's per-op step stays free of hash lookups and heap allocation |
 //! | `net-timeouts-and-bounded-retries` | outbound connections carry deadlines; retry loops are bounded |
+//! | `seeded-rng-only-in-generators` | the workload generators draw randomness only from derived seeds, never ambient entropy or wall time |
 //! | `malformed-suppression` | every `xps-allow` carries a rule id and a reason |
 //!
 //! Suppression: a finding on line *L* is suppressed by a comment
@@ -110,6 +111,20 @@ pub fn all_rules() -> Vec<Rule> {
                       network I/O",
             applies_to: &[FileClass::Lib, FileClass::Bin],
             check: check_net_timeouts,
+        },
+        Rule {
+            id: "seeded-rng-only-in-generators",
+            severity: Severity::Deny,
+            summary: "ambient entropy (thread_rng/from_entropy/OsRng/getrandom) or \
+                      wall-clock seeding inside the workload generator crates \
+                      (crates/workload, crates/scenario), tests included",
+            applies_to: &[
+                FileClass::Lib,
+                FileClass::Bin,
+                FileClass::Test,
+                FileClass::Example,
+            ],
+            check: check_seeded_rng,
         },
     ]
 }
@@ -867,6 +882,63 @@ fn check_panic_in_worker(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>)
     }
 }
 
+// ---------------------------------------------------------------------
+// seeded-rng-only-in-generators
+
+/// Identifiers that draw from ambient entropy.
+const ENTROPY_TOKENS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// The generator crates' determinism charter: every workload profile
+/// is a pure function of `(population seed, family, index)`, so the
+/// crates that generate profiles and traces (`crates/workload`,
+/// `crates/scenario`) may obtain randomness only from seeds derived
+/// off that chain — never `thread_rng`/`from_entropy`/`OsRng`/
+/// `getrandom`, and never wall-clock reads that could leak host time
+/// into a seed. Unlike the general wall-clock rule this applies to
+/// test regions too: a test that seeds from entropy cannot reproduce
+/// its own failures.
+fn check_seeded_rng(ctx: &FileCtx<'_>, rule: &Rule, out: &mut Vec<Finding>) {
+    if !["crates/workload/", "crates/scenario/"]
+        .iter()
+        .any(|p| ctx.relpath.contains(p))
+    {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        let Some(t) = ctx.tok(i) else { continue };
+        if ENTROPY_TOKENS.contains(&t.text) {
+            out.push(finding(
+                ctx,
+                rule,
+                i,
+                format!(
+                    "`{}` draws from ambient entropy inside a generator crate — \
+                     profiles must be pure functions of (population seed, family, index)",
+                    t.text
+                ),
+                "seed a SmallRng with SeedableRng::seed_from_u64 from a seed derived \
+                 off the population seed (see xps_scenario::derive_seed)",
+            ));
+        } else {
+            for clock in ["Instant", "SystemTime"] {
+                if ctx.matches_seq(i, &[clock, ":", ":", "now"]) {
+                    out.push(finding(
+                        ctx,
+                        rule,
+                        i,
+                        format!(
+                            "{clock}::now() inside a generator crate can leak host time \
+                             into seeding or generation"
+                        ),
+                        "derive all randomness and ordering from the population seed; \
+                         wall time must never reach a generator, tests included",
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1157,7 +1229,58 @@ mod tests {
                 "no-panic-in-worker",
                 "no-alloc-in-sim-hot-path",
                 "net-timeouts-and-bounded-retries",
+                "seeded-rng-only-in-generators",
             ]
         );
+    }
+
+    #[test]
+    fn entropy_in_generator_crate_is_denied_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let mut r = thread_rng(); }\n}\n";
+        let f = lint("crates/scenario/src/family.rs", FileClass::Lib, src);
+        assert_eq!(rules_of(&f), vec!["seeded-rng-only-in-generators"]);
+        let f = lint(
+            "crates/workload/tests/edge_cases.rs",
+            FileClass::Test,
+            "fn f() { let mut r = SmallRng::from_entropy(); }\n",
+        );
+        assert_eq!(rules_of(&f), vec!["seeded-rng-only-in-generators"]);
+    }
+
+    #[test]
+    fn wallclock_seeding_in_generator_test_is_denied() {
+        let f = lint(
+            "crates/scenario/tests/props.rs",
+            FileClass::Test,
+            "fn f() { let s = SystemTime::now(); }\n",
+        );
+        assert_eq!(rules_of(&f), vec!["seeded-rng-only-in-generators"]);
+    }
+
+    #[test]
+    fn entropy_outside_generator_crates_is_out_of_scope() {
+        let f = lint(
+            "crates/serve/src/fleet.rs",
+            FileClass::Lib,
+            "fn f() { let mut r = thread_rng(); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn seeded_rng_in_generator_crate_is_fine() {
+        let f = lint(
+            "crates/scenario/src/dist.rs",
+            FileClass::Lib,
+            "fn f() { let mut r = SmallRng::seed_from_u64(7); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn seeded_rng_suppression_is_honored() {
+        let src = "// xps-allow(seeded-rng-only-in-generators): fuzz target, reproduced via printed seed\nfn f() { let mut r = thread_rng(); }\n";
+        let f = lint("crates/workload/src/gen.rs", FileClass::Lib, src);
+        assert!(f.is_empty(), "{f:?}");
     }
 }

@@ -35,11 +35,15 @@
 //!   serve        run the exploration-as-a-service daemon (xps-serve)
 //!   client       submit a smoke exploration to a running daemon
 //!   analyze      static analysis: lint workspace sources, validate artifacts
+//!   scale        generate a synthetic workload population (xps-scenario)
+//!                and run the subsetting-at-scale study: per-panel
+//!                campaigns, clustering-vs-subsetting gap distribution,
+//!                measured pitfall rate (see `repro scale --help`)
 //!   bench        measure engine throughput before/after the hot-loop
 //!                overhaul (reference vs optimized, same process) and
-//!                write `BENCH_7.json`; `--check` compares against the
+//!                write `BENCH_8.json`; `--check` compares against the
 //!                committed file and fails on a >10% speedup regression
-//!   all          everything above (except profile/serve/client/analyze/bench), in order
+//!   all          everything above (except profile/serve/client/fleet/analyze/scale/bench), in order
 //!
 //! `--paper-data` analyses the paper's published Table 5 instead of
 //! this repository's measured matrix; `--quick` shrinks the measured
@@ -64,6 +68,14 @@
 //! * `--addr HOST:PORT` — daemon bind / client target address
 //!   (default `127.0.0.1:7780`).
 //! * `--data-dir PATH` — daemon state root (default `results/serve`).
+//!
+//! Scale-study flags (`scale` only; `repro scale --help` lists them
+//! with defaults):
+//!
+//! * `--families LIST` — comma-separated scenario families.
+//! * `--n N` — population size.
+//! * `--seed N` — population seed.
+//! * `--out PATH` — canonical report destination.
 //! ```
 
 // The dispatch tables below use `Ok(experiment())` so each arm stays a
@@ -99,7 +111,48 @@ const JOURNAL_PATH: &str = "results/journal.jsonl";
 
 const USAGE: &str = "usage: repro <experiment> [--paper-data] [--quick] [--jobs N] \
 [--resume] [--retries N] [--faults SPEC] [--journal PATH] [--addr HOST:PORT] \
-[--data-dir PATH] [--workers HOST:PORT,..] [--net-faults SPEC]  (see --help)";
+[--data-dir PATH] [--workers HOST:PORT,..] [--net-faults SPEC] [--families LIST] \
+[--n N] [--seed N] [--out PATH]  (see --help)";
+
+/// Every experiment `repro` knows, in `repro all` order where
+/// applicable; the tail entries are the standalone services/studies
+/// excluded from `all`.
+const EXPERIMENTS: [&str; 34] = [
+    "explore",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "appendix-a",
+    "pitfall",
+    "schedule",
+    "ablation-tech",
+    "ablation-power",
+    "ablation-predictor",
+    "ablation-search",
+    "ablation-prefetch",
+    "dendrogram",
+    "visualize",
+    "profile",
+    "serve",
+    "client",
+    "fleet",
+    "analyze",
+    "scale",
+    "bench",
+    "all",
+];
 
 /// Parsed command line of the `repro` binary.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -135,6 +188,15 @@ struct Cli {
     /// `--check` (`bench` only): compare against the committed
     /// `BENCH_*.json` instead of rewriting it.
     check: bool,
+    /// `--families LIST` (`scale` only): comma-separated scenario
+    /// families (validated at parse time, kept as the raw list).
+    families: Option<String>,
+    /// `--n N` (`scale` only): population size.
+    n: Option<usize>,
+    /// `--seed N` (`scale` only): population seed.
+    seed: Option<u64>,
+    /// `--out PATH` (`scale` only): canonical report destination.
+    out: Option<PathBuf>,
     /// `--help` / `-h`.
     help: bool,
 }
@@ -233,12 +295,54 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 xps_serve::NetFaultPlan::parse(&v)?;
                 cli.net_faults = Some(v);
             }
+            "--families" => {
+                let v = flag_value(args, &mut i, "--families")?;
+                let entries: Vec<&str> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if entries.is_empty() {
+                    return Err("--families expects a comma-separated list, e.g. \
+                         `--families expected,stress,adversarial`"
+                        .to_string());
+                }
+                for f in &entries {
+                    xps_scenario::Family::parse(f)?;
+                }
+                cli.families = Some(entries.join(","));
+            }
+            "--n" => {
+                let v = flag_value(args, &mut i, "--n")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--n expects a number, got `{v}`"))?;
+                if n < 4 {
+                    return Err(format!(
+                        "--n {n} is too small for the methodology comparison; \
+                         pass --n N with N >= 4"
+                    ));
+                }
+                cli.n = Some(n);
+            }
+            "--seed" => {
+                let v = flag_value(args, &mut i, "--seed")?;
+                let s: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--seed expects a u64, got `{v}`"))?;
+                cli.seed = Some(s);
+            }
+            "--out" => {
+                let v = flag_value(args, &mut i, "--out")?;
+                cli.out = Some(PathBuf::from(v));
+            }
             _ if name.starts_with('-') => {
                 return Err(format!(
                     "unknown flag `{name}` (flags: --paper-data --quick --jobs N \
                      --resume --retries N --faults SPEC --journal PATH \
                      --addr HOST:PORT --data-dir PATH --workers HOST:PORT,.. \
-                     --net-faults SPEC --check --help)"
+                     --net-faults SPEC --families LIST --n N --seed N --out PATH \
+                     --check --help)"
                 ));
             }
             _ => {
@@ -276,6 +380,10 @@ struct RunOpts {
     workers: Vec<String>,
     net_faults: Option<String>,
     check: bool,
+    families: Option<String>,
+    n: Option<usize>,
+    seed: Option<u64>,
+    out: Option<PathBuf>,
 }
 
 static RUN: OnceLock<RunOpts> = OnceLock::new();
@@ -294,8 +402,15 @@ fn main() -> ExitCode {
         }
     };
     if cli.help || cli.cmd == "help" {
-        println!("see `repro` module docs; experiments: explore table1 table2 table3 table4 table5 table6 table7 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 appendix-a pitfall schedule ablation-tech ablation-power ablation-predictor ablation-search ablation-prefetch dendrogram visualize profile serve client fleet analyze bench all");
-        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH --workers HOST:PORT,.. --net-faults SPEC --check");
+        if cli.cmd == "scale" {
+            print_scale_help();
+            return ExitCode::SUCCESS;
+        }
+        println!(
+            "see `repro` module docs; experiments: {}",
+            EXPERIMENTS.join(" ")
+        );
+        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH --workers HOST:PORT,.. --net-faults SPEC --families LIST --n N --seed N --out PATH --check");
         return ExitCode::SUCCESS;
     }
     let faults = match cli.faults.as_deref().map(FaultPlan::parse).transpose() {
@@ -316,6 +431,10 @@ fn main() -> ExitCode {
         workers: cli.workers.clone(),
         net_faults: cli.net_faults.clone(),
         check: cli.check,
+        families: cli.families.clone(),
+        n: cli.n,
+        seed: cli.seed,
+        out: cli.out.clone(),
     })
     .expect("options set once");
     let source = if cli.paper_data {
@@ -406,9 +525,45 @@ fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), Box<dyn Erro
         "client" => client_cmd(quick),
         "fleet" => fleet_cmd(quick),
         "analyze" => analyze_cmd(),
+        "scale" => scale_cmd(quick),
         "bench" => bench_cmd(quick, run_opts().check),
-        _ => Err(format!("unknown experiment `{c}` (run `repro --help` for the list)").into()),
+        _ => Err(format!(
+            "unknown experiment `{c}`; available: {}",
+            EXPERIMENTS.join(" ")
+        )
+        .into()),
     }
+}
+
+/// `repro scale --help`: every scale flag with its default.
+fn print_scale_help() {
+    println!(
+        "usage: repro scale [flags]\n\n\
+         Generate a synthetic workload population with xps-scenario and run\n\
+         the subsetting-at-scale study: the population is split into panels,\n\
+         each panel runs the full configurational campaign, and both Figure-3\n\
+         routes plus the \u{a7}5.3 pitfall experiment are scored per panel. The\n\
+         canonical report is byte-identical for any --jobs value or fleet\n\
+         worker count.\n\n\
+         flags (with defaults):\n\
+         \x20 --families LIST         scenario families, comma-separated\n\
+         \x20                         (default: expected,stress,adversarial)\n\
+         \x20 --n N                   population size, N >= 4 (default: 96)\n\
+         \x20 --seed N                population seed (default: 42)\n\
+         \x20 --out PATH              canonical report destination\n\
+         \x20                         (default: results/scale.json)\n\
+         \x20 --quick                 smoke-scale study budget (default: off;\n\
+         \x20                         the default budget is the quick pipeline)\n\
+         \x20 --jobs N                worker threads per panel campaign\n\
+         \x20                         (default: available parallelism)\n\
+         \x20 --workers HOST:PORT,..  scatter tasks over fleet workers\n\
+         \x20                         (default: none; run coordinator-local)\n\
+         \x20 --retries N             per-task retry budget (default: 2)\n\
+         \x20 --net-faults SPEC       seeded network fault injection, e.g.\n\
+         \x20                         drop=10,seed=3 (default: none)\n\
+         \x20 --faults SPEC           deterministic task fault injection\n\
+         \x20                         (default: none)"
+    );
 }
 
 /// `repro analyze`: the project's static analyzer — lint every
@@ -443,7 +598,7 @@ fn analyze_cmd() -> Result<(), Box<dyn Error>> {
 /// The perf-trajectory file for this round of engine work. Each
 /// hot-loop PR commits a `BENCH_<n>.json` so the series records how
 /// throughput moved over time.
-const BENCH_PATH: &str = "BENCH_7.json";
+const BENCH_PATH: &str = "BENCH_8.json";
 
 /// Workloads measured by `repro bench` — the same three the Criterion
 /// `simulator` group tracks.
@@ -499,7 +654,7 @@ fn bench_pair(
 
 /// `repro bench`: measure the reference (pre-overhaul) and optimized
 /// cycle engines back to back on identical traces and emit the
-/// before/after table as `BENCH_7.json` (or, with `--check`, compare
+/// before/after table as `BENCH_8.json` (or, with `--check`, compare
 /// the fresh speedups against the committed file and fail on a >10%
 /// regression). Absolute ops/sec depends on the host; the speedup
 /// column is the portable number, which is why the regression gate is
@@ -613,7 +768,7 @@ fn bench_cmd(quick: bool, check: bool) -> Result<(), Box<dyn Error>> {
     }
 
     let report = BenchReport {
-        issue: 7,
+        issue: 8,
         note: "Hot-loop overhaul of the cycle engine: issue-slot ring + filtered \
                store forwarding + SoA MSHRs vs the pre-overhaul reference engine, \
                measured back to back in one process on identical traces."
@@ -1802,6 +1957,116 @@ fn fleet_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// `repro scale`: generate a synthetic workload population and run
+/// the subsetting-at-scale study. `--families/--n/--seed` shape the
+/// population; `--quick` shrinks each panel campaign to smoke scale;
+/// `--workers` scatters anneals and matrix cells over fleet workers
+/// through the same dispatcher seam as `repro fleet`. The canonical
+/// report (gap distribution, pitfall rate) is a pure function of the
+/// population spec and study options — byte-identical for any
+/// `--jobs` value or worker count — and lands at `--out`
+/// (default `results/scale.json`); execution statistics go to stderr.
+fn scale_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
+    use xps_scenario::{run_study, Family, PopulationSpec, StudyOptions};
+    use xps_serve::{FlakyTransport, Fleet, FleetConfig, NetFaultPlan, TcpTransport};
+    let opts = run_opts();
+    let families = match opts.families.as_deref() {
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(Family::parse)
+            .collect::<Result<Vec<_>, String>>()?,
+        None => Family::ALL.to_vec(),
+    };
+    let spec = PopulationSpec {
+        families,
+        n: opts.n.unwrap_or(96),
+        seed: opts.seed.unwrap_or(42),
+    };
+    let mut study = if quick {
+        StudyOptions::smoke()
+    } else {
+        StudyOptions::quick()
+    };
+    study.pipeline.explore.jobs = opts.jobs;
+    let mut ctx = RunContext::from_env()?;
+    if let Some(r) = opts.retries {
+        ctx = ctx.with_retries(r);
+    }
+    if let Some(plan) = opts.faults.clone() {
+        ctx = ctx.with_faults(plan);
+    }
+    let fleet = if opts.workers.is_empty() {
+        None
+    } else {
+        let mut cfg = FleetConfig::new(opts.workers.clone());
+        if let Some(retries) = opts.retries {
+            cfg.retries = retries;
+        }
+        let plan = match opts.net_faults.as_deref() {
+            Some(spec) => Some(NetFaultPlan::parse(spec)?),
+            None => NetFaultPlan::from_env()?,
+        };
+        let tcp = TcpTransport {
+            connect_timeout: cfg.connect_timeout,
+        };
+        let fleet = std::sync::Arc::new(match plan {
+            Some(plan) if plan.is_active() => {
+                eprintln!("[injecting network faults: {plan:?}]");
+                Fleet::new(cfg, std::sync::Arc::new(FlakyTransport::new(plan, tcp)))
+            }
+            _ => Fleet::new(cfg, std::sync::Arc::new(tcp)),
+        });
+        ctx = ctx.with_dispatcher(fleet.clone());
+        Some(fleet)
+    };
+    eprintln!(
+        "[scale study: n={} seed={} families={} budget={} worker(s)={}]",
+        spec.n,
+        spec.seed,
+        spec.families
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join("+"),
+        if quick { "smoke" } else { "quick" },
+        if opts.workers.is_empty() {
+            "local".to_string()
+        } else {
+            opts.workers.join(",")
+        }
+    );
+    // xps-allow(no-wallclock-in-deterministic-paths): CLI progress timing printed to stderr; the report never sees it
+    let t0 = std::time::Instant::now();
+    let report = run_study(&spec, &study, &ctx)?;
+    let wall = t0.elapsed().as_secs_f64();
+    eprintln!("[{wall:.1}s wall]");
+    if let Some(fleet) = fleet {
+        let s = fleet.stats();
+        eprintln!(
+            "[fleet: {} task(s) remote, {} local-degraded, {} retries, {} quarantines]",
+            s.dispatched, s.degraded, s.retried, s.quarantines
+        );
+    }
+    print!("{}", report.render_human());
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/scale.json"));
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    xps_core::explore::write_atomic(&out, &report.canonical())?;
+    println!(
+        "\n[study report {} — byte-identical for any --jobs or worker count]",
+        out.display()
+    );
+    Ok(())
+}
+
 /// Sanity helper kept for `--quick` smoke runs: simulate one benchmark
 /// on one published configuration.
 #[allow(dead_code)]
@@ -1896,6 +2161,41 @@ mod tests {
     fn boolean_flags_take_no_value() {
         let e = parse(&["table4", "--quick=yes"]).expect_err("boolean with value");
         assert!(e.contains("takes no value"), "message: {e}");
+    }
+
+    #[test]
+    fn scale_flags_parse_and_validate() {
+        let c = parse(&[
+            "scale",
+            "--families",
+            "expected, adversarial",
+            "--n",
+            "100",
+            "--seed=7",
+            "--out",
+            "r/scale.json",
+        ])
+        .expect("valid scale command line");
+        assert_eq!(c.cmd, "scale");
+        assert_eq!(c.families.as_deref(), Some("expected,adversarial"));
+        assert_eq!(c.n, Some(100));
+        assert_eq!(c.seed, Some(7));
+        assert_eq!(c.out, Some(PathBuf::from("r/scale.json")));
+        let e = parse(&["scale", "--families", "expectde"]).expect_err("typo family");
+        assert!(e.contains("expected"), "message must list families: {e}");
+        let e = parse(&["scale", "--n", "3"]).expect_err("n too small");
+        assert!(e.contains(">= 4"), "message: {e}");
+        let e = parse(&["scale", "--seed", "x"]).expect_err("bad seed");
+        assert!(e.contains("--seed"), "message: {e}");
+    }
+
+    #[test]
+    fn unknown_experiment_lists_every_subcommand() {
+        let e = run_dispatch("scal", Source::Measured, true).expect_err("typo experiment");
+        let msg = e.to_string();
+        for c in EXPERIMENTS {
+            assert!(msg.contains(c), "error must list `{c}`: {msg}");
+        }
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Seeded parametric samplers for population generation.
+//!
+//! The vendored `rand` stand-in deliberately carries no distribution
+//! zoo — the workspace's hot paths only ever draw uniforms — so the
+//! two families the scenario generator is parameterized by live here:
+//! a finite [`Zipf`] over ranks (skewed discrete choices: strides,
+//! branch-pool sizes, trait picks) and a [`LogNormal`] (heavy-tailed
+//! positive magnitudes: footprints, dependence distances). Both
+//! consume nothing but `rng.gen::<f64>()` draws, so every sample is a
+//! pure function of the seed that built the RNG — the crate-wide
+//! contract the `seeded-rng-only-in-generators` lint enforces.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A finite Zipf(s) distribution over ranks `0..n` (rank 0 most
+/// probable), sampled by inverse CDF over a precomputed cumulative
+/// table. `n` is small for every use in this crate, so the linear
+/// readback scan is cheaper than alias-table setup and — more
+/// importantly — trivially deterministic.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u = rng.gen::<f64>();
+        // Readback scan: the first rank whose cumulative mass covers u.
+        self.cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cdf.len() - 1)
+    }
+}
+
+/// A log-normal distribution: `exp(mu + sigma * Z)` with `Z` standard
+/// normal via Box–Muller. Two uniform draws per sample, always —
+/// no rejection, so the draw count (and therefore the RNG stream
+/// consumed by everything sampled after it) is deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A log-normal with the given parameters of the underlying
+    /// normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-finite or `sigma < 0`.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(mu.is_finite(), "log-normal mu must be finite");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "log-normal sigma must be >= 0"
+        );
+        LogNormal { mu, sigma }
+    }
+
+    /// A log-normal whose *median* is `median` (`mu = ln median`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or parameters are non-finite.
+    pub fn with_median(median: f64, sigma: f64) -> LogNormal {
+        assert!(
+            median.is_finite() && median > 0.0,
+            "log-normal median must be positive"
+        );
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Draw one positive value.
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
+        // Box–Muller; u1 is clamped away from 0 so ln stays finite.
+        let u1 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// Draw one value clamped into `[lo, hi]`.
+    pub fn sample_clamped(&self, rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+/// Draw a probability-like value in `[lo, hi] ⊆ [0, 1]` uniformly.
+///
+/// # Panics
+///
+/// Panics if the interval is not inside `[0, 1]` or empty.
+pub fn frac_in(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi,
+        "fraction interval [{lo}, {hi}] must be inside [0, 1]"
+    );
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks_and_seeded() {
+        let z = Zipf::new(8, 1.2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 8];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[3] && counts[3] > counts[7]);
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let sa: Vec<usize> = (0..64).map(|_| z.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..64).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(sa, sb, "same seed, same stream");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_support() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..512 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ranks reachable");
+    }
+
+    #[test]
+    fn lognormal_median_and_positivity() {
+        let d = LogNormal::with_median(64.0, 0.8);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut samples: Vec<f64> = (0..2001).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| v > 0.0 && v.is_finite()));
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = samples[samples.len() / 2];
+        assert!(
+            (20.0..200.0).contains(&median),
+            "sample median {median} far from 64"
+        );
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::with_median(100.0, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..16 {
+            let v = d.sample(&mut rng);
+            assert!((v - 100.0).abs() < 1e-9, "got {v}");
+        }
+    }
+
+    #[test]
+    fn clamped_sample_respects_bounds() {
+        let d = LogNormal::with_median(1.0e6, 2.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..256 {
+            let v = d.sample_clamped(&mut rng, 10.0, 1000.0);
+            assert!((10.0..=1000.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Typed errors of the scenario subsystem.
+
+use xps_core::PipelineError;
+
+/// Everything that can go wrong generating a population or running
+/// the scale study.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The population or study specification violates an invariant.
+    Spec(String),
+    /// The underlying configurational pipeline failed.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Spec(m) => write!(f, "invalid scenario spec: {m}"),
+            ScenarioError::Pipeline(e) => write!(f, "scale study pipeline failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Spec(_) => None,
+            ScenarioError::Pipeline(e) => Some(e),
+        }
+    }
+}
+
+impl From<PipelineError> for ScenarioError {
+    fn from(e: PipelineError) -> ScenarioError {
+        ScenarioError::Pipeline(e)
+    }
+}

@@ -1,0 +1,449 @@
+//! Scenario families: seeded synthesis of one workload profile.
+//!
+//! A family is a parameterized region of the microarchitecture-
+//! independent characteristic space — instruction mix, ILP
+//! (dependence-distance distribution), branch entropy, footprint and
+//! reuse behaviour — from which profiles are drawn by Zipf and
+//! log-normal samplers:
+//!
+//! * [`Family::Expected`] — SPEC-like personalities: moderate mixes,
+//!   nested working sets around the published SPEC2000 footprints,
+//!   mostly predictable control flow.
+//! * [`Family::Stress`] — the heavy tails: large footprints, dense
+//!   pointer chasing, low branch predictability, long dependence
+//!   chains. Still realistic, but every axis pulled toward its
+//!   expensive end.
+//! * [`Family::Adversarial`] — corner archetypes chosen to break
+//!   characterization shortcuts: zero-entropy and maximum-entropy
+//!   control flow, single-block footprints, cold-only maximal-reuse-
+//!   distance scans, fully serial pointer chases, and *raw twins* —
+//!   pairs that look near-identical to raw characterization (same
+//!   mix, same footprint) while hiding opposite dependence/memory
+//!   structure, the bzip/gzip trap of the paper's §5.3 generalized.
+//!
+//! Every profile is a pure function of `(population seed, family,
+//! index)`: the per-workload RNG is seeded from a SplitMix64 mix of
+//! exactly those three values, so populations are reproducible
+//! workload-by-workload, and growing `n` never perturbs the profiles
+//! already generated.
+
+use crate::dist::{frac_in, LogNormal, Zipf};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use xps_core::workload::{
+    ControlBehavior, DependenceBehavior, MemoryBehavior, OpMix, WorkloadProfile,
+};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// The three scenario families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Family {
+    /// SPEC-like personalities.
+    Expected,
+    /// Heavy-tailed, expensive-end personalities.
+    Stress,
+    /// Corner archetypes and raw-twin traps.
+    Adversarial,
+}
+
+impl Family {
+    /// All families, in canonical order.
+    pub const ALL: [Family; 3] = [Family::Expected, Family::Stress, Family::Adversarial];
+
+    /// The family's canonical name (also the profile-name prefix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Expected => "expected",
+            Family::Stress => "stress",
+            Family::Adversarial => "adversarial",
+        }
+    }
+
+    /// Parse a family name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message listing the known families.
+    pub fn parse(name: &str) -> Result<Family, String> {
+        match name.trim() {
+            "expected" => Ok(Family::Expected),
+            "stress" => Ok(Family::Stress),
+            "adversarial" => Ok(Family::Adversarial),
+            other => Err(format!(
+                "unknown scenario family `{other}`; known: expected, stress, adversarial"
+            )),
+        }
+    }
+
+    /// Stable per-family seed-derivation tag.
+    fn tag(&self) -> u64 {
+        match self {
+            Family::Expected => 0x45585045_43544544, // "EXPECTED"
+            Family::Stress => 0x53545245_53530000,
+            Family::Adversarial => 0x41445645_52530000,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a bijective avalanche over one 64-bit word.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The per-workload seed: a SplitMix64 mix of the population seed,
+/// the family tag, and the workload index. Explicit and order-free —
+/// workload `i` gets the same profile whatever else the population
+/// contains.
+pub fn derive_seed(population_seed: u64, family: Family, index: u64) -> u64 {
+    splitmix(splitmix(population_seed ^ family.tag()).wrapping_add(index))
+}
+
+/// Synthesize workload `index` of `family` under `population_seed`.
+/// The returned profile always satisfies every `WorkloadProfile`
+/// domain invariant (pinned by this crate's proptests).
+pub fn generate_profile(population_seed: u64, family: Family, index: u64) -> WorkloadProfile {
+    let seed = derive_seed(population_seed, family, index);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = match family {
+        Family::Expected => expected(&mut rng),
+        Family::Stress => stress(&mut rng),
+        Family::Adversarial => adversarial(&mut rng, index),
+    };
+    p.name = format!("{}-{index:04}", family.name());
+    // The trace generator consumes the profile's own seed; derive it
+    // from the same stream so the trace varies with the population
+    // seed too, not just the parameters.
+    p.seed = seed;
+    p.weight = 1.0;
+    assert!(
+        p.validate().is_ok(),
+        "generated profile `{}` violates a domain invariant: {:?}",
+        p.name,
+        p.validate()
+    );
+    p
+}
+
+/// Power-of-two stride drawn Zipf-skewed toward small strides
+/// (real codes are mostly unit-stride over 8-byte elements).
+fn sample_stride(rng: &mut SmallRng) -> u64 {
+    8 << Zipf::new(6, 1.1).sample(rng) // 8..=256 bytes
+}
+
+/// Branch-pool size drawn Zipf-skewed toward small pools.
+fn sample_static_branches(rng: &mut SmallRng, floor: u32) -> u32 {
+    floor << Zipf::new(8, 0.9).sample(rng)
+}
+
+/// Nested hot/warm/cold footprints from log-normal region sizes.
+fn sample_footprint(
+    rng: &mut SmallRng,
+    hot_median: f64,
+    warm_mult: f64,
+    cold_mult: f64,
+    sigma: f64,
+) -> (u64, u64, u64) {
+    let hot =
+        LogNormal::with_median(hot_median, sigma).sample_clamped(rng, KB as f64, (8 * MB) as f64)
+            as u64;
+    let warm = (hot as f64
+        * LogNormal::with_median(warm_mult, sigma).sample_clamped(rng, 1.0, 128.0))
+        as u64;
+    let cold = (warm as f64
+        * LogNormal::with_median(cold_mult, sigma).sample_clamped(rng, 1.0, 512.0))
+        as u64;
+    (
+        hot.max(KB),
+        warm.max(hot.max(KB)),
+        cold.max(warm.max(hot.max(KB))),
+    )
+}
+
+fn expected(rng: &mut SmallRng) -> WorkloadProfile {
+    let load = frac_in(rng, 0.15, 0.32);
+    let store = frac_in(rng, 0.05, 0.15);
+    let branch = frac_in(rng, 0.08, 0.20);
+    let (hot, warm, cold) = sample_footprint(rng, (32 * KB) as f64, 12.0, 24.0, 0.7);
+    let hot_frac = frac_in(rng, 0.55, 0.85);
+    let warm_frac = frac_in(rng, 0.0, 1.0 - hot_frac).min(0.35);
+    let loop_frac = frac_in(rng, 0.2, 0.5);
+    let hard_frac = frac_in(rng, 0.0, (1.0 - loop_frac).min(0.25));
+    WorkloadProfile {
+        name: String::new(),
+        seed: 0,
+        mix: OpMix {
+            load,
+            store,
+            branch,
+            mul: frac_in(rng, 0.0, 0.03),
+            div: frac_in(rng, 0.0, 0.004),
+        },
+        mem: MemoryBehavior {
+            hot_bytes: hot,
+            warm_bytes: warm,
+            cold_bytes: cold,
+            hot_frac,
+            warm_frac,
+            spatial: frac_in(rng, 0.4, 0.85),
+            pointer_chase_frac: frac_in(rng, 0.0, 0.08),
+            stride: sample_stride(rng),
+        },
+        ctrl: ControlBehavior {
+            static_branches: sample_static_branches(rng, 64),
+            loop_frac,
+            loop_period: 4 + Zipf::new(64, 0.8).sample(rng) as u32,
+            hard_frac,
+            bias: frac_in(rng, 0.7, 0.97),
+        },
+        deps: DependenceBehavior {
+            short_frac: frac_in(rng, 0.4, 0.8),
+            mean_dist: LogNormal::with_median(8.0, 0.6).sample_clamped(rng, 1.0, 128.0),
+            second_src_frac: frac_in(rng, 0.3, 0.6),
+        },
+        weight: 1.0,
+    }
+}
+
+fn stress(rng: &mut SmallRng) -> WorkloadProfile {
+    let load = frac_in(rng, 0.25, 0.40);
+    let store = frac_in(rng, 0.08, 0.22);
+    let branch = frac_in(rng, 0.10, 0.28);
+    // Fatter region tails than `expected`, biased cold-ward.
+    let (hot, warm, cold) = sample_footprint(rng, (128 * KB) as f64, 24.0, 96.0, 1.1);
+    let hot_frac = frac_in(rng, 0.2, 0.5);
+    let warm_frac = frac_in(rng, 0.1, (1.0 - hot_frac).min(0.45));
+    let loop_frac = frac_in(rng, 0.05, 0.3);
+    let hard_frac = frac_in(rng, 0.2, (1.0 - loop_frac).min(0.6));
+    WorkloadProfile {
+        name: String::new(),
+        seed: 0,
+        mix: OpMix {
+            load,
+            store,
+            branch,
+            mul: frac_in(rng, 0.0, 0.05),
+            div: frac_in(rng, 0.0, 0.01),
+        },
+        mem: MemoryBehavior {
+            hot_bytes: hot,
+            warm_bytes: warm,
+            cold_bytes: cold,
+            hot_frac,
+            warm_frac,
+            spatial: frac_in(rng, 0.1, 0.5),
+            pointer_chase_frac: frac_in(rng, 0.1, 0.45),
+            stride: sample_stride(rng),
+        },
+        ctrl: ControlBehavior {
+            static_branches: sample_static_branches(rng, 512),
+            loop_frac,
+            loop_period: 2 + Zipf::new(256, 0.5).sample(rng) as u32,
+            hard_frac,
+            bias: frac_in(rng, 0.5, 0.8),
+        },
+        deps: DependenceBehavior {
+            short_frac: frac_in(rng, 0.6, 0.95),
+            mean_dist: LogNormal::with_median(3.0, 0.8).sample_clamped(rng, 1.0, 64.0),
+            second_src_frac: frac_in(rng, 0.5, 0.9),
+        },
+        weight: 1.0,
+    }
+}
+
+/// The adversarial corner archetypes. The Zipf skew keeps raw twins
+/// (the subsetting trap) the most common archetype in any sampled
+/// adversarial population.
+fn adversarial(rng: &mut SmallRng, index: u64) -> WorkloadProfile {
+    match Zipf::new(5, 0.6).sample(rng) {
+        0 => raw_twin(rng, index),
+        1 => zero_entropy(rng),
+        2 => max_entropy(rng),
+        3 => max_reuse_distance(rng),
+        _ => serial_chase(rng),
+    }
+}
+
+/// Raw twins: identical raw surface (mix, footprint, branch stats) —
+/// the index's parity flips the hidden configurational trait
+/// (dependence structure and pointer chasing), so raw clustering
+/// sees near-duplicates where customization finds different cores.
+fn raw_twin(rng: &mut SmallRng, index: u64) -> WorkloadProfile {
+    let mut p = expected(rng);
+    p.mem.hot_bytes = 48 * KB;
+    p.mem.warm_bytes = 768 * KB;
+    p.mem.cold_bytes = 24 * MB;
+    p.mem.hot_frac = 0.7;
+    p.mem.warm_frac = 0.2;
+    p.mem.spatial = 0.6;
+    p.mix = OpMix {
+        load: 0.27,
+        store: 0.09,
+        branch: 0.13,
+        mul: 0.01,
+        div: 0.001,
+    };
+    if index.is_multiple_of(2) {
+        // The ILP-rich twin: long dependence distances, no chasing.
+        p.mem.pointer_chase_frac = 0.0;
+        p.deps = DependenceBehavior {
+            short_frac: 0.2,
+            mean_dist: 48.0,
+            second_src_frac: 0.3,
+        };
+    } else {
+        // The serialized twin: same raw surface, chained loads and
+        // distance-1 dependences.
+        p.mem.pointer_chase_frac = 0.35;
+        p.deps = DependenceBehavior {
+            short_frac: 0.95,
+            mean_dist: 1.0,
+            second_src_frac: 0.8,
+        };
+    }
+    p
+}
+
+/// Zero-entropy control flow and a single-block footprint: every
+/// branch resolves the same way, every access hits one hot line.
+fn zero_entropy(rng: &mut SmallRng) -> WorkloadProfile {
+    let mut p = expected(rng);
+    p.ctrl = ControlBehavior {
+        static_branches: 1,
+        loop_frac: 0.0,
+        loop_period: 2,
+        hard_frac: 0.0,
+        bias: 1.0,
+    };
+    p.mem.hot_bytes = 64;
+    p.mem.warm_bytes = 64;
+    p.mem.cold_bytes = 64;
+    p.mem.hot_frac = 1.0;
+    p.mem.warm_frac = 0.0;
+    p.mem.spatial = 1.0;
+    p.mem.stride = 8;
+    p.mem.pointer_chase_frac = 0.0;
+    p
+}
+
+/// Maximum-entropy control flow: a huge pool of coin-flip branches.
+fn max_entropy(rng: &mut SmallRng) -> WorkloadProfile {
+    let mut p = stress(rng);
+    p.mix.branch = 0.3;
+    p.mix.load = p.mix.load.min(0.3);
+    p.ctrl = ControlBehavior {
+        static_branches: 16_384,
+        loop_frac: 0.0,
+        loop_period: 2,
+        hard_frac: 1.0,
+        bias: 0.5,
+    };
+    p
+}
+
+/// Maximal reuse distance: pure random scans of a huge cold region —
+/// no level of the hierarchy can hold the working set.
+fn max_reuse_distance(rng: &mut SmallRng) -> WorkloadProfile {
+    let mut p = stress(rng);
+    p.mem.hot_bytes = 256 * MB;
+    p.mem.warm_bytes = 256 * MB;
+    p.mem.cold_bytes = 256 * MB;
+    p.mem.hot_frac = 0.0;
+    p.mem.warm_frac = 0.0;
+    p.mem.spatial = 0.0;
+    p.mem.pointer_chase_frac = 0.0;
+    p
+}
+
+/// Fully serial pointer chase: mcf's defining behaviour taken to the
+/// limit — every load extends a chain, every dependence is distance 1.
+fn serial_chase(rng: &mut SmallRng) -> WorkloadProfile {
+    let mut p = stress(rng);
+    p.mix.load = 0.4;
+    p.mix.store = 0.05;
+    p.mem.pointer_chase_frac = 0.9;
+    p.mem.spatial = 0.0;
+    p.deps = DependenceBehavior {
+        short_frac: 1.0,
+        mean_dist: 1.0,
+        second_src_frac: 0.9,
+    };
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_parse_and_name_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::parse(f.name()), Ok(f));
+        }
+        let e = Family::parse("surprise").expect_err("unknown family");
+        assert!(e.contains("expected, stress, adversarial"), "{e}");
+    }
+
+    #[test]
+    fn profiles_are_pure_functions_of_seed_family_index() {
+        for f in Family::ALL {
+            let a = generate_profile(42, f, 7);
+            let b = generate_profile(42, f, 7);
+            assert_eq!(a, b, "same inputs, same profile");
+            let c = generate_profile(43, f, 7);
+            assert_ne!(a.fingerprint(), c.fingerprint(), "seed must matter");
+        }
+    }
+
+    #[test]
+    fn index_does_not_depend_on_population_shape() {
+        // Workload 5's profile is the same whether the population has
+        // 6 or 600 members — derivation is per-index, not sequential.
+        let a = generate_profile(9, Family::Stress, 5);
+        let b = generate_profile(9, Family::Stress, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_family_generates_valid_profiles() {
+        for f in Family::ALL {
+            for i in 0..64 {
+                let p = generate_profile(1234, f, i);
+                assert!(p.validate().is_ok(), "{}: {:?}", p.name, p.validate());
+                assert!(p.name.starts_with(f.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn raw_twins_share_surface_but_differ_configurationally() {
+        // Force the twin archetype by scanning adversarial indices for
+        // an even/odd pair of `-twin` raw surfaces.
+        let mut even = None;
+        let mut odd = None;
+        for i in 0..64 {
+            let p = generate_profile(77, Family::Adversarial, i);
+            if (p.mem.hot_bytes, p.mem.warm_bytes) == (48 * KB, 768 * KB) {
+                if i % 2 == 0 {
+                    even.get_or_insert(p);
+                } else {
+                    odd.get_or_insert(p);
+                }
+            }
+        }
+        let (e, o) = (even.expect("an even twin"), odd.expect("an odd twin"));
+        assert_eq!(e.mix, o.mix, "raw surface matches");
+        assert_eq!(e.mem.hot_bytes, o.mem.hot_bytes);
+        assert!(
+            e.deps.mean_dist > 10.0 * o.deps.mean_dist,
+            "hidden ILP trait differs: {} vs {}",
+            e.deps.mean_dist,
+            o.deps.mean_dist
+        );
+        assert!(o.mem.pointer_chase_frac > 0.3 && e.mem.pointer_chase_frac == 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end determinism of the scale study: the canonical report
+//! must be byte-identical across worker counts and reruns, and its
+//! numbers must be internally consistent.
+
+use xps_core::explore::RunContext;
+use xps_scenario::{run_study, Family, PopulationSpec, StudyOptions, StudyReport};
+
+/// A tiny but real study: 8 workloads, one panel per family mix,
+/// seconds even in debug builds.
+fn tiny_study(jobs: usize) -> StudyReport {
+    let spec = PopulationSpec::all_families(8, 0xA11CE);
+    let mut opts = StudyOptions::smoke();
+    opts.pipeline.explore.anneal.iterations = 4;
+    opts.pipeline.explore.anneal.eval_ops_early = 1_500;
+    opts.pipeline.explore.anneal.eval_ops_late = 3_000;
+    opts.pipeline.matrix_ops = 3_000;
+    opts.characterize_ops = 3_000;
+    opts.pipeline.explore.jobs = jobs;
+    let ctx = RunContext::from_env().expect("clean env or valid XPS_FAULTS");
+    run_study(&spec, &opts, &ctx).expect("study completes")
+}
+
+#[test]
+fn report_is_byte_identical_across_jobs_and_reruns() {
+    let one = tiny_study(1);
+    let four = tiny_study(4);
+    assert_eq!(
+        one.canonical(),
+        four.canonical(),
+        "study report must not depend on --jobs"
+    );
+    let again = tiny_study(1);
+    assert_eq!(one.canonical(), again.canonical(), "reruns are stable");
+}
+
+#[test]
+fn report_is_internally_consistent() {
+    let r = tiny_study(0);
+    assert_eq!(r.n, 8);
+    assert_eq!(r.families, vec!["expected", "stress", "adversarial"]);
+    assert_eq!(r.panels.len(), 1, "8 workloads, panel 8: one panel");
+    let p = &r.panels[0];
+    assert_eq!(p.workloads.len(), 8);
+    assert_eq!(p.pitfalls.len(), 8, "one pitfall experiment per member");
+    assert!(
+        p.customize_value >= p.subset_value - 1e-12,
+        "customize-first is the optimum by construction: {} vs {}",
+        p.customize_value,
+        p.subset_value
+    );
+    assert!(p.gap >= 0.0, "gap is a non-negative loss");
+    assert_eq!(r.pitfall_experiments, 8);
+    assert_eq!(
+        r.pitfall_hits,
+        r.panels
+            .iter()
+            .flat_map(|p| &p.pitfalls)
+            .filter(|p| p.hit)
+            .count()
+    );
+    assert_eq!(
+        r.gap.histogram.iter().sum::<u64>() as usize,
+        r.panels.len(),
+        "every panel lands in exactly one gap bucket"
+    );
+    // Family aggregation covers the whole population.
+    assert_eq!(r.per_family.iter().map(|f| f.workloads).sum::<usize>(), 8);
+    assert_eq!(
+        r.per_family
+            .iter()
+            .map(|f| f.pitfall_experiments)
+            .sum::<usize>(),
+        8
+    );
+    for f in &r.per_family {
+        assert!(Family::parse(&f.family).is_ok(), "family names round-trip");
+    }
+}
+
+#[test]
+fn canonical_json_parses_and_orders_fields() {
+    let r = tiny_study(2);
+    let json = r.canonical();
+    let v: serde::Value = serde_json::from_str(&json).expect("canonical JSON parses");
+    assert!(json.starts_with("{\"families\""), "field order is stable");
+    match v.member("n").expect("n present") {
+        serde::Value::U64(n) => assert_eq!(*n, 8),
+        other => panic!("n should be an integer, got {other:?}"),
+    }
+}

@@ -1,0 +1,148 @@
+//! Edge cases of trace generation and characterization: degenerate
+//! but valid profiles at the corners of the domain (the kinds the
+//! scenario generator's `adversarial` family emits) must generate and
+//! characterize without panicking, and every profile must survive a
+//! serialization round-trip bit-exactly.
+
+use xps_workload::{spec, Characterizer, TraceGenerator, WorkloadProfile};
+
+/// A known-good baseline to perturb toward the corners.
+fn base() -> WorkloadProfile {
+    let mut p = spec::profile("gzip").expect("known benchmark");
+    p.name = "edge".to_string();
+    p.seed = 7;
+    p
+}
+
+fn characterize(p: &WorkloadProfile, ops: usize) -> xps_workload::CharacterVector {
+    let mut c = Characterizer::new();
+    for op in TraceGenerator::new(p.clone()).take(ops) {
+        c.observe(&op);
+    }
+    c.finish()
+}
+
+#[test]
+fn zero_entropy_branches_are_fully_predictable() {
+    let mut p = base();
+    p.ctrl.static_branches = 1;
+    p.ctrl.loop_frac = 0.0;
+    p.ctrl.hard_frac = 0.0;
+    p.ctrl.bias = 1.0; // every branch always taken
+    assert!(p.validate().is_ok(), "{:?}", p.validate());
+    let v = characterize(&p, 20_000);
+    assert!(
+        v.branch_predictability >= 0.99,
+        "always-taken branches must be near-perfectly predictable: {}",
+        v.branch_predictability
+    );
+}
+
+#[test]
+fn a_profile_with_no_branches_at_all_characterizes() {
+    let mut p = base();
+    p.mix.branch = 0.0;
+    assert!(p.validate().is_ok(), "{:?}", p.validate());
+    let v = characterize(&p, 10_000);
+    assert_eq!(
+        v.branch_predictability, 1.0,
+        "no branches means nothing to mispredict"
+    );
+    for k in v.kiviat() {
+        assert!(k.is_finite());
+    }
+}
+
+#[test]
+fn single_block_footprint_collapses_the_working_set() {
+    let mut p = base();
+    p.mem.hot_bytes = 64;
+    p.mem.warm_bytes = 64;
+    p.mem.cold_bytes = 64;
+    p.mem.hot_frac = 1.0;
+    p.mem.warm_frac = 0.0;
+    p.mem.stride = 1;
+    // Pointer chases walk the warm arena at its own base address, which
+    // would add a second block to the working set.
+    p.mem.pointer_chase_frac = 0.0;
+    assert!(p.validate().is_ok(), "{:?}", p.validate());
+    let v = characterize(&p, 10_000);
+    assert_eq!(
+        v.working_set_blocks, 1,
+        "a 64-byte footprint is exactly one block"
+    );
+    for k in v.kiviat() {
+        assert!(k.is_finite());
+    }
+}
+
+#[test]
+fn maximal_reuse_distance_footprint_characterizes() {
+    let mut p = base();
+    p.mem.hot_bytes = 1 << 20;
+    p.mem.warm_bytes = 1 << 24;
+    p.mem.cold_bytes = 256 << 20; // 256 MB, every access cold + random
+    p.mem.hot_frac = 0.0;
+    p.mem.warm_frac = 0.0;
+    p.mem.spatial = 0.0;
+    assert!(p.validate().is_ok(), "{:?}", p.validate());
+    let v = characterize(&p, 50_000);
+    assert!(
+        v.working_set_blocks > 10_000,
+        "a random walk over 256 MB touches many blocks: {}",
+        v.working_set_blocks
+    );
+    for k in v.kiviat() {
+        assert!(k.is_finite());
+    }
+}
+
+#[test]
+fn extreme_dependence_distances_generate_and_characterize() {
+    for mean_dist in [1.0, 1e6] {
+        let mut p = base();
+        p.deps.mean_dist = mean_dist;
+        p.deps.short_frac = 1.0;
+        assert!(p.validate().is_ok(), "{:?}", p.validate());
+        let v = characterize(&p, 10_000);
+        assert!(
+            (0.0..=1.0).contains(&v.dep_density),
+            "mean_dist {mean_dist}: dep_density {} out of range",
+            v.dep_density
+        );
+    }
+}
+
+#[test]
+fn profiles_round_trip_through_serialization() {
+    let corners = [
+        base(),
+        {
+            let mut p = base();
+            p.mix.branch = 0.0;
+            p.ctrl.bias = 1.0;
+            p
+        },
+        {
+            let mut p = base();
+            p.mem.hot_bytes = 64;
+            p.mem.warm_bytes = 64;
+            p.mem.cold_bytes = 64;
+            p.deps.mean_dist = 1e6;
+            p
+        },
+    ];
+    for p in corners {
+        let json = serde_json::to_string(&p).expect("profiles serialize");
+        let q: WorkloadProfile = serde_json::from_str(&json).expect("profiles deserialize");
+        assert_eq!(p, q, "round-trip must be lossless");
+        assert_eq!(
+            p.fingerprint(),
+            q.fingerprint(),
+            "identity is preserved bit-exactly"
+        );
+        let a: Vec<_> = TraceGenerator::new(p).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(q).take(500).collect();
+        assert_eq!(a, b, "round-tripped profiles generate identical traces");
+    }
+}
