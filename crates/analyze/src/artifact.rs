@@ -31,6 +31,51 @@ use xps_core::explore::fnv64;
 use xps_core::FAILED_CELL_IPT;
 use xps_serve::{body_checksum, content_id};
 
+/// Every rule id the artifact checker can emit. Part of the known-id
+/// set an `xps-allow` may name (naming any other id is a deny), and
+/// of the catalog.
+pub(crate) const RULE_IDS: [&str; 6] = [
+    "config-domain",
+    "journal-record",
+    "matrix-domain",
+    "measured-envelope",
+    "queue-journal",
+    "store-record",
+];
+
+/// One-line catalog summaries for [`RULE_IDS`], in the same order.
+pub(crate) const RULE_SUMMARIES: [(&str, &str); 6] = [
+    (
+        "config-domain",
+        "a realized configuration outside the model domains (clock range, candidate \
+         associativities/blocks, CACTI size lists, iq <= rob, L2 >= L1)",
+    ),
+    (
+        "journal-record",
+        "a journal record whose FNV checksum mismatches its payload, out-of-order or \
+         duplicate task keys, or unparseable JSONL",
+    ),
+    (
+        "matrix-domain",
+        "a cross-performance matrix cell that is NaN, non-positive, or an undocumented \
+         subnormal (only FAILED_CELL_IPT marks a failed cell)",
+    ),
+    (
+        "measured-envelope",
+        "a measured-results envelope whose checksum does not recompute from its payload",
+    ),
+    (
+        "queue-journal",
+        "a queue-journal entry whose id is not the content fingerprint of its canonical \
+         request",
+    ),
+    (
+        "store-record",
+        "a store record whose header id mismatches the filename or whose body fails the \
+         header checksum",
+    ),
+];
+
 /// Clock-period domain (ns) from `DesignPoint::realize`.
 const CLOCK_NS: std::ops::RangeInclusive<f64> = 0.05..=2.0;
 /// Pipeline width domain from `CoreConfig::validate`.

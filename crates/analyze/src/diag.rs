@@ -36,7 +36,7 @@ pub struct Finding {
     pub line: u32,
     /// 1-based byte column.
     pub col: u32,
-    /// Rule id, e.g. `no-wallclock-in-deterministic-paths`.
+    /// Rule id, e.g. `determinism-provenance`.
     pub rule: &'static str,
     /// Severity of the owning rule.
     pub severity: Severity,

@@ -396,6 +396,35 @@ mod tests {
     }
 
     #[test]
+    fn escaped_quote_char_and_lifetime_adjacency() {
+        let toks = kinds("'\\''");
+        assert_eq!(toks[0], (TokenKind::Char, "'\\''"));
+        // A lifetime in generics directly followed by a char literal:
+        // the lifetime must not swallow the opening quote.
+        let toks = kinds("<'a>'x'");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a"));
+        assert_eq!(toks[3], (TokenKind::Char, "'x'"));
+    }
+
+    #[test]
+    fn raw_string_ignores_shallower_hash_closers() {
+        // `"#` inside an `r##` string is content, not a terminator.
+        let src = r#####"r##"a "# b"## tail"#####;
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::RawStr, r#####"r##"a "# b"##"#####));
+        assert_eq!(toks[1], (TokenKind::Ident, "tail"));
+    }
+
+    #[test]
+    fn byte_char_and_unterminated_byte_string() {
+        let toks = kinds("b'q' b\"open");
+        assert_eq!(toks[0], (TokenKind::Char, "b'q'"));
+        assert_eq!(toks[1], (TokenKind::Str, "b\"open"));
+        let rebuilt: String = lex("b'q' b\"open").iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, "b'q' b\"open");
+    }
+
+    #[test]
     fn numbers_and_ranges() {
         let toks = kinds("0.5..1.5e-3 0x1f 1_000u64 x.0");
         assert_eq!(toks[0], (TokenKind::Number, "0.5"));

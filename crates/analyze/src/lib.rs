@@ -9,33 +9,56 @@
 //! in either shows up as a red CI job instead of an irreproducible
 //! matrix three PRs later.
 //!
-//! Two engines:
+//! Three layers share one diagnostic/suppression/JSON spine:
 //!
-//! * [`analyze_source`] — lex every workspace `.rs` file with the
-//!   hand-rolled lossless [`lexer`] (the workspace is offline; no
-//!   `syn`) and run the [`rules`] registry over the token stream.
-//!   Findings carry `file:line:col`, a rule id, a message, and a
-//!   suggestion; `// xps-allow(rule-id): reason` suppresses a finding
-//!   on the same or next line, and the reason is mandatory.
-//! * [`artifact::check_dir`] — validate journals, queue journals,
-//!   store records, and measured-results files against their checksum
-//!   formats and the model domains, without running a simulation.
+//! * **Textual rules** — [`analyze_source`] lexes every workspace
+//!   `.rs` file with the hand-rolled lossless [`lexer`] (the workspace
+//!   is offline; no `syn`) and runs the [`rules`] registry over the
+//!   significant-token stream. Findings carry `file:line:col`, a rule
+//!   id, a message, and a suggestion; `// xps-allow(rule-id): reason`
+//!   suppresses a finding on the same or next line, and the reason is
+//!   mandatory.
+//! * **Semantic passes** — [`parse`] extracts items, imports, calls
+//!   and per-function marks into per-file summaries; [`graph`] links
+//!   them into a cross-crate call graph with path-qualified
+//!   resolution; [`taint`] reports any wall-clock / entropy /
+//!   hash-order source connected to serialized output as a
+//!   `determinism-provenance` finding carrying the full call chain
+//!   (`file:line` per hop); [`locks`] builds the
+//!   lock-acquisition-order graph, reports cycles (`lock-discipline`
+//!   inversions) and blocking operations performed while a guard is
+//!   live. [`analyze_workspace`] runs everything, optionally
+//!   incrementally: [`cache`] keys each file's summary by content
+//!   hash and rules fingerprint, so unchanged files skip the
+//!   lex/parse work while reports stay byte-identical to a cold run.
+//! * **Artifact checker** — [`artifact::check_dir`] validates
+//!   journals, queue journals, store records, and measured-results
+//!   files against their checksum formats and the model domains,
+//!   without running a simulation.
 //!
-//! Both are exposed through the `xps-analyze` binary and the
+//! All three are exposed through the `xps-analyze` binary and the
 //! `repro analyze` subcommand; `.github/workflows/ci.yml` runs them as
-//! a required job.
+//! a required job, and `xps-analyze --catalog` emits the rule table
+//! embedded (and drift-checked) in `README.md` and `DESIGN.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod cache;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod locks;
+pub mod parse;
 pub mod rules;
+pub mod taint;
 
 pub use diag::{Finding, Report, Severity};
-pub use rules::{all_rules, FileClass, Rule};
+pub use rules::{all_rules, catalog_markdown, semantic_rules, FileClass, Rule};
 
+use parse::FileSummary;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// Directory names the source walker never descends into: build
@@ -100,31 +123,147 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> 
     Ok(())
 }
 
-/// Lint one source text as if it lived at `rel` (workspace-relative).
-pub fn analyze_file(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
-    let tokens = lexer::lex(src);
-    let ctx = rules::file_ctx(&rel.display().to_string(), class, &tokens);
-    rules::lint_file(&ctx)
+/// The lib-ident of the crate owning a workspace-relative path:
+/// `crates/serve/…` → `xps_serve` (hyphens folded), anything else →
+/// the root package (`xpscalar`). The mapping is derived from the
+/// fixed `crates/<dir>` ↔ `xps-<dir>` layout rather than parsed from
+/// Cargo.toml — a new crate breaking the convention would surface
+/// immediately as unresolved cross-crate edges in the self-check.
+pub fn crate_name_for(rel: &Path) -> String {
+    let comps: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    if comps.first() == Some(&"crates") {
+        if let Some(dir) = comps.get(1) {
+            return format!("xps_{}", dir.replace('-', "_"));
+        }
+    }
+    "xpscalar".to_string()
 }
 
-/// Run the source lint pass over every workspace `.rs` file under
-/// `root`.
+/// Lint one source text as if it lived at `rel` (workspace-relative):
+/// the textual pass plus the semantic passes run over the singleton
+/// graph of this one file.
+pub fn analyze_file(rel: &Path, class: FileClass, src: &str) -> Vec<Finding> {
+    let relpath = rel.display().to_string();
+    let summaries = vec![parse::summarize_file(
+        &relpath,
+        class,
+        &crate_name_for(rel),
+        src,
+    )];
+    semantic_report(summaries).findings
+}
+
+/// Options for [`analyze_workspace`].
+#[derive(Debug, Default, Clone)]
+pub struct WorkspaceOptions {
+    /// Reuse and refresh a per-file summary cache.
+    pub incremental: bool,
+    /// Where the cache lives; `None` with `incremental` means
+    /// `<root>/target/analyze-cache.json`.
+    pub cache_path: Option<PathBuf>,
+}
+
+/// Run the full analysis — textual rules per file, then the
+/// determinism-provenance and lock-discipline passes over the
+/// cross-crate call graph — over every workspace `.rs` file under
+/// `root`. With `opts.incremental`, unchanged files (by content hash)
+/// reuse their cached summaries and only the graph is rebuilt.
 ///
 /// # Errors
 ///
 /// Returns a message when the tree cannot be walked or a source file
 /// cannot be read — an unreadable workspace must not report "clean".
-pub fn analyze_source(root: &Path) -> Result<Report, String> {
-    let mut report = Report::default();
+pub fn analyze_workspace(root: &Path, opts: &WorkspaceOptions) -> Result<Report, String> {
+    let cache_path = opts
+        .cache_path
+        .clone()
+        .unwrap_or_else(|| root.join("target/analyze-cache.json"));
+    let old_cache = if opts.incremental {
+        cache::Cache::load(&cache_path).unwrap_or_default()
+    } else {
+        cache::Cache::default()
+    };
+    let mut new_cache = cache::Cache::default();
+    let mut summaries: Vec<FileSummary> = Vec::new();
     for rel in workspace_sources(root)? {
         let class = classify_path(&rel).unwrap_or(FileClass::Lib);
+        let relpath = rel.display().to_string();
         let src = std::fs::read_to_string(root.join(&rel))
             .map_err(|e| format!("read {}: {e}", rel.display()))?;
-        report.findings.extend(analyze_file(&rel, class, &src));
-        report.files_checked += 1;
+        let crate_name = crate_name_for(&rel);
+        let hash = cache::content_hash(&crate_name, &relpath, &src);
+        let summary = match old_cache.entries.get(&relpath) {
+            Some((h, s)) if *h == hash => s.clone(),
+            _ => parse::summarize_file(&relpath, class, &crate_name, &src),
+        };
+        if opts.incremental {
+            new_cache.entries.insert(relpath, (hash, summary.clone()));
+        }
+        summaries.push(summary);
+    }
+    if opts.incremental {
+        new_cache.save(&cache_path)?;
+    }
+    Ok(semantic_report(summaries))
+}
+
+/// Backwards-compatible entry point: a cold (non-incremental)
+/// [`analyze_workspace`] run.
+///
+/// # Errors
+///
+/// See [`analyze_workspace`].
+pub fn analyze_source(root: &Path) -> Result<Report, String> {
+    analyze_workspace(root, &WorkspaceOptions::default())
+}
+
+/// Findings from a summary set: cached/fresh textual findings, the
+/// two semantic passes over the rebuilt graph, then staleness warns
+/// for suppressions no pass consumed.
+fn semantic_report(summaries: Vec<FileSummary>) -> Report {
+    let mut report = Report {
+        files_checked: summaries.len(),
+        ..Report::default()
+    };
+    for s in &summaries {
+        for f in &s.textual {
+            // Rule ids round-tripping through the cache arrive as
+            // strings; anything unknown would mean a cache from a
+            // different rule set, which the fingerprint already
+            // prevents.
+            if let Some(rule) = rules::static_rule_id(&f.rule) {
+                report.findings.push(Finding {
+                    file: s.relpath.clone(),
+                    line: f.line,
+                    col: f.col,
+                    rule,
+                    severity: f.severity,
+                    message: f.message.clone(),
+                    suggestion: f.suggestion.clone(),
+                });
+            }
+        }
+    }
+    let g = graph::build(&summaries);
+    let (taint_findings, taint_used) = taint::check(&summaries, &g);
+    let (lock_findings, lock_used) = locks::check(&summaries, &g);
+    report.findings.extend(taint_findings);
+    report.findings.extend(lock_findings);
+    let used: BTreeSet<(String, u32)> = taint_used.union(&lock_used).cloned().collect();
+    for s in &summaries {
+        for sp in &s.suppressions {
+            if !sp.used_by_textual && !used.contains(&(s.relpath.clone(), sp.line)) {
+                report.findings.push(rules::unused_suppression_finding(
+                    &s.relpath, &sp.rule, sp.line,
+                ));
+            }
+        }
     }
     report.sort();
-    Ok(report)
+    report
 }
 
 #[cfg(test)]

@@ -59,15 +59,11 @@ fn violations_fixture_reports_every_rule_at_exact_positions() {
         (
             wallclock,
             col_of(&src, wallclock, "Instant"),
-            "no-wallclock-in-deterministic-paths",
+            "determinism-provenance",
         ),
         (write, col_of(&src, write, "fs"), "no-raw-fs-write"),
         (write, col_of(&src, write, "unwrap"), "no-unwrap-in-lib"),
-        (
-            iter,
-            col_of(&src, iter, "for"),
-            "no-unordered-iteration-to-output",
-        ),
+        (iter, col_of(&src, iter, "rows"), "determinism-provenance"),
         (panic, col_of(&src, panic, "panic"), "no-panic-in-worker"),
     ];
     assert_eq!(got, want, "full findings: {findings:#?}");
@@ -128,7 +124,7 @@ fn malformed_suppressions_are_deny_findings_and_do_not_silence() {
     assert!(
         findings
             .iter()
-            .any(|f| f.rule == "no-wallclock-in-deterministic-paths" && f.line == wallclock),
+            .any(|f| f.rule == "determinism-provenance" && f.line == wallclock),
         "a malformed allow must not silence anything: {findings:#?}"
     );
 }
@@ -195,7 +191,7 @@ fn binary_exits_nonzero_on_seeded_source_violations() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("no-wallclock-in-deterministic-paths"),
+        stdout.contains("determinism-provenance"),
         "human output names the rule id: {stdout}"
     );
     assert!(stdout.contains("help:"), "diagnostics carry help: {stdout}");

@@ -3,9 +3,9 @@
 
 use std::time::Instant;
 
-// xps-allow(no-wallclock-in-deterministic-paths)
-pub fn missing_reason() -> Instant {
-    Instant::now()
+// xps-allow(determinism-provenance)
+pub fn missing_reason() {
+    println!("{:?}", Instant::now());
 }
 
 // xps-allow(no-such-rule): the rule id does not exist

@@ -1,0 +1,26 @@
+// Semantic-pass fixture, hop one: the wall clock read in `tick`
+// reaches beta's serializer three hops away, and `fwd`/`rev` acquire
+// the same two locks in opposite order. Lives under `fixtures`, which
+// the workspace walker skips, so the self-check stays clean.
+
+use xps_beta::relay;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn tick() {
+    let t = Instant::now();
+    relay(t);
+}
+
+pub fn fwd(p: &Pair) {
+    let g = p.a.lock();
+    let h = p.b.lock();
+}
+
+pub fn rev(p: &Pair) {
+    let g = p.b.lock();
+    let h = p.a.lock();
+}

@@ -1,0 +1,12 @@
+// Semantic-pass fixture, hops two and three: `relay` forwards into
+// `out::emit`, which serializes — the sink end of alpha's chain.
+
+pub fn relay(t: u64) {
+    crate::out::emit(t);
+}
+
+pub mod out {
+    pub fn emit(t: u64) {
+        println!("{t}");
+    }
+}

@@ -4,8 +4,12 @@
 use std::time::Instant;
 
 pub fn stamp() -> Instant {
-    // xps-allow(no-wallclock-in-deterministic-paths): fixture: documented timing-only site
+    // xps-allow(determinism-provenance): fixture: documented timing-only site
     Instant::now()
+}
+
+pub fn document() {
+    println!("{:?}", stamp());
 }
 
 pub fn save(path: &std::path::Path, data: &str) {

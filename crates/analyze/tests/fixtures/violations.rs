@@ -13,16 +13,18 @@ pub fn stamp() -> Instant {
     Instant::now()
 }
 
+pub fn document() {
+    println!("{:?}", stamp());
+}
+
 pub fn save(path: &std::path::Path, data: &str) {
     std::fs::write(path, data).unwrap();
 }
 
-pub fn render(t: &Table) -> String {
-    let mut out = String::new();
+pub fn render(t: &Table) {
     for (k, v) in &t.rows {
-        out.push_str(&format!("{k}={v}\n"));
+        println!("{k}={v}");
     }
-    out
 }
 
 pub fn fan(pool: &Pool) {

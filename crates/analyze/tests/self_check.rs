@@ -7,7 +7,7 @@
 
 use std::path::{Path, PathBuf};
 
-use xps_analyze::{analyze_source, artifact, Severity};
+use xps_analyze::{analyze_source, artifact, rules, Severity};
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -39,6 +39,33 @@ fn workspace_has_no_warn_findings_either() {
         .filter(|f| f.severity == Severity::Warn)
         .collect();
     assert!(warns.is_empty(), "stale suppressions: {warns:#?}");
+}
+
+#[test]
+fn docs_carry_the_current_rule_catalog() {
+    // README.md and DESIGN.md embed the `xps-analyze --catalog` output
+    // between `<!-- analyzer-catalog:begin/end -->` markers; the CI
+    // drift check diffs those regions against the binary, and this
+    // test keeps `cargo test` equivalent to that gate.
+    let expected = rules::catalog_markdown();
+    for doc in ["README.md", "DESIGN.md"] {
+        let text = std::fs::read_to_string(workspace_root().join(doc))
+            .unwrap_or_else(|e| panic!("read {doc}: {e}"));
+        let begin = "<!-- analyzer-catalog:begin -->";
+        let end = "<!-- analyzer-catalog:end -->";
+        let start = text
+            .find(begin)
+            .unwrap_or_else(|| panic!("{doc} is missing the `{begin}` marker"));
+        let stop = text
+            .find(end)
+            .unwrap_or_else(|| panic!("{doc} is missing the `{end}` marker"));
+        let region = text[start + begin.len()..stop].trim_matches('\n');
+        assert_eq!(
+            region,
+            expected.trim_end_matches('\n'),
+            "{doc} analyzer catalog is stale; paste `xps-analyze --catalog` between the markers"
+        );
+    }
 }
 
 #[test]

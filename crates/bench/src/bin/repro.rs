@@ -41,7 +41,7 @@
 //!                measured pitfall rate (see `repro scale --help`)
 //!   bench        measure engine throughput before/after the hot-loop
 //!                overhaul (reference vs optimized, same process) and
-//!                write `BENCH_8.json`; `--check` compares against the
+//!                write `BENCH_9.json`; `--check` compares against the
 //!                committed file and fails on a >10% speedup regression
 //!   all          everything above (except profile/serve/client/fleet/analyze/scale/bench), in order
 //!
@@ -567,13 +567,20 @@ fn print_scale_help() {
 }
 
 /// `repro analyze`: the project's static analyzer — lint every
-/// workspace source against the determinism/crash-safety rule
-/// registry, then validate the on-disk artifacts under `results/`
-/// (and the serve data dir, when present) against the model domains.
-/// Exits non-zero on any deny-severity finding, like CI does.
+/// workspace source against the textual rule registry, run the
+/// determinism-provenance and lock-discipline passes over the
+/// cross-crate call graph (incrementally: unchanged files reuse their
+/// cached summaries from `target/analyze-cache.json`), then validate
+/// the on-disk artifacts under `results/` (and the serve data dir,
+/// when present) against the model domains. Exits non-zero on any
+/// deny-severity finding, like CI does.
 fn analyze_cmd() -> Result<(), Box<dyn Error>> {
     let root = std::path::Path::new(".");
-    let source = xps_analyze::analyze_source(root)?;
+    let opts = xps_analyze::WorkspaceOptions {
+        incremental: true,
+        cache_path: None,
+    };
+    let source = xps_analyze::analyze_workspace(root, &opts)?;
     print!("{}", source.render_human("source"));
     let mut data = xps_analyze::Report::default();
     for dir in ["results", "serve-data"] {
@@ -598,7 +605,7 @@ fn analyze_cmd() -> Result<(), Box<dyn Error>> {
 /// The perf-trajectory file for this round of engine work. Each
 /// hot-loop PR commits a `BENCH_<n>.json` so the series records how
 /// throughput moved over time.
-const BENCH_PATH: &str = "BENCH_8.json";
+const BENCH_PATH: &str = "BENCH_9.json";
 
 /// Workloads measured by `repro bench` — the same three the Criterion
 /// `simulator` group tracks.
@@ -654,7 +661,7 @@ fn bench_pair(
 
 /// `repro bench`: measure the reference (pre-overhaul) and optimized
 /// cycle engines back to back on identical traces and emit the
-/// before/after table as `BENCH_8.json` (or, with `--check`, compare
+/// before/after table as `BENCH_9.json` (or, with `--check`, compare
 /// the fresh speedups against the committed file and fail on a >10%
 /// regression). Absolute ops/sec depends on the host; the speedup
 /// column is the portable number, which is why the regression gate is
@@ -680,7 +687,7 @@ fn bench_cmd(quick: bool, check: bool) -> Result<(), Box<dyn Error>> {
             for &ops in budgets {
                 let slice = &trace[..ops as usize];
                 let timed = |stats_of: &mut dyn FnMut() -> u64| -> f64 {
-                    // xps-allow(no-wallclock-in-deterministic-paths): a benchmark's output *is* wall time; simulated results stay deterministic
+                    // xps-allow(determinism-provenance): a benchmark's output *is* wall time; simulated results stay deterministic
                     let t0 = std::time::Instant::now();
                     let cycles = stats_of();
                     let dt = t0.elapsed().as_secs_f64();
@@ -836,7 +843,7 @@ fn explore(quick: bool) -> Result<Measured, Box<dyn Error>> {
     if let Some(plan) = opts.faults.clone() {
         ctx = ctx.with_faults(plan);
     }
-    // xps-allow(no-wallclock-in-deterministic-paths): CLI progress timing printed to stderr; measured results never see it
+    // xps-allow(determinism-provenance): CLI progress timing printed to stderr; measured results never see it
     let t0 = std::time::Instant::now();
     let result = pipeline.run_recoverable(&spec::all_profiles(), &ctx)?;
     let wall = t0.elapsed().as_secs_f64();
@@ -1623,11 +1630,11 @@ fn ablation_search() {
         opts.iterations = 120;
         opts.eval_ops_early = 20_000;
         opts.eval_ops_late = 40_000;
-        // xps-allow(no-wallclock-in-deterministic-paths): ablation wall-time report on stderr; not part of measured output
+        // xps-allow(determinism-provenance): ablation wall-time report on stderr; not part of measured output
         let t0 = Instant::now();
         let g = grid_search(&p, &spec_grid, &opts, &tech);
         let t_grid = t0.elapsed().as_secs_f64();
-        // xps-allow(no-wallclock-in-deterministic-paths): ablation wall-time report on stderr; not part of measured output
+        // xps-allow(determinism-provenance): ablation wall-time report on stderr; not part of measured output
         let t0 = Instant::now();
         let a = anneal(&p, &DesignPoint::initial(), &opts, &tech);
         let t_anneal = t0.elapsed().as_secs_f64();
@@ -2037,7 +2044,7 @@ fn scale_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
             opts.workers.join(",")
         }
     );
-    // xps-allow(no-wallclock-in-deterministic-paths): CLI progress timing printed to stderr; the report never sees it
+    // xps-allow(determinism-provenance): CLI progress timing printed to stderr; the report never sees it
     let t0 = std::time::Instant::now();
     let report = run_study(&spec, &study, &ctx)?;
     let wall = t0.elapsed().as_secs_f64();

@@ -234,7 +234,7 @@ pub fn submit(addr: &str, job_json: &str) -> Result<(String, Response), ServeErr
 /// [`ServeError::BadRequest`] when the job fails, is unknown, or
 /// `timeout` elapses first.
 pub fn wait_for_result(addr: &str, job: &str, timeout: Duration) -> Result<String, ServeError> {
-    // xps-allow(no-wallclock-in-deterministic-paths): client-side poll deadline; results come from the store, not the clock
+    // xps-allow(determinism-provenance): client-side poll deadline; results come from the store, not the clock
     let deadline = Instant::now() + timeout;
     loop {
         let resp = request(addr, "GET", &format!("/jobs/{job}"), None)?;
@@ -248,7 +248,7 @@ pub fn wait_for_result(addr: &str, job: &str, timeout: Duration) -> Result<Strin
                 )))
             }
         }
-        // xps-allow(no-wallclock-in-deterministic-paths): client-side poll deadline; results come from the store, not the clock
+        // xps-allow(determinism-provenance): client-side poll deadline; results come from the store, not the clock
         if Instant::now() >= deadline {
             return Err(ServeError::BadRequest(format!(
                 "job `{job}` still pending after {timeout:?}"

@@ -366,7 +366,7 @@ fn scheduler_loop(shared: &Shared) {
 /// Serve one connection: parse one request, route it, record its
 /// latency. All errors render as `{"error": ...}` with their status.
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    // xps-allow(no-wallclock-in-deterministic-paths): request-latency metrics only; never reaches a result body
+    // xps-allow(determinism-provenance): request-latency metrics only; never reaches a result body
     let started = Instant::now();
     // Both directions are bounded: a client that stalls mid-request
     // (read) or stops draining its response (write) errors this

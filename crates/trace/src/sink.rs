@@ -45,7 +45,7 @@ impl TraceSink {
         // stamps feed only the human-facing profile and are never
         // serialized into measured output (`to_ndjson` drops them),
         // so determinism is preserved.
-        // xps-allow(no-wallclock-in-deterministic-paths): edge-only wall clock, see above
+        // xps-allow(determinism-provenance): edge-only wall clock, see above
         let epoch = std::time::Instant::now();
         TraceSink {
             tracks: Arc::default(),
