@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xps_core::cacti::Technology;
-use xps_core::explore::{anneal, AnnealOptions, DesignPoint, EvalCache, ExploreOptions, Explorer};
+use xps_core::explore::{anneal, AnnealOptions, Campaign, DesignPoint, EvalCache, ExploreOptions};
 use xps_core::sim::Simulator;
 use xps_core::workload::{spec, TraceGenerator};
 
@@ -53,7 +53,7 @@ fn parallel_explore(c: &mut Criterion) {
             opts.anneal.eval_ops_late = 8_000;
             opts.cross_rounds = 0;
             opts.jobs = jobs;
-            let explorer = Explorer::new(opts);
+            let explorer = Campaign::new(opts);
             b.iter(|| explorer.explore(&profiles))
         });
     }

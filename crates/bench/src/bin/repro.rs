@@ -39,11 +39,17 @@
 //!                and run the subsetting-at-scale study: per-panel
 //!                campaigns, clustering-vs-subsetting gap distribution,
 //!                measured pitfall rate (see `repro scale --help`)
+//!   bakeoff      run every explorer (anneal, genetic, surrogate) at an
+//!                equal evaluation budget over the SPEC profiles plus
+//!                seeded scenario panels and emit the win matrix,
+//!                evals-to-best curves, and Pareto hypervolumes
+//!                (see `repro bakeoff --help`)
 //!   bench        measure engine throughput before/after the hot-loop
 //!                overhaul (reference vs optimized, same process) and
-//!                write `BENCH_9.json`; `--check` compares against the
-//!                committed file and fails on a >10% speedup regression
-//!   all          everything above (except profile/serve/client/fleet/analyze/scale/bench), in order
+//!                write `BENCH_10.json`; `--check` compares against the
+//!                committed file and fails on a >10% geomean regression
+//!                or any single row losing more than 25%
+//!   all          everything above (except profile/serve/client/fleet/analyze/scale/bakeoff/bench), in order
 //!
 //! `--paper-data` analyses the paper's published Table 5 instead of
 //! this repository's measured matrix; `--quick` shrinks the measured
@@ -76,6 +82,13 @@
 //! * `--n N` — population size.
 //! * `--seed N` — population seed.
 //! * `--out PATH` — canonical report destination.
+//!
+//! Bake-off flags (`bakeoff` only; `repro bakeoff --help` lists them
+//! with defaults):
+//!
+//! * `--budget N` — simulated design-point evaluations per explorer
+//!   per workload (every explorer gets exactly the same budget).
+//! * `--seed N` — search seed shared by every explorer.
 //! ```
 
 // The dispatch tables below use `Ok(experiment())` so each arm stays a
@@ -112,12 +125,12 @@ const JOURNAL_PATH: &str = "results/journal.jsonl";
 const USAGE: &str = "usage: repro <experiment> [--paper-data] [--quick] [--jobs N] \
 [--resume] [--retries N] [--faults SPEC] [--journal PATH] [--addr HOST:PORT] \
 [--data-dir PATH] [--workers HOST:PORT,..] [--net-faults SPEC] [--families LIST] \
-[--n N] [--seed N] [--out PATH]  (see --help)";
+[--n N] [--seed N] [--budget N] [--out PATH]  (see --help)";
 
 /// Every experiment `repro` knows, in `repro all` order where
 /// applicable; the tail entries are the standalone services/studies
 /// excluded from `all`.
-const EXPERIMENTS: [&str; 34] = [
+const EXPERIMENTS: [&str; 35] = [
     "explore",
     "table1",
     "table2",
@@ -150,6 +163,7 @@ const EXPERIMENTS: [&str; 34] = [
     "fleet",
     "analyze",
     "scale",
+    "bakeoff",
     "bench",
     "all",
 ];
@@ -193,9 +207,12 @@ struct Cli {
     families: Option<String>,
     /// `--n N` (`scale` only): population size.
     n: Option<usize>,
-    /// `--seed N` (`scale` only): population seed.
+    /// `--seed N` (`scale`/`bakeoff`): population / search seed.
     seed: Option<u64>,
-    /// `--out PATH` (`scale` only): canonical report destination.
+    /// `--budget N` (`bakeoff` only): evaluations per explorer per
+    /// workload.
+    budget: Option<u64>,
+    /// `--out PATH` (`scale`/`bakeoff`): canonical report destination.
     out: Option<PathBuf>,
     /// `--help` / `-h`.
     help: bool,
@@ -332,6 +349,18 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .map_err(|_| format!("--seed expects a u64, got `{v}`"))?;
                 cli.seed = Some(s);
             }
+            "--budget" => {
+                let v = flag_value(args, &mut i, "--budget")?;
+                let b: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--budget expects a number, got `{v}`"))?;
+                if b == 0 {
+                    return Err("--budget 0 would let no explorer evaluate anything; \
+                         pass --budget N with N >= 1"
+                        .to_string());
+                }
+                cli.budget = Some(b);
+            }
             "--out" => {
                 let v = flag_value(args, &mut i, "--out")?;
                 cli.out = Some(PathBuf::from(v));
@@ -341,8 +370,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     "unknown flag `{name}` (flags: --paper-data --quick --jobs N \
                      --resume --retries N --faults SPEC --journal PATH \
                      --addr HOST:PORT --data-dir PATH --workers HOST:PORT,.. \
-                     --net-faults SPEC --families LIST --n N --seed N --out PATH \
-                     --check --help)"
+                     --net-faults SPEC --families LIST --n N --seed N --budget N \
+                     --out PATH --check --help)"
                 ));
             }
             _ => {
@@ -383,6 +412,7 @@ struct RunOpts {
     families: Option<String>,
     n: Option<usize>,
     seed: Option<u64>,
+    budget: Option<u64>,
     out: Option<PathBuf>,
 }
 
@@ -406,11 +436,15 @@ fn main() -> ExitCode {
             print_scale_help();
             return ExitCode::SUCCESS;
         }
+        if cli.cmd == "bakeoff" {
+            print_bakeoff_help();
+            return ExitCode::SUCCESS;
+        }
         println!(
             "see `repro` module docs; experiments: {}",
             EXPERIMENTS.join(" ")
         );
-        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH --workers HOST:PORT,.. --net-faults SPEC --families LIST --n N --seed N --out PATH --check");
+        println!("flags: --paper-data --quick --jobs N --resume --retries N --faults SPEC --journal PATH --addr HOST:PORT --data-dir PATH --workers HOST:PORT,.. --net-faults SPEC --families LIST --n N --seed N --budget N --out PATH --check");
         return ExitCode::SUCCESS;
     }
     let faults = match cli.faults.as_deref().map(FaultPlan::parse).transpose() {
@@ -434,6 +468,7 @@ fn main() -> ExitCode {
         families: cli.families.clone(),
         n: cli.n,
         seed: cli.seed,
+        budget: cli.budget,
         out: cli.out.clone(),
     })
     .expect("options set once");
@@ -526,6 +561,7 @@ fn run_dispatch(c: &str, source: Source, quick: bool) -> Result<(), Box<dyn Erro
         "fleet" => fleet_cmd(quick),
         "analyze" => analyze_cmd(),
         "scale" => scale_cmd(quick),
+        "bakeoff" => bakeoff_cmd(quick),
         "bench" => bench_cmd(quick, run_opts().check),
         _ => Err(format!(
             "unknown experiment `{c}`; available: {}",
@@ -564,6 +600,194 @@ fn print_scale_help() {
          \x20 --faults SPEC           deterministic task fault injection\n\
          \x20                         (default: none)"
     );
+}
+
+/// `repro bakeoff --help`: every bake-off flag with its default.
+fn print_bakeoff_help() {
+    println!(
+        "usage: repro bakeoff [flags]\n\n\
+         Run the explorer portfolio — simulated annealing, a genetic\n\
+         algorithm, and a surrogate-guided searcher — at an equal budget of\n\
+         simulated design-point evaluations over the 11 SPEC profiles plus\n\
+         seeded scenario panels, and emit the win matrix, evals-to-best\n\
+         curves, and IPT-vs-energy Pareto fronts with per-explorer\n\
+         hypervolume. The canonical report is byte-identical for any --jobs\n\
+         value, rerun, or fleet worker count.\n\n\
+         flags (with defaults):\n\
+         \x20 --quick                 smoke-scale bake-off (3 SPEC profiles,\n\
+         \x20                         4 scenario members, budget 14; default:\n\
+         \x20                         full quick study — 11 SPEC profiles,\n\
+         \x20                         6 scenario members, budget 60)\n\
+         \x20 --budget N              evaluations per explorer per workload\n\
+         \x20                         (default: 14 with --quick, 60 without)\n\
+         \x20 --seed N                search seed shared by every explorer\n\
+         \x20                         (default: 24301)\n\
+         \x20 --families LIST         scenario families, comma-separated\n\
+         \x20                         (default: expected,stress,adversarial)\n\
+         \x20 --n N                   scenario population size, N >= 4\n\
+         \x20                         (default: 4 with --quick, 6 without)\n\
+         \x20 --out PATH              canonical report destination\n\
+         \x20                         (default: results/bakeoff.json)\n\
+         \x20 --jobs N                worker threads for the workload fan-out\n\
+         \x20                         (default: available parallelism)\n\
+         \x20 --resume                replay the bake-off journal and re-run\n\
+         \x20                         only the missing tasks (default: off)\n\
+         \x20 --journal PATH          journal location\n\
+         \x20                         (default: results/bakeoff-journal.jsonl)\n\
+         \x20 --workers HOST:PORT,..  scatter search tasks over fleet workers\n\
+         \x20                         (default: none; run coordinator-local)\n\
+         \x20 --retries N             per-task retry budget (default: 2)\n\
+         \x20 --net-faults SPEC       seeded network fault injection, e.g.\n\
+         \x20                         drop=10,seed=3 (default: none)\n\
+         \x20 --faults SPEC           deterministic task fault injection\n\
+         \x20                         (default: none)"
+    );
+}
+
+/// Default location of the bake-off checkpoint journal (distinct from
+/// the campaign journal so an interrupted `explore` and an interrupted
+/// `bakeoff` never replay each other's tasks).
+const BAKEOFF_JOURNAL_PATH: &str = "results/bakeoff-journal.jsonl";
+
+/// `repro bakeoff`: run every explorer at the same evaluation budget
+/// over the SPEC profiles plus seeded scenario panels and write the
+/// canonical bake-off report. The fan-out goes through the task
+/// dispatcher seam, so `--workers` scales it over a fleet without
+/// changing a byte of the output.
+fn bakeoff_cmd(quick: bool) -> Result<(), Box<dyn Error>> {
+    use xps_scenario::{run_bakeoff, BakeoffOptions, Family, PopulationSpec};
+    use xps_serve::{FlakyTransport, Fleet, FleetConfig, NetFaultPlan, TcpTransport};
+    let opts = run_opts();
+    let mut bake = if quick {
+        BakeoffOptions::smoke()
+    } else {
+        BakeoffOptions::quick()
+    };
+    bake.jobs = opts.jobs;
+    if let Some(b) = opts.budget {
+        bake.search.budget = b;
+    }
+    if let Some(s) = opts.seed {
+        bake.search.seed = s;
+    }
+    if opts.families.is_some() || opts.n.is_some() {
+        let families = match opts.families.as_deref() {
+            Some(list) => list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(Family::parse)
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Family::ALL.to_vec(),
+        };
+        let (n0, seed0) = bake
+            .scenario
+            .as_ref()
+            .map(|s| (s.n, s.seed))
+            .unwrap_or((6, 11));
+        bake.scenario = Some(PopulationSpec {
+            families,
+            n: opts.n.unwrap_or(n0),
+            seed: seed0,
+        });
+    }
+    let journal_path = opts
+        .journal
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(BAKEOFF_JOURNAL_PATH));
+    if let Some(dir) = journal_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let journal = if opts.resume {
+        Journal::open(&journal_path)?
+    } else {
+        Journal::create(&journal_path)?
+    };
+    if opts.resume {
+        eprintln!(
+            "[resuming from {}: {} journaled task(s)]",
+            journal_path.display(),
+            journal.loaded()
+        );
+    }
+    let mut ctx = RunContext::from_env()?.with_journal(journal);
+    if let Some(r) = opts.retries {
+        ctx = ctx.with_retries(r);
+    }
+    if let Some(plan) = opts.faults.clone() {
+        ctx = ctx.with_faults(plan);
+    }
+    let fleet = if opts.workers.is_empty() {
+        None
+    } else {
+        let mut cfg = FleetConfig::new(opts.workers.clone());
+        if let Some(retries) = opts.retries {
+            cfg.retries = retries;
+        }
+        let plan = match opts.net_faults.as_deref() {
+            Some(spec) => Some(NetFaultPlan::parse(spec)?),
+            None => NetFaultPlan::from_env()?,
+        };
+        let tcp = TcpTransport {
+            connect_timeout: cfg.connect_timeout,
+        };
+        let fleet = std::sync::Arc::new(match plan {
+            Some(plan) if plan.is_active() => {
+                eprintln!("[injecting network faults: {plan:?}]");
+                Fleet::new(cfg, std::sync::Arc::new(FlakyTransport::new(plan, tcp)))
+            }
+            _ => Fleet::new(cfg, std::sync::Arc::new(tcp)),
+        });
+        ctx = ctx.with_dispatcher(fleet.clone());
+        Some(fleet)
+    };
+    eprintln!(
+        "[bake-off: budget={} seed={} spec={} scenario={} worker(s)={}]",
+        bake.search.budget,
+        bake.search.seed,
+        bake.spec_workloads.len(),
+        bake.scenario.as_ref().map(|s| s.n).unwrap_or(0),
+        if opts.workers.is_empty() {
+            "local".to_string()
+        } else {
+            opts.workers.join(",")
+        }
+    );
+    // xps-allow(determinism-provenance): CLI progress timing printed to stderr; the report never sees it
+    let t0 = std::time::Instant::now();
+    let report = run_bakeoff(&bake, &ctx)?;
+    let wall = t0.elapsed().as_secs_f64();
+    eprintln!("[{wall:.1}s wall]");
+    if let Some(fleet) = fleet {
+        let s = fleet.stats();
+        eprintln!(
+            "[fleet: {} task(s) remote, {} local-degraded, {} retries, {} quarantines]",
+            s.dispatched, s.degraded, s.retried, s.quarantines
+        );
+    }
+    print!("{}", report.render_human());
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/bakeoff.json"));
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    xps_core::explore::write_atomic(&out, &report.canonical())?;
+    println!(
+        "\n[bake-off report {} — byte-identical for any --jobs, rerun, or worker count]",
+        out.display()
+    );
+    // The bake-off is persisted; the checkpoints have served their
+    // purpose.
+    if let Some(j) = ctx.take_journal() {
+        j.discard()?;
+    }
+    Ok(())
 }
 
 /// `repro analyze`: the project's static analyzer — lint every
@@ -605,19 +829,25 @@ fn analyze_cmd() -> Result<(), Box<dyn Error>> {
 /// The perf-trajectory file for this round of engine work. Each
 /// hot-loop PR commits a `BENCH_<n>.json` so the series records how
 /// throughput moved over time.
-const BENCH_PATH: &str = "BENCH_9.json";
+const BENCH_PATH: &str = "BENCH_10.json";
 
 /// Workloads measured by `repro bench` — the same three the Criterion
 /// `simulator` group tracks.
 const BENCH_WORKLOADS: [&str; 3] = ["gzip", "mcf", "crafty"];
 
 /// `--check` fails when the geometric-mean speedup over the matched
-/// rows falls more than this far below the committed baseline's. The
-/// gate is on the geomean, not per-row: a genuine hot-path regression
-/// slows every row, while single rows drift several percent with host
-/// cache and frequency state even though both engines run back to
-/// back.
+/// rows falls more than this far below the committed baseline's.
+/// Single rows drift several percent with host cache and frequency
+/// state even though both engines run back to back, so the mean gate
+/// is tight.
 const BENCH_TOLERANCE: f64 = 0.10;
+
+/// `--check` also fails when any *single* matched row loses more than
+/// this fraction of its committed speedup. The geomean alone lets one
+/// kernel regress badly while the other rows hide it; the per-row
+/// bound is looser than the mean bound precisely because individual
+/// rows are noisier.
+const BENCH_ROW_TOLERANCE: f64 = 0.25;
 
 /// One (workload, config, op budget) measurement: both engines timed
 /// in the same process on the same pre-materialized trace.
@@ -643,6 +873,76 @@ struct BenchReport {
     rows: Vec<BenchRow>,
 }
 
+/// Gate fresh measurements against the committed baseline. Two rules,
+/// both on the machine-neutral speedup column:
+///
+/// 1. The geometric mean over the matched rows must stay within
+///    [`BENCH_TOLERANCE`] of the committed geomean.
+/// 2. Every single matched row must stay within
+///    [`BENCH_ROW_TOLERANCE`] of its committed speedup — one kernel
+///    can no longer hide a bad regression behind the mean.
+///
+/// Returns the human summary on success and the (first) violated rule
+/// as the error.
+fn check_bench(rows: &[BenchRow], baseline: &BenchReport) -> Result<String, String> {
+    let mut compared = 0usize;
+    let (mut log_now, mut log_base) = (0.0f64, 0.0f64);
+    let mut worst_row: Option<String> = None;
+    for r in rows {
+        let Some(b) = baseline
+            .rows
+            .iter()
+            .find(|b| b.workload == r.workload && b.config == r.config && b.ops == r.ops)
+        else {
+            continue;
+        };
+        compared += 1;
+        log_now += r.speedup.ln();
+        log_base += b.speedup.ln();
+        let row_floor = b.speedup * (1.0 - BENCH_ROW_TOLERANCE);
+        if r.speedup < row_floor && worst_row.is_none() {
+            worst_row = Some(format!(
+                "row regression vs {BENCH_PATH}: {}/{}/{} ops speedup {:.2}x fell \
+                 below {row_floor:.2}x (committed {:.2}x minus {:.0}% per-row \
+                 tolerance); the geomean gate alone would let this hide behind \
+                 the other rows",
+                r.workload,
+                r.config,
+                r.ops,
+                r.speedup,
+                b.speedup,
+                BENCH_ROW_TOLERANCE * 100.0
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "--check matched no rows of {BENCH_PATH} (budget mismatch? \
+             the committed file must include the budgets being checked)"
+        ));
+    }
+    let geo_now = (log_now / compared as f64).exp();
+    let geo_base = (log_base / compared as f64).exp();
+    let floor = geo_base * (1.0 - BENCH_TOLERANCE);
+    if geo_now < floor {
+        return Err(format!(
+            "throughput regression vs {BENCH_PATH}: geomean speedup {geo_now:.2}x \
+             over {compared} row(s) fell below {floor:.2}x (baseline {geo_base:.2}x \
+             minus {:.0}% tolerance)",
+            BENCH_TOLERANCE * 100.0
+        ));
+    }
+    if let Some(row) = worst_row {
+        return Err(row);
+    }
+    Ok(format!(
+        "[bench --check: geomean speedup {geo_now:.2}x over {compared} row(s), \
+         within {:.0}% of committed {geo_base:.2}x; every row within {:.0}%]",
+        BENCH_TOLERANCE * 100.0,
+        BENCH_ROW_TOLERANCE * 100.0
+    ))
+}
+
 /// Best-of-N wall times for a (reference, optimized) pair. The reps
 /// interleave the two engines so host-state drift during the
 /// measurement lands on both sides of the ratio.
@@ -661,9 +961,10 @@ fn bench_pair(
 
 /// `repro bench`: measure the reference (pre-overhaul) and optimized
 /// cycle engines back to back on identical traces and emit the
-/// before/after table as `BENCH_9.json` (or, with `--check`, compare
+/// before/after table as `BENCH_10.json` (or, with `--check`, compare
 /// the fresh speedups against the committed file and fail on a >10%
-/// regression). Absolute ops/sec depends on the host; the speedup
+/// geomean regression or any single row losing more than 25% — see
+/// [`check_bench`]). Absolute ops/sec depends on the host; the speedup
 /// column is the portable number, which is why the regression gate is
 /// on speedup and not on raw throughput.
 fn bench_cmd(quick: bool, check: bool) -> Result<(), Box<dyn Error>> {
@@ -733,52 +1034,15 @@ fn bench_cmd(quick: bool, check: bool) -> Result<(), Box<dyn Error>> {
             .map_err(|e| format!("--check needs a committed {BENCH_PATH}: {e}"))?;
         let baseline: BenchReport = serde_json::from_str(&text)
             .map_err(|e| format!("{BENCH_PATH} is not a valid bench report: {e}"))?;
-        let mut compared = 0usize;
-        let (mut log_now, mut log_base) = (0.0f64, 0.0f64);
-        for r in &rows {
-            let Some(b) = baseline
-                .rows
-                .iter()
-                .find(|b| b.workload == r.workload && b.config == r.config && b.ops == r.ops)
-            else {
-                continue;
-            };
-            compared += 1;
-            log_now += r.speedup.ln();
-            log_base += b.speedup.ln();
-        }
-        if compared == 0 {
-            return Err(format!(
-                "--check matched no rows of {BENCH_PATH} (budget mismatch? \
-                 the committed file must include the budgets being checked)"
-            )
-            .into());
-        }
-        let geo_now = (log_now / compared as f64).exp();
-        let geo_base = (log_base / compared as f64).exp();
-        let floor = geo_base * (1.0 - BENCH_TOLERANCE);
-        if geo_now < floor {
-            return Err(format!(
-                "throughput regression vs {BENCH_PATH}: geomean speedup {geo_now:.2}x \
-                 over {compared} row(s) fell below {floor:.2}x (baseline {geo_base:.2}x \
-                 minus {:.0}% tolerance)",
-                BENCH_TOLERANCE * 100.0
-            )
-            .into());
-        }
-        println!(
-            "[bench --check: geomean speedup {geo_now:.2}x over {compared} row(s), \
-             within {:.0}% of committed {geo_base:.2}x]",
-            BENCH_TOLERANCE * 100.0
-        );
+        println!("{}", check_bench(&rows, &baseline)?);
         return Ok(());
     }
 
     let report = BenchReport {
-        issue: 8,
-        note: "Hot-loop overhaul of the cycle engine: issue-slot ring + filtered \
-               store forwarding + SoA MSHRs vs the pre-overhaul reference engine, \
-               measured back to back in one process on identical traces."
+        issue: 10,
+        note: "Throughput refresh for the explorer-portfolio PR: issue-slot ring + \
+               filtered store forwarding + SoA MSHRs vs the pre-overhaul reference \
+               engine, measured back to back in one process on identical traces."
             .to_string(),
         rows,
     };
@@ -1478,7 +1742,7 @@ fn schedule(source: Source, quick: bool) -> Result<(), Box<dyn Error>> {
 /// the configurations move (typically toward slower clocks and
 /// shallower pipes).
 fn ablation_tech() {
-    use xps_core::explore::{ExploreOptions, Explorer};
+    use xps_core::explore::{Campaign, ExploreOptions};
     println!("Technology ablation: same workloads, different physics\n");
     let profiles: Vec<_> = ["gzip", "twolf"]
         .iter()
@@ -1487,7 +1751,7 @@ fn ablation_tech() {
     let mut rows = Vec::new();
     for (label, factor) in [("default", 1.0f64), ("1.6x slower arrays", 1.6)] {
         let tech = cacti::Technology::default().scaled(factor);
-        let explorer = Explorer::with_technology(ExploreOptions::quick(), tech);
+        let explorer = Campaign::with_technology(ExploreOptions::quick(), tech);
         let r = explorer.explore(&profiles);
         for core in &r.cores {
             let c = &core.config;
@@ -2221,5 +2485,83 @@ mod tests {
         assert!(e.contains("HOST:PORT"), "message: {e}");
         let e = parse(&["fleet", "--net-faults", "drop=200"]).expect_err("bad rate");
         assert!(e.contains("100"), "message: {e}");
+    }
+
+    #[test]
+    fn bakeoff_flags_parse_and_validate() {
+        let c = parse(&["bakeoff", "--quick", "--budget", "25", "--seed=7"])
+            .expect("valid bakeoff command line");
+        assert_eq!(c.cmd, "bakeoff");
+        assert!(c.quick);
+        assert_eq!(c.budget, Some(25));
+        assert_eq!(c.seed, Some(7));
+        let e = parse(&["bakeoff", "--budget", "0"]).expect_err("zero budget");
+        assert!(e.contains("--budget"), "message: {e}");
+        let e = parse(&["bakeoff", "--budget", "many"]).expect_err("non-numeric");
+        assert!(e.contains("number"), "message: {e}");
+    }
+
+    /// A synthetic bench table: `speedups[i]` becomes one row keyed
+    /// `w{i}/initial/1000`.
+    fn bench_rows(speedups: &[f64]) -> Vec<BenchRow> {
+        speedups
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| BenchRow {
+                workload: format!("w{i}"),
+                config: "initial".into(),
+                ops: 1_000,
+                before_ops_per_sec: 1_000.0 * s,
+                after_ops_per_sec: 1_000.0,
+                speedup: s,
+            })
+            .collect()
+    }
+
+    fn bench_baseline(speedups: &[f64]) -> BenchReport {
+        BenchReport {
+            issue: 10,
+            note: "synthetic".into(),
+            rows: bench_rows(speedups),
+        }
+    }
+
+    #[test]
+    fn bench_check_passes_when_rows_hold() {
+        let baseline = bench_baseline(&[3.0, 3.0, 3.0]);
+        let fresh = bench_rows(&[2.9, 3.1, 3.0]);
+        let summary = check_bench(&fresh, &baseline).expect("within both tolerances");
+        assert!(summary.contains("3 row(s)"), "summary: {summary}");
+    }
+
+    #[test]
+    fn bench_check_fails_on_geomean_regression() {
+        let baseline = bench_baseline(&[3.0, 3.0, 3.0]);
+        let fresh = bench_rows(&[2.5, 2.5, 2.5]);
+        let e = check_bench(&fresh, &baseline).expect_err("geomean down 17%");
+        assert!(e.contains("geomean"), "message: {e}");
+    }
+
+    #[test]
+    fn bench_check_fails_when_one_row_hides_behind_the_mean() {
+        // One kernel loses 40% while the others gain enough to keep
+        // the geomean flat: exactly the case the old geomean-only gate
+        // waved through.
+        let baseline = bench_baseline(&[3.0, 3.0, 3.0]);
+        let fresh = bench_rows(&[1.8, 3.7, 3.7]);
+        let geo: f64 = (1.8f64 * 3.7 * 3.7).powf(1.0 / 3.0);
+        assert!(geo > 3.0 * 0.9, "fixture must keep the geomean healthy");
+        let e = check_bench(&fresh, &baseline).expect_err("row w0 regressed 40%");
+        assert!(e.contains("w0"), "message must name the row: {e}");
+        assert!(e.contains("per-row"), "message: {e}");
+    }
+
+    #[test]
+    fn bench_check_rejects_an_empty_match() {
+        let baseline = bench_baseline(&[3.0]);
+        let mut fresh = bench_rows(&[3.0]);
+        fresh[0].ops = 999; // budget mismatch: no baseline row matches
+        let e = check_bench(&fresh, &baseline).expect_err("no matched rows");
+        assert!(e.contains("matched no rows"), "message: {e}");
     }
 }

@@ -13,6 +13,10 @@
 //! * complete search over core combinations ([`best_combination`],
 //!   Table 6) and the per-benchmark best-available-core series
 //!   (Figure 4);
+//! * two-objective generalizations of the above: deterministic
+//!   Pareto-front extraction, hypervolume scoring, and the
+//!   merit-vs-cost combination front ([`pareto_front`],
+//!   [`hypervolume`], [`combination_front`]);
 //! * greedy **surrogate assignment** with the three propagation
 //!   policies of §5.4 (Figures 6–8), including feedback-surrogating
 //!   detection;
@@ -34,6 +38,7 @@ mod combin;
 mod matrix;
 mod methodology;
 mod metrics;
+mod pareto;
 mod partition;
 mod query;
 mod schedule;
@@ -46,6 +51,7 @@ pub use combin::{
 pub use matrix::CrossPerfMatrix;
 pub use methodology::{compare_methodologies, MethodologyComparison};
 pub use metrics::Merit;
+pub use pareto::{combination_front, hypervolume, pareto_front, ComboParetoEntry, ParetoPoint};
 pub use partition::{balanced_partition, BalancedPartition};
 pub use query::{
     combination_query, merit_by_name, slowdown_row, QueryError, SlowdownEntry, SlowdownRow,

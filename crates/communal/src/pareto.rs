@@ -1,0 +1,266 @@
+//! Deterministic Pareto-front extraction and hypervolume for
+//! two-objective figures of merit.
+//!
+//! The paper customizes each core for throughput alone (IPT, §4); the
+//! explorer portfolio extends the figure of merit to the pair
+//! *(maximize IPT, minimize cost)* where cost is the CACTI-derived
+//! energy proxy. This module is the shared geometry: given any set of
+//! evaluated points it extracts the non-dominated front and scores it
+//! with the standard two-dimensional hypervolume indicator, and it
+//! generalizes the §5.2 complete combination search
+//! ([`crate::best_combination`]) to return the whole merit/cost front
+//! instead of a single scalar winner.
+//!
+//! Everything here is pure and order-insensitive: fronts are sorted by
+//! `(cost asc, ipt desc)` with total ordering on floats, so the same
+//! multiset of points yields the same bytes no matter how the caller
+//! ordered them.
+
+use crate::combin::combinations;
+use crate::matrix::CrossPerfMatrix;
+use crate::metrics::Merit;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated point in the two-objective plane: maximize `ipt`,
+/// minimize `cost`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Instructions per time unit — higher is better.
+    pub ipt: f64,
+    /// Cost proxy (e.g. energy per instruction, nJ) — lower is better.
+    pub cost: f64,
+}
+
+impl ParetoPoint {
+    /// True if `self` dominates `other`: at least as good in both
+    /// objectives and strictly better in at least one.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let ge = self.ipt >= other.ipt && self.cost <= other.cost;
+        let gt = self.ipt > other.ipt || self.cost < other.cost;
+        ge && gt
+    }
+}
+
+/// Extract the non-dominated front from `points`.
+///
+/// The result is sorted by `(cost asc, ipt desc)` and deduplicated;
+/// it is invariant under permutation of the input (total float
+/// ordering breaks every tie the same way). Non-finite points are
+/// discarded — an unrealizable design contributes nothing to the
+/// front.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut pts: Vec<ParetoPoint> = points
+        .iter()
+        .copied()
+        .filter(|p| p.ipt.is_finite() && p.cost.is_finite())
+        .collect();
+    pts.sort_by(|a, b| {
+        a.cost
+            .total_cmp(&b.cost)
+            .then_with(|| b.ipt.total_cmp(&a.ipt))
+    });
+    pts.dedup_by(|a, b| a.cost == b.cost && a.ipt == b.ipt);
+    // Sweep in cost order: a point survives iff its IPT strictly
+    // exceeds every cheaper (or equal-cost, higher-IPT-first) point
+    // seen so far.
+    let mut front = Vec::new();
+    let mut best_ipt = f64::NEG_INFINITY;
+    for p in pts {
+        if p.ipt > best_ipt {
+            best_ipt = p.ipt;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Two-dimensional hypervolume of `front` against `reference`
+/// (a point worse than everything in the front: lower IPT, higher
+/// cost). Larger is better. Points outside the reference box
+/// contribute only their clipped part; an empty front scores zero.
+///
+/// `front` must be a Pareto front as produced by [`pareto_front`]
+/// (sorted by cost ascending, IPT strictly increasing); this is
+/// re-established defensively so callers may pass any point set.
+pub fn hypervolume(front: &[ParetoPoint], reference: &ParetoPoint) -> f64 {
+    let front = pareto_front(front);
+    let mut volume = 0.0;
+    let mut prev_ipt = reference.ipt;
+    for p in &front {
+        let width = (reference.cost - p.cost).max(0.0);
+        let height = (p.ipt - prev_ipt).max(0.0);
+        volume += width * height;
+        prev_ipt = prev_ipt.max(p.ipt);
+    }
+    volume
+}
+
+/// One entry of the combination front: a core combination with its
+/// merit value and summed per-core cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComboParetoEntry {
+    /// Indices of the chosen architectures, ascending.
+    pub cores: Vec<usize>,
+    /// Names of the chosen architectures, matrix order.
+    pub names: Vec<String>,
+    /// Merit value of the combination (the IPT axis).
+    pub merit_value: f64,
+    /// Summed per-core cost of the combination (the cost axis).
+    pub cost: f64,
+}
+
+/// Generalize the §5.2 complete search to two objectives: enumerate
+/// every `k`-core combination, score it by `merit` and by the sum of
+/// the chosen cores' `costs`, and keep the non-dominated set.
+///
+/// `costs[i]` is the cost of architecture `i` (e.g. its customized
+/// core's energy-per-instruction). The returned front is sorted by
+/// `(cost asc, merit desc)` like [`pareto_front`], with ties broken
+/// by the lexicographically smallest core set, so it is deterministic
+/// and permutation-independent.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of architectures, or
+/// if `costs` does not match the matrix.
+pub fn combination_front(
+    m: &CrossPerfMatrix,
+    k: usize,
+    merit: Merit,
+    costs: &[f64],
+) -> Vec<ComboParetoEntry> {
+    assert_eq!(
+        costs.len(),
+        m.len(),
+        "one cost per architecture is required"
+    );
+    let pass = xps_trace::span("communal.combination_front");
+    let mut all: Vec<ComboParetoEntry> = Vec::new();
+    combinations(m.len(), k, |combo| {
+        let merit_value = merit.evaluate(m, combo);
+        let cost: f64 = combo.iter().map(|&i| costs[i]).sum();
+        all.push(ComboParetoEntry {
+            cores: combo.to_vec(),
+            names: combo.iter().map(|&i| m.names()[i].clone()).collect(),
+            merit_value,
+            cost,
+        });
+    });
+    let evaluated = all.len() as u64;
+    // Same sweep as `pareto_front`, but over combination entries so
+    // the winning subsets survive alongside their coordinates.
+    all.sort_by(|a, b| {
+        a.cost
+            .total_cmp(&b.cost)
+            .then_with(|| b.merit_value.total_cmp(&a.merit_value))
+            .then_with(|| a.cores.cmp(&b.cores))
+    });
+    let mut front: Vec<ComboParetoEntry> = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for e in all {
+        if e.merit_value > best {
+            best = e.merit_value;
+            front.push(e);
+        }
+    }
+    pass.end_with(|| {
+        xps_trace::attrs([
+            ("k", k.into()),
+            ("evaluated", evaluated.into()),
+            ("front", (front.len() as u64).into()),
+        ])
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ipt: f64, cost: f64) -> ParetoPoint {
+        ParetoPoint { ipt, cost }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        assert!(p(2.0, 1.0).dominates(&p(1.0, 2.0)));
+        assert!(p(2.0, 1.0).dominates(&p(2.0, 2.0)));
+        assert!(p(2.0, 1.0).dominates(&p(1.0, 1.0)));
+        assert!(!p(2.0, 1.0).dominates(&p(2.0, 1.0)));
+        assert!(!p(1.0, 1.0).dominates(&p(2.0, 2.0)));
+    }
+
+    #[test]
+    fn front_drops_dominated_and_sorts() {
+        let pts = vec![p(1.0, 1.0), p(3.0, 3.0), p(2.0, 2.0), p(0.5, 2.5)];
+        let f = pareto_front(&pts);
+        assert_eq!(f, vec![p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)]);
+    }
+
+    #[test]
+    fn front_permutation_invariant_and_dedups() {
+        let a = vec![p(1.0, 1.0), p(2.0, 2.0), p(1.0, 1.0)];
+        let b = vec![p(2.0, 2.0), p(1.0, 1.0)];
+        assert_eq!(pareto_front(&a), pareto_front(&b));
+    }
+
+    #[test]
+    fn front_ignores_non_finite() {
+        let pts = vec![p(f64::NAN, 1.0), p(1.0, f64::INFINITY), p(1.0, 1.0)];
+        assert_eq!(pareto_front(&pts), vec![p(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn hypervolume_rectangles() {
+        // Single point: one rectangle.
+        let r = p(0.0, 4.0);
+        assert!((hypervolume(&[p(2.0, 1.0)], &r) - 6.0).abs() < 1e-12);
+        // Two points form a staircase: 3*1 + 2*1 = 5.
+        let f = vec![p(1.0, 1.0), p(2.0, 2.0)];
+        assert!((hypervolume(&f, &r) - 5.0).abs() < 1e-12);
+        // Empty front scores zero.
+        assert_eq!(hypervolume(&[], &r), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_monotone_in_points() {
+        let r = p(0.0, 10.0);
+        let small = vec![p(1.0, 2.0)];
+        let big = vec![p(1.0, 2.0), p(3.0, 5.0)];
+        assert!(hypervolume(&big, &r) >= hypervolume(&small, &r));
+    }
+
+    #[test]
+    fn combination_front_contains_best_combination() {
+        let m = CrossPerfMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![4.0, 1.0, 1.0],
+                vec![1.0, 3.0, 1.0],
+                vec![1.0, 1.0, 2.0],
+            ],
+        )
+        .expect("valid");
+        let costs = vec![3.0, 2.0, 1.0];
+        let front = combination_front(&m, 2, Merit::Average, &costs);
+        assert!(!front.is_empty());
+        // No entry dominates another.
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    let pa = p(a.merit_value, a.cost);
+                    let pb = p(b.merit_value, b.cost);
+                    assert!(!pa.dominates(&pb), "{a:?} dominates {b:?}");
+                }
+            }
+        }
+        // The scalar best combination's merit appears on the front
+        // (it is the highest-merit extreme).
+        let best = crate::best_combination(&m, 2, Merit::Average);
+        let max_merit = front
+            .iter()
+            .map(|e| e.merit_value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((max_merit - best.merit_value).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for Pareto-front extraction: the front contains no
+//! dominated point, keeps every non-dominated input, and is invariant
+//! under any permutation of its input — the property that makes the
+//! bake-off's fronts byte-identical regardless of the order in which
+//! explorers happened to measure points.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use xps_communal::{hypervolume, pareto_front, ParetoPoint};
+
+/// Coarse coordinate grids on both axes so duplicates and exact ties
+/// actually occur — the edge cases a naive strict-inequality sweep
+/// gets wrong.
+fn arb_points() -> impl Strategy<Value = Vec<ParetoPoint>> {
+    vec((0u32..20, 0u32..20), 24).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(i, c)| ParetoPoint {
+                ipt: f64::from(i) * 0.25,
+                cost: f64::from(c) * 0.5,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No point of the front is dominated by any input point, and
+    /// every input point is dominated by (or equal to) some front
+    /// point — the front is exactly the non-dominated set.
+    #[test]
+    fn front_is_the_nondominated_set(points in arb_points()) {
+        let front = pareto_front(&points);
+        for f in &front {
+            prop_assert!(
+                !points.iter().any(|p| p.dominates(f)),
+                "front point {f:?} is dominated by an input"
+            );
+        }
+        for p in &points {
+            prop_assert!(
+                front
+                    .iter()
+                    .any(|f| f.dominates(p) || (f.ipt == p.ipt && f.cost == p.cost)),
+                "input {p:?} neither on the front nor dominated"
+            );
+        }
+        // Mutually non-dominated, no duplicates.
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.dominates(b));
+                    prop_assert!(a.ipt != b.ipt || a.cost != b.cost, "duplicate on front");
+                }
+            }
+        }
+    }
+
+    /// The front (and therefore the hypervolume) is a function of the
+    /// *set* of measured points, not the measurement order.
+    #[test]
+    fn front_is_permutation_invariant(
+        points in arb_points(),
+        rot in 0usize..24,
+    ) {
+        let base = pareto_front(&points);
+        let mut reversed = points.clone();
+        reversed.reverse();
+        prop_assert_eq!(&pareto_front(&reversed), &base);
+        let mut rotated = points.clone();
+        if !rotated.is_empty() {
+            let k = rot % rotated.len();
+            rotated.rotate_left(k);
+        }
+        prop_assert_eq!(&pareto_front(&rotated), &base);
+        let reference = ParetoPoint { ipt: 0.0, cost: 10.0 };
+        let hv = hypervolume(&points, &reference);
+        prop_assert_eq!(hypervolume(&reversed, &reference), hv);
+        prop_assert_eq!(hypervolume(&rotated, &reference), hv);
+        prop_assert!(hv >= 0.0);
+    }
+}

@@ -8,7 +8,7 @@ use crate::error::PipelineError;
 use serde::{Deserialize, Serialize};
 use xps_communal::CrossPerfMatrix;
 use xps_explore::{
-    merge_counts, resolve_jobs, CacheCounters, CustomizedCore, EvalCache, ExploreOptions, Explorer,
+    merge_counts, resolve_jobs, CacheCounters, Campaign, CustomizedCore, EvalCache, ExploreOptions,
     ProgressSink, RecoveryStats, RunContext,
 };
 use xps_sim::CoreConfig;
@@ -343,7 +343,7 @@ impl Pipeline {
         progress: Option<&ProgressSink>,
     ) -> Result<PipelineResult, PipelineError> {
         self.validate()?;
-        let mut explorer = Explorer::try_new(self.explore.clone())?;
+        let mut explorer = Campaign::try_new(self.explore.clone())?;
         if let Some(sink) = progress {
             explorer = explorer.with_progress(sink.clone());
         }

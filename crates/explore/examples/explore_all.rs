@@ -9,12 +9,12 @@
 //! `repro explore` from the `xps-bench` crate.)
 
 use std::time::Instant;
-use xps_explore::{ExploreOptions, Explorer};
+use xps_explore::{Campaign, ExploreOptions};
 use xps_workload::spec;
 
 fn main() {
     let t0 = Instant::now();
-    let explorer = Explorer::new(ExploreOptions::default());
+    let explorer = Campaign::new(ExploreOptions::default());
     let r = explorer.explore(&spec::all_profiles());
     println!(
         "elapsed {:.1}s, cross-seeding adoptions {}",

@@ -180,8 +180,11 @@ pub fn score_with(
 
 /// Propose a neighbouring design point: either move the clock (all
 /// units re-fit on realization), or move one unit's depth /
-/// organization preference (that unit re-fits).
-fn propose(rng: &mut SmallRng, p: &DesignPoint) -> DesignPoint {
+/// organization preference (that unit re-fits). Shared with the
+/// explorer portfolio (`crate::search`): the GA's mutation operator
+/// and the surrogate searcher's candidate generator use the same
+/// move kernel so the bake-off compares strategies, not move sets.
+pub(crate) fn propose(rng: &mut SmallRng, p: &DesignPoint) -> DesignPoint {
     let mut q = p.clone();
     match rng.gen_range(0..10u32) {
         // Clock moves get the largest share, as in the paper's loop.

@@ -118,13 +118,13 @@ pub struct ExplorationResult {
 /// Orchestrates the paper's exploration methodology over a workload
 /// set.
 #[derive(Debug, Clone)]
-pub struct Explorer {
+pub struct Campaign {
     opts: ExploreOptions,
     tech: Technology,
     progress: Option<ProgressSink>,
 }
 
-impl Explorer {
+impl Campaign {
     /// Build an explorer with the default technology, validating the
     /// options.
     ///
@@ -132,9 +132,9 @@ impl Explorer {
     ///
     /// Returns [`ExploreError::InvalidOptions`] when an option
     /// violates an invariant.
-    pub fn try_new(opts: ExploreOptions) -> Result<Explorer, ExploreError> {
+    pub fn try_new(opts: ExploreOptions) -> Result<Campaign, ExploreError> {
         opts.validate()?;
-        Ok(Explorer {
+        Ok(Campaign {
             opts,
             tech: Technology::default(),
             progress: None,
@@ -146,9 +146,9 @@ impl Explorer {
     /// # Panics
     ///
     /// Panics when the options are invalid; use
-    /// [`try_new`](Explorer::try_new) for a typed error.
-    pub fn new(opts: ExploreOptions) -> Explorer {
-        Explorer::try_new(opts).unwrap_or_else(|e| panic!("{e}"))
+    /// [`try_new`](Campaign::try_new) for a typed error.
+    pub fn new(opts: ExploreOptions) -> Campaign {
+        Campaign::try_new(opts).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Build an explorer for a specific technology point (the paper
@@ -157,9 +157,9 @@ impl Explorer {
     /// # Panics
     ///
     /// Panics when the options are invalid.
-    pub fn with_technology(opts: ExploreOptions, tech: Technology) -> Explorer {
+    pub fn with_technology(opts: ExploreOptions, tech: Technology) -> Campaign {
         opts.validate().unwrap_or_else(|e| panic!("{e}"));
-        Explorer {
+        Campaign {
             opts,
             tech,
             progress: None,
@@ -170,7 +170,7 @@ impl Explorer {
     /// campaign emits one [`ProgressEvent::AnnealStep`] (tagged with
     /// the workload and the multi-start index). Observation is
     /// read-only — results are bit-identical with or without a sink.
-    pub fn with_progress(mut self, sink: ProgressSink) -> Explorer {
+    pub fn with_progress(mut self, sink: ProgressSink) -> Campaign {
         self.progress = Some(sink);
         self
     }
@@ -190,7 +190,7 @@ impl Explorer {
         self.explore_with(profiles, &EvalCache::new())
     }
 
-    /// [`explore`](Explorer::explore) against a caller-supplied
+    /// [`explore`](Campaign::explore) against a caller-supplied
     /// evaluation cache, so a surrounding pipeline can share one cache
     /// between exploration and later cross-performance measurement.
     ///
@@ -202,7 +202,7 @@ impl Explorer {
     /// # Panics
     ///
     /// Panics if `profiles` is empty or a workload fails terminally;
-    /// use [`explore_recoverable`](Explorer::explore_recoverable) for
+    /// use [`explore_recoverable`](Campaign::explore_recoverable) for
     /// typed errors, journaling, and fault injection.
     pub fn explore_with(
         &self,
@@ -215,7 +215,7 @@ impl Explorer {
     }
 
     /// The crash-safe campaign: as
-    /// [`explore_with`](Explorer::explore_with), but every task runs
+    /// [`explore_with`](Campaign::explore_with), but every task runs
     /// through `ctx` — panic-isolated, retried, optionally journaled
     /// for `--resume`, and optionally fault-injected.
     ///
@@ -473,7 +473,7 @@ mod tests {
             spec::profile("gzip").expect("gzip exists"),
             spec::profile("mcf").expect("mcf exists"),
         ];
-        let explorer = Explorer::new(ExploreOptions::quick());
+        let explorer = Campaign::new(ExploreOptions::quick());
         let r = explorer.explore(&profiles);
         assert_eq!(r.cores.len(), 2);
         assert_eq!(r.cores[0].config.name, "gzip");
@@ -487,7 +487,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one workload")]
     fn empty_input_panics() {
-        Explorer::new(ExploreOptions::quick()).explore(&[]);
+        Campaign::new(ExploreOptions::quick()).explore(&[]);
     }
 
     #[test]
@@ -495,7 +495,7 @@ mod tests {
         let mut opts = ExploreOptions::quick();
         opts.anneal.iterations = 0;
         assert!(matches!(
-            Explorer::try_new(opts),
+            Campaign::try_new(opts),
             Err(ExploreError::InvalidOptions(_))
         ));
         let mut opts = ExploreOptions::quick();
@@ -521,7 +521,7 @@ mod tests {
         opts.anneal.eval_ops_late = 6000;
         opts.reanneal_iterations = 3;
         opts.jobs = 2;
-        let explorer = Explorer::new(opts);
+        let explorer = Campaign::new(opts);
         // Kill gzip's corner start (task 1 of its three) on every
         // attempt: the run must degrade to its surviving starts.
         let ctx = RunContext::new()
@@ -551,7 +551,7 @@ mod tests {
         opts.anneal.iterations = 5;
         opts.anneal.eval_ops_early = 2000;
         opts.anneal.eval_ops_late = 4000;
-        let explorer = Explorer::new(opts);
+        let explorer = Campaign::new(opts);
         let ctx = RunContext::new()
             .with_faults(FaultPlan::targets(["anneal#"], u32::MAX, FaultKind::Error))
             .with_retries(0);
@@ -574,7 +574,7 @@ mod tests {
         opts.anneal.eval_ops_late = 6000;
         opts.reanneal_iterations = 3;
         opts.jobs = 2;
-        let plain = Explorer::new(opts.clone()).explore(&profiles);
+        let plain = Campaign::new(opts.clone()).explore(&profiles);
         let steps: Arc<Mutex<Vec<(String, u32, u32)>>> = Arc::default();
         let sink = {
             let steps = steps.clone();
@@ -593,7 +593,7 @@ mod tests {
                 }
             })
         };
-        let observed = Explorer::new(opts.clone())
+        let observed = Campaign::new(opts.clone())
             .with_progress(sink)
             .explore(&profiles);
         for (a, b) in plain.cores.iter().zip(&observed.cores) {
@@ -630,12 +630,12 @@ mod tests {
         let serial = {
             let mut o = opts.clone();
             o.jobs = 1;
-            Explorer::new(o).explore(&profiles)
+            Campaign::new(o).explore(&profiles)
         };
         let parallel = {
             let mut o = opts.clone();
             o.jobs = 4;
-            Explorer::new(o).explore(&profiles)
+            Campaign::new(o).explore(&profiles)
         };
         assert_eq!(serial.adoptions, parallel.adoptions);
         for (s, p) in serial.cores.iter().zip(&parallel.cores) {

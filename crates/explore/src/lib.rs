@@ -22,18 +22,24 @@
 //! traces early and longer traces late (the paper's 10 M → 100 M
 //! staging, scaled down).
 //!
-//! [`Explorer`] orchestrates the full §4 methodology across a set of
+//! [`Campaign`] orchestrates the full §4 methodology across a set of
 //! workloads, including the paper's cross-configuration seeding rule:
 //! *"If a workload was found to perform better on some other workload's
 //! optimal configuration, that configuration would replace its own."*
 //!
+//! Beyond the paper, the [`Explorer`] portfolio ([`search`] module)
+//! makes the annealer one of several seeded, evaluation-budgeted
+//! search strategies — genetic and surrogate-guided competitors —
+//! comparable head-to-head at equal simulation budgets (`repro
+//! bakeoff`).
+//!
 //! ## Example
 //!
 //! ```no_run
-//! use xps_explore::{ExploreOptions, Explorer};
+//! use xps_explore::{ExploreOptions, Campaign};
 //! use xps_workload::spec;
 //!
-//! let explorer = Explorer::new(ExploreOptions::quick());
+//! let explorer = Campaign::new(ExploreOptions::quick());
 //! let result = explorer.explore(&spec::all_profiles());
 //! for core in &result.cores {
 //!     println!("{}: {:.2} IPT @ {:.2} ns", core.profile.name, core.ipt, core.config.clock_ns);
@@ -53,6 +59,7 @@ pub mod journal;
 mod parallel;
 mod point;
 mod recovery;
+mod search;
 mod stats;
 mod task;
 
@@ -61,13 +68,17 @@ pub use anneal::{
 };
 pub use cache::{CacheCounters, EvalCache};
 pub use error::{ExploreError, TaskError, TaskFailure};
-pub use explorer::{CustomizedCore, ExplorationResult, ExploreOptions, ExploreStats, Explorer};
+pub use explorer::{Campaign, CustomizedCore, ExplorationResult, ExploreOptions, ExploreStats};
 pub use fault::{FaultKind, FaultPlan};
 pub use grid::{grid_search, grid_search_with, GridResult, GridSpec};
 pub use journal::{fnv64, write_atomic, Journal, JournalError};
 pub use parallel::{merge_counts, resolve_jobs, run_parallel, ParallelRun};
 pub use point::DesignPoint;
 pub use recovery::{FanOutcome, RecoveryStats, RunContext, DEFAULT_RETRIES};
+pub use search::{
+    crossover, explorer_by_name, mutate, search, AnnealExplorer, CurvePoint, EvalBudget, Explorer,
+    GeneticExplorer, Probe, SearchOptions, SearchOutcome, SurrogateExplorer, EXPLORER_NAMES,
+};
 pub use stats::EngineStats;
 pub use task::{TaskDispatcher, TaskKind, TaskSpec};
 pub use xps_trace::{ProgressEvent, ProgressSink};

@@ -165,6 +165,55 @@ impl DesignPoint {
         Some(cfg)
     }
 
+    /// Check that every knob lies inside the move kernel's domain:
+    /// the bounds `crate::anneal`'s `propose` clamps to, plus the
+    /// associativity/block candidate lists. All corners and lattice
+    /// points satisfy this, and any sequence of proposal moves or
+    /// field-wise recombinations of valid points preserves it — the
+    /// invariant the GA operator proptests pin down.
+    ///
+    /// Domain validity is necessary but not sufficient for
+    /// [`DesignPoint::realize`] to succeed: a valid point can still
+    /// fail to fit under a given technology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first knob outside its domain.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.08..=1.2).contains(&self.clock_ns) {
+            return Err(format!("clock_ns {} outside [0.08, 1.2]", self.clock_ns));
+        }
+        if !(1..=8).contains(&self.width) {
+            return Err(format!("width {} outside [1, 8]", self.width));
+        }
+        if !(1..=5).contains(&self.sched_depth) {
+            return Err(format!("sched_depth {} outside [1, 5]", self.sched_depth));
+        }
+        if self.wakeup_slack > 1 {
+            return Err(format!("wakeup_slack {} outside [0, 1]", self.wakeup_slack));
+        }
+        if !(1..=4).contains(&self.lsq_depth) {
+            return Err(format!("lsq_depth {} outside [1, 4]", self.lsq_depth));
+        }
+        if !(1..=8).contains(&self.l1_cycles) {
+            return Err(format!("l1_cycles {} outside [1, 8]", self.l1_cycles));
+        }
+        if !(2..=40).contains(&self.l2_cycles) {
+            return Err(format!("l2_cycles {} outside [2, 40]", self.l2_cycles));
+        }
+        for (label, assoc) in [("l1_assoc", self.l1_assoc), ("l2_assoc", self.l2_assoc)] {
+            if !ASSOC_STEPS.contains(&assoc) {
+                return Err(format!("{label} {assoc} not in {ASSOC_STEPS:?}"));
+            }
+        }
+        for (label, block) in [("l1_block", self.l1_block), ("l2_block", self.l2_block)] {
+            if !BLOCK_STEPS.contains(&block) {
+                return Err(format!("{label} {block} not in {BLOCK_STEPS:?}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Step an associativity preference up or down the candidate list.
     pub(crate) fn step_assoc(cur: u32, up: bool) -> u32 {
         let i = ASSOC_STEPS.iter().position(|&a| a == cur).unwrap_or(0);

@@ -24,6 +24,7 @@
 use crate::anneal::{anneal_with, AnnealOptions};
 use crate::cache::EvalCache;
 use crate::point::DesignPoint;
+use crate::search::{explorer_by_name, SearchOptions};
 use serde::{Deserialize, Serialize};
 use xps_cacti::Technology;
 use xps_sim::CoreConfig;
@@ -38,6 +39,9 @@ pub enum TaskKind {
     /// One IPT evaluation of a workload on a configuration (`seed`,
     /// `matrix`, and `rematrix` fan items).
     Eval,
+    /// One budgeted portfolio search — one explorer against one
+    /// workload (`bakeoff` fan items).
+    Search,
 }
 
 /// A self-contained, serializable description of one pipeline task.
@@ -63,8 +67,15 @@ pub struct TaskSpec {
     pub tech: Option<Technology>,
     /// The configuration to evaluate on ([`TaskKind::Eval`] only).
     pub config: Option<CoreConfig>,
+    /// Registry name of the search strategy ([`TaskKind::Search`]
+    /// only).
+    pub explorer: Option<String>,
+    /// Budgeted-search options ([`TaskKind::Search`] only; `tech`
+    /// carries the technology, as for anneals).
+    pub search: Option<SearchOptions>,
     /// Trace length in micro-ops ([`TaskKind::Eval`] only; 0 for
-    /// anneals, which stage their own trace lengths via `opts`).
+    /// anneals and searches, which carry their own trace lengths via
+    /// `opts` / `search`).
     pub ops: u64,
 }
 
@@ -83,6 +94,8 @@ impl TaskSpec {
             opts: Some(opts.clone()),
             tech: Some(tech.clone()),
             config: None,
+            explorer: None,
+            search: None,
             ops: 0,
         }
     }
@@ -96,7 +109,29 @@ impl TaskSpec {
             opts: None,
             tech: None,
             config: Some(config.clone()),
+            explorer: None,
+            search: None,
             ops,
+        }
+    }
+
+    /// Describe one budgeted portfolio search.
+    pub fn search(
+        profile: &WorkloadProfile,
+        explorer: &str,
+        opts: &SearchOptions,
+        tech: &Technology,
+    ) -> TaskSpec {
+        TaskSpec {
+            kind: TaskKind::Search,
+            profile: profile.clone(),
+            start: None,
+            opts: None,
+            tech: Some(tech.clone()),
+            config: None,
+            explorer: Some(explorer.to_string()),
+            search: Some(opts.clone()),
+            ops: 0,
         }
     }
 
@@ -142,6 +177,19 @@ impl TaskSpec {
                 let ipt = cache.ipt(&self.profile, config, self.ops);
                 // xps-allow(no-unwrap-in-lib): a measured IPT is a finite f64; serialization cannot fail
                 Ok(serde_json::to_string(&ipt).expect("task results serialize to JSON"))
+            }
+            TaskKind::Search => {
+                let (Some(name), Some(opts), Some(tech)) =
+                    (&self.explorer, &self.search, &self.tech)
+                else {
+                    return Err("search task missing explorer/search/tech".into());
+                };
+                let explorer =
+                    explorer_by_name(name).ok_or_else(|| format!("unknown explorer {name:?}"))?;
+                let outcome = crate::search::search(&*explorer, &self.profile, tech, opts, cache)
+                    .map_err(|e| e.to_string())?;
+                // xps-allow(no-unwrap-in-lib): task results are plain data structs; serialization cannot fail
+                Ok(serde_json::to_string(&outcome).expect("task results serialize to JSON"))
             }
         }
     }
@@ -216,6 +264,44 @@ mod tests {
         let local = anneal_with(&gzip(), &start, &opts, &tech, Some(&cache));
         let expected = serde_json::to_string(&local).expect("serializes");
         assert_eq!(remote, expected, "remote anneal is byte-identical");
+    }
+
+    #[test]
+    fn search_execute_matches_local_search() {
+        use crate::search::{explorer_by_name, search};
+        let cache = EvalCache::new();
+        let opts = SearchOptions {
+            budget: 8,
+            eval_ops: 3_000,
+            seed: 5,
+        };
+        let tech = Technology::default();
+        let t = TaskSpec::search(&gzip(), "genetic", &opts, &tech);
+        let remote = t.execute(&cache).expect("executes");
+        let explorer = explorer_by_name("genetic").expect("registered");
+        let local = search(&*explorer, &gzip(), &tech, &opts, &cache).expect("searches");
+        let expected = serde_json::to_string(&local).expect("serializes");
+        assert_eq!(remote, expected, "remote search is byte-identical");
+    }
+
+    #[test]
+    fn search_specs_validate_their_payload() {
+        let opts = SearchOptions {
+            budget: 4,
+            eval_ops: 1_000,
+            seed: 1,
+        };
+        let tech = Technology::default();
+        let mut t = TaskSpec::search(&gzip(), "anneal", &opts, &tech);
+        t.explorer = Some("bogus".into());
+        assert!(t.execute(&EvalCache::new()).is_err(), "unknown explorer");
+        let mut t = TaskSpec::search(&gzip(), "anneal", &opts, &tech);
+        t.search = None;
+        assert!(t.execute(&EvalCache::new()).is_err(), "missing options");
+        let mut bad = opts.clone();
+        bad.budget = 0;
+        let t = TaskSpec::search(&gzip(), "anneal", &bad, &tech);
+        assert!(t.execute(&EvalCache::new()).is_err(), "invalid options");
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Property tests for the GA's operators and the budget seam's
+//! best-tracking. The operators must be *closed over the move-kernel
+//! domain* — any child of valid parents passes
+//! [`DesignPoint::validate`] — because the genetic explorer feeds
+//! children straight to the budget, and an out-of-domain point would
+//! make the bake-off compare strategies over different spaces. And a
+//! genetic run must never lose its incumbent best (elitism): the
+//! reported result is the maximum over everything ever measured.
+
+use proptest::prelude::*;
+use proptest::sample::select;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use xps_cacti::Technology;
+use xps_explore::{
+    crossover, mutate, search, DesignPoint, EvalCache, GeneticExplorer, SearchOptions,
+};
+use xps_workload::spec;
+
+/// An arbitrary design point inside the move-kernel domain — the same
+/// ranges [`DesignPoint::validate`] checks.
+fn arb_point() -> impl Strategy<Value = DesignPoint> {
+    let core = (
+        0.08f64..1.2, // clock_ns
+        1u32..=8,     // width
+        1u32..=5,     // sched_depth
+        0u32..=1,     // wakeup_slack
+        1u32..=4,     // lsq_depth
+        1u32..=8,     // l1_cycles
+        2u32..=40,    // l2_cycles
+    );
+    let caches = (
+        select(vec![1u32, 2, 4, 8, 16]),        // l1_assoc
+        select(vec![8u32, 16, 32, 64, 128]),    // l1_block
+        select(vec![1u32, 2, 4, 8, 16]),        // l2_assoc
+        select(vec![32u32, 64, 128, 256, 512]), // l2_block
+    );
+    (core, caches).prop_map(
+        |(
+            (clock_ns, width, sched_depth, wakeup_slack, lsq_depth, l1_cycles, l2_cycles),
+            (l1_assoc, l1_block, l2_assoc, l2_block),
+        )| DesignPoint {
+            clock_ns,
+            width,
+            sched_depth,
+            wakeup_slack,
+            lsq_depth,
+            l1_cycles,
+            l2_cycles,
+            l1_assoc,
+            l1_block,
+            l2_assoc,
+            l2_block,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crossover of two in-domain parents yields an in-domain child,
+    /// for any RNG stream.
+    #[test]
+    fn crossover_is_closed_over_the_domain(
+        a in arb_point(),
+        b in arb_point(),
+        seed in any::<u64>(),
+    ) {
+        prop_assert!(a.validate().is_ok() && b.validate().is_ok());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let child = crossover(&mut rng, &a, &b);
+        prop_assert!(
+            child.validate().is_ok(),
+            "invalid child {child:?} from valid parents"
+        );
+    }
+
+    /// A chain of mutations never leaves the domain — the move kernel
+    /// clamps every knob to its admissible range.
+    #[test]
+    fn mutation_chains_are_closed_over_the_domain(
+        p in arb_point(),
+        seed in any::<u64>(),
+    ) {
+        prop_assert!(p.validate().is_ok());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut q = p;
+        for step in 0..8 {
+            q = mutate(&mut rng, &q);
+            prop_assert!(
+                q.validate().is_ok(),
+                "mutation step {step} left the domain: {q:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    // Each case runs a real (tiny) genetic search, so keep the count
+    // small; determinism makes the sample reliable anyway.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Elitism: for any seed, the genetic run's reported best equals
+    /// the running maximum of its own convergence curve and never
+    /// falls below the start incumbent — the best individual is
+    /// carried through every generation, never lost to selection.
+    #[test]
+    fn genetic_never_loses_the_incumbent_best(seed in any::<u64>()) {
+        let tech = Technology::default();
+        let profile = spec::profile("gzip").expect("gzip exists");
+        let opts = SearchOptions { budget: 15, eval_ops: 2_000, seed };
+        let r = search(&GeneticExplorer, &profile, &tech, &opts, &EvalCache::new())
+            .expect("searches");
+        let start_ipt = r.curve[0].ipt;
+        let curve_max = r.curve.iter().map(|c| c.ipt).fold(f64::MIN, f64::max);
+        prop_assert!(r.ipt >= start_ipt, "lost the start incumbent");
+        prop_assert!(
+            (r.ipt - curve_max).abs() < 1e-12,
+            "reported {} but the curve reached {}",
+            r.ipt,
+            curve_max
+        );
+        prop_assert!(
+            r.curve.windows(2).all(|w| w[0].ipt < w[1].ipt),
+            "the best-so-far curve must be strictly improving"
+        );
+    }
+}

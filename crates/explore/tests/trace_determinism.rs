@@ -4,7 +4,7 @@
 //! not by thread or completion order — and logical clocks are
 //! per-task.
 
-use xps_explore::{EvalCache, ExploreOptions, Explorer, RunContext};
+use xps_explore::{Campaign, EvalCache, ExploreOptions, RunContext};
 use xps_trace::{with_recorder, TraceSink};
 use xps_workload::spec;
 
@@ -24,7 +24,7 @@ fn traced_run(jobs: usize) -> String {
     let trace = TraceSink::new();
     let ctx = RunContext::new().with_trace(trace.clone());
     let cache = EvalCache::new();
-    let explorer = Explorer::new(opts);
+    let explorer = Campaign::new(opts);
     let (root, result) = with_recorder(trace.recorder(), || {
         explorer.explore_recoverable(&profiles, &cache, &ctx)
     });

@@ -10,6 +10,8 @@ pub enum ScenarioError {
     Spec(String),
     /// The underlying configurational pipeline failed.
     Pipeline(PipelineError),
+    /// A fanned-out task failed permanently (every retry exhausted).
+    Task(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -17,6 +19,7 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::Spec(m) => write!(f, "invalid scenario spec: {m}"),
             ScenarioError::Pipeline(e) => write!(f, "scale study pipeline failed: {e}"),
+            ScenarioError::Task(m) => write!(f, "scenario task failed permanently: {m}"),
         }
     }
 }
@@ -24,7 +27,7 @@ impl std::fmt::Display for ScenarioError {
 impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ScenarioError::Spec(_) => None,
+            ScenarioError::Spec(_) | ScenarioError::Task(_) => None,
             ScenarioError::Pipeline(e) => Some(e),
         }
     }

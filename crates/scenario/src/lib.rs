@@ -50,12 +50,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bakeoff;
 mod dist;
 mod error;
 mod family;
 mod population;
 mod study;
 
+pub use bakeoff::{
+    run_bakeoff, BakeoffEntry, BakeoffOptions, BakeoffReport, ExplorerStanding, FamilyStanding,
+    WorkloadBakeoff, SPEC_FAMILY,
+};
 pub use dist::{LogNormal, Zipf};
 pub use error::ScenarioError;
 pub use family::{derive_seed, generate_profile, Family};

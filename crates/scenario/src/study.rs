@@ -328,7 +328,7 @@ fn raw_characteristics(p: &WorkloadProfile, ops: usize) -> Vec<f64> {
 
 /// The family prefix of a generated workload name (`expected-0012` →
 /// `expected`).
-fn family_prefix(name: &str) -> &str {
+pub(crate) fn family_prefix(name: &str) -> &str {
     name.rsplit_once('-').map_or(name, |(prefix, _)| prefix)
 }
 

@@ -11,7 +11,7 @@
 //! both notions of distance on this repository's own substrate (takes
 //! a minute or two: each annealing step is a timing simulation).
 
-use xpscalar::explore::{ExploreOptions, Explorer};
+use xpscalar::explore::{Campaign, ExploreOptions};
 use xpscalar::workload::{spec, Characterizer, TraceGenerator, KIVIAT_AXES};
 
 fn main() {
@@ -47,7 +47,7 @@ fn main() {
     println!("\nexploring customized configurations (simulated annealing)...");
     let mut opts = ExploreOptions::quick();
     opts.jobs = 0;
-    let explorer = Explorer::new(opts);
+    let explorer = Campaign::new(opts);
     let result = explorer.explore(&profiles);
     for core in &result.cores {
         let c = &core.config;
